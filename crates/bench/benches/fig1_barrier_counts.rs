@@ -1,0 +1,18 @@
+//! Figure 1: cost of enumerating dynamic barrier counts for the whole suite.
+
+use bp_bench::{fig1_barrier_counts, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    c.bench_function("fig1/barrier_counts_all_benchmarks", |b| {
+        b.iter(|| fig1_barrier_counts(&config))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

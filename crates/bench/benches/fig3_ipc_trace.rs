@@ -1,0 +1,18 @@
+//! Figure 3: actual vs reconstructed per-region IPC trace for npb-ft.
+
+use bp_bench::{fig3_ipc_trace, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    c.bench_function("fig3/npb_ft_ipc_trace_reconstruction", |b| {
+        b.iter(|| fig3_ipc_trace(&config))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 4: perfect-warmup accuracy evaluation (profile + select + ground
+//! truth + reconstruction) for a representative benchmark.
+
+use barrierpoint::evaluate::{estimate_from_full_run, prediction_error};
+use bp_bench::{prepare, ExperimentConfig};
+use bp_workload::Benchmark;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for bench in [Benchmark::NpbCg, Benchmark::NpbFt, Benchmark::NpbIs] {
+        group.bench_with_input(
+            BenchmarkId::new("perfect_warmup_error", bench.name()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    let run = prepare(&config, bench, config.cores_small);
+                    let estimate = estimate_from_full_run(&run.selection, &run.ground).unwrap();
+                    prediction_error(&run.ground, &estimate)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

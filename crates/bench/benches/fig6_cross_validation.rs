@@ -1,0 +1,26 @@
+//! Figure 6: applying a selection made at one core count to ground truth
+//! gathered at another.
+
+use barrierpoint::evaluate::{estimate_from_full_run, prediction_error};
+use bp_bench::{prepare, ExperimentConfig};
+use bp_workload::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let small = prepare(&config, Benchmark::NpbFt, config.cores_small);
+    let large = prepare(&config, Benchmark::NpbFt, config.cores_large);
+    c.bench_function("fig6/npb_ft_cross_core_count_estimate", |b| {
+        b.iter(|| {
+            let transferred = estimate_from_full_run(&small.selection, &large.ground).unwrap();
+            prediction_error(&large.ground, &transferred)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

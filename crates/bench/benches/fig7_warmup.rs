@@ -1,0 +1,36 @@
+//! Figure 7: detailed simulation of all barrierpoints with MRU-replay warmup.
+
+use barrierpoint::{reconstruct, simulate_barrierpoints, WarmupKind};
+use bp_bench::{prepare, ExperimentConfig};
+use bp_workload::Benchmark;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let run = prepare(&config, Benchmark::NpbFt, config.cores_small);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for warmup in [WarmupKind::Cold, WarmupKind::MruReplay, WarmupKind::FunctionalReplay] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_barrierpoints_npb_ft", warmup.name()),
+            &warmup,
+            |b, &warmup| {
+                b.iter(|| {
+                    let metrics = simulate_barrierpoints(
+                        &run.workload,
+                        &run.selection,
+                        &run.sim_config,
+                        warmup,
+                        false,
+                    )
+                    .unwrap();
+                    reconstruct(&run.selection, &metrics, run.sim_config.core.frequency_ghz).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 8: predicting relative performance between two design points from
+//! one barrierpoint selection.
+
+use barrierpoint::evaluate::{estimate_from_full_run, relative_scaling};
+use bp_bench::{prepare, ExperimentConfig};
+use bp_workload::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let small = prepare(&config, Benchmark::NpbCg, config.cores_small);
+    let large = prepare(&config, Benchmark::NpbCg, config.cores_large);
+    c.bench_function("fig8/npb_cg_relative_scaling_prediction", |b| {
+        b.iter(|| {
+            let est_small = estimate_from_full_run(&small.selection, &small.ground).unwrap();
+            let est_large = estimate_from_full_run(&small.selection, &large.ground).unwrap();
+            relative_scaling(&small.ground, &est_small, &large.ground, &est_large)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

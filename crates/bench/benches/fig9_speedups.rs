@@ -1,0 +1,30 @@
+//! Figure 9: speedup and resource-reduction accounting for a selection.
+
+use barrierpoint::evaluate::speedups;
+use barrierpoint::BarrierPoint;
+use bp_bench::ExperimentConfig;
+use bp_workload::Benchmark;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for bench in [Benchmark::NpbLu, Benchmark::NpbSp] {
+        group.bench_with_input(
+            BenchmarkId::new("select_and_account", bench.name()),
+            &bench,
+            |b, &bench| {
+                let workload = config.workload(bench, config.cores_small);
+                b.iter(|| {
+                    let selection = BarrierPoint::new(&workload).select().unwrap();
+                    speedups(&selection)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the individual BarrierPoint pipeline stages plus the
+//! multiplier-scaling ablation, used to see where the one-time and
+//! per-simulation costs of Figure 2 go.
+
+use barrierpoint::evaluate::perfect_warmup_metrics;
+use barrierpoint::{
+    profile_application, reconstruct, reconstruct_with_mode, select_barrierpoints, ScalingMode,
+    SignatureConfig, SimPointConfig,
+};
+use bp_bench::{prepare, ExperimentConfig};
+use bp_sim::Machine;
+use bp_warmup::collect_mru_warmup;
+use bp_workload::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let bench_id = Benchmark::NpbCg;
+    let workload = config.workload(bench_id, config.cores_small);
+    let run = prepare(&config, bench_id, config.cores_small);
+    let metrics = perfect_warmup_metrics(&run.selection, &run.ground).unwrap();
+    let freq = run.sim_config.core.frequency_ghz;
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+    group.bench_function("profile_npb_cg", |b| b.iter(|| profile_application(&workload).unwrap()));
+    group.bench_function("cluster_npb_cg", |b| {
+        b.iter(|| {
+            select_barrierpoints(&run.profile, &SignatureConfig::combined(), &SimPointConfig::paper())
+                .unwrap()
+        })
+    });
+    group.bench_function("ground_truth_full_simulation_npb_cg", |b| {
+        b.iter(|| Machine::new(&run.sim_config).run_full(&workload))
+    });
+    group.bench_function("collect_mru_warmup_npb_cg", |b| {
+        let targets = run.selection.barrierpoint_regions();
+        let capacity = run.sim_config.memory.llc_total_lines(config.cores_small);
+        b.iter(|| collect_mru_warmup(&workload, &targets, capacity))
+    });
+    group.bench_function("reconstruct_scaled_npb_cg", |b| {
+        b.iter(|| reconstruct(&run.selection, &metrics, freq).unwrap())
+    });
+    group.bench_function("reconstruct_unscaled_ablation_npb_cg", |b| {
+        b.iter(|| {
+            reconstruct_with_mode(&run.selection, &metrics, freq, ScalingMode::Unscaled).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

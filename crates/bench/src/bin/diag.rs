@@ -1,0 +1,38 @@
+//! Accuracy probe used while tuning the reproduction (not part of the
+//! published experiment set; see the `reproduce` binary for those).
+
+use barrierpoint::evaluate::{estimate_from_full_run, prediction_error};
+use barrierpoint::BarrierPoint;
+use bp_sim::{Machine, SimConfig};
+use bp_workload::{Benchmark, WorkloadConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let threads: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let config_name = args.get(3).map(|s| s.as_str()).unwrap_or("tiny");
+    let sim_config = match config_name {
+        "scaled" => SimConfig::scaled(threads),
+        "table1" => SimConfig::table1(threads),
+        _ => SimConfig::tiny(threads),
+    };
+    println!("scale {scale}, {threads} threads, {config_name} machine");
+    for &bench in Benchmark::all() {
+        let start = std::time::Instant::now();
+        let w = bench.build(&WorkloadConfig::new(threads).with_scale(scale));
+        let selection = BarrierPoint::new(&w).select().unwrap();
+        let ground = Machine::new(&sim_config).run_full(&w);
+        let estimate = estimate_from_full_run(&selection, &ground).unwrap();
+        let err = prediction_error(&ground, &estimate);
+        println!(
+            "{:<18} bps {:>2}  runtime err {:>6.2}%  apki diff {:>7.4}  apki {:>6.2}  ipc {:>5.2}  [{:?}]",
+            bench.name(),
+            selection.num_barrierpoints(),
+            err.runtime_percent_error,
+            err.dram_apki_abs_difference,
+            ground.dram_apki(),
+            ground.aggregate_ipc(),
+            start.elapsed()
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```bash
+//! cargo run --release -p bp-bench --bin reproduce -- all
+//! cargo run --release -p bp-bench --bin reproduce -- fig4 fig7
+//! cargo run --release -p bp-bench --bin reproduce -- --quick fig5
+//! ```
+//!
+//! Supported experiment names: `table1`, `table2`, `table3`, `fig1`, `fig3`,
+//! `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `ablation`, `all`.
+
+use bp_bench::ExperimentConfig;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--quick] <experiment>...\n\
+         experiments: table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ExperimentConfig::paper();
+    let mut experiments: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => config = ExperimentConfig::quick(),
+            "--help" | "-h" => usage(),
+            name => experiments.push(name.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1", "table2", "fig1", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "fig8",
+            "fig9", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    println!(
+        "BarrierPoint reproduction — scale {}, {}/{} cores, {} machine\n",
+        config.scale,
+        config.cores_small,
+        config.cores_large,
+        if config.tiny_machine { "tiny" } else { "scaled" }
+    );
+
+    for experiment in &experiments {
+        let start = Instant::now();
+        let text = match experiment.as_str() {
+            "table1" => bp_bench::table1_system(&config),
+            "table2" => bp_bench::table2_simpoint(),
+            "table3" => bp_bench::table3_selection(&config),
+            "fig1" => bp_bench::fig1_barrier_counts(&config),
+            "fig3" => bp_bench::fig3_ipc_trace(&config),
+            "fig4" => bp_bench::fig4_perfect_warmup(&config).0,
+            "fig5" => bp_bench::fig5_similarity_metrics(&config),
+            "fig6" => bp_bench::fig6_cross_validation(&config),
+            "fig7" => bp_bench::fig7_mru_warmup(&config).0,
+            "fig8" => bp_bench::fig8_relative_scaling(&config),
+            "fig9" => bp_bench::fig9_speedups(&config),
+            "ablation" => bp_bench::ablation_scaling(&config),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage();
+            }
+        };
+        println!("{text}");
+        println!("[{experiment} completed in {:.1?}]\n", start.elapsed());
+    }
+}

@@ -1,0 +1,496 @@
+//! Experiment harness regenerating every table and figure of the
+//! BarrierPoint paper's evaluation (Section VI).
+//!
+//! Each `figN_*` / `tableN_*` function computes the data behind one figure or
+//! table and returns it as a printable report string plus (where useful)
+//! structured rows.  The `reproduce` binary dispatches on a figure name and
+//! prints the report; the Criterion benches in `benches/` exercise the same
+//! functions at a reduced scale so `cargo bench` measures the cost of every
+//! experiment.
+//!
+//! The experiments run on the scaled-down machine/workload pair described in
+//! DESIGN.md; errors are always computed against a full detailed simulation
+//! on the same substrate, exactly as the paper does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use barrierpoint::evaluate::{
+    estimate_from_full_run, harmonic_mean, mean, prediction_error, relative_scaling, speedups,
+};
+use barrierpoint::report;
+use barrierpoint::{
+    profile_application, reconstruct, reconstruct_with_mode, select_barrierpoints,
+    simulate_barrierpoints, ApplicationProfile, BarrierPointSelection, ScalingMode,
+    SignatureConfig, SimConfig, SimPointConfig, WarmupKind,
+};
+use bp_sim::{Machine, RunMetrics};
+use bp_workload::{Benchmark, SyntheticWorkload, Workload, WorkloadConfig};
+use std::fmt::Write as _;
+
+/// Configuration of one experiment sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Workload scale factor (1.0 = the crate's nominal scaled-down inputs).
+    pub scale: f64,
+    /// Core count of the small machine (8 in the paper).
+    pub cores_small: usize,
+    /// Core count of the large machine (32 in the paper).
+    pub cores_large: usize,
+    /// Use the aggressively shrunk "tiny" machine instead of the scaled one
+    /// (used by the Criterion benches to keep `cargo bench` fast).
+    pub tiny_machine: bool,
+}
+
+impl ExperimentConfig {
+    /// The full experiment configuration used for EXPERIMENTS.md.
+    pub fn paper() -> Self {
+        Self { scale: 1.0, cores_small: 8, cores_large: 32, tiny_machine: false }
+    }
+
+    /// A reduced configuration for quick runs and Criterion benches.
+    pub fn quick() -> Self {
+        Self { scale: 0.05, cores_small: 4, cores_large: 8, tiny_machine: true }
+    }
+
+    /// The simulated machine for `cores` cores under this configuration.
+    pub fn machine(&self, cores: usize) -> SimConfig {
+        if self.tiny_machine {
+            SimConfig::tiny(cores)
+        } else {
+            SimConfig::scaled(cores)
+        }
+    }
+
+    /// Builds a benchmark's workload for `cores` threads.
+    pub fn workload(&self, bench: Benchmark, cores: usize) -> SyntheticWorkload {
+        bench.build(&WorkloadConfig::new(cores).with_scale(self.scale))
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Everything computed once per (benchmark, core count) and shared by several
+/// experiments: the workload, its profile, the default selection and the
+/// detailed-simulation ground truth.
+#[derive(Debug)]
+pub struct PreparedRun {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Core/thread count.
+    pub cores: usize,
+    /// The workload model.
+    pub workload: SyntheticWorkload,
+    /// The signature profile.
+    pub profile: ApplicationProfile,
+    /// Barrierpoint selection with the paper's default settings.
+    pub selection: BarrierPointSelection,
+    /// Full detailed-simulation ground truth.
+    pub ground: RunMetrics,
+    /// The simulated machine.
+    pub sim_config: SimConfig,
+}
+
+/// Profiles, selects and runs the ground-truth simulation for one benchmark.
+pub fn prepare(config: &ExperimentConfig, bench: Benchmark, cores: usize) -> PreparedRun {
+    let workload = config.workload(bench, cores);
+    let sim_config = config.machine(cores);
+    let profile = profile_application(&workload).expect("non-empty workload");
+    let selection = select_barrierpoints(
+        &profile,
+        &SignatureConfig::combined(),
+        &SimPointConfig::paper(),
+    )
+    .expect("selection succeeds");
+    let ground = Machine::new(&sim_config).run_full(&workload);
+    PreparedRun { benchmark: bench, cores, workload, profile, selection, ground, sim_config }
+}
+
+/// Figure 1: total number of dynamically executed barriers per benchmark for
+/// both thread counts.
+pub fn fig1_barrier_counts(config: &ExperimentConfig) -> String {
+    let mut rows = Vec::new();
+    for &bench in Benchmark::all() {
+        let small = config.workload(bench, config.cores_small).num_regions();
+        let large = config.workload(bench, config.cores_large).num_regions();
+        rows.push((
+            format!("{bench} ({} / {} threads)", config.cores_small, config.cores_large),
+            small as f64,
+        ));
+        assert_eq!(small, large, "barrier count must not depend on the thread count");
+    }
+    report::series("Figure 1: dynamically executed barriers (identical at both thread counts)", &rows)
+}
+
+/// Table I: the simulated system characteristics.
+pub fn table1_system(config: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&report::table1(&config.machine(config.cores_large)));
+    out.push_str(
+        "\n(This reproduction's default machine is the proportionally scaled hierarchy; \
+use `SimConfig::table1` for the paper's full-size capacities.)\n",
+    );
+    out
+}
+
+/// Table II: SimPoint parameters.
+pub fn table2_simpoint() -> String {
+    report::table2(&SimPointConfig::paper())
+}
+
+/// Figure 3: per-region aggregate IPC of the full run, the reconstructed IPC
+/// and the selected barrierpoints, for npb-ft on the large machine.
+pub fn fig3_ipc_trace(config: &ExperimentConfig) -> String {
+    let run = prepare(config, Benchmark::NpbFt, config.cores_large);
+    let estimate = estimate_from_full_run(&run.selection, &run.ground).expect("estimate");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3: npb-ft on {} cores — actual vs reconstructed aggregate IPC per region",
+        config.cores_large
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>12} {:>16} {:>14}",
+        "region", "actual IPC", "reconstructed", "barrierpoint"
+    );
+    let reps = run.selection.barrierpoint_regions();
+    for (region, metrics) in run.ground.regions().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>12.3} {:>16.3} {:>14}",
+            region,
+            metrics.aggregate_ipc(),
+            estimate.per_region_ipc()[region],
+            if reps.contains(&region) { "*" } else { "" }
+        );
+    }
+    out
+}
+
+/// One row of Figures 4 / 7: a benchmark, a core count and its errors.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Core count.
+    pub cores: usize,
+    /// Runtime error in percent.
+    pub runtime_percent_error: f64,
+    /// Absolute DRAM APKI difference.
+    pub dram_apki_abs_difference: f64,
+}
+
+fn accuracy_report(title: &str, rows: &[AccuracyRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "  {}",
+            report::accuracy_row(
+                &row.benchmark,
+                row.cores,
+                &barrierpoint::evaluate::PredictionError {
+                    runtime_percent_error: row.runtime_percent_error,
+                    dram_apki_abs_difference: row.dram_apki_abs_difference,
+                }
+            )
+        );
+    }
+    let avg = mean(&rows.iter().map(|r| r.runtime_percent_error).collect::<Vec<_>>());
+    let max = rows.iter().map(|r| r.runtime_percent_error).fold(0.0f64, f64::max);
+    let avg_apki = mean(&rows.iter().map(|r| r.dram_apki_abs_difference).collect::<Vec<_>>());
+    let _ = writeln!(
+        out,
+        "  average runtime error {avg:.2}%  max {max:.2}%  average APKI difference {avg_apki:.3}"
+    );
+    out
+}
+
+/// Figure 4: prediction errors with perfect warmup, both core counts.
+pub fn fig4_perfect_warmup(config: &ExperimentConfig) -> (String, Vec<AccuracyRow>) {
+    let mut rows = Vec::new();
+    for &bench in Benchmark::all() {
+        for cores in [config.cores_small, config.cores_large] {
+            let run = prepare(config, bench, cores);
+            let estimate = estimate_from_full_run(&run.selection, &run.ground).expect("estimate");
+            let err = prediction_error(&run.ground, &estimate);
+            rows.push(AccuracyRow {
+                benchmark: bench.name().to_string(),
+                cores,
+                runtime_percent_error: err.runtime_percent_error,
+                dram_apki_abs_difference: err.dram_apki_abs_difference,
+            });
+        }
+    }
+    let text = accuracy_report(
+        "Figure 4: runtime % error and DRAM APKI difference with perfect warmup",
+        &rows,
+    );
+    (text, rows)
+}
+
+/// Figure 5: average runtime error for every similarity metric and maxK.
+pub fn fig5_similarity_metrics(config: &ExperimentConfig) -> String {
+    let max_ks = [1usize, 5, 10, 20];
+    let variants = SignatureConfig::figure5_variants();
+    // Prepare the profile and ground truth once per benchmark.
+    let runs: Vec<PreparedRun> = Benchmark::all()
+        .iter()
+        .map(|&bench| prepare(config, bench, config.cores_small))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5: average absolute runtime error (%) per similarity metric and maxK ({} cores)",
+        config.cores_small
+    );
+    let _ = write!(out, "  {:<16}", "metric");
+    for k in max_ks {
+        let _ = write!(out, " maxK={k:<6}");
+    }
+    let _ = writeln!(out);
+    for variant in &variants {
+        let _ = write!(out, "  {:<16}", variant.to_string());
+        for &max_k in &max_ks {
+            let mut errors = Vec::new();
+            for run in &runs {
+                let selection = select_barrierpoints(
+                    &run.profile,
+                    variant,
+                    &SimPointConfig::paper().with_max_k(max_k),
+                )
+                .expect("selection succeeds");
+                let estimate = estimate_from_full_run(&selection, &run.ground).expect("estimate");
+                errors.push(prediction_error(&run.ground, &estimate).runtime_percent_error);
+            }
+            let _ = write!(out, " {:>10.2}", mean(&errors));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Table III: per-benchmark barrierpoint selections for both core counts.
+pub fn table3_selection(config: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table III: selected barrierpoints and multipliers");
+    let _ = writeln!(out, "{}", report::table3_header());
+    for &bench in Benchmark::all() {
+        for cores in [config.cores_small, config.cores_large] {
+            let workload = config.workload(bench, cores);
+            let profile = profile_application(&workload).expect("profile");
+            let selection = select_barrierpoints(
+                &profile,
+                &SignatureConfig::combined(),
+                &SimPointConfig::paper(),
+            )
+            .expect("selection");
+            let _ = writeln!(out, "{}", report::table3_row(bench.input_size(), cores, &selection));
+        }
+    }
+    out
+}
+
+/// Figure 6: cross-validation of barrierpoints across core counts.
+pub fn fig6_cross_validation(config: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 6: runtime % error when using barrierpoints selected at one core count to \
+         predict the other"
+    );
+    for &bench in Benchmark::all() {
+        let small = prepare(config, bench, config.cores_small);
+        let large = prepare(config, bench, config.cores_large);
+        let mut cells = Vec::new();
+        for (target, selection_from) in [
+            (&small, &small.selection),
+            (&small, &large.selection),
+            (&large, &small.selection),
+            (&large, &large.selection),
+        ] {
+            let estimate =
+                estimate_from_full_run(selection_from, &target.ground).expect("estimate");
+            cells.push(prediction_error(&target.ground, &estimate).runtime_percent_error);
+        }
+        let _ = writeln!(
+            out,
+            "  {:<18} {}c/{}c-SV {:>6.2}%  {}c/{}c-SV {:>6.2}%  {}c/{}c-SV {:>6.2}%  {}c/{}c-SV {:>6.2}%",
+            bench.name(),
+            config.cores_small, config.cores_small, cells[0],
+            config.cores_small, config.cores_large, cells[1],
+            config.cores_large, config.cores_small, cells[2],
+            config.cores_large, config.cores_large, cells[3],
+        );
+    }
+    out
+}
+
+/// Figure 7: prediction errors when every barrierpoint is simulated in
+/// isolation with the proposed MRU-replay warmup.
+pub fn fig7_mru_warmup(config: &ExperimentConfig) -> (String, Vec<AccuracyRow>) {
+    let mut rows = Vec::new();
+    for &bench in Benchmark::all() {
+        for cores in [config.cores_small, config.cores_large] {
+            let run = prepare(config, bench, cores);
+            let metrics = simulate_barrierpoints(
+                &run.workload,
+                &run.selection,
+                &run.sim_config,
+                WarmupKind::MruReplay,
+                true,
+            )
+            .expect("simulation succeeds");
+            let estimate =
+                reconstruct(&run.selection, &metrics, run.sim_config.core.frequency_ghz)
+                    .expect("reconstruction succeeds");
+            let err = prediction_error(&run.ground, &estimate);
+            rows.push(AccuracyRow {
+                benchmark: bench.name().to_string(),
+                cores,
+                runtime_percent_error: err.runtime_percent_error,
+                dram_apki_abs_difference: err.dram_apki_abs_difference,
+            });
+        }
+    }
+    let text = accuracy_report(
+        "Figure 7: runtime % error and DRAM APKI difference with MRU-replay warmup",
+        &rows,
+    );
+    (text, rows)
+}
+
+/// Figure 8: actual versus predicted speedup of the large machine over the
+/// small machine.
+pub fn fig8_relative_scaling(config: &ExperimentConfig) -> String {
+    let mut rows = Vec::new();
+    for &bench in Benchmark::all() {
+        let small = prepare(config, bench, config.cores_small);
+        let large = prepare(config, bench, config.cores_large);
+        // A single selection (from the small machine's profile) serves both
+        // design points — the cross-architecture use case.
+        let est_small = estimate_from_full_run(&small.selection, &small.ground).expect("estimate");
+        let est_large = estimate_from_full_run(&small.selection, &large.ground).expect("estimate");
+        let scaling = relative_scaling(&small.ground, &est_small, &large.ground, &est_large);
+        rows.push((format!("{bench} actual"), scaling.actual_speedup));
+        rows.push((format!("{bench} predicted"), scaling.predicted_speedup));
+    }
+    report::series(
+        &format!(
+            "Figure 8: {}-core vs {}-core speedup, actual and predicted",
+            config.cores_small, config.cores_large
+        ),
+        &rows,
+    )
+}
+
+/// Figure 9: serial and parallel simulation speedups per benchmark and core
+/// count, plus the harmonic means and the resource reduction.
+pub fn fig9_speedups(config: &ExperimentConfig) -> String {
+    let mut rows = Vec::new();
+    let mut parallel_speedups = Vec::new();
+    let mut serial_speedups = Vec::new();
+    let mut resource = Vec::new();
+    for &bench in Benchmark::all() {
+        for cores in [config.cores_small, config.cores_large] {
+            let workload = config.workload(bench, cores);
+            let profile = profile_application(&workload).expect("profile");
+            let selection = select_barrierpoints(
+                &profile,
+                &SignatureConfig::combined(),
+                &SimPointConfig::paper(),
+            )
+            .expect("selection");
+            let s = speedups(&selection);
+            rows.push((format!("{bench}-{cores} serial"), s.serial));
+            rows.push((format!("{bench}-{cores} parallel"), s.parallel));
+            serial_speedups.push(s.serial);
+            parallel_speedups.push(s.parallel);
+            resource.push(s.resource_reduction);
+        }
+    }
+    let mut out =
+        report::series("Figure 9: simulation speedups (instruction-count reduction)", &rows);
+    let _ = writeln!(
+        out,
+        "  harmonic mean serial speedup   {:>10.1}x",
+        harmonic_mean(&serial_speedups)
+    );
+    let _ = writeln!(
+        out,
+        "  harmonic mean parallel speedup {:>10.1}x",
+        harmonic_mean(&parallel_speedups)
+    );
+    let _ = writeln!(out, "  average resource reduction     {:>10.1}x", mean(&resource));
+    out
+}
+
+/// Ablation (Section VI-A): reconstruction with and without instruction-count
+/// scaling of the multipliers.
+pub fn ablation_scaling(config: &ExperimentConfig) -> String {
+    let mut scaled_errors = Vec::new();
+    let mut unscaled_errors = Vec::new();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: runtime % error with and without barrierpoint instruction scaling ({} cores)",
+        config.cores_small
+    );
+    for &bench in Benchmark::all() {
+        let run = prepare(config, bench, config.cores_small);
+        let metrics = barrierpoint::evaluate::perfect_warmup_metrics(&run.selection, &run.ground)
+            .expect("metrics");
+        let freq = run.sim_config.core.frequency_ghz;
+        let with_scaling = reconstruct(&run.selection, &metrics, freq).expect("reconstruct");
+        let without_scaling =
+            reconstruct_with_mode(&run.selection, &metrics, freq, ScalingMode::Unscaled)
+                .expect("reconstruct");
+        let e_scaled = prediction_error(&run.ground, &with_scaling).runtime_percent_error;
+        let e_unscaled = prediction_error(&run.ground, &without_scaling).runtime_percent_error;
+        let _ = writeln!(
+            out,
+            "  {:<18} scaled {:>6.2}%   unscaled {:>7.2}%",
+            bench.name(),
+            e_scaled,
+            e_unscaled
+        );
+        scaled_errors.push(e_scaled);
+        unscaled_errors.push(e_unscaled);
+    }
+    let _ = writeln!(
+        out,
+        "  average: scaled {:.2}%  unscaled {:.2}%",
+        mean(&scaled_errors),
+        mean(&unscaled_errors)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_runs_fig1_and_table_reports() {
+        let config = ExperimentConfig::quick();
+        let fig1 = fig1_barrier_counts(&config);
+        assert!(fig1.contains("npb-sp"));
+        assert!(table1_system(&config).contains("L3 cache"));
+        assert!(table2_simpoint().contains("maxK"));
+    }
+
+    #[test]
+    fn quick_fig4_produces_all_rows() {
+        let mut config = ExperimentConfig::quick();
+        config.cores_large = config.cores_small; // halve the work for the test
+        let (text, rows) = fig4_perfect_warmup(&config);
+        assert_eq!(rows.len(), Benchmark::all().len() * 2);
+        assert!(text.contains("average runtime error"));
+    }
+}

@@ -1,0 +1,227 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of one weighted k-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster index assigned to each input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Weighted sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Number of non-empty clusters.
+    pub num_clusters: usize,
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// K-means++ seeding over weighted points.
+fn seed_centroids(points: &[Vec<f64>], weights: &[f64], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    // First centroid: weighted draw over the points.
+    let total_weight: f64 = weights.iter().sum();
+    let mut pick = rng.gen_range(0.0..total_weight.max(f64::MIN_POSITIVE));
+    let mut first = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        if pick <= w {
+            first = i;
+            break;
+        }
+        pick -= w;
+    }
+    centroids.push(points[first].clone());
+
+    while centroids.len() < k {
+        // Squared distance to the nearest existing centroid, times weight.
+        let scores: Vec<f64> = points
+            .iter()
+            .zip(weights)
+            .map(|(p, &w)| {
+                let d = centroids.iter().map(|c| squared_distance(p, c)).fold(f64::MAX, f64::min);
+                d * w
+            })
+            .collect();
+        let total: f64 = scores.iter().sum();
+        if total <= 0.0 {
+            // All remaining points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &s) in scores.iter().enumerate() {
+            if pick <= s {
+                chosen = i;
+                break;
+            }
+            pick -= s;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+/// Runs weighted k-means (k-means++ seeding, Lloyd iterations) on `points`.
+///
+/// `weights` gives each point's importance — BarrierPoint uses the region's
+/// aggregate instruction count so that long regions dominate both the cluster
+/// centres and the choice of representatives.
+///
+/// The run is deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, if `weights` has a different length, or if
+/// `k` is zero.
+pub fn weighted_kmeans(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    max_iterations: usize,
+    seed: u64,
+) -> KMeansResult {
+    assert!(!points.is_empty(), "k-means needs at least one point");
+    assert_eq!(points.len(), weights.len(), "one weight per point required");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(points.len());
+    let dim = points[0].len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut centroids = seed_centroids(points, weights, k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+
+    for _ in 0..max_iterations {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (best, _) = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, centroid)| (c, squared_distance(p, centroid)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("at least one centroid");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step (weighted means).
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut totals = vec![0.0; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            totals[c] += weights[i];
+            for (s, x) in sums[c].iter_mut().zip(p) {
+                *s += weights[i] * x;
+            }
+        }
+        for c in 0..k {
+            if totals[c] > 0.0 {
+                for s in &mut sums[c] {
+                    *s /= totals[c];
+                }
+                centroids[c] = sums[c].clone();
+            }
+            // Empty clusters keep their previous centroid.
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(weights)
+        .zip(&assignments)
+        .map(|((p, &w), &c)| w * squared_distance(p, &centroids[c]))
+        .sum();
+    let mut seen = vec![false; k];
+    for &c in &assignments {
+        seen[c] = true;
+    }
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        num_clusters: seen.iter().filter(|&&s| s).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            points.push(vec![5.0 + i as f64 * 0.01, 5.0]);
+        }
+        let weights = vec![1.0; points.len()];
+        (points, weights)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (points, weights) = two_blobs();
+        let result = weighted_kmeans(&points, &weights, 2, 50, 1);
+        assert_eq!(result.num_clusters, 2);
+        // All even indices (first blob) share a cluster, all odd share the other.
+        let first = result.assignments[0];
+        let second = result.assignments[1];
+        assert_ne!(first, second);
+        for i in 0..points.len() {
+            let expected = if i % 2 == 0 { first } else { second };
+            assert_eq!(result.assignments[i], expected);
+        }
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (points, weights) = two_blobs();
+        let a = weighted_kmeans(&points, &weights, 3, 50, 9);
+        let b = weighted_kmeans(&points, &weights, 3, 50, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let weights = vec![1.0, 1.0];
+        let result = weighted_kmeans(&points, &weights, 10, 10, 0);
+        assert!(result.num_clusters <= 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_weighted_mean() {
+        let points = vec![vec![0.0], vec![10.0]];
+        let weights = vec![3.0, 1.0];
+        let result = weighted_kmeans(&points, &weights, 1, 10, 0);
+        assert!((result.centroids[0][0] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_points_pull_centroids() {
+        // One heavy point far away should end up in its own cluster even
+        // though the light points outnumber it.
+        let mut points = vec![vec![100.0]];
+        let mut weights = vec![1000.0];
+        for i in 0..20 {
+            points.push(vec![i as f64 * 0.1]);
+            weights.push(1.0);
+        }
+        let result = weighted_kmeans(&points, &weights, 2, 50, 3);
+        let heavy_cluster = result.assignments[0];
+        assert!(result.assignments[1..].iter().all(|&c| c != heavy_cluster));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_panics() {
+        let _ = weighted_kmeans(&[], &[], 2, 10, 0);
+    }
+}

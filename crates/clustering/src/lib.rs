@@ -1,0 +1,53 @@
+//! SimPoint-style clustering for the BarrierPoint reproduction.
+//!
+//! BarrierPoint reuses the SimPoint 3.2 infrastructure to find representative
+//! inter-barrier regions (Section III-B and Table II of the paper):
+//!
+//! 1. signature vectors are normalized,
+//! 2. their dimensionality is reduced by seeded **random linear projection**
+//!    to 15 dimensions ([`RandomProjection`]),
+//! 3. **weighted k-means** (weights = per-region aggregate instruction
+//!    counts) is run for every candidate cluster count up to `maxK = 20`
+//!    ([`weighted_kmeans`]),
+//! 4. the **Bayesian Information Criterion** selects the final clustering
+//!    ([`bic_score`]), and
+//! 5. one representative region per cluster — the *barrierpoint* — is chosen
+//!    together with its instruction-count *multiplier*
+//!    ([`cluster_regions`] / [`Clustering`]).
+//!
+//! This crate is the from-scratch substitute for the SimPoint binary the
+//! paper invokes; its defaults mirror Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use bp_clustering::{cluster_regions, SimPointConfig};
+//! use bp_signature::SignatureVector;
+//!
+//! // Six regions of two behaviours, clustered into at most two barrierpoints.
+//! let vectors = vec![
+//!     SignatureVector::new(vec![1.0, 0.0], 100),
+//!     SignatureVector::new(vec![0.0, 1.0], 80),
+//!     SignatureVector::new(vec![1.0, 0.0], 100),
+//!     SignatureVector::new(vec![0.0, 1.0], 80),
+//!     SignatureVector::new(vec![1.0, 0.0], 100),
+//!     SignatureVector::new(vec![0.0, 1.0], 80),
+//! ];
+//! let clustering = cluster_regions(&vectors, &SimPointConfig::default().with_max_k(2));
+//! assert_eq!(clustering.num_clusters(), 2);
+//! assert_eq!(clustering.assignment(0), clustering.assignment(2));
+//! assert_ne!(clustering.assignment(0), clustering.assignment(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bic;
+mod kmeans;
+mod projection;
+mod simpoint;
+
+pub use bic::bic_score;
+pub use kmeans::{weighted_kmeans, KMeansResult};
+pub use projection::RandomProjection;
+pub use simpoint::{cluster_regions, Clustering, ClusterSummary, SimPointConfig};

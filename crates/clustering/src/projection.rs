@@ -1,0 +1,118 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A seeded random linear projection used to reduce signature vectors to a
+/// small number of dimensions before clustering (15 in the paper, Table II).
+///
+/// Entries of the projection matrix are drawn uniformly from `[-1, 1]`, as in
+/// the SimPoint implementation.  The projection is deterministic for a given
+/// `(source_dim, target_dim, seed)` triple, so barrierpoints are reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomProjection {
+    /// Row-major `target_dim x source_dim` matrix.
+    matrix: Vec<Vec<f64>>,
+    source_dim: usize,
+    target_dim: usize,
+}
+
+impl RandomProjection {
+    /// Creates a projection from `source_dim` to `target_dim` dimensions.
+    ///
+    /// If `source_dim <= target_dim` the projection is the identity (no
+    /// reduction is needed).
+    pub fn new(source_dim: usize, target_dim: usize, seed: u64) -> Self {
+        if source_dim <= target_dim {
+            let matrix = (0..source_dim)
+                .map(|i| {
+                    let mut row = vec![0.0; source_dim];
+                    row[i] = 1.0;
+                    row
+                })
+                .collect();
+            return Self { matrix, source_dim, target_dim: source_dim };
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let matrix = (0..target_dim)
+            .map(|_| (0..source_dim).map(|_| rng.gen_range(-1.0..=1.0)).collect())
+            .collect();
+        Self { matrix, source_dim, target_dim }
+    }
+
+    /// Input dimensionality.
+    pub fn source_dim(&self) -> usize {
+        self.source_dim
+    }
+
+    /// Output dimensionality.
+    pub fn target_dim(&self) -> usize {
+        self.target_dim
+    }
+
+    /// Projects a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not have `source_dim` elements.
+    pub fn project(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.source_dim, "input dimension mismatch");
+        self.matrix
+            .iter()
+            .map(|row| row.iter().zip(input).map(|(m, x)| m * x).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_reduces_dimension() {
+        let p = RandomProjection::new(100, 15, 7);
+        let input = vec![0.01; 100];
+        let out = p.project(&input);
+        assert_eq!(out.len(), 15);
+        assert_eq!(p.target_dim(), 15);
+    }
+
+    #[test]
+    fn projection_is_deterministic_and_linear() {
+        let p1 = RandomProjection::new(50, 15, 42);
+        let p2 = RandomProjection::new(50, 15, 42);
+        let a: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        let b: Vec<f64> = (0..50).map(|i| (50 - i) as f64 / 50.0).collect();
+        assert_eq!(p1.project(&a), p2.project(&a));
+        // Linearity: P(a + b) == P(a) + P(b)
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let lhs = p1.project(&sum);
+        let rhs: Vec<f64> =
+            p1.project(&a).iter().zip(p1.project(&b)).map(|(x, y)| x + y).collect();
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_inputs_use_identity() {
+        let p = RandomProjection::new(4, 15, 1);
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p.project(&input), input);
+        assert_eq!(p.target_dim(), 4);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomProjection::new(40, 15, 1);
+        let b = RandomProjection::new(40, 15, 2);
+        let input = vec![1.0; 40];
+        assert_ne!(a.project(&input), b.project(&input));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_dimension_panics() {
+        let p = RandomProjection::new(10, 5, 0);
+        let _ = p.project(&[1.0; 9]);
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported by the BarrierPoint pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The workload has no inter-barrier regions to sample.
+    EmptyWorkload {
+        /// Name of the offending workload.
+        workload: String,
+    },
+    /// The workload's thread count does not match the simulated machine's
+    /// core count.
+    ThreadCountMismatch {
+        /// Threads in the workload.
+        workload_threads: usize,
+        /// Cores in the simulated machine.
+        machine_cores: usize,
+    },
+    /// A region index was outside the workload's region range.
+    RegionOutOfRange {
+        /// The requested region.
+        region: usize,
+        /// Number of regions in the workload.
+        num_regions: usize,
+    },
+    /// Detailed metrics for a selected barrierpoint are missing (e.g. a
+    /// reconstruction was attempted with an incomplete simulation result).
+    MissingBarrierPointMetrics {
+        /// The barrierpoint's region index.
+        region: usize,
+    },
+    /// Two artifacts that must describe the same application disagree (e.g. a
+    /// selection transferred across core counts with a different region
+    /// count).
+    RegionCountMismatch {
+        /// Regions in the first artifact.
+        expected: usize,
+        /// Regions in the second artifact.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyWorkload { workload } => {
+                write!(f, "workload {workload} has no inter-barrier regions")
+            }
+            Error::ThreadCountMismatch { workload_threads, machine_cores } => write!(
+                f,
+                "workload has {workload_threads} threads but the machine has {machine_cores} cores"
+            ),
+            Error::RegionOutOfRange { region, num_regions } => {
+                write!(f, "region {region} out of range (workload has {num_regions} regions)")
+            }
+            Error::MissingBarrierPointMetrics { region } => {
+                write!(f, "no detailed metrics available for barrierpoint region {region}")
+            }
+            Error::RegionCountMismatch { expected, actual } => {
+                write!(f, "region count mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = Error::ThreadCountMismatch { workload_threads: 8, machine_cores: 32 };
+        assert!(e.to_string().contains("8 threads"));
+        assert!(e.to_string().contains("32 cores"));
+        let e = Error::MissingBarrierPointMetrics { region: 7 };
+        assert!(e.to_string().contains("region 7"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_bounds<T: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+}

@@ -1,0 +1,76 @@
+//! # BarrierPoint — sampled simulation of multi-threaded applications
+//!
+//! This crate is the top of the BarrierPoint reproduction (Carlson, Heirman,
+//! Van Craeynest, Eeckhout — ISPASS 2014).  It implements the complete
+//! methodology of Figure 2 of the paper on top of the substrate crates:
+//!
+//! 1. **Profile** — collect microarchitecture-independent signatures (BBVs
+//!    and LRU stack distance vectors) for every inter-barrier region of a
+//!    barrier-synchronized workload ([`profile_application`],
+//!    [`ApplicationProfile`]; signatures come from `bp-signature`, workload
+//!    models from `bp-workload`).
+//! 2. **Select** — cluster the regions SimPoint-style and pick one
+//!    representative region per cluster, the *barrierpoint*, together with
+//!    its instruction-count multiplier ([`select_barrierpoints`],
+//!    [`BarrierPointSelection`]; clustering from `bp-clustering`).
+//! 3. **Simulate** — run only the barrierpoints in detailed simulation,
+//!    serially or in parallel, after warming the caches with the paper's MRU
+//!    replay (or any other [`WarmupKind`]) — [`simulate_barrierpoints`] on
+//!    the `bp-sim` machine.
+//! 4. **Reconstruct** — estimate whole-application execution time, DRAM APKI
+//!    and per-region performance from the barrierpoint measurements and
+//!    multipliers ([`reconstruct`], [`ReconstructedRun`]).
+//!
+//! The [`BarrierPoint`] builder ties the steps together; the [`evaluate`]
+//! module adds everything needed to reproduce the paper's evaluation
+//! (prediction errors, cross-core-count validation, relative scaling,
+//! speedup and resource-reduction accounting); [`report`] renders the
+//! paper-style tables.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use barrierpoint::{BarrierPoint, WarmupKind};
+//! use bp_sim::SimConfig;
+//! use bp_workload::{Benchmark, WorkloadConfig};
+//!
+//! // A small CG run on a 4-core machine.
+//! let workload = Benchmark::NpbCg.build(&WorkloadConfig::new(4).with_scale(0.02));
+//! let outcome = BarrierPoint::new(&workload)
+//!     .with_sim_config(SimConfig::scaled(4))
+//!     .with_warmup(WarmupKind::MruReplay)
+//!     .run()?;
+//!
+//! println!(
+//!     "{} barrierpoints estimate {:.3} ms of execution time",
+//!     outcome.selection().num_barrierpoints(),
+//!     outcome.reconstruction().execution_time_seconds() * 1e3,
+//! );
+//! # Ok::<(), barrierpoint::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod evaluate;
+mod pipeline;
+mod profile;
+mod reconstruct;
+pub mod report;
+mod select;
+mod simulate;
+
+pub use error::Error;
+pub use pipeline::{BarrierPoint, BarrierPointOutcome};
+pub use profile::{profile_application, ApplicationProfile};
+pub use reconstruct::{reconstruct, reconstruct_with_mode, ReconstructedRun, ScalingMode};
+pub use select::{
+    select_barrierpoints, BarrierPointInfo, BarrierPointSelection, SIGNIFICANCE_THRESHOLD,
+};
+pub use simulate::{simulate_barrierpoints, BarrierPointMetrics, WarmupKind};
+
+// Re-export the substrate configuration types users need to drive the API.
+pub use bp_clustering::SimPointConfig;
+pub use bp_signature::{LdvWeighting, SignatureConfig, SignatureKind};
+pub use bp_sim::SimConfig;

@@ -1,0 +1,206 @@
+use crate::error::Error;
+use crate::profile::{profile_application, ApplicationProfile};
+use crate::reconstruct::{reconstruct, ReconstructedRun};
+use crate::select::{select_barrierpoints, BarrierPointSelection};
+use crate::simulate::{simulate_barrierpoints, BarrierPointMetrics, WarmupKind};
+use bp_clustering::SimPointConfig;
+use bp_signature::SignatureConfig;
+use bp_sim::SimConfig;
+use bp_workload::Workload;
+
+/// The end-to-end BarrierPoint pipeline (Figure 2 of the paper) as a builder.
+///
+/// Defaults follow the paper: combined BBV + LDV signatures, SimPoint
+/// parameters of Table II, MRU-replay warmup, parallel simulation of the
+/// barrierpoints, and a simulated machine with as many cores as the workload
+/// has threads.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug)]
+pub struct BarrierPoint<'a, W: Workload + ?Sized> {
+    workload: &'a W,
+    signature_config: SignatureConfig,
+    simpoint_config: SimPointConfig,
+    sim_config: Option<SimConfig>,
+    warmup: WarmupKind,
+    parallel_simulation: bool,
+}
+
+impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
+    /// Starts a pipeline for `workload` with the paper's default settings.
+    pub fn new(workload: &'a W) -> Self {
+        Self {
+            workload,
+            signature_config: SignatureConfig::combined(),
+            simpoint_config: SimPointConfig::paper(),
+            sim_config: None,
+            warmup: WarmupKind::MruReplay,
+            parallel_simulation: true,
+        }
+    }
+
+    /// Selects which signatures to cluster on (Figure 5's variants).
+    pub fn with_signature_config(mut self, config: SignatureConfig) -> Self {
+        self.signature_config = config;
+        self
+    }
+
+    /// Overrides the SimPoint clustering parameters (Table II).
+    pub fn with_simpoint_config(mut self, config: SimPointConfig) -> Self {
+        self.simpoint_config = config;
+        self
+    }
+
+    /// Sets the simulated machine.  Defaults to
+    /// [`SimConfig::scaled`] with one core per workload thread.
+    pub fn with_sim_config(mut self, config: SimConfig) -> Self {
+        self.sim_config = Some(config);
+        self
+    }
+
+    /// Selects the warmup technique applied before each barrierpoint's
+    /// detailed simulation.
+    pub fn with_warmup(mut self, warmup: WarmupKind) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Simulates barrierpoints back to back instead of in parallel (useful
+    /// for deterministic timing measurements of the harness itself).
+    pub fn with_serial_simulation(mut self) -> Self {
+        self.parallel_simulation = false;
+        self
+    }
+
+    fn effective_sim_config(&self) -> SimConfig {
+        self.sim_config.unwrap_or_else(|| SimConfig::scaled(self.workload.num_threads()))
+    }
+
+    /// Runs only the profiling step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyWorkload`] for a workload with no regions.
+    pub fn profile(&self) -> Result<ApplicationProfile, Error> {
+        profile_application(self.workload)
+    }
+
+    /// Runs profiling and barrierpoint selection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling and selection errors.
+    pub fn select(&self) -> Result<BarrierPointSelection, Error> {
+        let profile = self.profile()?;
+        select_barrierpoints(&profile, &self.signature_config, &self.simpoint_config)
+    }
+
+    /// Runs the complete pipeline: profile, select, simulate the
+    /// barrierpoints with the configured warmup, and reconstruct
+    /// whole-application metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if any stage fails (empty workload, thread/core
+    /// mismatch, missing metrics).
+    pub fn run(&self) -> Result<BarrierPointOutcome, Error> {
+        let sim_config = self.effective_sim_config();
+        if sim_config.num_cores != self.workload.num_threads() {
+            return Err(Error::ThreadCountMismatch {
+                workload_threads: self.workload.num_threads(),
+                machine_cores: sim_config.num_cores,
+            });
+        }
+        let profile = self.profile()?;
+        let selection =
+            select_barrierpoints(&profile, &self.signature_config, &self.simpoint_config)?;
+        let metrics = simulate_barrierpoints(
+            self.workload,
+            &selection,
+            &sim_config,
+            self.warmup,
+            self.parallel_simulation,
+        )?;
+        let reconstruction =
+            reconstruct(&selection, &metrics, sim_config.core.frequency_ghz)?;
+        Ok(BarrierPointOutcome { profile, selection, metrics, reconstruction, sim_config })
+    }
+}
+
+/// Everything produced by one end-to-end BarrierPoint run.
+#[derive(Debug, Clone)]
+pub struct BarrierPointOutcome {
+    profile: ApplicationProfile,
+    selection: BarrierPointSelection,
+    metrics: BarrierPointMetrics,
+    reconstruction: ReconstructedRun,
+    sim_config: SimConfig,
+}
+
+impl BarrierPointOutcome {
+    /// The profiling result (per-region signatures).
+    pub fn profile(&self) -> &ApplicationProfile {
+        &self.profile
+    }
+
+    /// The selected barrierpoints and multipliers.
+    pub fn selection(&self) -> &BarrierPointSelection {
+        &self.selection
+    }
+
+    /// Detailed metrics of each simulated barrierpoint.
+    pub fn barrierpoint_metrics(&self) -> &BarrierPointMetrics {
+        &self.metrics
+    }
+
+    /// The reconstructed whole-application estimate.
+    pub fn reconstruction(&self) -> &ReconstructedRun {
+        &self.reconstruction
+    }
+
+    /// The machine configuration the barrierpoints were simulated on.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim_config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_workload::{Benchmark, WorkloadConfig};
+
+    #[test]
+    fn end_to_end_pipeline_runs() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let outcome = BarrierPoint::new(&w).run().unwrap();
+        assert_eq!(outcome.profile().num_regions(), 11);
+        assert!(outcome.selection().num_barrierpoints() >= 1);
+        assert_eq!(
+            outcome.barrierpoint_metrics().len(),
+            outcome.selection().num_barrierpoints()
+        );
+        assert!(outcome.reconstruction().execution_time_seconds() > 0.0);
+        assert_eq!(outcome.sim_config().num_cores, 4);
+    }
+
+    #[test]
+    fn mismatched_machine_is_rejected() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let err = BarrierPoint::new(&w).with_sim_config(SimConfig::scaled(8)).run().unwrap_err();
+        assert!(matches!(err, Error::ThreadCountMismatch { .. }));
+    }
+
+    #[test]
+    fn builder_options_are_respected() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let outcome = BarrierPoint::new(&w)
+            .with_signature_config(SignatureConfig::bbv_only())
+            .with_simpoint_config(SimPointConfig::paper().with_max_k(3))
+            .with_warmup(WarmupKind::Cold)
+            .with_serial_simulation()
+            .run()
+            .unwrap();
+        assert!(outcome.selection().num_barrierpoints() <= 3);
+        assert_eq!(outcome.selection().signature_config(), &SignatureConfig::bbv_only());
+    }
+}

@@ -1,0 +1,122 @@
+use crate::error::Error;
+use bp_signature::{collect_application_signatures, RegionSignature, SignatureConfig, SignatureVector};
+use bp_workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The result of the one-time profiling pass over an application: one
+/// [`RegionSignature`] per inter-barrier region.
+///
+/// Profiling is microarchitecture-independent (no cache model is involved),
+/// which is what allows the resulting barrierpoints to be reused across
+/// processor configurations (Section III / Figure 6 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationProfile {
+    workload_name: String,
+    threads: usize,
+    signatures: Vec<RegionSignature>,
+}
+
+impl ApplicationProfile {
+    /// Name of the profiled workload.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// Thread count used during profiling.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of inter-barrier regions (== dynamic barriers).
+    pub fn num_regions(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The raw per-region signatures.
+    pub fn signatures(&self) -> &[RegionSignature] {
+        &self.signatures
+    }
+
+    /// Aggregate instruction count of region `region` (all threads).
+    pub fn region_instructions(&self, region: usize) -> u64 {
+        self.signatures[region].total_instructions()
+    }
+
+    /// Per-region aggregate instruction counts.
+    pub fn all_region_instructions(&self) -> Vec<u64> {
+        self.signatures.iter().map(|s| s.total_instructions()).collect()
+    }
+
+    /// Total instructions over the whole application (all threads).
+    pub fn total_instructions(&self) -> u64 {
+        self.signatures.iter().map(|s| s.total_instructions()).sum()
+    }
+
+    /// Assembles one signature vector per region under `config` (the input to
+    /// the clustering step).
+    pub fn assemble_vectors(&self, config: &SignatureConfig) -> Vec<SignatureVector> {
+        self.signatures.iter().map(|s| s.assemble(config)).collect()
+    }
+}
+
+/// Runs the one-time profiling pass: walks every `(region, thread)` trace of
+/// `workload` in program order and collects BBV / LDV signatures and
+/// instruction counts.  Reuse distances are tracked continuously across
+/// regions, so the first dynamic instance of a phase (cold data) gets a
+/// distinct data signature — the cold-start separation of Section III-A2.
+///
+/// This substitutes for the paper's Pin-based profiler, which runs the real
+/// application at a 20–30x slowdown.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyWorkload`] if the workload has no regions.
+pub fn profile_application<W: Workload + ?Sized>(workload: &W) -> Result<ApplicationProfile, Error> {
+    if workload.num_regions() == 0 {
+        return Err(Error::EmptyWorkload { workload: workload.name().to_string() });
+    }
+    let signatures = collect_application_signatures(workload);
+    Ok(ApplicationProfile {
+        workload_name: workload.name().to_string(),
+        threads: workload.num_threads(),
+        signatures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_workload::{Benchmark, WorkloadConfig};
+
+    #[test]
+    fn profile_covers_every_region() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let profile = profile_application(&w).unwrap();
+        assert_eq!(profile.num_regions(), 11);
+        assert_eq!(profile.threads(), 4);
+        assert_eq!(profile.workload_name(), "npb-is");
+        assert!(profile.total_instructions() > 0);
+        assert_eq!(
+            profile.total_instructions(),
+            profile.all_region_instructions().iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn assembled_vectors_share_dimension() {
+        let w = Benchmark::NpbFt.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let profile = profile_application(&w).unwrap();
+        let vectors = profile.assemble_vectors(&SignatureConfig::combined());
+        assert_eq!(vectors.len(), 34);
+        let dim = vectors[0].dimension();
+        assert!(vectors.iter().all(|v| v.dimension() == dim));
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let a = profile_application(&w).unwrap();
+        let b = profile_application(&w).unwrap();
+        assert_eq!(a, b);
+    }
+}

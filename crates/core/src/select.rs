@@ -1,0 +1,304 @@
+use crate::error::Error;
+use crate::profile::ApplicationProfile;
+use bp_clustering::{cluster_regions, SimPointConfig};
+use bp_signature::SignatureConfig;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of total instructions below which a barrierpoint is considered
+/// "insignificant" in Table III of the paper (0.1 %).
+pub const SIGNIFICANCE_THRESHOLD: f64 = 0.001;
+
+/// One selected barrierpoint: a representative inter-barrier region plus its
+/// reconstruction multiplier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BarrierPointInfo {
+    /// Index of the representative region within the application.
+    pub region: usize,
+    /// Multiplier: summed instruction count of all regions this barrierpoint
+    /// represents, divided by the barrierpoint's own instruction count.
+    pub multiplier: f64,
+    /// Fraction of the application's total instructions covered.
+    pub weight_fraction: f64,
+    /// Number of regions in the barrierpoint's cluster.
+    pub cluster_size: usize,
+    /// Aggregate instruction count of the representative region itself.
+    pub instructions: u64,
+}
+
+impl BarrierPointInfo {
+    /// Whether this barrierpoint contributes at least 0.1 % of all
+    /// instructions (Table III's significance threshold).
+    pub fn is_significant(&self) -> bool {
+        self.weight_fraction >= SIGNIFICANCE_THRESHOLD
+    }
+}
+
+/// The output of the barrierpoint-selection step (Section III-B of the
+/// paper): which regions to simulate in detail, with which multipliers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BarrierPointSelection {
+    workload_name: String,
+    threads: usize,
+    barrierpoints: Vec<BarrierPointInfo>,
+    /// For every region, the index (into `barrierpoints`) of its representative.
+    region_to_barrierpoint: Vec<usize>,
+    region_instructions: Vec<u64>,
+    signature_config: SignatureConfig,
+    simpoint_config: SimPointConfig,
+}
+
+impl BarrierPointSelection {
+    /// Name of the workload the selection was derived from.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// Thread count of the profiling run the selection was derived from.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of inter-barrier regions in the application.
+    pub fn num_regions(&self) -> usize {
+        self.region_to_barrierpoint.len()
+    }
+
+    /// The selected barrierpoints, ordered by representative region index.
+    pub fn barrierpoints(&self) -> &[BarrierPointInfo] {
+        &self.barrierpoints
+    }
+
+    /// Number of selected barrierpoints (clusters).
+    pub fn num_barrierpoints(&self) -> usize {
+        self.barrierpoints.len()
+    }
+
+    /// Barrierpoints contributing at least 0.1 % of instructions.
+    pub fn significant(&self) -> impl Iterator<Item = &BarrierPointInfo> {
+        self.barrierpoints.iter().filter(|bp| bp.is_significant())
+    }
+
+    /// Barrierpoints contributing less than 0.1 % of instructions.
+    pub fn insignificant(&self) -> impl Iterator<Item = &BarrierPointInfo> {
+        self.barrierpoints.iter().filter(|bp| !bp.is_significant())
+    }
+
+    /// The barrierpoint that represents `region`.
+    pub fn barrierpoint_of(&self, region: usize) -> &BarrierPointInfo {
+        &self.barrierpoints[self.region_to_barrierpoint[region]]
+    }
+
+    /// Region indices of all selected barrierpoints.
+    pub fn barrierpoint_regions(&self) -> Vec<usize> {
+        self.barrierpoints.iter().map(|bp| bp.region).collect()
+    }
+
+    /// Per-region aggregate instruction counts recorded during profiling.
+    pub fn region_instructions(&self) -> &[u64] {
+        &self.region_instructions
+    }
+
+    /// Total instructions of the application (all threads, all regions).
+    pub fn total_instructions(&self) -> u64 {
+        self.region_instructions.iter().sum()
+    }
+
+    /// Instructions that must be simulated in detail: the sum over the
+    /// selected barrierpoints.
+    pub fn sampled_instructions(&self) -> u64 {
+        self.barrierpoints.iter().map(|bp| bp.instructions).sum()
+    }
+
+    /// Signature configuration used for the selection.
+    pub fn signature_config(&self) -> &SignatureConfig {
+        &self.signature_config
+    }
+
+    /// Clustering configuration used for the selection.
+    pub fn simpoint_config(&self) -> &SimPointConfig {
+        &self.simpoint_config
+    }
+
+    /// Serial simulation speedup: the reduction in aggregate instruction
+    /// count when simulating only the barrierpoints back to back instead of
+    /// the whole application (Figure 9, "serial speedup"); equivalently the
+    /// reduction in simulation machine resources.
+    pub fn serial_speedup(&self) -> f64 {
+        let sampled = self.sampled_instructions();
+        if sampled == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / sampled as f64
+        }
+    }
+
+    /// Parallel simulation speedup: the reduction in simulation latency when
+    /// every barrierpoint is simulated concurrently on its own machine, i.e.
+    /// total instructions over the largest single barrierpoint (Figure 9,
+    /// "parallel speedup").
+    pub fn parallel_speedup(&self) -> f64 {
+        let largest = self.barrierpoints.iter().map(|bp| bp.instructions).max().unwrap_or(0);
+        if largest == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / largest as f64
+        }
+    }
+
+    /// Reduction in the number of simulation machines needed compared to
+    /// simulating every inter-barrier region in parallel (Bryan et al.):
+    /// regions per barrierpoint.
+    pub fn resource_reduction(&self) -> f64 {
+        if self.barrierpoints.is_empty() {
+            0.0
+        } else {
+            self.num_regions() as f64 / self.barrierpoints.len() as f64
+        }
+    }
+}
+
+/// Clusters the profiled regions and selects barrierpoints plus multipliers.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyWorkload`] if the profile has no regions.
+pub fn select_barrierpoints(
+    profile: &ApplicationProfile,
+    signature_config: &SignatureConfig,
+    simpoint_config: &SimPointConfig,
+) -> Result<BarrierPointSelection, Error> {
+    if profile.num_regions() == 0 {
+        return Err(Error::EmptyWorkload { workload: profile.workload_name().to_string() });
+    }
+    let vectors = profile.assemble_vectors(signature_config);
+    let clustering = cluster_regions(&vectors, simpoint_config);
+
+    let mut barrierpoints: Vec<BarrierPointInfo> = clustering
+        .clusters()
+        .iter()
+        .map(|cluster| BarrierPointInfo {
+            region: cluster.representative,
+            multiplier: cluster.multiplier,
+            weight_fraction: cluster.weight_fraction,
+            cluster_size: cluster.members.len(),
+            instructions: profile.region_instructions(cluster.representative),
+        })
+        .collect();
+    barrierpoints.sort_by_key(|bp| bp.region);
+
+    // Map every region to the index of its barrierpoint in the sorted list.
+    let region_to_barrierpoint = (0..profile.num_regions())
+        .map(|region| {
+            let representative = clustering.cluster_of(region).representative;
+            barrierpoints
+                .iter()
+                .position(|bp| bp.region == representative)
+                .expect("every cluster has a barrierpoint")
+        })
+        .collect();
+
+    Ok(BarrierPointSelection {
+        workload_name: profile.workload_name().to_string(),
+        threads: profile.threads(),
+        barrierpoints,
+        region_to_barrierpoint,
+        region_instructions: profile.all_region_instructions(),
+        signature_config: *signature_config,
+        simpoint_config: *simpoint_config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_application;
+    use bp_workload::{Benchmark, Workload, WorkloadConfig};
+
+    fn selection_for(bench: Benchmark, threads: usize) -> BarrierPointSelection {
+        let w = bench.build(&WorkloadConfig::new(threads).with_scale(0.02));
+        let profile = profile_application(&w).unwrap();
+        select_barrierpoints(&profile, &SignatureConfig::combined(), &SimPointConfig::paper())
+            .unwrap()
+    }
+
+    #[test]
+    fn far_fewer_barrierpoints_than_regions() {
+        let selection = selection_for(Benchmark::NpbLu, 4);
+        assert_eq!(selection.num_regions(), 503);
+        assert!(selection.num_barrierpoints() <= 20, "maxK bounds the barrierpoint count");
+        assert!(selection.num_barrierpoints() >= 2, "LU has several distinct phases");
+        assert!(selection.resource_reduction() > 20.0);
+    }
+
+    #[test]
+    fn multipliers_reconstruct_total_instruction_count() {
+        let selection = selection_for(Benchmark::NpbCg, 4);
+        let reconstructed: f64 = selection
+            .barrierpoints()
+            .iter()
+            .map(|bp| bp.multiplier * bp.instructions as f64)
+            .sum();
+        let total = selection.total_instructions() as f64;
+        assert!(
+            (reconstructed - total).abs() / total < 1e-9,
+            "multiplier-weighted instructions {reconstructed} must equal total {total}"
+        );
+        let coverage: f64 = selection.barrierpoints().iter().map(|bp| bp.weight_fraction).sum();
+        assert!((coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_region_maps_to_a_selected_barrierpoint() {
+        let selection = selection_for(Benchmark::NpbFt, 2);
+        let regions = selection.barrierpoint_regions();
+        for region in 0..selection.num_regions() {
+            assert!(regions.contains(&selection.barrierpoint_of(region).region));
+        }
+        // A representative represents itself.
+        for &bp_region in &regions {
+            assert_eq!(selection.barrierpoint_of(bp_region).region, bp_region);
+        }
+    }
+
+    #[test]
+    fn speedups_are_consistent() {
+        let selection = selection_for(Benchmark::NpbBt, 4);
+        assert!(selection.parallel_speedup() >= selection.serial_speedup());
+        assert!(selection.serial_speedup() > 1.0);
+    }
+
+    #[test]
+    fn significance_partition_is_exhaustive() {
+        let selection = selection_for(Benchmark::NpbIs, 4);
+        let significant = selection.significant().count();
+        let insignificant = selection.insignificant().count();
+        assert_eq!(significant + insignificant, selection.num_barrierpoints());
+    }
+
+    #[test]
+    fn is_keeps_most_regions_distinct() {
+        // Table III: IS has 11 barriers and 10 selected barrierpoints; our
+        // model varies the key working set per iteration, so the selection
+        // should likewise keep most regions distinct.
+        let selection = selection_for(Benchmark::NpbIs, 4);
+        assert!(
+            selection.num_barrierpoints() >= 5,
+            "IS regions should not collapse: got {}",
+            selection.num_barrierpoints()
+        );
+    }
+
+    #[test]
+    fn bt_collapses_to_phase_count() {
+        let w = Benchmark::NpbBt.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let profile = profile_application(&w).unwrap();
+        let selection =
+            select_barrierpoints(&profile, &SignatureConfig::combined(), &SimPointConfig::paper())
+                .unwrap();
+        // 1001 regions built from 6 phases must collapse to a handful of
+        // barrierpoints (the paper finds 11).
+        assert_eq!(w.num_regions(), 1001);
+        assert!(selection.num_barrierpoints() <= 20);
+        assert!(selection.serial_speedup() > 10.0);
+    }
+}

@@ -1,0 +1,163 @@
+use crate::error::Error;
+use crate::select::BarrierPointSelection;
+use bp_sim::{Machine, RegionMetrics, SimConfig};
+use bp_warmup::{collect_mru_warmup, apply_warmup, WarmupStrategy};
+use bp_workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Detailed simulation results keyed by barrierpoint region index.
+pub type BarrierPointMetrics = BTreeMap<usize, RegionMetrics>;
+
+/// Which warmup technique to use before the detailed simulation of each
+/// barrierpoint (the configuration-level counterpart of
+/// [`bp_warmup::WarmupStrategy`], which carries the actual payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WarmupKind {
+    /// No warmup: every barrierpoint starts with cold caches.
+    Cold,
+    /// The paper's proposal: replay each core's most recently used unique
+    /// cache lines, bounded by the LLC capacity (Section IV).
+    MruReplay,
+    /// Functionally replay all memory accesses of every preceding region
+    /// (accurate but costs time proportional to the skipped instructions).
+    FunctionalReplay,
+}
+
+impl WarmupKind {
+    /// Short label used in reports and benchmark ids.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarmupKind::Cold => "cold",
+            WarmupKind::MruReplay => "mru-replay",
+            WarmupKind::FunctionalReplay => "functional",
+        }
+    }
+}
+
+/// Simulates every selected barrierpoint in detail on its own machine
+/// instance and returns per-barrierpoint metrics.
+///
+/// Barrierpoints are mutually independent — exactly the property the paper
+/// exploits — so with `parallel = true` they are simulated concurrently on
+/// worker threads (one simulated machine each); otherwise they run back to
+/// back, which models the "serial speedup" resource scenario of Figure 9.
+///
+/// # Errors
+///
+/// Returns [`Error::ThreadCountMismatch`] if the workload's thread count does
+/// not match `sim_config.num_cores`, and [`Error::RegionOutOfRange`] if the
+/// selection refers to regions the workload does not have.
+pub fn simulate_barrierpoints<W: Workload + ?Sized>(
+    workload: &W,
+    selection: &BarrierPointSelection,
+    sim_config: &SimConfig,
+    warmup: WarmupKind,
+    parallel: bool,
+) -> Result<BarrierPointMetrics, Error> {
+    if workload.num_threads() != sim_config.num_cores {
+        return Err(Error::ThreadCountMismatch {
+            workload_threads: workload.num_threads(),
+            machine_cores: sim_config.num_cores,
+        });
+    }
+    let regions = selection.barrierpoint_regions();
+    if let Some(&bad) = regions.iter().find(|&&r| r >= workload.num_regions()) {
+        return Err(Error::RegionOutOfRange { region: bad, num_regions: workload.num_regions() });
+    }
+
+    // One streaming pass collects the MRU warmup payload for every target.
+    let mru_data = if warmup == WarmupKind::MruReplay {
+        let capacity = sim_config.memory.llc_total_lines(sim_config.num_cores);
+        collect_mru_warmup(workload, &regions, capacity)
+    } else {
+        Default::default()
+    };
+
+    let simulate_one = |region: usize| -> (usize, RegionMetrics) {
+        let mut machine = Machine::new(sim_config);
+        let strategy = match warmup {
+            WarmupKind::Cold => WarmupStrategy::Cold,
+            WarmupKind::FunctionalReplay => WarmupStrategy::FunctionalReplay { region },
+            WarmupKind::MruReplay => WarmupStrategy::MruReplay(
+                mru_data.get(&region).cloned().expect("warmup collected for every barrierpoint"),
+            ),
+        };
+        apply_warmup(machine.hierarchy_mut(), workload, &strategy);
+        (region, machine.run_region(workload, region))
+    };
+
+    let mut results = BTreeMap::new();
+    if parallel {
+        let collected: Vec<(usize, RegionMetrics)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = regions
+                .iter()
+                .map(|&region| scope.spawn(move || simulate_one(region)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
+        });
+        results.extend(collected);
+    } else {
+        results.extend(regions.iter().map(|&region| simulate_one(region)));
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_application;
+    use crate::select::select_barrierpoints;
+    use bp_clustering::SimPointConfig;
+    use bp_signature::SignatureConfig;
+    use bp_workload::{Benchmark, WorkloadConfig};
+
+    fn setup() -> (impl Workload, BarrierPointSelection) {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let profile = profile_application(&w).unwrap();
+        let selection =
+            select_barrierpoints(&profile, &SignatureConfig::combined(), &SimPointConfig::paper())
+                .unwrap();
+        (w, selection)
+    }
+
+    #[test]
+    fn serial_and_parallel_simulation_agree() {
+        let (w, selection) = setup();
+        let config = SimConfig::scaled(4);
+        let serial =
+            simulate_barrierpoints(&w, &selection, &config, WarmupKind::MruReplay, false).unwrap();
+        let parallel =
+            simulate_barrierpoints(&w, &selection, &config, WarmupKind::MruReplay, true).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), selection.num_barrierpoints());
+    }
+
+    #[test]
+    fn warmup_reduces_estimated_cycles() {
+        let (w, selection) = setup();
+        let config = SimConfig::scaled(4);
+        let cold =
+            simulate_barrierpoints(&w, &selection, &config, WarmupKind::Cold, false).unwrap();
+        let warm =
+            simulate_barrierpoints(&w, &selection, &config, WarmupKind::MruReplay, false).unwrap();
+        let cold_cycles: u64 = cold.values().map(|m| m.cycles).sum();
+        let warm_cycles: u64 = warm.values().map(|m| m.cycles).sum();
+        assert!(warm_cycles <= cold_cycles, "warm {warm_cycles} vs cold {cold_cycles}");
+    }
+
+    #[test]
+    fn thread_mismatch_is_reported() {
+        let (w, selection) = setup();
+        let err = simulate_barrierpoints(&w, &selection, &SimConfig::scaled(8), WarmupKind::Cold, false)
+            .unwrap_err();
+        assert!(matches!(err, Error::ThreadCountMismatch { .. }));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(WarmupKind::MruReplay.name(), "mru-replay");
+        assert_eq!(WarmupKind::Cold.name(), "cold");
+        assert_eq!(WarmupKind::FunctionalReplay.name(), "functional");
+    }
+}

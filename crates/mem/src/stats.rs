@@ -1,0 +1,134 @@
+use serde::{Deserialize, Serialize};
+
+/// Event counters accumulated by a [`crate::MemoryHierarchy`].
+///
+/// The counters cover data accesses, instruction fetches, where accesses were
+/// serviced, coherence activity and DRAM traffic.  The paper's evaluation
+/// reports DRAM APKI (DRAM accesses per thousand instructions); use
+/// [`MemoryStats::dram_apki`] with the instruction count tracked by the
+/// timing simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Data accesses (loads + stores) issued.
+    pub data_accesses: u64,
+    /// Stores issued.
+    pub writes: u64,
+    /// Instruction fetches issued.
+    pub instruction_fetches: u64,
+    /// Accesses serviced by the L1 (data or instruction).
+    pub l1_hits: u64,
+    /// Accesses serviced by the private L2.
+    pub l2_hits: u64,
+    /// Accesses serviced by a shared L3 (local or remote socket).
+    pub l3_hits: u64,
+    /// Accesses serviced by another core's private cache (dirty data transfer).
+    pub remote_cache_hits: u64,
+    /// Accesses serviced by DRAM.
+    pub dram_accesses: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_writebacks: u64,
+    /// Private-cache lines invalidated by coherence actions.
+    pub invalidations: u64,
+    /// Write upgrades (Shared → Modified) that required a directory round trip.
+    pub upgrades: u64,
+}
+
+impl MemoryStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accesses (data + instruction fetches).
+    pub fn total_accesses(&self) -> u64 {
+        self.data_accesses + self.instruction_fetches
+    }
+
+    /// DRAM accesses per thousand instructions.
+    ///
+    /// Returns 0.0 when `instructions` is zero.
+    pub fn dram_apki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.dram_accesses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// L1 miss ratio over all accesses.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.data_accesses += other.data_accesses;
+        self.writes += other.writes;
+        self.instruction_fetches += other.instruction_fetches;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.l3_hits += other.l3_hits;
+        self.remote_cache_hits += other.remote_cache_hits;
+        self.dram_accesses += other.dram_accesses;
+        self.dram_writebacks += other.dram_writebacks;
+        self.invalidations += other.invalidations;
+        self.upgrades += other.upgrades;
+    }
+
+    /// Returns the difference `self - earlier`, counter by counter.
+    ///
+    /// Useful for extracting per-region statistics from cumulative counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` has larger counters than `self`.
+    pub fn delta_since(&self, earlier: &MemoryStats) -> MemoryStats {
+        MemoryStats {
+            data_accesses: self.data_accesses - earlier.data_accesses,
+            writes: self.writes - earlier.writes,
+            instruction_fetches: self.instruction_fetches - earlier.instruction_fetches,
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            l3_hits: self.l3_hits - earlier.l3_hits,
+            remote_cache_hits: self.remote_cache_hits - earlier.remote_cache_hits,
+            dram_accesses: self.dram_accesses - earlier.dram_accesses,
+            dram_writebacks: self.dram_writebacks - earlier.dram_writebacks,
+            invalidations: self.invalidations - earlier.invalidations,
+            upgrades: self.upgrades - earlier.upgrades,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apki_math() {
+        let stats = MemoryStats { dram_accesses: 50, ..Default::default() };
+        assert!((stats.dram_apki(10_000) - 5.0).abs() < 1e-12);
+        assert_eq!(stats.dram_apki(0), 0.0);
+    }
+
+    #[test]
+    fn merge_and_delta_are_inverses() {
+        let a = MemoryStats { data_accesses: 10, l1_hits: 8, dram_accesses: 1, ..Default::default() };
+        let b = MemoryStats { data_accesses: 5, l1_hits: 4, writes: 2, ..Default::default() };
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(sum.delta_since(&a), b);
+        assert_eq!(sum.delta_since(&b), a);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let stats = MemoryStats { data_accesses: 100, l1_hits: 80, ..Default::default() };
+        assert!((stats.l1_miss_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(MemoryStats::default().l1_miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the cache hierarchy invariants.
+
+use bp_mem::{Cache, CacheConfig, LineState, MemoryConfig, MemoryHierarchy, ServiceLevel};
+use proptest::prelude::*;
+
+/// A random access pattern: (core, line, is_write).
+fn accesses(cores: usize) -> impl Strategy<Value = Vec<(usize, u64, bool)>> {
+    proptest::collection::vec((0..cores, 0u64..512, any::<bool>()), 1..400)
+        .prop_map(|v| v.into_iter().map(|(c, l, w)| (c, l * 64, w)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A cache never holds more lines than its capacity, and a line that was
+    /// just inserted is always resident.
+    #[test]
+    fn cache_occupancy_bounded(lines in proptest::collection::vec(0u64..256, 1..300)) {
+        let config = CacheConfig::new(2048, 4, 1); // 32 lines
+        let mut cache = Cache::new(&config, 64);
+        for &line in &lines {
+            cache.insert(line, LineState::Shared);
+            prop_assert!(cache.contains(line));
+            prop_assert!(cache.occupancy() <= cache.capacity_lines());
+        }
+    }
+
+    /// Replaying the same access sequence on a fresh hierarchy gives exactly
+    /// the same statistics (full determinism).
+    #[test]
+    fn hierarchy_is_deterministic(pattern in accesses(4)) {
+        let config = MemoryConfig::tiny();
+        let mut a = MemoryHierarchy::new(&config, 4);
+        let mut b = MemoryHierarchy::new(&config, 4);
+        for &(core, addr, write) in &pattern {
+            let ra = a.access(core, addr, write);
+            let rb = b.access(core, addr, write);
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Snapshot/restore reproduces subsequent behaviour exactly.
+    #[test]
+    fn snapshot_restore_equivalence(warm in accesses(2), probe in accesses(2)) {
+        let config = MemoryConfig::tiny();
+        let mut hierarchy = MemoryHierarchy::new(&config, 2);
+        for &(core, addr, write) in &warm {
+            hierarchy.access(core, addr, write);
+        }
+        let snapshot = hierarchy.snapshot();
+
+        let mut continued = hierarchy.clone();
+        continued.reset_stats();
+        let direct: Vec<_> = probe
+            .iter()
+            .map(|&(core, addr, write)| continued.access(core, addr, write))
+            .collect();
+
+        let mut restored = MemoryHierarchy::new(&config, 2);
+        restored.restore(&snapshot);
+        restored.reset_stats();
+        let replayed: Vec<_> = probe
+            .iter()
+            .map(|&(core, addr, write)| restored.access(core, addr, write))
+            .collect();
+
+        prop_assert_eq!(direct, replayed);
+        prop_assert_eq!(continued.stats(), restored.stats());
+    }
+
+    /// Every access is serviced by exactly one level and its latency is at
+    /// least the L1 latency; service-level counters add up to the access
+    /// count.
+    #[test]
+    fn accounting_adds_up(pattern in accesses(3)) {
+        let config = MemoryConfig::tiny();
+        let mut hierarchy = MemoryHierarchy::new(&config, 3);
+        for &(core, addr, write) in &pattern {
+            let result = hierarchy.access(core, addr, write);
+            prop_assert!(result.latency >= config.l1d.latency_cycles);
+            prop_assert!(matches!(
+                result.level,
+                ServiceLevel::L1
+                    | ServiceLevel::L2
+                    | ServiceLevel::L3
+                    | ServiceLevel::RemoteCache
+                    | ServiceLevel::Dram
+            ));
+        }
+        let stats = hierarchy.stats();
+        prop_assert_eq!(stats.data_accesses, pattern.len() as u64);
+        prop_assert_eq!(
+            stats.l1_hits + stats.l2_hits + stats.l3_hits + stats.remote_cache_hits
+                + stats.dram_accesses + stats.upgrades,
+            stats.data_accesses
+        );
+    }
+
+    /// After a write by one core, a read of the same address by another core
+    /// must observe coherent data (serviced by the owner's cache, the shared
+    /// cache or DRAM after a writeback — never silently from its own stale L1).
+    #[test]
+    fn writes_invalidate_remote_readers(addr in (0u64..128).prop_map(|l| l * 64)) {
+        let config = MemoryConfig::tiny();
+        let mut hierarchy = MemoryHierarchy::new(&config, 2);
+        // Core 1 caches the line, core 0 then writes it.
+        hierarchy.access(1, addr, false);
+        hierarchy.access(0, addr, true);
+        let reread = hierarchy.access(1, addr, false);
+        prop_assert_ne!(reread.level, ServiceLevel::L1);
+    }
+}

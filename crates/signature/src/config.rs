@@ -1,0 +1,144 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which signatures enter a region's signature vector (Section III-A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignatureKind {
+    /// Basic block vectors only (`bbv` in Figure 5).
+    BbvOnly,
+    /// LRU stack distance vectors only (`reuse_dist` in Figure 5).
+    LdvOnly,
+    /// Concatenation of individually normalized BBV and LDV
+    /// (`combine` in Figure 5) — the paper's default.
+    Combined,
+}
+
+/// Weighting applied to LDV buckets before normalization (Section III-A3).
+///
+/// Bucket `n` (distances in `[2^n, 2^(n+1))`) is multiplied by `2^(n/v)`:
+/// long-distance accesses, which hit further away in the memory hierarchy
+/// and cost more, receive more weight.  `Unweighted` is the paper's default
+/// (`1/v = 1/1`, "weighted equally").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LdvWeighting {
+    /// All buckets weighted equally (the default).
+    Unweighted,
+    /// Bucket `n` weighted by `2^(n/v)` for the contained `v` (the paper
+    /// evaluates `1/v = 1/2` and `1/v = 1/5`).
+    InverseExponent(u32),
+}
+
+impl LdvWeighting {
+    /// The weight applied to bucket `n`.
+    pub fn weight(self, n: usize) -> f64 {
+        match self {
+            LdvWeighting::Unweighted => 1.0,
+            LdvWeighting::InverseExponent(v) => (2f64).powf(n as f64 / v.max(1) as f64),
+        }
+    }
+}
+
+/// Full signature configuration: which vectors to use and how to weight the
+/// LDV component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignatureConfig {
+    /// Which signature components to include.
+    pub kind: SignatureKind,
+    /// LDV bucket weighting (ignored for [`SignatureKind::BbvOnly`]).
+    pub weighting: LdvWeighting,
+}
+
+impl SignatureConfig {
+    /// BBV-only signatures (`bbv`).
+    pub fn bbv_only() -> Self {
+        Self { kind: SignatureKind::BbvOnly, weighting: LdvWeighting::Unweighted }
+    }
+
+    /// LDV-only signatures with equal weighting (`reuse_dist`).
+    pub fn ldv_only() -> Self {
+        Self { kind: SignatureKind::LdvOnly, weighting: LdvWeighting::Unweighted }
+    }
+
+    /// Combined BBV + LDV signatures with equal weighting (`combine`) — the
+    /// paper's default configuration.
+    pub fn combined() -> Self {
+        Self { kind: SignatureKind::Combined, weighting: LdvWeighting::Unweighted }
+    }
+
+    /// Sets the LDV weighting.
+    pub fn with_weighting(mut self, weighting: LdvWeighting) -> Self {
+        self.weighting = weighting;
+        self
+    }
+
+    /// The seven configurations compared in Figure 5, in the figure's order.
+    pub fn figure5_variants() -> Vec<SignatureConfig> {
+        vec![
+            Self::bbv_only(),
+            Self::ldv_only(),
+            Self::ldv_only().with_weighting(LdvWeighting::InverseExponent(2)),
+            Self::ldv_only().with_weighting(LdvWeighting::InverseExponent(5)),
+            Self::combined(),
+            Self::combined().with_weighting(LdvWeighting::InverseExponent(2)),
+            Self::combined().with_weighting(LdvWeighting::InverseExponent(5)),
+        ]
+    }
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        Self::combined()
+    }
+}
+
+impl fmt::Display for SignatureConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match self.kind {
+            SignatureKind::BbvOnly => "bbv",
+            SignatureKind::LdvOnly => "reuse_dist",
+            SignatureKind::Combined => "combine",
+        };
+        match (self.kind, self.weighting) {
+            (SignatureKind::BbvOnly, _) | (_, LdvWeighting::Unweighted) => f.write_str(base),
+            (_, LdvWeighting::InverseExponent(v)) => write!(f, "{base}-1_{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_labels_match_paper() {
+        let labels: Vec<String> =
+            SignatureConfig::figure5_variants().iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "bbv",
+                "reuse_dist",
+                "reuse_dist-1_2",
+                "reuse_dist-1_5",
+                "combine",
+                "combine-1_2",
+                "combine-1_5"
+            ]
+        );
+    }
+
+    #[test]
+    fn weights_grow_with_bucket_index() {
+        let w = LdvWeighting::InverseExponent(2);
+        assert!(w.weight(10) > w.weight(2));
+        assert_eq!(LdvWeighting::Unweighted.weight(30), 1.0);
+        assert!((w.weight(4) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_combined_unweighted() {
+        let d = SignatureConfig::default();
+        assert_eq!(d.kind, SignatureKind::Combined);
+        assert_eq!(d.weighting, LdvWeighting::Unweighted);
+    }
+}

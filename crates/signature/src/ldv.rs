@@ -1,0 +1,160 @@
+use crate::config::LdvWeighting;
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets in an LDV.
+///
+/// Bucket `n` counts accesses with stack distance in `[2^n, 2^(n+1))`
+/// (bucket 0 additionally holds distance 0); 48 buckets cover any distance
+/// representable in a `u64` address space.
+pub const LDV_BUCKETS: usize = 48;
+
+/// An LRU stack distance vector: a power-of-two histogram of the reuse
+/// distances observed in one thread's execution of one inter-barrier region.
+///
+/// Cold (first-touch) accesses have no finite reuse distance; they are
+/// counted separately in the last position of the assembled vector so that
+/// regions touching a lot of new data are distinguishable from regions
+/// re-walking a large working set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ldv {
+    buckets: Vec<u64>,
+    cold: u64,
+}
+
+impl Default for Ldv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ldv {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; LDV_BUCKETS], cold: 0 }
+    }
+
+    /// Bucket index of a finite stack distance.
+    fn bucket_of(distance: u64) -> usize {
+        if distance == 0 {
+            0
+        } else {
+            (63 - distance.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one access with the given stack distance (`None` = cold).
+    pub fn record(&mut self, distance: Option<u64>) {
+        match distance {
+            Some(d) => {
+                let bucket = Self::bucket_of(d).min(LDV_BUCKETS - 1);
+                self.buckets[bucket] += 1;
+            }
+            None => self.cold += 1,
+        }
+    }
+
+    /// Total accesses recorded (including cold accesses).
+    pub fn total_accesses(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.cold
+    }
+
+    /// Number of cold (first-touch) accesses.
+    pub fn cold_accesses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The histogram as a weighted, L1-normalized vector of
+    /// `LDV_BUCKETS + 1` elements (the final element is the cold-access
+    /// fraction).
+    ///
+    /// Section III-A3 of the paper weights the counter of distances in
+    /// `[2^n, 2^(n+1))` so that longer distances — which correspond to
+    /// accesses that hit further away in the memory hierarchy — contribute
+    /// more to the signature.  [`LdvWeighting::Unweighted`] reproduces the
+    /// paper's default (`1/v = 1`); [`LdvWeighting::InverseExponent`] applies
+    /// a weight of `2^(n/v)`.
+    pub fn normalized(&self, weighting: LdvWeighting) -> Vec<f64> {
+        let mut values: Vec<f64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(n, &count)| count as f64 * weighting.weight(n))
+            .collect();
+        values.push(self.cold as f64 * weighting.weight(LDV_BUCKETS));
+        let total: f64 = values.iter().sum();
+        if total > 0.0 {
+            for v in &mut values {
+                *v /= total;
+            }
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_power_of_two() {
+        assert_eq!(Ldv::bucket_of(0), 0);
+        assert_eq!(Ldv::bucket_of(1), 0);
+        assert_eq!(Ldv::bucket_of(2), 1);
+        assert_eq!(Ldv::bucket_of(3), 1);
+        assert_eq!(Ldv::bucket_of(4), 2);
+        assert_eq!(Ldv::bucket_of(1023), 9);
+        assert_eq!(Ldv::bucket_of(1024), 10);
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut ldv = Ldv::new();
+        ldv.record(Some(0));
+        ldv.record(Some(3));
+        ldv.record(Some(1000));
+        ldv.record(None);
+        assert_eq!(ldv.total_accesses(), 4);
+        assert_eq!(ldv.cold_accesses(), 1);
+        assert_eq!(ldv.buckets()[0], 1);
+        assert_eq!(ldv.buckets()[1], 1);
+        assert_eq!(ldv.buckets()[9], 1);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let mut ldv = Ldv::new();
+        for d in [1u64, 5, 5, 70, 900, 16_000] {
+            ldv.record(Some(d));
+        }
+        ldv.record(None);
+        let n = ldv.normalized(LdvWeighting::Unweighted);
+        assert_eq!(n.len(), LDV_BUCKETS + 1);
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_emphasizes_long_distances() {
+        let mut ldv = Ldv::new();
+        ldv.record(Some(1)); // bucket 0
+        ldv.record(Some(1 << 20)); // bucket 20
+        let unweighted = ldv.normalized(LdvWeighting::Unweighted);
+        let weighted = ldv.normalized(LdvWeighting::InverseExponent(2));
+        // Same count in both buckets, so unweighted shares are equal...
+        assert!((unweighted[0] - unweighted[20]).abs() < 1e-12);
+        // ... but weighting shifts mass towards the long-distance bucket.
+        assert!(weighted[20] > weighted[0]);
+        assert!(weighted[20] > unweighted[20]);
+    }
+
+    #[test]
+    fn empty_ldv_normalizes_to_zeros() {
+        let ldv = Ldv::new();
+        let n = ldv.normalized(LdvWeighting::Unweighted);
+        assert!(n.iter().all(|&v| v == 0.0));
+    }
+}

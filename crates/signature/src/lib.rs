@@ -1,0 +1,55 @@
+//! Microarchitecture-independent region signatures for BarrierPoint.
+//!
+//! Section III-A of the paper characterizes every inter-barrier region with
+//! two kinds of per-thread signatures collected by a Pintool:
+//!
+//! * **Basic Block Vectors (BBVs)** — the dynamic instruction count
+//!   contributed by each static basic block ([`Bbv`]),
+//! * **LRU stack distance vectors (LDVs)** — a power-of-two histogram of the
+//!   reuse distances (number of distinct cache lines touched between two
+//!   accesses to the same line) of the region's memory references
+//!   ([`Ldv`], computed exactly by [`StackDistanceTracker`]).
+//!
+//! Per-thread vectors are normalized individually and *concatenated* (not
+//! summed) into a single [`SignatureVector`] per region, so heterogeneous
+//! thread behaviour remains visible to the clustering step.  The
+//! [`SignatureKind`] and [`LdvWeighting`] options reproduce the seven
+//! configurations compared in Figure 5 (`bbv`, `reuse_dist`,
+//! `reuse_dist-1_2`, `reuse_dist-1_5`, `combine`, `combine-1_2`,
+//! `combine-1_5`).
+//!
+//! [`collect_region_signature`] runs a `bp-workload` region trace through the
+//! collectors — the reproduction's substitute for the paper's Pin-based
+//! profiler.
+//!
+//! # Example
+//!
+//! ```
+//! use bp_workload::{Benchmark, WorkloadConfig, Workload};
+//! use bp_signature::{collect_region_signature, SignatureConfig};
+//!
+//! let workload = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.05));
+//! let sig = collect_region_signature(&workload, 0);
+//! let vector = sig.assemble(&SignatureConfig::combined());
+//! assert!(!vector.values().is_empty());
+//! assert!(sig.total_instructions() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbv;
+mod collector;
+mod config;
+mod ldv;
+mod stack_distance;
+mod vector;
+
+pub use bbv::Bbv;
+pub use collector::{
+    collect_application_signatures, collect_region_signature, ApplicationProfiler, RegionSignature,
+};
+pub use config::{LdvWeighting, SignatureConfig, SignatureKind};
+pub use ldv::{Ldv, LDV_BUCKETS};
+pub use stack_distance::StackDistanceTracker;
+pub use vector::SignatureVector;

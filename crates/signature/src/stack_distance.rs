@@ -1,0 +1,216 @@
+use std::collections::HashMap;
+
+/// Exact LRU stack distance (reuse distance) computation.
+///
+/// The LRU stack distance of an access is the number of *distinct* cache
+/// lines referenced since the previous access to the same line
+/// (Mattson et al., 1970).  The first access to a line has infinite distance.
+///
+/// The tracker uses the classic last-access-time + Fenwick-tree formulation:
+/// each access is assigned a monotonically increasing timestamp, a binary
+/// indexed tree marks the timestamps that are currently the *most recent*
+/// access of some line, and the stack distance is the number of marked
+/// timestamps after the line's previous access.  Every access costs
+/// `O(log n)`.
+#[derive(Debug, Clone, Default)]
+pub struct StackDistanceTracker {
+    /// Fenwick tree over timestamps; `tree[i] == 1` iff timestamp `i` is the
+    /// latest access of some line.
+    tree: Vec<u64>,
+    /// Last access timestamp of each line.
+    last: HashMap<u64, usize>,
+    /// Next timestamp (1-based for the Fenwick tree); may shrink on compaction.
+    time: usize,
+    /// Total accesses recorded (monotonic, unaffected by compaction).
+    total: usize,
+}
+
+impl StackDistanceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct lines seen so far.
+    pub fn unique_lines(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> usize {
+        self.total
+    }
+
+    fn tree_add(&mut self, mut idx: usize, delta: i64) {
+        while idx < self.tree.len() {
+            self.tree[idx] = (self.tree[idx] as i64 + delta) as u64;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    fn tree_prefix_sum(&self, mut idx: usize) -> u64 {
+        let mut sum = 0;
+        while idx > 0 {
+            sum += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Re-numbers all last-access timestamps to `1..=unique_lines`, keeping
+    /// their relative order, so the Fenwick tree's size stays proportional to
+    /// the number of distinct lines rather than to the total access count.
+    /// This keeps memory bounded for application-length profiling runs.
+    fn compact(&mut self) {
+        let mut entries: Vec<(usize, u64)> =
+            self.last.iter().map(|(&line, &t)| (t, line)).collect();
+        entries.sort_unstable();
+        self.last.clear();
+        for (new_time, (_, line)) in entries.iter().enumerate() {
+            self.last.insert(*line, new_time + 1);
+        }
+        self.time = entries.len();
+        let new_len = (self.time + 2).next_power_of_two().max(64);
+        self.tree = vec![0; new_len];
+        let marks: Vec<usize> = self.last.values().copied().collect();
+        for t in marks {
+            self.tree_add(t, 1);
+        }
+    }
+
+    /// Records an access to `line` and returns its LRU stack distance, or
+    /// `None` for the first (cold) access to the line.
+    pub fn record(&mut self, line: u64) -> Option<u64> {
+        // Keep the timestamp space compact: once timestamps far outnumber the
+        // distinct lines, renumber them.
+        if self.time > 1_048_576 && self.time > 8 * self.last.len() {
+            self.compact();
+        }
+        self.total += 1;
+        self.time += 1;
+        let now = self.time;
+        // Grow the Fenwick tree (power-of-two sizing keeps growth amortized).
+        if now >= self.tree.len() {
+            let new_len = (now + 1).next_power_of_two().max(64);
+            self.tree.resize(new_len, 0);
+            // Appended internal nodes must incorporate existing counts, so we
+            // rebuild from the per-line marks to stay safe.
+            let marks: Vec<usize> = self.last.values().copied().collect();
+            for v in self.tree.iter_mut() {
+                *v = 0;
+            }
+            for t in marks {
+                self.tree_add(t, 1);
+            }
+        }
+        let distance = match self.last.get(&line).copied() {
+            Some(prev) => {
+                // Distinct lines accessed strictly after `prev`.
+                let marked_after_prev = self.tree_prefix_sum(self.tree.len() - 1) - self.tree_prefix_sum(prev);
+                self.tree_add(prev, -1);
+                Some(marked_after_prev)
+            }
+            None => None,
+        };
+        self.tree_add(now, 1);
+        self.last.insert(line, now);
+        distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive oracle: walk an explicit LRU stack.
+    #[derive(Default)]
+    struct NaiveStack {
+        stack: Vec<u64>,
+    }
+
+    impl NaiveStack {
+        fn record(&mut self, line: u64) -> Option<u64> {
+            let pos = self.stack.iter().position(|&l| l == line);
+            match pos {
+                Some(idx) => {
+                    self.stack.remove(idx);
+                    self.stack.insert(0, line);
+                    Some(idx as u64)
+                }
+                None => {
+                    self.stack.insert(0, line);
+                    None
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_sequence() {
+        let mut t = StackDistanceTracker::new();
+        assert_eq!(t.record(1), None);
+        assert_eq!(t.record(2), None);
+        assert_eq!(t.record(3), None);
+        // 1 was followed by 2 distinct lines.
+        assert_eq!(t.record(1), Some(2));
+        // Immediately re-accessing 1: distance 0.
+        assert_eq!(t.record(1), Some(0));
+        // 2 was followed by 3 and 1.
+        assert_eq!(t.record(2), Some(2));
+        assert_eq!(t.unique_lines(), 3);
+        assert_eq!(t.accesses(), 6);
+    }
+
+    #[test]
+    fn repeated_scan_has_constant_distance() {
+        let mut t = StackDistanceTracker::new();
+        for line in 0..10u64 {
+            assert_eq!(t.record(line), None);
+        }
+        for line in 0..10u64 {
+            assert_eq!(t.record(line), Some(9), "line {line}");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        let pattern: Vec<u64> = (0..200).map(|i| (i * 7) % 23).collect();
+        let mut compacted = StackDistanceTracker::new();
+        let mut plain = StackDistanceTracker::new();
+        let mut oracle = NaiveStack::default();
+        for (i, &line) in pattern.iter().enumerate() {
+            if i % 50 == 25 {
+                compacted.compact();
+            }
+            let expected = oracle.record(line);
+            assert_eq!(compacted.record(line), expected, "compacted at access {i}");
+            assert_eq!(plain.record(line), expected, "plain at access {i}");
+        }
+        assert_eq!(compacted.accesses(), pattern.len());
+        assert_eq!(compacted.unique_lines(), plain.unique_lines());
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_fixed_pattern() {
+        let pattern: Vec<u64> = vec![5, 1, 2, 5, 3, 2, 2, 7, 1, 5, 9, 3, 3, 1, 7, 2];
+        let mut fast = StackDistanceTracker::new();
+        let mut slow = NaiveStack::default();
+        for &line in &pattern {
+            assert_eq!(fast.record(line), slow.record(line), "line {line}");
+        }
+    }
+
+    proptest! {
+        /// The Fenwick-tree implementation must agree with the explicit LRU
+        /// stack on arbitrary access sequences.
+        #[test]
+        fn matches_naive_oracle(pattern in proptest::collection::vec(0u64..64, 1..400)) {
+            let mut fast = StackDistanceTracker::new();
+            let mut slow = NaiveStack::default();
+            for &line in &pattern {
+                prop_assert_eq!(fast.record(line), slow.record(line));
+            }
+        }
+    }
+}

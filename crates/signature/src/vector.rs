@@ -1,0 +1,99 @@
+use serde::{Deserialize, Serialize};
+
+/// A region's assembled signature vector.
+///
+/// Signature vectors are what the clustering step consumes: per-thread BBVs
+/// and/or LDVs, each normalized individually, concatenated across threads
+/// (Section III-A4 — concatenation, not summation, so per-thread differences
+/// remain visible).  The vector also carries the region's aggregate
+/// instruction count, which the clustering step uses as the region weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignatureVector {
+    values: Vec<f64>,
+    instructions: u64,
+}
+
+impl SignatureVector {
+    /// Creates a signature vector from raw values and the region's aggregate
+    /// (all-thread) instruction count.
+    pub fn new(values: Vec<f64>, instructions: u64) -> Self {
+        Self { values, instructions }
+    }
+
+    /// The vector elements.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The vector dimensionality.
+    pub fn dimension(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Aggregate instruction count of the region (the clustering weight).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Returns a copy scaled to unit L1 norm (zero vectors stay zero).
+    pub fn normalized(&self) -> SignatureVector {
+        let total: f64 = self.values.iter().map(|v| v.abs()).sum();
+        let values = if total > 0.0 {
+            self.values.iter().map(|v| v / total).collect()
+        } else {
+            self.values.clone()
+        };
+        SignatureVector { values, instructions: self.instructions }
+    }
+
+    /// Euclidean distance to another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn euclidean_distance(&self, other: &SignatureVector) -> f64 {
+        assert_eq!(self.dimension(), other.dimension(), "dimension mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_l1() {
+        let v = SignatureVector::new(vec![1.0, 3.0, 0.0, 4.0], 100);
+        let n = v.normalized();
+        assert!((n.values().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(n.instructions(), 100);
+        assert!((n.values()[1] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_stays_zero() {
+        let v = SignatureVector::new(vec![0.0; 4], 0);
+        assert_eq!(v.normalized().values(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = SignatureVector::new(vec![0.5, 0.5], 1);
+        let b = SignatureVector::new(vec![0.1, 0.9], 1);
+        assert!((a.euclidean_distance(&b) - b.euclidean_distance(&a)).abs() < 1e-12);
+        assert_eq!(a.euclidean_distance(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dimensions_panic() {
+        let a = SignatureVector::new(vec![1.0], 1);
+        let b = SignatureVector::new(vec![1.0, 2.0], 1);
+        let _ = a.euclidean_distance(&b);
+    }
+}

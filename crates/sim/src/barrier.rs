@@ -1,0 +1,83 @@
+use serde::{Deserialize, Serialize};
+
+/// Timing model of a global synchronization barrier.
+///
+/// The paper uses the passive OpenMP wait policy: threads that reach the
+/// barrier early block without consuming CPU resources, so an inter-barrier
+/// region's duration is the duration of its slowest thread plus the cost of
+/// the barrier operation itself (a small base cost plus a per-core component
+/// for the arrival/release traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BarrierModel {
+    base_cycles: u64,
+    per_core_cycles: u64,
+}
+
+impl BarrierModel {
+    /// Creates a barrier model with the given fixed and per-core costs.
+    pub fn new(base_cycles: u64, per_core_cycles: u64) -> Self {
+        Self { base_cycles, per_core_cycles }
+    }
+
+    /// Cost in cycles of one barrier among `cores` cores.
+    pub fn barrier_cycles(&self, cores: usize) -> u64 {
+        self.base_cycles + self.per_core_cycles * cores as u64
+    }
+
+    /// Wall-clock duration in cycles of a region whose threads individually
+    /// took `thread_cycles`, including the closing barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread_cycles` is empty.
+    pub fn region_cycles(&self, thread_cycles: &[u64]) -> u64 {
+        let slowest = *thread_cycles.iter().max().expect("at least one thread");
+        slowest + self.barrier_cycles(thread_cycles.len())
+    }
+
+    /// Fraction of aggregate core time spent waiting at the barrier
+    /// (0 = perfectly balanced, approaching 1 = a single thread does all work).
+    pub fn imbalance(&self, thread_cycles: &[u64]) -> f64 {
+        let slowest = *thread_cycles.iter().max().unwrap_or(&0) as f64;
+        if slowest == 0.0 {
+            return 0.0;
+        }
+        let total: u64 = thread_cycles.iter().sum();
+        let ideal = total as f64;
+        let spent = slowest * thread_cycles.len() as f64;
+        (spent - ideal) / spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowest_thread_determines_duration() {
+        let barrier = BarrierModel::new(100, 10);
+        assert_eq!(barrier.region_cycles(&[500, 900, 700, 600]), 900 + 100 + 40);
+    }
+
+    #[test]
+    fn barrier_cost_scales_with_cores() {
+        let barrier = BarrierModel::new(200, 20);
+        assert_eq!(barrier.barrier_cycles(8), 360);
+        assert_eq!(barrier.barrier_cycles(32), 840);
+    }
+
+    #[test]
+    fn imbalance_zero_when_balanced() {
+        let barrier = BarrierModel::new(0, 0);
+        assert_eq!(barrier.imbalance(&[100, 100, 100]), 0.0);
+        let skewed = barrier.imbalance(&[100, 10, 10]);
+        assert!(skewed > 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_thread_list_panics() {
+        let barrier = BarrierModel::new(0, 0);
+        let _ = barrier.region_cycles(&[]);
+    }
+}

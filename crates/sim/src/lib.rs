@@ -1,0 +1,50 @@
+//! Interval-style multi-core timing simulator for the BarrierPoint
+//! reproduction — the stand-in for the Sniper 5.0 simulator used in the
+//! paper's evaluation (Section V, Table I).
+//!
+//! The simulator executes `bp-workload` region traces against the `bp-mem`
+//! cache hierarchy:
+//!
+//! * [`CoreModel`] — a 4-wide superscalar core approximation: instructions
+//!   retire at the issue width and long-latency memory accesses add
+//!   (partially overlappable) stall cycles,
+//! * [`BarrierModel`] — OpenMP-style global barriers with passive waiting
+//!   (idle threads consume no instructions), so a region's duration is the
+//!   slowest thread's duration plus a small barrier cost,
+//! * [`Machine`] — the full machine: it can run a complete application
+//!   (producing per-region ground truth, [`RunMetrics`]) or a single
+//!   inter-barrier region in isolation (the detailed simulation of one
+//!   barrierpoint, [`RegionMetrics`]).
+//!
+//! Absolute cycle counts are not calibrated against Sniper; what matters for
+//! the reproduction is that per-region performance depends on code mix,
+//! working-set size, cache warmth and coherence traffic in the same way, so
+//! that the sampling methodology faces the same estimation problem.
+//!
+//! # Example
+//!
+//! ```
+//! use bp_sim::{Machine, SimConfig};
+//! use bp_workload::{Benchmark, WorkloadConfig};
+//!
+//! let workload = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.02));
+//! let mut machine = Machine::new(&SimConfig::scaled(4));
+//! let run = machine.run_full(&workload);
+//! assert_eq!(run.regions().len(), 11);
+//! assert!(run.total_cycles() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barrier;
+mod config;
+mod core_model;
+mod machine;
+mod metrics;
+
+pub use barrier::BarrierModel;
+pub use config::{CoreConfig, SimConfig};
+pub use core_model::CoreModel;
+pub use machine::Machine;
+pub use metrics::{RegionMetrics, RunMetrics};

@@ -1,0 +1,159 @@
+use bp_mem::MemoryStats;
+use serde::{Deserialize, Serialize};
+
+/// Timing and memory statistics of one inter-barrier region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionMetrics {
+    /// Region index within the application.
+    pub region: usize,
+    /// Wall-clock duration of the region in cycles (slowest thread + barrier).
+    pub cycles: u64,
+    /// Aggregate instructions retired by all threads.
+    pub instructions: u64,
+    /// Per-thread busy cycles (excluding barrier wait).
+    pub per_thread_cycles: Vec<u64>,
+    /// Memory-hierarchy activity attributed to the region.
+    pub memory: MemoryStats,
+}
+
+impl RegionMetrics {
+    /// Aggregate instructions per wall-clock cycle (the "aggregate IPC" of
+    /// Figure 3).
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction (aggregate).
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// DRAM accesses per thousand instructions in this region.
+    pub fn dram_apki(&self) -> f64 {
+        self.memory.dram_apki(self.instructions)
+    }
+
+    /// Region duration in seconds at the given clock frequency.
+    pub fn seconds(&self, frequency_ghz: f64) -> f64 {
+        self.cycles as f64 / (frequency_ghz * 1e9)
+    }
+}
+
+/// Metrics of a complete application run (the paper's "detailed simulation"
+/// ground truth) or of a reconstructed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    regions: Vec<RegionMetrics>,
+    frequency_ghz: f64,
+}
+
+impl RunMetrics {
+    /// Assembles run metrics from per-region metrics.
+    pub fn new(regions: Vec<RegionMetrics>, frequency_ghz: f64) -> Self {
+        Self { regions, frequency_ghz }
+    }
+
+    /// Per-region metrics, in program order.
+    pub fn regions(&self) -> &[RegionMetrics] {
+        &self.regions
+    }
+
+    /// Core clock frequency used to convert cycles to seconds.
+    pub fn frequency_ghz(&self) -> f64 {
+        self.frequency_ghz
+    }
+
+    /// Total wall-clock cycles of the parallel region of interest.
+    pub fn total_cycles(&self) -> u64 {
+        self.regions.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Total instructions retired by all threads.
+    pub fn total_instructions(&self) -> u64 {
+        self.regions.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Total DRAM accesses.
+    pub fn total_dram_accesses(&self) -> u64 {
+        self.regions.iter().map(|r| r.memory.dram_accesses).sum()
+    }
+
+    /// Application execution time in seconds.
+    pub fn execution_time_seconds(&self) -> f64 {
+        self.total_cycles() as f64 / (self.frequency_ghz * 1e9)
+    }
+
+    /// Whole-application aggregate IPC.
+    pub fn aggregate_ipc(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / cycles as f64
+        }
+    }
+
+    /// Whole-application DRAM accesses per thousand instructions.
+    pub fn dram_apki(&self) -> f64 {
+        let instructions = self.total_instructions();
+        if instructions == 0 {
+            0.0
+        } else {
+            self.total_dram_accesses() as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(region: usize, cycles: u64, instructions: u64, dram: u64) -> RegionMetrics {
+        RegionMetrics {
+            region,
+            cycles,
+            instructions,
+            per_thread_cycles: vec![cycles],
+            memory: MemoryStats { dram_accesses: dram, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn region_derived_metrics() {
+        let r = region(0, 1000, 4000, 8);
+        assert!((r.aggregate_ipc() - 4.0).abs() < 1e-12);
+        assert!((r.cpi() - 0.25).abs() < 1e-12);
+        assert!((r.dram_apki() - 2.0).abs() < 1e-12);
+        assert!((r.seconds(2.0) - 5e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn run_totals_sum_regions() {
+        let run = RunMetrics::new(vec![region(0, 100, 500, 1), region(1, 300, 900, 3)], 2.66);
+        assert_eq!(run.total_cycles(), 400);
+        assert_eq!(run.total_instructions(), 1400);
+        assert_eq!(run.total_dram_accesses(), 4);
+        assert!((run.aggregate_ipc() - 3.5).abs() < 1e-12);
+        assert!(run.execution_time_seconds() > 0.0);
+        assert!((run.dram_apki() - 4.0 / 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let r = region(0, 0, 0, 0);
+        assert_eq!(r.aggregate_ipc(), 0.0);
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.dram_apki(), 0.0);
+        let run = RunMetrics::new(vec![], 2.66);
+        assert_eq!(run.aggregate_ipc(), 0.0);
+        assert_eq!(run.dram_apki(), 0.0);
+    }
+}

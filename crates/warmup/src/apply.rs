@@ -1,0 +1,154 @@
+use crate::strategy::WarmupStrategy;
+use bp_mem::MemoryHierarchy;
+use bp_workload::{Workload, CACHE_LINE_BYTES};
+
+/// Applies a warmup strategy to a (cold) memory hierarchy, then resets the
+/// hierarchy's statistics so that the subsequent detailed simulation measures
+/// only the barrierpoint itself.
+///
+/// `workload` is only consulted by [`WarmupStrategy::FunctionalReplay`].
+///
+/// # Panics
+///
+/// Panics if a [`WarmupStrategy::Checkpoint`] snapshot does not match the
+/// hierarchy's topology.
+pub fn apply_warmup<W: Workload + ?Sized>(
+    hierarchy: &mut MemoryHierarchy,
+    workload: &W,
+    strategy: &WarmupStrategy,
+) {
+    match strategy {
+        WarmupStrategy::Cold => {
+            hierarchy.clear();
+        }
+        WarmupStrategy::Checkpoint(snapshot) => {
+            hierarchy.restore(snapshot);
+        }
+        WarmupStrategy::FunctionalReplay { region } => {
+            hierarchy.clear();
+            for r in 0..*region {
+                for thread in 0..workload.num_threads() {
+                    for exec in workload.region_trace(r, thread) {
+                        for access in &exec.accesses {
+                            hierarchy.access(thread, access.addr, access.kind.is_write());
+                        }
+                    }
+                }
+            }
+        }
+        WarmupStrategy::MruReplay(data) => {
+            hierarchy.clear();
+            // Each thread replays its most recent unique lines in access
+            // order (least recent first), so the most recently used data ends
+            // up closest to the core — rebuilding L1/L2/LLC contents and MSI
+            // state without knowing the hierarchy's organisation.
+            //
+            // The per-thread replays are interleaved (as they would be when
+            // the simulator replays all threads concurrently): replaying the
+            // cores one after another would let the last core's data evict
+            // everyone else's share of the shared LLC.
+            let cores = hierarchy.num_cores();
+            let per_thread = data.per_thread();
+            let longest = per_thread.iter().map(|t| t.len()).max().unwrap_or(0);
+            for position in (1..=longest).rev() {
+                for (thread, lines) in per_thread.iter().enumerate() {
+                    if thread >= cores || lines.len() < position {
+                        continue;
+                    }
+                    let (line, is_write) = lines[lines.len() - position];
+                    hierarchy.access(thread, line * CACHE_LINE_BYTES, is_write);
+                }
+            }
+        }
+    }
+    hierarchy.reset_stats();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mru::collect_mru_warmup;
+    use bp_mem::MemoryConfig;
+    use bp_workload::{Benchmark, WorkloadConfig};
+
+    fn setup() -> (impl Workload, MemoryConfig) {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(4).with_scale(0.02));
+        (w, MemoryConfig::scaled())
+    }
+
+    /// Counts the DRAM accesses a region performs on `hierarchy` as-is.
+    fn region_dram<W: Workload>(w: &W, hierarchy: &mut MemoryHierarchy, region: usize) -> u64 {
+        let before = hierarchy.stats().dram_accesses;
+        for thread in 0..w.num_threads() {
+            for exec in w.region_trace(region, thread) {
+                for access in &exec.accesses {
+                    hierarchy.access(thread, access.addr, access.kind.is_write());
+                }
+            }
+        }
+        hierarchy.stats().dram_accesses - before
+    }
+
+    #[test]
+    fn mru_replay_reduces_cold_misses() {
+        let (w, config) = setup();
+        let region = 10;
+        let warmup = collect_mru_warmup(&w, &[region], config.llc_total_lines(4));
+
+        let mut cold = MemoryHierarchy::new(&config, 4);
+        apply_warmup(&mut cold, &w, &WarmupStrategy::Cold);
+        let cold_dram = region_dram(&w, &mut cold, region);
+
+        let mut warm = MemoryHierarchy::new(&config, 4);
+        apply_warmup(&mut warm, &w, &WarmupStrategy::MruReplay(warmup[&region].clone()));
+        let warm_dram = region_dram(&w, &mut warm, region);
+
+        assert!(
+            warm_dram < cold_dram,
+            "MRU warmup should cut cold DRAM traffic: {warm_dram} vs {cold_dram}"
+        );
+    }
+
+    #[test]
+    fn functional_replay_matches_or_beats_mru() {
+        let (w, config) = setup();
+        let region = 6;
+        let warmup = collect_mru_warmup(&w, &[region], config.llc_total_lines(4));
+
+        let mut functional = MemoryHierarchy::new(&config, 4);
+        apply_warmup(&mut functional, &w, &WarmupStrategy::FunctionalReplay { region });
+        let functional_dram = region_dram(&w, &mut functional, region);
+
+        let mut mru = MemoryHierarchy::new(&config, 4);
+        apply_warmup(&mut mru, &w, &WarmupStrategy::MruReplay(warmup[&region].clone()));
+        let mru_dram = region_dram(&w, &mut mru, region);
+
+        // MRU replay approximates functional warming; it must be in the same
+        // ballpark (within 2x) and far better than cold.
+        assert!(mru_dram <= functional_dram * 2 + 16, "{mru_dram} vs {functional_dram}");
+    }
+
+    #[test]
+    fn checkpoint_restores_exact_state() {
+        let (w, config) = setup();
+        let mut reference = MemoryHierarchy::new(&config, 4);
+        apply_warmup(&mut reference, &w, &WarmupStrategy::FunctionalReplay { region: 4 });
+        let snapshot = reference.snapshot();
+        let reference_dram = region_dram(&w, &mut reference, 4);
+
+        let mut restored = MemoryHierarchy::new(&config, 4);
+        apply_warmup(&mut restored, &w, &WarmupStrategy::Checkpoint(snapshot));
+        let restored_dram = region_dram(&w, &mut restored, 4);
+        assert_eq!(reference_dram, restored_dram);
+    }
+
+    #[test]
+    fn warmup_resets_statistics() {
+        let (w, config) = setup();
+        let warmup = collect_mru_warmup(&w, &[3], 1024);
+        let mut hierarchy = MemoryHierarchy::new(&config, 4);
+        apply_warmup(&mut hierarchy, &w, &WarmupStrategy::MruReplay(warmup[&3].clone()));
+        assert_eq!(hierarchy.stats().data_accesses, 0);
+        assert_eq!(hierarchy.stats().dram_accesses, 0);
+    }
+}

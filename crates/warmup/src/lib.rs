@@ -1,0 +1,48 @@
+//! Microarchitectural state reconstruction (warmup) for sampled simulation.
+//!
+//! Detailed simulation of a barrierpoint must start from a realistic cache
+//! state, otherwise the cold-start error dominates.  Section IV of the paper
+//! discusses the design space and proposes a middle ground: record, per core,
+//! the **most recently used unique cache lines** (bounded by the total
+//! last-level-cache capacity visible to a core) during the profiling run, and
+//! replay them in access order before simulating the barrierpoint.
+//!
+//! This crate implements that technique plus the baselines it is compared
+//! against:
+//!
+//! * [`WarmupStrategy::Cold`] — no warmup (worst case),
+//! * [`WarmupStrategy::Checkpoint`] — restore an exact cache snapshot
+//!   (microarchitecture-specific, fastest but least flexible),
+//! * [`WarmupStrategy::FunctionalReplay`] — replay *all* memory accesses of
+//!   every earlier region (accurate but cost proportional to the skipped
+//!   instruction count — the limitation BarrierPoint wants to avoid),
+//! * [`WarmupStrategy::MruReplay`] — the paper's proposal
+//!   ([`MruWarmupData`], collected with [`MruCollector`] /
+//!   [`collect_mru_warmup`]).
+//!
+//! # Example
+//!
+//! ```
+//! use bp_warmup::{collect_mru_warmup, apply_warmup, WarmupStrategy};
+//! use bp_workload::{Benchmark, WorkloadConfig};
+//! use bp_mem::{MemoryConfig, MemoryHierarchy};
+//!
+//! let workload = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.02));
+//! let config = MemoryConfig::scaled();
+//! // Warmup data for barrierpoint (region) 5, bounded by the LLC capacity.
+//! let warmup = collect_mru_warmup(&workload, &[5], config.llc_total_lines(4));
+//! let mut hierarchy = MemoryHierarchy::new(&config, 4);
+//! apply_warmup(&mut hierarchy, &workload, &WarmupStrategy::MruReplay(warmup[&5].clone()));
+//! assert!(hierarchy.stats().data_accesses == 0); // statistics were reset
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod mru;
+mod strategy;
+
+pub use apply::apply_warmup;
+pub use mru::{collect_mru_warmup, MruCollector, MruWarmupData};
+pub use strategy::WarmupStrategy;

@@ -1,0 +1,208 @@
+use bp_workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// The warmup payload of one barrierpoint: per core, the most recently used
+/// unique cache lines (least recent first) together with the most recent
+/// access kind, bounded by the shared-LLC capacity.
+///
+/// Replaying these accesses in order rebuilds an approximation of every
+/// private cache and of the shared LLC without either a
+/// microarchitecture-specific checkpoint or a full functional replay — the
+/// paper's proposed warmup (Section IV).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MruWarmupData {
+    per_thread: Vec<Vec<(u64, bool)>>,
+    capacity_lines: u64,
+}
+
+impl MruWarmupData {
+    /// Per-thread replay sequences: cache line addresses (least recent first)
+    /// and whether the most recent access to that line was a write.
+    pub fn per_thread(&self) -> &[Vec<(u64, bool)>] {
+        &self.per_thread
+    }
+
+    /// The per-core capacity bound (in lines) used during collection.
+    pub fn capacity_lines(&self) -> u64 {
+        self.capacity_lines
+    }
+
+    /// Total number of lines that will be replayed across all cores.
+    pub fn total_lines(&self) -> usize {
+        self.per_thread.iter().map(|t| t.len()).sum()
+    }
+
+    /// Returns `true` when no state was recorded (e.g. the first region).
+    pub fn is_empty(&self) -> bool {
+        self.total_lines() == 0
+    }
+}
+
+/// Streaming collector of per-core MRU unique-line state.
+///
+/// Feed it the application's inter-barrier regions in program order; at any
+/// region boundary, [`MruCollector::snapshot`] yields the warmup data that a
+/// barrierpoint starting at that boundary needs.
+#[derive(Debug, Clone)]
+pub struct MruCollector {
+    /// Per thread: ordering sequence -> line.
+    by_seq: Vec<BTreeMap<u64, u64>>,
+    /// Per thread: line -> (sequence, last access was a write).
+    by_line: Vec<HashMap<u64, (u64, bool)>>,
+    capacity_lines: u64,
+    next_seq: u64,
+}
+
+impl MruCollector {
+    /// Creates a collector for `threads` threads with a per-core bound of
+    /// `capacity_lines` unique lines (the paper uses the total shared LLC
+    /// capacity visible to a core).
+    pub fn new(threads: usize, capacity_lines: u64) -> Self {
+        Self {
+            by_seq: vec![BTreeMap::new(); threads],
+            by_line: vec![HashMap::new(); threads],
+            capacity_lines: capacity_lines.max(1),
+            next_seq: 0,
+        }
+    }
+
+    /// Records one access by `thread` to cache line `line`.
+    pub fn record(&mut self, thread: usize, line: u64, is_write: bool) {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        if let Some((old_seq, old_write)) = self.by_line[thread].insert(line, (seq, is_write)) {
+            self.by_seq[thread].remove(&old_seq);
+            // A line once written stays "dirty" for warmup purposes even if the
+            // latest access is a read: the modified state must be rebuilt.
+            if old_write && !is_write {
+                self.by_line[thread].insert(line, (seq, true));
+            }
+        }
+        self.by_seq[thread].insert(seq, line);
+        if self.by_seq[thread].len() as u64 > self.capacity_lines {
+            if let Some((&oldest, &old_line)) = self.by_seq[thread].iter().next() {
+                self.by_seq[thread].remove(&oldest);
+                self.by_line[thread].remove(&old_line);
+            }
+        }
+    }
+
+    /// Walks every thread's trace of `region`, recording all its accesses.
+    pub fn observe_region<W: Workload + ?Sized>(&mut self, workload: &W, region: usize) {
+        for thread in 0..workload.num_threads() {
+            for exec in workload.region_trace(region, thread) {
+                for access in &exec.accesses {
+                    self.record(thread, access.line(), access.kind.is_write());
+                }
+            }
+        }
+    }
+
+    /// The warmup data corresponding to the current point in the program.
+    pub fn snapshot(&self) -> MruWarmupData {
+        let per_thread = self
+            .by_seq
+            .iter()
+            .zip(&self.by_line)
+            .map(|(seqs, lines)| {
+                seqs.iter()
+                    .map(|(_, &line)| (line, lines.get(&line).map(|&(_, w)| w).unwrap_or(false)))
+                    .collect()
+            })
+            .collect();
+        MruWarmupData { per_thread, capacity_lines: self.capacity_lines }
+    }
+}
+
+/// Collects MRU warmup data for each region in `targets` by streaming the
+/// application's regions in program order (a single pass, as the paper's
+/// Pintool does at 20–30x native slowdown).
+///
+/// Returns a map from target region index to its warmup data; the data for
+/// region `r` reflects all accesses of regions `0..r`.
+pub fn collect_mru_warmup<W: Workload + ?Sized>(
+    workload: &W,
+    targets: &[usize],
+    capacity_lines: u64,
+) -> HashMap<usize, MruWarmupData> {
+    let mut wanted: Vec<usize> = targets.to_vec();
+    wanted.sort_unstable();
+    wanted.dedup();
+    let mut collector = MruCollector::new(workload.num_threads(), capacity_lines);
+    let mut result = HashMap::with_capacity(wanted.len());
+    let last = wanted.last().copied().unwrap_or(0);
+    for region in 0..=last.min(workload.num_regions().saturating_sub(1)) {
+        if wanted.binary_search(&region).is_ok() {
+            result.insert(region, collector.snapshot());
+        }
+        if region < last {
+            collector.observe_region(workload, region);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_workload::{Benchmark, WorkloadConfig};
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let mut collector = MruCollector::new(1, 4);
+        for line in 0..10u64 {
+            collector.record(0, line, false);
+        }
+        let data = collector.snapshot();
+        assert_eq!(data.per_thread()[0].len(), 4);
+        // Only the four most recent lines remain, least recent first.
+        let lines: Vec<u64> = data.per_thread()[0].iter().map(|&(l, _)| l).collect();
+        assert_eq!(lines, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn re_access_moves_line_to_most_recent() {
+        let mut collector = MruCollector::new(1, 8);
+        for line in 0..5u64 {
+            collector.record(0, line, false);
+        }
+        collector.record(0, 1, true);
+        let lines: Vec<(u64, bool)> = collector.snapshot().per_thread()[0].clone();
+        assert_eq!(lines.last(), Some(&(1, true)));
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn written_lines_stay_marked_dirty() {
+        let mut collector = MruCollector::new(1, 8);
+        collector.record(0, 42, true);
+        collector.record(0, 42, false);
+        let lines = collector.snapshot();
+        assert_eq!(lines.per_thread()[0], vec![(42, true)]);
+    }
+
+    #[test]
+    fn first_region_has_empty_warmup() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let data = collect_mru_warmup(&w, &[0, 3], 1024);
+        assert!(data[&0].is_empty());
+        assert!(!data[&3].is_empty());
+        assert!(data[&3].total_lines() as u64 <= 1024 * 2);
+    }
+
+    #[test]
+    fn later_targets_accumulate_more_state_up_to_capacity() {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(2).with_scale(0.05));
+        let data = collect_mru_warmup(&w, &[1, 10], 100_000);
+        assert!(data[&10].total_lines() >= data[&1].total_lines());
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let w = Benchmark::NpbFt.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let a = collect_mru_warmup(&w, &[7], 4096);
+        let b = collect_mru_warmup(&w, &[7], 4096);
+        assert_eq!(a[&7], b[&7]);
+    }
+}

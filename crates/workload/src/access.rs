@@ -1,0 +1,81 @@
+use serde::{Deserialize, Serialize};
+
+/// Cache line size assumed throughout the reproduction, in bytes.
+///
+/// The simulated hierarchy (Table I of the paper) uses 64-byte lines; the
+/// signature and warmup machinery also operate at line granularity.
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Whether a memory access reads or writes its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    ///
+    /// ```
+    /// use bp_workload::AccessKind;
+    /// assert!(AccessKind::Write.is_write());
+    /// assert!(!AccessKind::Read.is_write());
+    /// ```
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A single dynamic memory reference performed by a basic block execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// Virtual byte address of the access.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Access size in bytes (informational; the hierarchy operates on lines).
+    pub size: u8,
+}
+
+impl MemoryAccess {
+    /// Creates a read access of `size` bytes at `addr`.
+    pub fn read(addr: u64, size: u8) -> Self {
+        Self { addr, kind: AccessKind::Read, size }
+    }
+
+    /// Creates a write access of `size` bytes at `addr`.
+    pub fn write(addr: u64, size: u8) -> Self {
+        Self { addr, kind: AccessKind::Write, size }
+    }
+
+    /// The cache line (address divided by [`CACHE_LINE_BYTES`]) this access touches.
+    ///
+    /// ```
+    /// use bp_workload::MemoryAccess;
+    /// assert_eq!(MemoryAccess::read(130, 8).line(), 2);
+    /// ```
+    pub fn line(&self) -> u64 {
+        self.addr / CACHE_LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rounds_down() {
+        assert_eq!(MemoryAccess::read(0, 8).line(), 0);
+        assert_eq!(MemoryAccess::read(63, 8).line(), 0);
+        assert_eq!(MemoryAccess::read(64, 8).line(), 1);
+        assert_eq!(MemoryAccess::write(6400, 4).line(), 100);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(MemoryAccess::write(0, 8).kind.is_write());
+        assert!(!MemoryAccess::read(0, 8).kind.is_write());
+    }
+}

@@ -1,0 +1,149 @@
+//! Model of PARSEC bodytrack (particle-filter body tracker), simlarge-like
+//! structure.
+//!
+//! Bodytrack processes a sequence of frames; each frame runs image-processing
+//! stages (gradient / edge maps over the camera images) followed by several
+//! annealing layers of particle weight evaluation and resampling, all
+//! OpenMP-barrier separated.  One global setup region plus 8 frames of 11
+//! stages give `1 + 8 * 11 = 89` dynamic barriers, matching Figure 1.
+//!
+//! Unlike the NPB codes, the per-thread work is less regular (particles are
+//! distributed dynamically), which the model reflects with random-access
+//! particle state and a larger fraction of thread-private data.
+
+use super::{KB, MB};
+use crate::phase::AccessPattern;
+use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
+use crate::workload::WorkloadConfig;
+
+/// Builds the `parsec-bodytrack` workload model.
+pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
+    let mut b = SyntheticWorkloadBuilder::new("parsec-bodytrack", *config);
+
+    let setup = b
+        .phase("load_model", 384, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: 512 * KB,
+            stride: 64,
+            write_fraction: 0.9,
+            chunked: true,
+        })
+        .block("bodytrack.setup.loadimage", 26, 6, 0)
+        .finish();
+
+    let gradient = b
+        .phase("image_gradient", 512, true)
+        .pattern(AccessPattern::Stencil { id: 0, bytes: 512 * KB, plane: 2 * KB, write_fraction: 0.0 })
+        .pattern(AccessPattern::SharedStream {
+            id: 1,
+            bytes: 512 * KB,
+            stride: 64,
+            write_fraction: 0.95,
+            chunked: true,
+        })
+        .block("bodytrack.gradient.sobel", 38, 6, 0)
+        .block("bodytrack.gradient.store", 10, 3, 1)
+        .finish();
+
+    let edge_x = b
+        .phase("edge_filter_x", 448, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 1,
+            bytes: 512 * KB,
+            stride: 64,
+            write_fraction: 0.4,
+            chunked: true,
+        })
+        .block("bodytrack.edgex.convolve", 44, 7, 0)
+        .finish();
+
+    let edge_y = b
+        .phase("edge_filter_y", 448, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 1,
+            bytes: 512 * KB,
+            stride: 2 * KB,
+            write_fraction: 0.4,
+            chunked: true,
+        })
+        .block("bodytrack.edgey.convolve", 44, 7, 0)
+        .finish();
+
+    let weights = b
+        .phase("particle_weights", 640, true)
+        // Each particle projects the body model onto the (shared, read-only)
+        // edge maps and keeps private likelihood state.
+        .pattern(AccessPattern::SharedRandom { id: 1, bytes: 512 * KB, write_fraction: 0.0 })
+        .pattern(AccessPattern::PrivateRandom { bytes: 96 * KB, write_fraction: 0.4 })
+        .block("bodytrack.weights.project", 52, 6, 0)
+        .block("bodytrack.weights.likelihood", 64, 4, 1)
+        .finish();
+
+    let resample = b
+        .phase("resample", 256, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 2,
+            bytes: 256 * KB,
+            stride: 64,
+            write_fraction: 0.6,
+            chunked: false,
+        })
+        .pattern(AccessPattern::ReduceShared { id: 3, bytes: 8 * KB })
+        .block("bodytrack.resample.copy", 16, 5, 0)
+        .block("bodytrack.resample.cdf", 10, 3, 1)
+        .finish();
+
+    debug_assert!(512 * KB < MB);
+
+    b.schedule_one(setup);
+    for _ in 0..8usize {
+        // Per-frame stage pipeline: image processing then 3 annealing layers
+        // of (weights, weights, resample) — 11 barriers per frame.
+        b.schedule_one(gradient);
+        b.schedule_one(edge_x);
+        b.schedule_one(edge_y);
+        for layer in 0..3usize {
+            // Later annealing layers evaluate fewer particles.
+            let scale = 1.0 - 0.25 * layer as f64;
+            b.schedule_scaled(weights, scale);
+            b.schedule_scaled(weights, scale * 0.9);
+            if layer < 2 {
+                b.schedule_one(resample);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn has_89_barriers() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.1));
+        assert_eq!(w.num_regions(), 89);
+        assert_eq!(w.name(), "parsec-bodytrack");
+    }
+
+    #[test]
+    fn frame_pipeline_starts_with_image_processing() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.1));
+        assert_eq!(w.region_phase_name(0), "load_model");
+        assert_eq!(w.region_phase_name(1), "image_gradient");
+        assert_eq!(w.region_phase_name(2), "edge_filter_x");
+        assert_eq!(w.region_phase_name(3), "edge_filter_y");
+        assert_eq!(w.region_phase_name(4), "particle_weights");
+    }
+
+    #[test]
+    fn later_annealing_layers_do_less_work() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.3));
+        // Region 4 is the first annealing layer's weights; region 10 the last's.
+        let first: u64 = w.region_trace(4, 0).map(|e| u64::from(e.instructions)).sum();
+        let last: u64 = w.region_trace(10, 0).map(|e| u64::from(e.instructions)).sum();
+        assert!(first > last);
+    }
+}

@@ -1,0 +1,136 @@
+//! Model of NPB BT (block tri-diagonal solver), class-A-like structure.
+//!
+//! BT advances a CFD solution with 200 time steps; each step recomputes the
+//! right-hand side and then runs ADI sweeps in the x, y and z directions
+//! followed by a solution update, each separated by an OpenMP barrier:
+//! `1 + 200 * 5 = 1001` dynamic barriers, matching Figure 1.
+
+use super::{KB, MB};
+use crate::phase::AccessPattern;
+use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
+use crate::workload::WorkloadConfig;
+
+/// Builds the `npb-bt` workload model.
+pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
+    let mut b = SyntheticWorkloadBuilder::new("npb-bt", *config);
+
+    let init = b
+        .phase("init", 256, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 64,
+            write_fraction: 0.9,
+            chunked: true,
+        })
+        .block("bt.init.zero", 14, 8, 0)
+        .block("bt.init.exact", 40, 4, 0)
+        .finish();
+
+    let rhs = b
+        .phase("compute_rhs", 384, true)
+        .pattern(AccessPattern::Stencil { id: 0, bytes: MB, plane: 8 * KB, write_fraction: 0.3 })
+        .pattern(AccessPattern::PrivateStream { bytes: 32 * KB, stride: 64 })
+        .block("bt.rhs.stencil", 46, 9, 0)
+        .block("bt.rhs.flux", 28, 4, 1)
+        .finish();
+
+    let x_solve = b
+        .phase("x_solve", 320, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 64,
+            write_fraction: 0.4,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 48 * KB, stride: 64 })
+        .block("bt.xsolve.forward", 62, 8, 0)
+        .block("bt.xsolve.back", 38, 5, 1)
+        .finish();
+
+    let y_solve = b
+        .phase("y_solve", 320, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 512,
+            write_fraction: 0.4,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 48 * KB, stride: 64 })
+        .block("bt.ysolve.forward", 62, 8, 0)
+        .block("bt.ysolve.back", 38, 5, 1)
+        .finish();
+
+    let z_solve = b
+        .phase("z_solve", 320, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 8 * KB,
+            write_fraction: 0.4,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 48 * KB, stride: 64 })
+        .block("bt.zsolve.forward", 70, 8, 0)
+        .block("bt.zsolve.back", 42, 5, 1)
+        .finish();
+
+    let add = b
+        .phase("add", 256, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 64,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .block("bt.add.update", 18, 6, 0)
+        .finish();
+
+    b.schedule_one(init);
+    for step in 0..200usize {
+        // Early time steps carry slightly more RHS work (boundary setup has
+        // not yet converged); this yields same-cluster regions of different
+        // lengths and therefore exercises multiplier scaling.
+        let rhs_scale = if step < 20 { 1.5 } else { 1.0 };
+        b.schedule_scaled(rhs, rhs_scale);
+        b.schedule_one(x_solve);
+        b.schedule_one(y_solve);
+        b.schedule_one(z_solve);
+        b.schedule_one(add);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn has_1001_barriers() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.05));
+        assert_eq!(w.num_regions(), 1001);
+        assert_eq!(w.name(), "npb-bt");
+    }
+
+    #[test]
+    fn five_phase_steady_state_cycle() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.05));
+        assert_eq!(w.region_phase_name(0), "init");
+        assert_eq!(w.region_phase_name(1), "compute_rhs");
+        assert_eq!(w.region_phase_name(2), "x_solve");
+        assert_eq!(w.region_phase_name(5), "add");
+        assert_eq!(w.region_phase_name(6), "compute_rhs");
+    }
+
+    #[test]
+    fn early_rhs_regions_are_longer() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.2));
+        let early: u64 = w.region_trace(1, 0).map(|e| u64::from(e.instructions)).sum();
+        let late: u64 = w.region_trace(996, 0).map(|e| u64::from(e.instructions)).sum();
+        assert!(early > late, "early rhs {early} should exceed steady-state rhs {late}");
+    }
+}

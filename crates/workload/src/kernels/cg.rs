@@ -1,0 +1,105 @@
+//! Model of NPB CG (conjugate gradient), class-A-like structure.
+//!
+//! CG performs 15 outer iterations; each iteration runs a sparse
+//! matrix-vector product, a set of reductions and vector updates, each ending
+//! in a barrier: `1 + 15 * 3 = 46` dynamic barriers, matching Figure 1.
+//!
+//! The sparse matrix stream plus gather vector form a working set that does
+//! not fit a single socket's LLC but does fit four sockets' combined LLC,
+//! reproducing the superlinear 8→32-core scaling the paper observes for CG
+//! (Figure 8).
+
+use super::KB;
+use crate::phase::AccessPattern;
+use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
+use crate::workload::WorkloadConfig;
+
+/// Builds the `npb-cg` workload model.
+pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
+    let mut b = SyntheticWorkloadBuilder::new("npb-cg", *config);
+
+    let init = b
+        .phase("makea", 512, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: 640 * KB,
+            stride: 64,
+            write_fraction: 0.8,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateRandom { bytes: 64 * KB, write_fraction: 0.5 })
+        .block("cg.makea.fill", 24, 6, 0)
+        .block("cg.makea.sprnvc", 52, 5, 1)
+        .finish();
+
+    let matvec = b
+        .phase("matvec", 1536, true)
+        // Stream the sparse matrix (values + column indices)...
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: 640 * KB,
+            stride: 64,
+            write_fraction: 0.0,
+            chunked: true,
+        })
+        // ... and gather from the dense vector, shared by all threads.
+        .pattern(AccessPattern::SharedRandom { id: 1, bytes: 96 * KB, write_fraction: 0.0 })
+        .block("cg.matvec.row", 10, 6, 0)
+        .block("cg.matvec.gather", 6, 5, 1)
+        .finish();
+
+    let reduce = b
+        .phase("reduce", 512, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 1,
+            bytes: 96 * KB,
+            stride: 64,
+            write_fraction: 0.0,
+            chunked: true,
+        })
+        .pattern(AccessPattern::ReduceShared { id: 2, bytes: 4 * KB })
+        .block("cg.reduce.dot", 9, 4, 0)
+        .block("cg.reduce.accum", 5, 2, 1)
+        .finish();
+
+    let axpy = b
+        .phase("axpy", 640, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 1,
+            bytes: 96 * KB,
+            stride: 64,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .block("cg.axpy.update", 8, 6, 0)
+        .finish();
+
+    b.schedule_one(init);
+    for _ in 0..15 {
+        b.schedule_one(matvec);
+        b.schedule_one(reduce);
+        b.schedule_one(axpy);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn has_46_barriers() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.1));
+        assert_eq!(w.num_regions(), 46);
+        assert_eq!(w.name(), "npb-cg");
+    }
+
+    #[test]
+    fn matvec_dominates_work() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.1));
+        let matvec: u64 = w.region_trace(1, 0).map(|e| u64::from(e.instructions)).sum();
+        let reduce: u64 = w.region_trace(2, 0).map(|e| u64::from(e.instructions)).sum();
+        assert!(matvec > reduce);
+    }
+}

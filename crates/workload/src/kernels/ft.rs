@@ -1,0 +1,135 @@
+//! Model of NPB FT (3-D FFT), class-A-like structure.
+//!
+//! FT evolves a spectrum over 6 iterations; each iteration applies the
+//! evolution operator and 1-D FFTs along the three dimensions followed by a
+//! checksum reduction.  Together with four setup regions this gives
+//! `4 + 6 * 5 = 34` dynamic barriers, matching Figure 1 and Table III.
+
+use super::{KB, MB};
+use crate::phase::AccessPattern;
+use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
+use crate::workload::WorkloadConfig;
+
+/// Builds the `npb-ft` workload model.
+pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
+    let mut b = SyntheticWorkloadBuilder::new("npb-ft", *config);
+
+    let setup = b
+        .phase("setup", 256, true)
+        .pattern(AccessPattern::PrivateStream { bytes: 64 * KB, stride: 64 })
+        .block("ft.setup.indexmap", 30, 4, 0)
+        .finish();
+
+    let init_ur = b
+        .phase("init_ur", 512, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 64,
+            write_fraction: 0.95,
+            chunked: true,
+        })
+        .block("ft.init.random", 44, 6, 0)
+        .finish();
+
+    let evolve = b
+        .phase("evolve", 768, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 64,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .block("ft.evolve.scale", 22, 8, 0)
+        .finish();
+
+    let fft_x = b
+        .phase("fft_x", 640, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 64,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 16 * KB, stride: 64 })
+        .block("ft.fftx.load", 18, 6, 0)
+        .block("ft.fftx.butterfly", 72, 6, 1)
+        .finish();
+
+    let fft_y = b
+        .phase("fft_y", 640, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 2 * KB,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 16 * KB, stride: 64 })
+        .block("ft.ffty.load", 18, 6, 0)
+        .block("ft.ffty.butterfly", 72, 6, 1)
+        .finish();
+
+    let fft_z = b
+        .phase("fft_z", 640, true)
+        // The z-dimension pass strides across planes and is effectively a
+        // transpose: poor locality, large reuse distances.
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 32 * KB,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 16 * KB, stride: 64 })
+        .block("ft.fftz.load", 18, 6, 0)
+        .block("ft.fftz.butterfly", 72, 6, 1)
+        .finish();
+
+    let checksum = b
+        .phase("checksum", 192, true)
+        .pattern(AccessPattern::SharedRandom { id: 0, bytes: MB, write_fraction: 0.0 })
+        .pattern(AccessPattern::ReduceShared { id: 1, bytes: 2 * KB })
+        .block("ft.checksum.sample", 14, 4, 0)
+        .block("ft.checksum.accum", 8, 2, 1)
+        .finish();
+
+    // Four setup barriers: index map, two halves of the initial condition and
+    // the initial forward FFT warmup.
+    b.schedule_one(setup);
+    b.schedule_one(init_ur);
+    b.schedule_scaled(init_ur, 0.5);
+    b.schedule_one(fft_x);
+    for _ in 0..6 {
+        b.schedule_one(evolve);
+        b.schedule_one(fft_x);
+        b.schedule_one(fft_y);
+        b.schedule_one(fft_z);
+        b.schedule_one(checksum);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn has_34_barriers() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.1));
+        assert_eq!(w.num_regions(), 34);
+        assert_eq!(w.name(), "npb-ft");
+    }
+
+    #[test]
+    fn steady_state_cycle_is_five_phases() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.1));
+        assert_eq!(w.region_phase_name(4), "evolve");
+        assert_eq!(w.region_phase_name(5), "fft_x");
+        assert_eq!(w.region_phase_name(8), "checksum");
+        assert_eq!(w.region_phase_name(9), "evolve");
+    }
+}

@@ -1,0 +1,84 @@
+//! Model of NPB IS (integer bucket sort), class-A-like structure.
+//!
+//! IS performs 10 ranking iterations plus a final full sort / verification:
+//! 11 dynamic barriers, matching Figure 1.  In the paper nearly every IS
+//! region becomes its own barrierpoint (Table III lists 10 barrierpoints with
+//! multiplier 1.0 each); the key distribution shifts every iteration, so the
+//! data signature of each region is distinct even though the code is
+//! identical.  The model reproduces this by giving every ranking iteration a
+//! progressively larger randomly-accessed key working set.
+
+use super::KB;
+use crate::phase::AccessPattern;
+use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
+use crate::workload::WorkloadConfig;
+
+/// Builds the `npb-is` workload model.
+pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
+    let mut b = SyntheticWorkloadBuilder::new("npb-is", *config);
+
+    let mut rank_phases = Vec::new();
+    for iter in 0..10u64 {
+        // The randomly-touched portion of the key space grows each iteration,
+        // and the bucket histogram shifts; both change the LDV from region to
+        // region while the BBV stays identical.
+        let key_bytes = 96 * KB + iter * 48 * KB;
+        let phase = b
+            .phase(format!("rank_{iter}"), 1024, true)
+            .pattern(AccessPattern::SharedStream {
+                id: 0,
+                bytes: 512 * KB,
+                stride: 64,
+                write_fraction: 0.0,
+                chunked: true,
+            })
+            .pattern(AccessPattern::SharedRandom { id: 1, bytes: key_bytes, write_fraction: 0.5 })
+            .pattern(AccessPattern::ReduceShared { id: 2, bytes: 16 * KB })
+            .block(format!("is.rank{iter}.readkeys"), 6, 4, 0)
+            .block(format!("is.rank{iter}.bucket"), 8, 6, 1)
+            .block(format!("is.rank{iter}.hist"), 4, 2, 2)
+            .finish();
+        rank_phases.push(phase);
+    }
+
+    let full_sort = b
+        .phase("full_verify", 2048, true)
+        .pattern(AccessPattern::SharedRandom { id: 1, bytes: 512 * KB, write_fraction: 0.5 })
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: 512 * KB,
+            stride: 64,
+            write_fraction: 0.2,
+            chunked: true,
+        })
+        .block("is.verify.permute", 10, 6, 0)
+        .block("is.verify.scan", 6, 4, 1)
+        .finish();
+
+    for phase in rank_phases {
+        b.schedule_one(phase);
+    }
+    b.schedule_one(full_sort);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn has_11_barriers() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.1));
+        assert_eq!(w.num_regions(), 11);
+        assert_eq!(w.name(), "npb-is");
+    }
+
+    #[test]
+    fn ranking_regions_have_distinct_phases() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.1));
+        assert_eq!(w.region_phase_name(0), "rank_0");
+        assert_eq!(w.region_phase_name(9), "rank_9");
+        assert_eq!(w.region_phase_name(10), "full_verify");
+    }
+}

@@ -1,0 +1,101 @@
+//! Model of NPB LU (SSOR solver), class-A-like structure.
+//!
+//! LU runs 250 SSOR iterations, each consisting of a lower-triangular and an
+//! upper-triangular wavefront sweep separated by barriers, plus three setup
+//! regions: `3 + 250 * 2 = 503` dynamic barriers, matching Figure 1.
+
+use super::{KB, MB};
+use crate::phase::AccessPattern;
+use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
+use crate::workload::WorkloadConfig;
+
+/// Builds the `npb-lu` workload model.
+pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
+    let mut b = SyntheticWorkloadBuilder::new("npb-lu", *config);
+
+    let init_grid = b
+        .phase("setbv", 256, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: 768 * KB,
+            stride: 64,
+            write_fraction: 0.9,
+            chunked: true,
+        })
+        .block("lu.setbv.fill", 20, 6, 0)
+        .finish();
+
+    let init_rhs = b
+        .phase("rhs_init", 320, true)
+        .pattern(AccessPattern::Stencil { id: 0, bytes: 768 * KB, plane: 6 * KB, write_fraction: 0.3 })
+        .block("lu.rhs.stencil", 48, 9, 0)
+        .finish();
+
+    let norm = b
+        .phase("l2norm", 192, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: 768 * KB,
+            stride: 64,
+            write_fraction: 0.0,
+            chunked: true,
+        })
+        .pattern(AccessPattern::ReduceShared { id: 1, bytes: 2 * KB })
+        .block("lu.norm.sum", 10, 4, 0)
+        .block("lu.norm.accum", 6, 2, 1)
+        .finish();
+
+    let blts = b
+        .phase("blts", 288, true)
+        .pattern(AccessPattern::Stencil { id: 0, bytes: 768 * KB, plane: 6 * KB, write_fraction: 0.4 })
+        .pattern(AccessPattern::PrivateStream { bytes: 24 * KB, stride: 64 })
+        .block("lu.blts.wavefront", 56, 8, 0)
+        .block("lu.blts.jac", 34, 4, 1)
+        .finish();
+
+    let buts = b
+        .phase("buts", 288, true)
+        .pattern(AccessPattern::Stencil { id: 0, bytes: 768 * KB, plane: 6 * KB, write_fraction: 0.4 })
+        .pattern(AccessPattern::PrivateStream { bytes: 24 * KB, stride: 64 })
+        .block("lu.buts.wavefront", 58, 8, 0)
+        .block("lu.buts.jac", 36, 4, 1)
+        .finish();
+
+    // A shared grid of ~0.75 MB; the model never exceeds 1 MB so that the
+    // scaled LLC capacities (256 KB vs 1 MB) straddle the working set.
+    debug_assert!(768 * KB < MB);
+
+    b.schedule_one(init_grid);
+    b.schedule_one(init_rhs);
+    b.schedule_one(norm);
+    for step in 0..250usize {
+        // The first iterations perform extra residual work before the solver
+        // settles: longer regions of the same behaviour (multiplier scaling).
+        let scale = if step < 25 { 1.6 } else { 1.0 };
+        b.schedule_scaled(blts, scale);
+        b.schedule_scaled(buts, scale);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn has_503_barriers() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.05));
+        assert_eq!(w.num_regions(), 503);
+        assert_eq!(w.name(), "npb-lu");
+    }
+
+    #[test]
+    fn steady_state_alternates_sweeps() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.05));
+        assert_eq!(w.region_phase_name(3), "blts");
+        assert_eq!(w.region_phase_name(4), "buts");
+        assert_eq!(w.region_phase_name(501), "blts");
+        assert_eq!(w.region_phase_name(502), "buts");
+    }
+}

@@ -1,0 +1,166 @@
+//! Model of NPB MG (multigrid V-cycle), class-A-like structure.
+//!
+//! MG performs a small number of V-cycles over a hierarchy of grids; the
+//! per-level working set shrinks by roughly 8x per level, which gives the
+//! widest spread of data signatures of any NPB code.  Five setup regions plus
+//! 8 V-cycles of 30 barrier-separated regions give `5 + 8 * 30 = 245` dynamic
+//! barriers, matching Figure 1.
+
+use super::{KB, MB};
+use crate::phase::{AccessPattern, PhaseId};
+use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
+use crate::workload::WorkloadConfig;
+
+/// Grid working-set size in bytes at each multigrid level (level 0 is finest).
+const LEVEL_BYTES: [u64; 4] = [MB, 128 * KB, 16 * KB, 4 * KB];
+
+/// Builds the `npb-mg` workload model.
+pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
+    let mut b = SyntheticWorkloadBuilder::new("npb-mg", *config);
+
+    let mut smooth = Vec::with_capacity(4);
+    let mut resid = Vec::with_capacity(4);
+    let mut restrict = Vec::with_capacity(4);
+    let mut prolong = Vec::with_capacity(4);
+
+    for (level, &bytes) in LEVEL_BYTES.iter().enumerate() {
+        // Coarser levels have ~8x less work per sweep (a 3-D grid halves in
+        // every dimension per level), so the finest level dominates the
+        // V-cycle — as in the real benchmark.
+        let iters = (1024u64 >> (3 * level)).max(8);
+        let plane = (bytes / 96).max(512);
+        let id = level as u32;
+
+        smooth.push(
+            b.phase(format!("psinv_{level}"), iters, true)
+                .pattern(AccessPattern::Stencil { id, bytes, plane, write_fraction: 0.4 })
+                .block(format!("mg.psinv{level}.stencil"), 40, 9, 0)
+                .finish(),
+        );
+        resid.push(
+            b.phase(format!("resid_{level}"), iters, true)
+                .pattern(AccessPattern::Stencil { id, bytes, plane, write_fraction: 0.3 })
+                .block(format!("mg.resid{level}.stencil"), 46, 9, 0)
+                .finish(),
+        );
+        restrict.push(
+            b.phase(format!("rprj3_{level}"), iters / 2, true)
+                .pattern(AccessPattern::SharedStream {
+                    id,
+                    bytes,
+                    stride: 128,
+                    write_fraction: 0.0,
+                    chunked: true,
+                })
+                .pattern(AccessPattern::SharedStream {
+                    id: id + 10,
+                    bytes: (bytes / 8).max(4 * KB),
+                    stride: 64,
+                    write_fraction: 0.9,
+                    chunked: true,
+                })
+                .block(format!("mg.rprj3{level}.read"), 20, 6, 0)
+                .block(format!("mg.rprj3{level}.write"), 12, 3, 1)
+                .finish(),
+        );
+        prolong.push(
+            b.phase(format!("interp_{level}"), iters / 2, true)
+                .pattern(AccessPattern::SharedStream {
+                    id: id + 10,
+                    bytes: (bytes / 8).max(4 * KB),
+                    stride: 64,
+                    write_fraction: 0.0,
+                    chunked: true,
+                })
+                .pattern(AccessPattern::SharedStream {
+                    id,
+                    bytes,
+                    stride: 64,
+                    write_fraction: 0.7,
+                    chunked: true,
+                })
+                .block(format!("mg.interp{level}.read"), 16, 4, 0)
+                .block(format!("mg.interp{level}.write"), 18, 5, 1)
+                .finish(),
+        );
+    }
+
+    let norm = b
+        .phase("norm2u3", 256, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 64,
+            write_fraction: 0.0,
+            chunked: true,
+        })
+        .pattern(AccessPattern::ReduceShared { id: 20, bytes: 2 * KB })
+        .block("mg.norm.sum", 12, 4, 0)
+        .block("mg.norm.accum", 6, 2, 1)
+        .finish();
+
+    let init = b
+        .phase("zran3", 512, true)
+        .pattern(AccessPattern::SharedRandom { id: 0, bytes: MB, write_fraction: 0.8 })
+        .block("mg.zran3.scatter", 34, 5, 0)
+        .finish();
+
+    let comm = b
+        .phase("comm3", 128, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: MB,
+            stride: 4 * KB,
+            write_fraction: 0.5,
+            chunked: false,
+        })
+        .block("mg.comm3.halo", 10, 6, 0)
+        .finish();
+
+    // Five setup regions.
+    b.schedule_one(init);
+    b.schedule_one(norm);
+    b.schedule_one(resid[0]);
+    b.schedule_one(norm);
+    b.schedule_one(comm);
+
+    // Eight V-cycles of exactly 30 regions each.
+    let mut cycle: Vec<PhaseId> = Vec::with_capacity(30);
+    for l in 0..4 {
+        cycle.extend_from_slice(&[smooth[l], resid[l], restrict[l]]);
+    }
+    cycle.extend_from_slice(&[smooth[3], resid[3]]);
+    for l in (0..4).rev() {
+        cycle.extend_from_slice(&[prolong[l], smooth[l], resid[l]]);
+    }
+    cycle.extend_from_slice(&[comm, norm, comm, norm]);
+    assert_eq!(cycle.len(), 30, "V-cycle must contain exactly 30 regions");
+    b.schedule_cycle(&cycle, 8);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn has_245_barriers() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.05));
+        assert_eq!(w.num_regions(), 245);
+        assert_eq!(w.name(), "npb-mg");
+    }
+
+    #[test]
+    fn coarse_levels_do_less_work() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.2));
+        // Region 5 is psinv_0 (finest); region 14 is psinv_3 (coarsest) within
+        // the first V-cycle: 5 + [s0 r0 R0 s1 r1 R1 s2 r2 R2 s3 ...].
+        assert_eq!(w.region_phase_name(5), "psinv_0");
+        assert_eq!(w.region_phase_name(14), "psinv_3");
+        let fine: u64 = w.region_trace(5, 0).map(|e| u64::from(e.instructions)).sum();
+        let coarse: u64 = w.region_trace(14, 0).map(|e| u64::from(e.instructions)).sum();
+        assert!(fine > coarse, "fine level {fine} should exceed coarse level {coarse}");
+    }
+}

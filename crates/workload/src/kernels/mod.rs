@@ -1,0 +1,80 @@
+//! Benchmark models of the workloads evaluated in the BarrierPoint paper.
+//!
+//! Each module builds a [`crate::SyntheticWorkload`] whose dynamic barrier
+//! count matches Figure 1 / Table III of the paper and whose phase structure
+//! follows the real benchmark's algorithm (iterative solver phases, multigrid
+//! levels, bucket sort passes, …).  Working-set sizes are scaled to the
+//! crate's scaled-down cache hierarchy (see `bp-mem`); the *relative*
+//! relationships (private vs shared, streaming vs random, per-level working
+//! sets) follow the original kernels.
+
+pub mod bodytrack;
+pub mod bt;
+pub mod cg;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+pub mod suite;
+
+/// One kibibyte, for readable working-set sizes.
+pub(crate) const KB: u64 = 1024;
+/// One mebibyte, for readable working-set sizes.
+pub(crate) const MB: u64 = 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use crate::{Benchmark, Workload, WorkloadConfig};
+
+    /// Barrier counts must match Figure 1 / Table III of the paper and must
+    /// not depend on the thread count.
+    #[test]
+    fn barrier_counts_match_paper() {
+        for &(bench, expected) in &[
+            (Benchmark::NpbBt, 1001),
+            (Benchmark::NpbCg, 46),
+            (Benchmark::NpbFt, 34),
+            (Benchmark::NpbIs, 11),
+            (Benchmark::NpbLu, 503),
+            (Benchmark::NpbMg, 245),
+            (Benchmark::NpbSp, 3601),
+            (Benchmark::ParsecBodytrack, 89),
+        ] {
+            for threads in [8, 32] {
+                let w = bench.build(&WorkloadConfig::new(threads).with_scale(0.05));
+                assert_eq!(
+                    w.num_regions(),
+                    expected,
+                    "{} at {} threads",
+                    bench.name(),
+                    threads
+                );
+                assert_eq!(w.num_regions(), bench.paper_barrier_count());
+            }
+        }
+    }
+
+    /// Every region of every benchmark must yield a non-empty trace for every
+    /// thread (all threads reach the barrier having done some work).
+    #[test]
+    fn all_regions_have_work_for_all_threads() {
+        for &bench in Benchmark::all() {
+            let w = bench.build(&WorkloadConfig::new(8).with_scale(0.02));
+            let regions = w.num_regions();
+            // Spot-check a handful of regions spread over the schedule.
+            for region in [0, 1, regions / 2, regions - 1] {
+                for thread in [0, 7] {
+                    let count = w.region_trace(region, thread).count();
+                    assert!(
+                        count > 0,
+                        "{} region {} thread {} is empty",
+                        bench.name(),
+                        region,
+                        thread
+                    );
+                }
+            }
+        }
+    }
+}

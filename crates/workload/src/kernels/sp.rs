@@ -1,0 +1,165 @@
+//! Model of NPB SP (scalar penta-diagonal solver), class-A-like structure.
+//!
+//! SP advances the solution with 400 time steps; each step is nine
+//! barrier-separated phases (RHS, forward elimination and back substitution
+//! in x/y/z, the inverse transform and the solution update):
+//! `1 + 400 * 9 = 3601` dynamic barriers, matching Figure 1 — the largest
+//! barrier count in the suite.
+
+use super::{KB, MB};
+use crate::phase::AccessPattern;
+use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
+use crate::workload::WorkloadConfig;
+
+/// Builds the `npb-sp` workload model.
+pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
+    let mut b = SyntheticWorkloadBuilder::new("npb-sp", *config);
+    let grid = 768 * KB;
+    debug_assert!(grid < MB);
+
+    let init = b
+        .phase("initialize", 192, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: grid,
+            stride: 64,
+            write_fraction: 0.9,
+            chunked: true,
+        })
+        .block("sp.init.exact", 36, 6, 0)
+        .finish();
+
+    let rhs = b
+        .phase("compute_rhs", 160, true)
+        .pattern(AccessPattern::Stencil { id: 0, bytes: grid, plane: 6 * KB, write_fraction: 0.3 })
+        .block("sp.rhs.stencil", 44, 9, 0)
+        .finish();
+
+    let txinvr = b
+        .phase("txinvr", 128, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: grid,
+            stride: 64,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .block("sp.txinvr.transform", 30, 6, 0)
+        .finish();
+
+    let x_solve = b
+        .phase("x_solve", 144, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: grid,
+            stride: 64,
+            write_fraction: 0.4,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 16 * KB, stride: 64 })
+        .block("sp.xsolve.thomas", 40, 7, 0)
+        .block("sp.xsolve.scratch", 18, 3, 1)
+        .finish();
+
+    let y_solve = b
+        .phase("y_solve", 144, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: grid,
+            stride: 384,
+            write_fraction: 0.4,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 16 * KB, stride: 64 })
+        .block("sp.ysolve.thomas", 40, 7, 0)
+        .block("sp.ysolve.scratch", 18, 3, 1)
+        .finish();
+
+    let z_solve = b
+        .phase("z_solve", 144, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: grid,
+            stride: 6 * KB,
+            write_fraction: 0.4,
+            chunked: true,
+        })
+        .pattern(AccessPattern::PrivateStream { bytes: 16 * KB, stride: 64 })
+        .block("sp.zsolve.thomas", 44, 7, 0)
+        .block("sp.zsolve.scratch", 18, 3, 1)
+        .finish();
+
+    let tzetar = b
+        .phase("tzetar", 128, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: grid,
+            stride: 64,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .block("sp.tzetar.transform", 32, 6, 0)
+        .finish();
+
+    let pinvr = b
+        .phase("pinvr", 128, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: grid,
+            stride: 64,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .block("sp.pinvr.transform", 28, 6, 0)
+        .finish();
+
+    let add = b
+        .phase("add", 112, true)
+        .pattern(AccessPattern::SharedStream {
+            id: 0,
+            bytes: grid,
+            stride: 64,
+            write_fraction: 0.5,
+            chunked: true,
+        })
+        .block("sp.add.update", 14, 6, 0)
+        .finish();
+
+    b.schedule_one(init);
+    for step in 0..400usize {
+        // A handful of early steps take longer (initial transients), giving
+        // same-cluster regions with different instruction counts.
+        let scale = if step < 8 { 1.4 } else { 1.0 };
+        b.schedule_scaled(rhs, scale);
+        b.schedule_one(txinvr);
+        b.schedule_one(x_solve);
+        b.schedule_one(pinvr);
+        b.schedule_one(y_solve);
+        b.schedule_one(tzetar);
+        b.schedule_one(z_solve);
+        b.schedule_scaled(tzetar, 0.8);
+        b.schedule_one(add);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn has_3601_barriers() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.05));
+        assert_eq!(w.num_regions(), 3601);
+        assert_eq!(w.name(), "npb-sp");
+    }
+
+    #[test]
+    fn nine_phase_time_step() {
+        let w = build(&WorkloadConfig::new(8).with_scale(0.05));
+        assert_eq!(w.region_phase_name(1), "compute_rhs");
+        assert_eq!(w.region_phase_name(9), "add");
+        assert_eq!(w.region_phase_name(10), "compute_rhs");
+    }
+}

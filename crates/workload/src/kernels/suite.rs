@@ -1,0 +1,126 @@
+//! The benchmark suite evaluated in the paper (NPB class A + PARSEC
+//! bodytrack simlarge), as a single enumeration.
+
+use crate::kernels;
+use crate::synthetic::SyntheticWorkload;
+use crate::workload::WorkloadConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A benchmark from the paper's evaluation (Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// PARSEC bodytrack, simlarge input.
+    ParsecBodytrack,
+    /// NPB BT (block tri-diagonal solver), class A.
+    NpbBt,
+    /// NPB CG (conjugate gradient), class A.
+    NpbCg,
+    /// NPB FT (3-D FFT), class A.
+    NpbFt,
+    /// NPB IS (integer sort), class A.
+    NpbIs,
+    /// NPB LU (SSOR solver), class A.
+    NpbLu,
+    /// NPB MG (multigrid), class A.
+    NpbMg,
+    /// NPB SP (scalar penta-diagonal solver), class A.
+    NpbSp,
+}
+
+impl Benchmark {
+    /// All benchmarks in the order the paper's figures list them.
+    pub fn all() -> &'static [Benchmark] {
+        &[
+            Benchmark::ParsecBodytrack,
+            Benchmark::NpbBt,
+            Benchmark::NpbCg,
+            Benchmark::NpbFt,
+            Benchmark::NpbIs,
+            Benchmark::NpbLu,
+            Benchmark::NpbMg,
+            Benchmark::NpbSp,
+        ]
+    }
+
+    /// The benchmark's name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::ParsecBodytrack => "parsec-bodytrack",
+            Benchmark::NpbBt => "npb-bt",
+            Benchmark::NpbCg => "npb-cg",
+            Benchmark::NpbFt => "npb-ft",
+            Benchmark::NpbIs => "npb-is",
+            Benchmark::NpbLu => "npb-lu",
+            Benchmark::NpbMg => "npb-mg",
+            Benchmark::NpbSp => "npb-sp",
+        }
+    }
+
+    /// Input set name used in the paper (Table III).
+    pub fn input_size(self) -> &'static str {
+        match self {
+            Benchmark::ParsecBodytrack => "large",
+            _ => "A",
+        }
+    }
+
+    /// Dynamic barrier count the paper reports (Figure 1 / Table III).
+    pub fn paper_barrier_count(self) -> usize {
+        match self {
+            Benchmark::ParsecBodytrack => 89,
+            Benchmark::NpbBt => 1001,
+            Benchmark::NpbCg => 46,
+            Benchmark::NpbFt => 34,
+            Benchmark::NpbIs => 11,
+            Benchmark::NpbLu => 503,
+            Benchmark::NpbMg => 245,
+            Benchmark::NpbSp => 3601,
+        }
+    }
+
+    /// Builds the benchmark's workload model under `config`.
+    pub fn build(self, config: &WorkloadConfig) -> SyntheticWorkload {
+        match self {
+            Benchmark::ParsecBodytrack => kernels::bodytrack::build(config),
+            Benchmark::NpbBt => kernels::bt::build(config),
+            Benchmark::NpbCg => kernels::cg::build(config),
+            Benchmark::NpbFt => kernels::ft::build(config),
+            Benchmark::NpbIs => kernels::is::build(config),
+            Benchmark::NpbLu => kernels::lu::build(config),
+            Benchmark::NpbMg => kernels::mg::build(config),
+            Benchmark::NpbSp => kernels::sp::build(config),
+        }
+    }
+
+    /// Parses a benchmark from its paper name (e.g. `"npb-ft"`).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::all().iter().copied().find(|b| b.name() == name)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_round_trip() {
+        for &b in Benchmark::all() {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("npb-ua"), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::NpbFt.to_string(), "npb-ft");
+        assert_eq!(Benchmark::ParsecBodytrack.input_size(), "large");
+        assert_eq!(Benchmark::NpbBt.input_size(), "A");
+    }
+}

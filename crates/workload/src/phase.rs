@@ -1,0 +1,273 @@
+use crate::block::BasicBlockId;
+use serde::{Deserialize, Serialize};
+
+/// Base of the per-thread private address space.
+pub(crate) const PRIVATE_BASE: u64 = 0x0100_0000_0000;
+/// Bytes reserved per thread in the private address space.
+pub(crate) const PRIVATE_SPAN: u64 = 0x0000_4000_0000; // 1 GiB per thread
+/// Base of the shared address space.
+pub(crate) const SHARED_BASE: u64 = 0x2000_0000_0000;
+/// Bytes reserved per shared buffer id.
+pub(crate) const SHARED_SPAN: u64 = 0x0000_4000_0000;
+
+/// Identifier of a phase within a [`crate::SyntheticWorkload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhaseId(pub usize);
+
+/// A memory access pattern used by one or more blocks of a phase.
+///
+/// Patterns are deterministic: for a given `(workload seed, region, thread)`
+/// the generated address stream is always the same, which keeps signature
+/// collection, timing simulation and warmup collection mutually consistent.
+///
+/// Private patterns address a per-thread buffer (no sharing, no coherence
+/// traffic); shared patterns address buffers visible to all threads, either
+/// partitioned by thread (`chunked = true`, the common data-parallel case) or
+/// freely (coherence and capacity interactions across cores).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Stream sequentially through a private buffer, wrapping around.
+    PrivateStream {
+        /// Working-set size of the buffer in bytes.
+        bytes: u64,
+        /// Distance between consecutive accesses in bytes.
+        stride: u64,
+    },
+    /// Uniformly random accesses within a private buffer.
+    PrivateRandom {
+        /// Working-set size of the buffer in bytes.
+        bytes: u64,
+        /// Fraction of accesses that are writes (0.0 ..= 1.0).
+        write_fraction: f64,
+    },
+    /// Stream through a shared buffer.
+    SharedStream {
+        /// Shared buffer identifier (buffers with the same id alias).
+        id: u32,
+        /// Total buffer size in bytes.
+        bytes: u64,
+        /// Distance between consecutive accesses in bytes.
+        stride: u64,
+        /// Fraction of accesses that are writes.
+        write_fraction: f64,
+        /// When `true` each thread streams only its own 1/N chunk of the buffer.
+        chunked: bool,
+    },
+    /// Uniformly random accesses anywhere in a shared buffer.
+    SharedRandom {
+        /// Shared buffer identifier.
+        id: u32,
+        /// Total buffer size in bytes.
+        bytes: u64,
+        /// Fraction of accesses that are writes.
+        write_fraction: f64,
+    },
+    /// Stencil sweep over a thread chunk of a shared grid: a sequential sweep
+    /// where every access is accompanied by neighbour touches one `plane`
+    /// before and after the current position (read-only neighbours).
+    Stencil {
+        /// Shared buffer identifier.
+        id: u32,
+        /// Total grid size in bytes.
+        bytes: u64,
+        /// Plane stride in bytes (distance of the ±1 neighbours).
+        plane: u64,
+        /// Fraction of the central accesses that are writes.
+        write_fraction: f64,
+    },
+    /// All threads read-modify-write a small shared region (reductions,
+    /// histograms); generates invalidation traffic between cores.
+    ReduceShared {
+        /// Shared buffer identifier.
+        id: u32,
+        /// Size of the contended region in bytes.
+        bytes: u64,
+    },
+}
+
+impl AccessPattern {
+    /// Returns the nominal working-set size of the pattern in bytes.
+    pub fn working_set_bytes(&self) -> u64 {
+        match *self {
+            AccessPattern::PrivateStream { bytes, .. }
+            | AccessPattern::PrivateRandom { bytes, .. }
+            | AccessPattern::SharedStream { bytes, .. }
+            | AccessPattern::SharedRandom { bytes, .. }
+            | AccessPattern::Stencil { bytes, .. }
+            | AccessPattern::ReduceShared { bytes, .. } => bytes,
+        }
+    }
+
+    /// Returns `true` when the pattern addresses thread-private memory.
+    pub fn is_private(&self) -> bool {
+        matches!(
+            self,
+            AccessPattern::PrivateStream { .. } | AccessPattern::PrivateRandom { .. }
+        )
+    }
+
+    /// Returns a copy with the working set scaled by `factor`, used by the
+    /// workload-level scale knob so that a scaled-down run behaves like a
+    /// smaller input class rather than like a short prefix of the full input.
+    ///
+    /// Buffer sizes are floored at 4 KiB (stencil plane strides at 256 bytes)
+    /// so that degenerate geometries cannot arise.
+    pub fn with_scaled_working_set(&self, factor: f64) -> AccessPattern {
+        const MIN_BYTES: u64 = 4096;
+        const MIN_PLANE: u64 = 256;
+        let scale_bytes = |bytes: u64| ((bytes as f64 * factor) as u64).max(MIN_BYTES);
+        let mut scaled = self.clone();
+        match &mut scaled {
+            AccessPattern::PrivateStream { bytes, .. }
+            | AccessPattern::PrivateRandom { bytes, .. }
+            | AccessPattern::SharedStream { bytes, .. }
+            | AccessPattern::SharedRandom { bytes, .. }
+            | AccessPattern::ReduceShared { bytes, .. } => *bytes = scale_bytes(*bytes),
+            AccessPattern::Stencil { bytes, plane, .. } => {
+                *bytes = scale_bytes(*bytes);
+                *plane = ((*plane as f64 * factor) as u64).clamp(MIN_PLANE, (*bytes / 2).max(MIN_PLANE));
+            }
+        }
+        scaled
+    }
+}
+
+/// A basic block participating in a phase, with its per-execution cost.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBlock {
+    /// The static basic block executed.
+    pub block: BasicBlockId,
+    /// Non-memory instructions retired per execution of the block.
+    pub instructions: u32,
+    /// Memory accesses performed per execution of the block.
+    pub accesses: u32,
+    /// Index into the owning phase's pattern list used to generate addresses.
+    pub pattern: usize,
+}
+
+/// A phase: a loop nest of blocks with associated memory access patterns.
+///
+/// One execution of the phase performs `iterations` traversals of its block
+/// list.  When `divide_by_threads` is set (the data-parallel default) the
+/// iteration count is split evenly across the workload's threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable phase name, e.g. `"x_solve"`.
+    pub name: String,
+    /// Access patterns referenced by the phase's blocks.
+    pub patterns: Vec<AccessPattern>,
+    /// The loop body.
+    pub blocks: Vec<PhaseBlock>,
+    /// Number of loop-body traversals per region (before scaling / splitting).
+    pub iterations: u64,
+    /// Whether the iterations are divided among threads (data parallel) or
+    /// executed in full by every thread (redundant/replicated work).
+    pub divide_by_threads: bool,
+}
+
+impl Phase {
+    /// Effective per-thread iteration count for a region that executes this
+    /// phase with the given `scale` factor on `threads` threads.
+    ///
+    /// Always at least 1 so that every thread reaches the barrier having done
+    /// some work.
+    pub fn iterations_per_thread(&self, scale: f64, threads: usize) -> u64 {
+        let total = (self.iterations as f64 * scale).max(1.0);
+        let per_thread = if self.divide_by_threads {
+            total / threads as f64
+        } else {
+            total
+        };
+        per_thread.round().max(1.0) as u64
+    }
+}
+
+/// One entry of a workload's region schedule: which phase region `i` runs and
+/// with which length scale relative to the phase's nominal iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// Phase executed by the region.
+    pub phase: PhaseId,
+    /// Multiplicative factor on the phase's iteration count.
+    pub scale: f64,
+}
+
+impl ScheduleEntry {
+    /// Creates a schedule entry running `phase` at its nominal length.
+    pub fn new(phase: PhaseId) -> Self {
+        Self { phase, scale: 1.0 }
+    }
+
+    /// Creates a schedule entry running `phase` scaled by `scale`.
+    pub fn scaled(phase: PhaseId, scale: f64) -> Self {
+        Self { phase, scale }
+    }
+}
+
+/// Base address of thread `thread`'s private segment.
+pub(crate) fn private_base(thread: usize) -> u64 {
+    PRIVATE_BASE + thread as u64 * PRIVATE_SPAN
+}
+
+/// Base address of shared buffer `id`.
+pub(crate) fn shared_base(id: u32) -> u64 {
+    SHARED_BASE + u64::from(id) * SHARED_SPAN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterations_divided_among_threads() {
+        let phase = Phase {
+            name: "p".into(),
+            patterns: vec![],
+            blocks: vec![],
+            iterations: 800,
+            divide_by_threads: true,
+        };
+        assert_eq!(phase.iterations_per_thread(1.0, 8), 100);
+        assert_eq!(phase.iterations_per_thread(0.5, 8), 50);
+        assert_eq!(phase.iterations_per_thread(1.0, 32), 25);
+    }
+
+    #[test]
+    fn iterations_at_least_one() {
+        let phase = Phase {
+            name: "p".into(),
+            patterns: vec![],
+            blocks: vec![],
+            iterations: 4,
+            divide_by_threads: true,
+        };
+        assert_eq!(phase.iterations_per_thread(0.01, 32), 1);
+    }
+
+    #[test]
+    fn replicated_phase_not_divided() {
+        let phase = Phase {
+            name: "p".into(),
+            patterns: vec![],
+            blocks: vec![],
+            iterations: 10,
+            divide_by_threads: false,
+        };
+        assert_eq!(phase.iterations_per_thread(1.0, 32), 10);
+    }
+
+    #[test]
+    fn address_spaces_do_not_overlap() {
+        assert!(private_base(1023) + PRIVATE_SPAN <= SHARED_BASE);
+        assert!(shared_base(1) > shared_base(0));
+    }
+
+    #[test]
+    fn working_set_reported() {
+        let p = AccessPattern::PrivateStream { bytes: 4096, stride: 64 };
+        assert_eq!(p.working_set_bytes(), 4096);
+        assert!(p.is_private());
+        let s = AccessPattern::SharedRandom { id: 0, bytes: 1 << 20, write_fraction: 0.1 };
+        assert!(!s.is_private());
+    }
+}

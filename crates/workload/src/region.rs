@@ -1,0 +1,291 @@
+use crate::access::{AccessKind, MemoryAccess};
+use crate::block::BasicBlockId;
+use crate::phase::{private_base, shared_base, AccessPattern, Phase};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One dynamic execution of a basic block together with the memory accesses
+/// it performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockExecution {
+    /// Which static basic block executed.
+    pub block: BasicBlockId,
+    /// Total instructions retired by this execution (memory operations included).
+    pub instructions: u32,
+    /// Memory references issued by this execution, in program order.
+    pub accesses: Vec<MemoryAccess>,
+}
+
+/// Iterator over the block executions one thread performs in one
+/// inter-barrier region.
+///
+/// The stream is fully deterministic given the workload seed, the region
+/// index and the thread id, so repeated traversals (profiling, timing
+/// simulation, warmup collection) observe identical behaviour.
+#[derive(Debug)]
+pub struct RegionTrace {
+    phase: Phase,
+    cursors: Vec<PatternCursor>,
+    iterations: u64,
+    iteration: u64,
+    block_idx: usize,
+}
+
+impl RegionTrace {
+    /// Builds the trace of `thread` (out of `threads`) executing `phase` with
+    /// iteration scale `scale`, using `seed` for any randomized pattern.
+    pub(crate) fn new(phase: Phase, scale: f64, threads: usize, thread: usize, seed: u64) -> Self {
+        let iterations = phase.iterations_per_thread(scale, threads);
+        let cursors = phase
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(idx, pattern)| {
+                PatternCursor::new(pattern.clone(), threads, thread, seed.wrapping_add(idx as u64 * 0x9e37_79b9))
+            })
+            .collect();
+        Self { phase, cursors, iterations, iteration: 0, block_idx: 0 }
+    }
+
+    /// Creates an empty trace (no block executions). Used for threads that do
+    /// not participate in a region.
+    pub fn empty() -> Self {
+        Self {
+            phase: Phase {
+                name: String::new(),
+                patterns: Vec::new(),
+                blocks: Vec::new(),
+                iterations: 0,
+                divide_by_threads: true,
+            },
+            cursors: Vec::new(),
+            iterations: 0,
+            iteration: 0,
+            block_idx: 0,
+        }
+    }
+
+    /// Total number of block executions this trace will yield.
+    pub fn total_block_executions(&self) -> u64 {
+        self.iterations * self.phase.blocks.len() as u64
+    }
+}
+
+impl Iterator for RegionTrace {
+    type Item = BlockExecution;
+
+    fn next(&mut self) -> Option<BlockExecution> {
+        if self.iteration >= self.iterations || self.phase.blocks.is_empty() {
+            return None;
+        }
+        let pb = &self.phase.blocks[self.block_idx];
+        let cursor = &mut self.cursors[pb.pattern];
+        let mut accesses = Vec::with_capacity(pb.accesses as usize);
+        for _ in 0..pb.accesses {
+            accesses.push(cursor.next_access());
+        }
+        let exec = BlockExecution {
+            block: pb.block,
+            instructions: pb.instructions + pb.accesses,
+            accesses,
+        };
+        self.block_idx += 1;
+        if self.block_idx >= self.phase.blocks.len() {
+            self.block_idx = 0;
+            self.iteration += 1;
+        }
+        Some(exec)
+    }
+}
+
+/// Per-pattern address generation state.
+#[derive(Debug)]
+struct PatternCursor {
+    pattern: AccessPattern,
+    threads: usize,
+    thread: usize,
+    rng: SmallRng,
+    /// Byte offset of the next sequential access (streaming patterns).
+    position: u64,
+    /// Running access count (used to interleave reads/writes deterministically).
+    count: u64,
+    /// Last generated address (used by read-modify-write patterns).
+    last_addr: u64,
+}
+
+impl PatternCursor {
+    fn new(pattern: AccessPattern, threads: usize, thread: usize, seed: u64) -> Self {
+        Self {
+            pattern,
+            threads,
+            thread,
+            rng: SmallRng::seed_from_u64(seed),
+            position: 0,
+            count: 0,
+            last_addr: 0,
+        }
+    }
+
+    /// The `[base, base + len)` byte range this thread addresses for a
+    /// thread-chunked shared buffer of `bytes` bytes.
+    fn chunk(&self, id: u32, bytes: u64) -> (u64, u64) {
+        let len = (bytes / self.threads as u64).max(64);
+        let base = shared_base(id) + len * self.thread as u64;
+        (base, len)
+    }
+
+    fn next_access(&mut self) -> MemoryAccess {
+        let count = self.count;
+        self.count += 1;
+        match self.pattern {
+            AccessPattern::PrivateStream { bytes, stride } => {
+                let base = private_base(self.thread);
+                let addr = base + self.position;
+                self.position = (self.position + stride) % bytes.max(stride);
+                let kind = if count % 4 == 3 { AccessKind::Write } else { AccessKind::Read };
+                MemoryAccess { addr, kind, size: 8 }
+            }
+            AccessPattern::PrivateRandom { bytes, write_fraction } => {
+                let base = private_base(self.thread);
+                let off = self.rng.gen_range(0..bytes.max(8)) & !7;
+                let kind = if self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                MemoryAccess { addr: base + off, kind, size: 8 }
+            }
+            AccessPattern::SharedStream { id, bytes, stride, write_fraction, chunked } => {
+                let (base, len) = if chunked {
+                    self.chunk(id, bytes)
+                } else {
+                    (shared_base(id), bytes.max(64))
+                };
+                let addr = base + self.position;
+                self.position = (self.position + stride) % len.max(stride);
+                let period = if write_fraction <= 0.0 {
+                    u64::MAX
+                } else {
+                    (1.0 / write_fraction.clamp(1e-9, 1.0)).round() as u64
+                };
+                let kind = if period != u64::MAX && count % period == period - 1 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                MemoryAccess { addr, kind, size: 8 }
+            }
+            AccessPattern::SharedRandom { id, bytes, write_fraction } => {
+                let off = self.rng.gen_range(0..bytes.max(8)) & !7;
+                let kind = if self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                MemoryAccess { addr: shared_base(id) + off, kind, size: 8 }
+            }
+            AccessPattern::Stencil { id, bytes, plane, write_fraction } => {
+                let (base, len) = self.chunk(id, bytes);
+                let phase = count % 3;
+                let addr = match phase {
+                    0 => base + self.position,
+                    1 => base + (self.position + plane) % len.max(8),
+                    _ => {
+                        let a = base + (self.position + len - (plane % len.max(1))) % len.max(8);
+                        // Centre position advances once per 3-access group.
+                        self.position = (self.position + 8) % len.max(8);
+                        a
+                    }
+                };
+                let kind = if phase == 0 && self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                MemoryAccess { addr, kind, size: 8 }
+            }
+            AccessPattern::ReduceShared { id, bytes } => {
+                if count % 2 == 0 {
+                    let off = self.rng.gen_range(0..bytes.max(8)) & !7;
+                    self.last_addr = shared_base(id) + off;
+                    MemoryAccess { addr: self.last_addr, kind: AccessKind::Read, size: 8 }
+                } else {
+                    MemoryAccess { addr: self.last_addr, kind: AccessKind::Write, size: 8 }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseBlock;
+
+    fn test_phase() -> Phase {
+        Phase {
+            name: "t".into(),
+            patterns: vec![
+                AccessPattern::PrivateStream { bytes: 4096, stride: 64 },
+                AccessPattern::SharedRandom { id: 0, bytes: 1 << 16, write_fraction: 0.25 },
+            ],
+            blocks: vec![
+                PhaseBlock { block: BasicBlockId(0), instructions: 10, accesses: 4, pattern: 0 },
+                PhaseBlock { block: BasicBlockId(1), instructions: 6, accesses: 2, pattern: 1 },
+            ],
+            iterations: 16,
+            divide_by_threads: true,
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a: Vec<_> = RegionTrace::new(test_phase(), 1.0, 4, 1, 42).collect();
+        let b: Vec<_> = RegionTrace::new(test_phase(), 1.0, 4, 1, 42).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seed_changes_random_pattern() {
+        let a: Vec<_> = RegionTrace::new(test_phase(), 1.0, 4, 1, 42).collect();
+        let b: Vec<_> = RegionTrace::new(test_phase(), 1.0, 4, 1, 43).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn execution_counts_match_iterations() {
+        let trace = RegionTrace::new(test_phase(), 1.0, 4, 0, 1);
+        let expected = trace.total_block_executions();
+        assert_eq!(trace.count() as u64, expected);
+        // 16 iterations / 4 threads = 4 per thread, 2 blocks each.
+        assert_eq!(expected, 8);
+    }
+
+    #[test]
+    fn instructions_include_memory_ops() {
+        let exec = RegionTrace::new(test_phase(), 1.0, 4, 0, 1).next().unwrap();
+        assert_eq!(exec.instructions, 14);
+        assert_eq!(exec.accesses.len(), 4);
+    }
+
+    #[test]
+    fn private_addresses_disjoint_across_threads() {
+        let a: Vec<_> = RegionTrace::new(test_phase(), 1.0, 4, 0, 42)
+            .flat_map(|e| e.accesses)
+            .filter(|a| a.addr < crate::phase::SHARED_BASE)
+            .map(|a| a.addr)
+            .collect();
+        let b: Vec<_> = RegionTrace::new(test_phase(), 1.0, 4, 1, 42)
+            .flat_map(|e| e.accesses)
+            .filter(|a| a.addr < crate::phase::SHARED_BASE)
+            .map(|a| a.addr)
+            .collect();
+        assert!(a.iter().all(|x| !b.contains(x)));
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        assert_eq!(RegionTrace::empty().count(), 0);
+    }
+}

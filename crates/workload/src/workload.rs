@@ -1,0 +1,102 @@
+use crate::block::BlockTable;
+use crate::region::RegionTrace;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all workload models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of application threads (one per simulated core).
+    pub threads: usize,
+    /// Global scale factor on per-region work.  `1.0` is the crate's nominal
+    /// (already laptop-sized) input; smaller values shrink regions further,
+    /// which is useful for fast tests.
+    pub scale: f64,
+    /// Seed for all randomized access patterns.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Creates a configuration for `threads` threads at nominal scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a workload needs at least one thread");
+        Self { threads, scale: 1.0, seed: 0x5eed_ba5e }
+    }
+
+    /// Sets the work scale factor.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+/// A barrier-synchronized multi-threaded workload.
+///
+/// A workload consists of `num_regions()` inter-barrier regions separated by
+/// global synchronization barriers.  All threads execute region `i`, then meet
+/// at barrier `i`, then proceed to region `i + 1`.  The number of regions is
+/// independent of the thread count, mirroring the OpenMP workloads in the
+/// paper (Figure 1).
+pub trait Workload: Send + Sync {
+    /// Benchmark name, e.g. `"npb-cg"`.
+    fn name(&self) -> &str;
+
+    /// Number of application threads.
+    fn num_threads(&self) -> usize;
+
+    /// Number of inter-barrier regions (== number of dynamic barriers).
+    fn num_regions(&self) -> usize;
+
+    /// Static basic block table; defines BBV dimensionality.
+    fn block_table(&self) -> &BlockTable;
+
+    /// The stream of block executions `thread` performs in `region`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `region >= num_regions()` or
+    /// `thread >= num_threads()`.
+    fn region_trace(&self, region: usize, thread: usize) -> RegionTrace;
+
+    /// Name of the phase executed by `region` (diagnostic only).
+    fn region_phase_name(&self, region: usize) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder_chain() {
+        let c = WorkloadConfig::new(32).with_scale(0.25).with_seed(7);
+        assert_eq!(c.threads, 32);
+        assert_eq!(c.scale, 0.25);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        let _ = WorkloadConfig::new(0);
+    }
+
+    #[test]
+    fn default_is_eight_threads() {
+        assert_eq!(WorkloadConfig::default().threads, 8);
+    }
+}

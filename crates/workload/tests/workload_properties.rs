@@ -1,0 +1,86 @@
+//! Property-based tests of the workload models' structural invariants.
+
+use bp_workload::{Benchmark, Workload, WorkloadConfig, CACHE_LINE_BYTES};
+use proptest::prelude::*;
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Region traces are deterministic: two walks of the same (region, thread)
+    /// yield identical block and access streams.
+    #[test]
+    fn traces_are_reproducible(
+        bench in any_benchmark(),
+        threads in prop_oneof![Just(2usize), Just(4usize)],
+        seed in any::<u32>(),
+    ) {
+        let config = WorkloadConfig::new(threads).with_scale(0.02).with_seed(u64::from(seed));
+        let w = bench.build(&config);
+        let region = w.num_regions() / 2;
+        let a: Vec<_> = w.region_trace(region, threads - 1).collect();
+        let b: Vec<_> = w.region_trace(region, threads - 1).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every block execution retires at least one instruction and references
+    /// only blocks present in the static block table; accesses are non-empty
+    /// addresses aligned within the declared address space.
+    #[test]
+    fn block_executions_are_well_formed(
+        bench in any_benchmark(),
+        thread in 0usize..4,
+    ) {
+        let w = bench.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let table_len = w.block_table().len();
+        let region = w.num_regions() - 1;
+        for exec in w.region_trace(region, thread) {
+            prop_assert!(exec.instructions >= 1);
+            prop_assert!(exec.block.index() < table_len);
+            prop_assert!(exec.accesses.len() as u32 <= exec.instructions);
+            for access in &exec.accesses {
+                prop_assert!(access.addr > 0);
+                prop_assert_eq!(access.line(), access.addr / CACHE_LINE_BYTES);
+            }
+        }
+    }
+
+    /// The total amount of work (aggregate instructions over all threads) is
+    /// approximately thread-count invariant for data-parallel benchmarks:
+    /// running with more threads splits the same work, it does not add work.
+    #[test]
+    fn aggregate_work_is_roughly_thread_invariant(bench in any_benchmark()) {
+        let region_fraction = 0.1f64;
+        let total = |threads: usize| -> u64 {
+            let w = bench.build(&WorkloadConfig::new(threads).with_scale(0.05));
+            let regions = ((w.num_regions() as f64 * region_fraction) as usize).max(3);
+            (0..regions)
+                .map(|r| {
+                    (0..threads)
+                        .map(|t| w.region_trace(r, t).map(|e| u64::from(e.instructions)).sum::<u64>())
+                        .sum::<u64>()
+                })
+                .sum()
+        };
+        let with_2 = total(2) as f64;
+        let with_8 = total(8) as f64;
+        // Rounding of per-thread iteration counts introduces some slack.
+        prop_assert!(with_8 / with_2 < 2.0 && with_2 / with_8 < 2.0,
+            "2 threads: {with_2}, 8 threads: {with_8}");
+    }
+
+    /// Scaling down a workload never increases its per-region work.
+    #[test]
+    fn scale_shrinks_work(bench in any_benchmark()) {
+        let big = bench.build(&WorkloadConfig::new(4).with_scale(0.2));
+        let small = bench.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let region = big.num_regions() / 3;
+        let work = |w: &dyn Workload| -> u64 {
+            w.region_trace(region, 0).map(|e| u64::from(e.instructions)).sum()
+        };
+        prop_assert!(work(&small) <= work(&big));
+    }
+}

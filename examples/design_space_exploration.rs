@@ -1,0 +1,58 @@
+//! Design-space exploration with fixed units of work.
+//!
+//! Barrierpoints are microarchitecture-independent, so a single selection can
+//! be reused to compare processor configurations — the use case motivating
+//! the paper's Figure 6 (cross-core-count validation) and Figure 8 (relative
+//! scaling).  This example selects barrierpoints once (from an 8-thread
+//! profile) and uses them to predict the 8-core versus 32-core speedup of a
+//! benchmark, comparing the prediction against full detailed simulations.
+//!
+//! ```bash
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use barrierpoint::evaluate::{estimate_from_full_run, relative_scaling};
+use barrierpoint::BarrierPoint;
+use bp_sim::{Machine, SimConfig};
+use bp_workload::{Benchmark, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::NpbCg;
+    // Nominal scale: CG's working set then exceeds one socket's LLC but fits
+    // four sockets' combined LLC, which is what produces the super-linear
+    // scaling of Figure 8.
+    let scale = 1.0;
+
+    // Select barrierpoints once, from the 8-thread run's signatures.
+    let workload8 = benchmark.build(&WorkloadConfig::new(8).with_scale(scale));
+    let selection = BarrierPoint::new(&workload8).select()?;
+    println!(
+        "{}: {} barrierpoints selected from the 8-thread profile",
+        benchmark,
+        selection.num_barrierpoints()
+    );
+
+    // Detailed ground truth for both design points (8 cores = 1 socket,
+    // 32 cores = 4 sockets with 4x the aggregate LLC).
+    let ground8 = Machine::new(&SimConfig::scaled(8)).run_full(&workload8);
+    let workload32 = benchmark.build(&WorkloadConfig::new(32).with_scale(scale));
+    let ground32 = Machine::new(&SimConfig::scaled(32)).run_full(&workload32);
+
+    // Estimate both design points from the *same* barrierpoints.
+    let estimate8 = estimate_from_full_run(&selection, &ground8)?;
+    let estimate32 = estimate_from_full_run(&selection, &ground32)?;
+
+    let scaling = relative_scaling(&ground8, &estimate8, &ground32, &estimate32);
+    println!();
+    println!("8-core measured time   : {:>9.3} ms", ground8.execution_time_seconds() * 1e3);
+    println!("32-core measured time  : {:>9.3} ms", ground32.execution_time_seconds() * 1e3);
+    println!("actual 8->32 speedup   : {:>9.2} x", scaling.actual_speedup);
+    println!("predicted 8->32 speedup: {:>9.2} x", scaling.predicted_speedup);
+    println!("prediction error       : {:>9.2} %", scaling.percent_error());
+    println!();
+    println!(
+        "(CG's working set fits the 32-core machine's aggregate LLC but not the \
+         8-core machine's, so super-linear scaling is expected — Figure 8.)"
+    );
+    Ok(())
+}

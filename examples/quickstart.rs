@@ -1,0 +1,59 @@
+//! Quickstart: run the complete BarrierPoint pipeline on one benchmark and
+//! compare the sampled estimate against a full detailed simulation.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use barrierpoint::evaluate::{prediction_error, speedups};
+use barrierpoint::{BarrierPoint, WarmupKind};
+use bp_sim::{Machine, SimConfig};
+use bp_workload::{Benchmark, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-thread CG run (scaled down so the example finishes in seconds).
+    let threads = 8;
+    let workload = Benchmark::NpbCg.build(&WorkloadConfig::new(threads).with_scale(0.2));
+    let sim_config = SimConfig::scaled(threads);
+
+    println!("== BarrierPoint quickstart: {} on {} cores ==\n", Benchmark::NpbCg, threads);
+
+    // 1. The sampled-simulation pipeline: profile -> cluster -> simulate the
+    //    barrierpoints (with MRU-replay warmup) -> reconstruct.
+    let outcome = BarrierPoint::new(&workload)
+        .with_sim_config(sim_config)
+        .with_warmup(WarmupKind::MruReplay)
+        .run()?;
+
+    let selection = outcome.selection();
+    println!(
+        "selected {} barrierpoints out of {} inter-barrier regions:",
+        selection.num_barrierpoints(),
+        selection.num_regions()
+    );
+    for bp in selection.barrierpoints() {
+        println!(
+            "  region {:>3}  multiplier {:>7.1}  covers {:>5.1}% of instructions",
+            bp.region,
+            bp.multiplier,
+            bp.weight_fraction * 100.0
+        );
+    }
+
+    // 2. Ground truth: simulate the whole application in detail.
+    let ground = Machine::new(&sim_config).run_full(&workload);
+
+    // 3. Compare.
+    let estimate = outcome.reconstruction();
+    let error = prediction_error(&ground, estimate);
+    let speedup = speedups(selection);
+    println!();
+    println!("estimated execution time : {:>10.3} ms", estimate.execution_time_seconds() * 1e3);
+    println!("measured execution time  : {:>10.3} ms", ground.execution_time_seconds() * 1e3);
+    println!("runtime error            : {:>10.2} %", error.runtime_percent_error);
+    println!("DRAM APKI difference     : {:>10.4}", error.dram_apki_abs_difference);
+    println!("serial speedup           : {:>10.1} x", speedup.serial);
+    println!("parallel speedup         : {:>10.1} x", speedup.parallel);
+    println!("resource reduction       : {:>10.1} x", speedup.resource_reduction);
+    Ok(())
+}

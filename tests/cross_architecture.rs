@@ -1,0 +1,86 @@
+//! Cross-architecture validity of barrierpoints (Figure 6 / Figure 8).
+//!
+//! Barrierpoints are selected from microarchitecture-independent signatures,
+//! so a selection made at one core count must remain usable at another: the
+//! barrier count does not depend on the thread count and the representative
+//! regions stay representative.
+
+use barrierpoint::evaluate::{estimate_from_full_run, prediction_error, relative_scaling};
+use barrierpoint::BarrierPoint;
+use bp_sim::{Machine, SimConfig};
+use bp_workload::{Benchmark, WorkloadConfig};
+
+const SCALE: f64 = 0.05;
+
+#[test]
+fn selections_transfer_across_core_counts() {
+    let bench = Benchmark::NpbFt;
+    let w4 = bench.build(&WorkloadConfig::new(4).with_scale(SCALE));
+    let w8 = bench.build(&WorkloadConfig::new(8).with_scale(SCALE));
+
+    let selection4 = BarrierPoint::new(&w4).select().unwrap();
+    let selection8 = BarrierPoint::new(&w8).select().unwrap();
+
+    let ground4 = Machine::new(&SimConfig::tiny(4)).run_full(&w4);
+    let ground8 = Machine::new(&SimConfig::tiny(8)).run_full(&w8);
+
+    // Native and transferred estimates for the 8-core machine.
+    let native = prediction_error(&ground8, &estimate_from_full_run(&selection8, &ground8).unwrap());
+    let transferred =
+        prediction_error(&ground8, &estimate_from_full_run(&selection4, &ground8).unwrap());
+    assert!(
+        transferred.runtime_percent_error < 15.0,
+        "4-thread selection applied to the 8-core run: {:.2}% error",
+        transferred.runtime_percent_error
+    );
+    // And the reverse direction.
+    let reverse =
+        prediction_error(&ground4, &estimate_from_full_run(&selection8, &ground4).unwrap());
+    assert!(
+        reverse.runtime_percent_error < 15.0,
+        "8-thread selection applied to the 4-core run: {:.2}% error",
+        reverse.runtime_percent_error
+    );
+    // The transferred estimate should be in the same accuracy class as the
+    // native one (Figure 6: "results are interchangeable").
+    assert!(transferred.runtime_percent_error <= native.runtime_percent_error + 10.0);
+}
+
+#[test]
+fn relative_scaling_prediction_tracks_measured_speedup() {
+    // Figure 8: predicting the 8 -> 32 core speedup.  CG is the interesting
+    // case (super-linear thanks to the larger aggregate LLC).
+    let bench = Benchmark::NpbCg;
+    let w8 = bench.build(&WorkloadConfig::new(8).with_scale(SCALE));
+    let w32 = bench.build(&WorkloadConfig::new(32).with_scale(SCALE));
+
+    let selection = BarrierPoint::new(&w8).select().unwrap();
+    let ground8 = Machine::new(&SimConfig::tiny(8)).run_full(&w8);
+    let ground32 = Machine::new(&SimConfig::tiny(32)).run_full(&w32);
+
+    let estimate8 = estimate_from_full_run(&selection, &ground8).unwrap();
+    let estimate32 = estimate_from_full_run(&selection, &ground32).unwrap();
+    let scaling = relative_scaling(&ground8, &estimate8, &ground32, &estimate32);
+
+    assert!(scaling.actual_speedup > 1.0, "32 cores must be faster than 8");
+    assert!(
+        scaling.percent_error() < 15.0,
+        "predicted speedup {:.2}x vs actual {:.2}x ({:.1}% error)",
+        scaling.predicted_speedup,
+        scaling.actual_speedup,
+        scaling.percent_error()
+    );
+}
+
+#[test]
+fn barrierpoint_regions_exist_at_any_thread_count() {
+    // A selection's region indices must be valid for any thread count because
+    // the barrier count is thread-count independent.
+    let bench = Benchmark::NpbMg;
+    let w8 = bench.build(&WorkloadConfig::new(8).with_scale(0.02));
+    let w32 = bench.build(&WorkloadConfig::new(32).with_scale(0.02));
+    let selection = BarrierPoint::new(&w8).select().unwrap();
+    for bp in selection.barrierpoints() {
+        assert!(bp.region < bp_workload::Workload::num_regions(&w32));
+    }
+}
