@@ -1,6 +1,6 @@
 //! Figure 7: detailed simulation of all barrierpoints with MRU-replay warmup.
 
-use barrierpoint::{reconstruct, simulate_barrierpoints, WarmupKind};
+use barrierpoint::{reconstruct, simulate_barrierpoints, ExecutionPolicy, WarmupKind};
 use bp_bench::{prepare, ExperimentConfig};
 use bp_workload::Benchmark;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -21,10 +21,11 @@ fn bench(c: &mut Criterion) {
                         &run.selection,
                         &run.sim_config,
                         warmup,
-                        false,
+                        &ExecutionPolicy::Serial,
                     )
                     .unwrap();
-                    reconstruct(&run.selection, &metrics, run.sim_config.core.frequency_ghz).unwrap()
+                    reconstruct(&run.selection, &metrics, run.sim_config.core.frequency_ghz)
+                        .unwrap()
                 })
             },
         );

@@ -4,14 +4,16 @@
 
 use barrierpoint::evaluate::perfect_warmup_metrics;
 use barrierpoint::{
-    profile_application, reconstruct, reconstruct_with_mode, select_barrierpoints, ScalingMode,
-    SignatureConfig, SimPointConfig,
+    profile_application, profile_application_with, reconstruct, reconstruct_with_mode,
+    select_barrierpoints, ExecutionPolicy, ProfileCache, ScalingMode, SignatureConfig,
+    SimPointConfig,
 };
 use bp_bench::{prepare, ExperimentConfig};
 use bp_sim::Machine;
 use bp_warmup::collect_mru_warmup;
-use bp_workload::Benchmark;
+use bp_workload::{Benchmark, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
 
 fn bench(c: &mut Criterion) {
     let config = ExperimentConfig::quick();
@@ -26,8 +28,12 @@ fn bench(c: &mut Criterion) {
     group.bench_function("profile_npb_cg", |b| b.iter(|| profile_application(&workload).unwrap()));
     group.bench_function("cluster_npb_cg", |b| {
         b.iter(|| {
-            select_barrierpoints(&run.profile, &SignatureConfig::combined(), &SimPointConfig::paper())
-                .unwrap()
+            select_barrierpoints(
+                &run.profile,
+                &SignatureConfig::combined(),
+                &SimPointConfig::paper(),
+            )
+            .unwrap()
         })
     });
     group.bench_function("ground_truth_full_simulation_npb_cg", |b| {
@@ -49,5 +55,71 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// Profiling throughput: serial vs thread-parallel, cold vs cached, on an
+/// 8-thread workload.  Each variant is timed by one explicit sample loop
+/// (one warmup + 5 timed runs — cold profiling is expensive, so it is not
+/// additionally re-measured through criterion); the medians go both to the
+/// console and to `BENCH_profiling.json` at the repository root so the
+/// profiling perf trajectory is recorded run over run.
+fn bench_profiling(_c: &mut Criterion) {
+    let threads = 8;
+    let workload = Benchmark::NpbCg.build(&WorkloadConfig::new(threads).with_scale(0.05));
+    let cache_dir = std::env::temp_dir().join(format!("bp-bench-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let cache = ProfileCache::new(&cache_dir);
+    // Policy capped at the workload's thread count; over-committing past the
+    // machine's CPUs is fine (and lets the parallel path run anywhere).
+    let parallel = ExecutionPolicy::parallel_with(threads);
+
+    // Median over explicit wall-clock samples (one untimed warmup first).
+    let median = |f: &dyn Fn()| -> Duration {
+        f();
+        let mut samples: Vec<Duration> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+    println!("group profiling (median of 5, npb-cg at 8 threads)");
+    let serial = median(&|| {
+        profile_application_with(&workload, &ExecutionPolicy::Serial).unwrap();
+    });
+    println!("profiling/serial_cold_npb_cg_8t {serial:>38.2?}");
+    let par = median(&|| {
+        profile_application_with(&workload, &parallel).unwrap();
+    });
+    println!("profiling/parallel_cold_npb_cg_8t {par:>36.2?}");
+    cache.load_or_profile(&workload, &parallel).unwrap(); // populate
+    let cached = median(&|| {
+        let (_, was_cached) = cache.load_or_profile(&workload, &parallel).unwrap();
+        assert!(was_cached, "cache entry must be hit");
+    });
+    println!("profiling/parallel_cached_npb_cg_8t {cached:>34.2?}");
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"profiling_throughput\",\n  \"workload\": \"npb-cg\",\n  \
+         \"threads\": {threads},\n  \"host_cpus\": {cpus},\n  \
+         \"serial_cold_ns\": {},\n  \"parallel_cold_ns\": {},\n  \"cached_ns\": {},\n  \
+         \"parallel_speedup\": {:.3},\n  \"cache_speedup_over_serial\": {:.3}\n}}\n",
+        serial.as_nanos(),
+        par.as_nanos(),
+        cached.as_nanos(),
+        serial.as_secs_f64() / par.as_secs_f64().max(1e-12),
+        serial.as_secs_f64() / cached.as_secs_f64().max(1e-12),
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_profiling.json");
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group!(benches, bench, bench_profiling);
 criterion_main!(benches);

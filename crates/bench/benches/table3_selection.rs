@@ -15,8 +15,12 @@ fn bench(c: &mut Criterion) {
             let workload = config.workload(bench, config.cores_small);
             b.iter(|| {
                 let profile = profile_application(&workload).unwrap();
-                select_barrierpoints(&profile, &SignatureConfig::combined(), &SimPointConfig::paper())
-                    .unwrap()
+                select_barrierpoints(
+                    &profile,
+                    &SignatureConfig::combined(),
+                    &SimPointConfig::paper(),
+                )
+                .unwrap()
             })
         });
     }

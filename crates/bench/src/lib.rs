@@ -21,8 +21,8 @@ use barrierpoint::evaluate::{
 use barrierpoint::report;
 use barrierpoint::{
     profile_application, reconstruct, reconstruct_with_mode, select_barrierpoints,
-    simulate_barrierpoints, ApplicationProfile, BarrierPointSelection, ScalingMode,
-    SignatureConfig, SimConfig, SimPointConfig, WarmupKind,
+    simulate_barrierpoints, ApplicationProfile, BarrierPointSelection, ExecutionPolicy,
+    ProfileCache, ScalingMode, SignatureConfig, SimConfig, SimPointConfig, WarmupKind,
 };
 use bp_sim::{Machine, RunMetrics};
 use bp_workload::{Benchmark, SyntheticWorkload, Workload, WorkloadConfig};
@@ -97,15 +97,33 @@ pub struct PreparedRun {
 
 /// Profiles, selects and runs the ground-truth simulation for one benchmark.
 pub fn prepare(config: &ExperimentConfig, bench: Benchmark, cores: usize) -> PreparedRun {
+    prepare_with_cache(config, bench, cores, None)
+}
+
+/// [`prepare`] with an optional persistent profile cache: when `cache` is
+/// given, the microarchitecture-independent profiling pass is skipped for
+/// workloads already profiled by an earlier experiment in the sweep (the
+/// Figure 6 reuse property).
+pub fn prepare_with_cache(
+    config: &ExperimentConfig,
+    bench: Benchmark,
+    cores: usize,
+    cache: Option<&ProfileCache>,
+) -> PreparedRun {
     let workload = config.workload(bench, cores);
     let sim_config = config.machine(cores);
-    let profile = profile_application(&workload).expect("non-empty workload");
-    let selection = select_barrierpoints(
-        &profile,
-        &SignatureConfig::combined(),
-        &SimPointConfig::paper(),
-    )
-    .expect("selection succeeds");
+    let profile = match cache {
+        Some(cache) => {
+            cache
+                .load_or_profile(&workload, &ExecutionPolicy::parallel())
+                .expect("profile cache usable")
+                .0
+        }
+        None => profile_application(&workload).expect("non-empty workload"),
+    };
+    let selection =
+        select_barrierpoints(&profile, &SignatureConfig::combined(), &SimPointConfig::paper())
+            .expect("selection succeeds");
     let ground = Machine::new(&sim_config).run_full(&workload);
     PreparedRun { benchmark: bench, cores, workload, profile, selection, ground, sim_config }
 }
@@ -123,7 +141,10 @@ pub fn fig1_barrier_counts(config: &ExperimentConfig) -> String {
         ));
         assert_eq!(small, large, "barrier count must not depend on the thread count");
     }
-    report::series("Figure 1: dynamically executed barriers (identical at both thread counts)", &rows)
+    report::series(
+        "Figure 1: dynamically executed barriers (identical at both thread counts)",
+        &rows,
+    )
 }
 
 /// Table I: the simulated system characteristics.
@@ -240,10 +261,8 @@ pub fn fig5_similarity_metrics(config: &ExperimentConfig) -> String {
     let max_ks = [1usize, 5, 10, 20];
     let variants = SignatureConfig::figure5_variants();
     // Prepare the profile and ground truth once per benchmark.
-    let runs: Vec<PreparedRun> = Benchmark::all()
-        .iter()
-        .map(|&bench| prepare(config, bench, config.cores_small))
-        .collect();
+    let runs: Vec<PreparedRun> =
+        Benchmark::all().iter().map(|&bench| prepare(config, bench, config.cores_small)).collect();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -344,12 +363,11 @@ pub fn fig7_mru_warmup(config: &ExperimentConfig) -> (String, Vec<AccuracyRow>) 
                 &run.selection,
                 &run.sim_config,
                 WarmupKind::MruReplay,
-                true,
+                &ExecutionPolicy::parallel(),
             )
             .expect("simulation succeeds");
-            let estimate =
-                reconstruct(&run.selection, &metrics, run.sim_config.core.frequency_ghz)
-                    .expect("reconstruction succeeds");
+            let estimate = reconstruct(&run.selection, &metrics, run.sim_config.core.frequency_ghz)
+                .expect("reconstruction succeeds");
             let err = prediction_error(&run.ground, &estimate);
             rows.push(AccuracyRow {
                 benchmark: bench.name().to_string(),

@@ -43,7 +43,8 @@ pub fn bic_score(points: &[Vec<f64>], weights: &[f64], result: &KMeansResult) ->
             continue;
         }
         let _ = c;
-        log_likelihood += rn * rn.ln() - rn * total_weight.ln()
+        log_likelihood += rn * rn.ln()
+            - rn * total_weight.ln()
             - rn * dim / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
             - (rn - 1.0) * dim / 2.0;
     }
@@ -107,12 +108,8 @@ mod tests {
 
     #[test]
     fn degenerate_input_returns_negative_infinity() {
-        let result = KMeansResult {
-            assignments: vec![],
-            centroids: vec![],
-            inertia: 0.0,
-            num_clusters: 0,
-        };
+        let result =
+            KMeansResult { assignments: vec![], centroids: vec![], inertia: 0.0, num_clusters: 0 };
         assert_eq!(bic_score(&[], &[], &result), f64::NEG_INFINITY);
     }
 }

@@ -20,7 +20,12 @@ fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// K-means++ seeding over weighted points.
-fn seed_centroids(points: &[Vec<f64>], weights: &[f64], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+fn seed_centroids(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    rng: &mut SmallRng,
+) -> Vec<Vec<f64>> {
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     // First centroid: weighted draw over the points.
     let total_weight: f64 = weights.iter().sum();

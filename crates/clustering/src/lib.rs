@@ -50,4 +50,4 @@ mod simpoint;
 pub use bic::bic_score;
 pub use kmeans::{weighted_kmeans, KMeansResult};
 pub use projection::RandomProjection;
-pub use simpoint::{cluster_regions, Clustering, ClusterSummary, SimPointConfig};
+pub use simpoint::{cluster_regions, ClusterSummary, Clustering, SimPointConfig};

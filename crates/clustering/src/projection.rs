@@ -56,10 +56,7 @@ impl RandomProjection {
     /// Panics if `input` does not have `source_dim` elements.
     pub fn project(&self, input: &[f64]) -> Vec<f64> {
         assert_eq!(input.len(), self.source_dim, "input dimension mismatch");
-        self.matrix
-            .iter()
-            .map(|row| row.iter().zip(input).map(|(m, x)| m * x).sum())
-            .collect()
+        self.matrix.iter().map(|row| row.iter().zip(input).map(|(m, x)| m * x).sum()).collect()
     }
 }
 
@@ -86,8 +83,7 @@ mod tests {
         // Linearity: P(a + b) == P(a) + P(b)
         let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         let lhs = p1.project(&sum);
-        let rhs: Vec<f64> =
-            p1.project(&a).iter().zip(p1.project(&b)).map(|(x, y)| x + y).collect();
+        let rhs: Vec<f64> = p1.project(&a).iter().zip(p1.project(&b)).map(|(x, y)| x + y).collect();
         for (l, r) in lhs.iter().zip(&rhs) {
             assert!((l - r).abs() < 1e-9);
         }

@@ -137,39 +137,29 @@ pub fn cluster_regions(vectors: &[SignatureVector], config: &SimPointConfig) -> 
 
     // Normalize and project.
     let projection = RandomProjection::new(dim, config.projected_dimensions, config.seed);
-    let points: Vec<Vec<f64>> = vectors
-        .iter()
-        .map(|v| projection.project(v.normalized().values()))
-        .collect();
+    let points: Vec<Vec<f64>> =
+        vectors.iter().map(|v| projection.project(v.normalized().values())).collect();
     let weights: Vec<f64> = vectors.iter().map(|v| v.instructions() as f64).collect();
 
     // Sweep k and score with the BIC.
     let max_k = config.max_k.max(1).min(vectors.len());
     let mut runs = Vec::with_capacity(max_k);
     for k in 1..=max_k {
-        let result = weighted_kmeans(&points, &weights, k, config.kmeans_iterations, config.seed + k as u64);
+        let result =
+            weighted_kmeans(&points, &weights, k, config.kmeans_iterations, config.seed + k as u64);
         let score = bic_score(&points, &weights, &result);
         runs.push((k, score, result));
     }
-    let best_score = runs
-        .iter()
-        .map(|(_, s, _)| *s)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let worst_score = runs
-        .iter()
-        .map(|(_, s, _)| *s)
-        .filter(|s| s.is_finite())
-        .fold(f64::INFINITY, f64::min);
+    let best_score = runs.iter().map(|(_, s, _)| *s).fold(f64::NEG_INFINITY, f64::max);
+    let worst_score =
+        runs.iter().map(|(_, s, _)| *s).filter(|s| s.is_finite()).fold(f64::INFINITY, f64::min);
     // Smallest k whose score reaches threshold% of the way from the worst to
     // the best score (SimPoint's "pick the smallest good-enough k" rule).
     let cutoff = worst_score + (best_score - worst_score) * config.bic_threshold;
-    let chosen = runs
-        .iter()
-        .find(|(_, s, _)| *s >= cutoff)
-        .map(|(k, _, _)| *k)
-        .unwrap_or(max_k);
+    let chosen = runs.iter().find(|(_, s, _)| *s >= cutoff).map(|(k, _, _)| *k).unwrap_or(max_k);
     let bic_by_k: Vec<(usize, f64)> = runs.iter().map(|(k, s, _)| (*k, *s)).collect();
-    let (_, _, result) = runs.into_iter().find(|(k, _, _)| *k == chosen).expect("chosen run exists");
+    let (_, _, result) =
+        runs.into_iter().find(|(k, _, _)| *k == chosen).expect("chosen run exists");
 
     // Build cluster summaries: representative = member closest to the
     // centroid, ties broken towards the heaviest member.
@@ -190,10 +180,8 @@ pub fn cluster_regions(vectors: &[SignatureVector], config: &SimPointConfig) -> 
         let distance_to_centroid = |m: usize| -> f64 {
             points[m].iter().zip(centroid).map(|(x, c)| (x - c) * (x - c)).sum()
         };
-        let min_distance = members
-            .iter()
-            .map(|&m| distance_to_centroid(m))
-            .fold(f64::INFINITY, f64::min);
+        let min_distance =
+            members.iter().map(|&m| distance_to_centroid(m)).fold(f64::INFINITY, f64::min);
         // Representative: the member closest to the centroid; ties (regions
         // with indistinguishable signatures, e.g. hundreds of identical
         // solver iterations) are broken towards the heaviest member and then
@@ -215,16 +203,15 @@ pub fn cluster_regions(vectors: &[SignatureVector], config: &SimPointConfig) -> 
             representative,
             multiplier: cluster_instructions / representative_instructions,
             members,
-            weight_fraction: if total_weight > 0.0 { cluster_instructions / total_weight } else { 0.0 },
+            weight_fraction: if total_weight > 0.0 {
+                cluster_instructions / total_weight
+            } else {
+                0.0
+            },
         });
     }
 
-    Clustering {
-        assignments: result.assignments,
-        chosen_k: clusters.len(),
-        clusters,
-        bic_by_k,
-    }
+    Clustering { assignments: result.assignments, chosen_k: clusters.len(), clusters, bic_by_k }
 }
 
 #[cfg(test)]

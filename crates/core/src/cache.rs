@@ -1,0 +1,299 @@
+//! Content-addressed on-disk cache of [`ApplicationProfile`]s.
+//!
+//! Profiling is microarchitecture-independent (Section III / Figure 6 of the
+//! paper), so one profile serves every machine configuration in a design
+//! space sweep — but the reproduction used to re-profile from scratch on
+//! every pipeline run.  [`ProfileCache`] persists profiles keyed by the
+//! workload's [`profile_fingerprint`](Workload::profile_fingerprint) (a
+//! content address over everything that determines the traces: name, thread
+//! count, seed, scale, phase structure), so sweeps profile once and reuse.
+//!
+//! Cache files are self-validating: a magic number, a format version, and
+//! the full key are stored in the header, and any mismatch — version bump,
+//! fingerprint collision on the truncated file name, corrupt payload — is
+//! treated as a miss rather than an error.  Only genuine I/O failures
+//! surface as [`Error::ProfileCache`].
+
+use crate::error::Error;
+use crate::profile::{profile_application_with, ApplicationProfile};
+use bp_exec::ExecutionPolicy;
+use bp_workload::Workload;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes at the start of every cache file.
+const MAGIC: &[u8; 4] = b"BPPF";
+/// Bump whenever the serialized layout of [`ApplicationProfile`] (or this
+/// header) changes; old entries then read as misses and are overwritten.
+const FORMAT_VERSION: u32 = 1;
+
+/// The content address of one profile: everything the cache needs to locate
+/// and validate an entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProfileCacheKey {
+    workload_name: String,
+    threads: usize,
+    fingerprint: u64,
+}
+
+impl ProfileCacheKey {
+    /// Computes the key for `workload`.
+    pub fn for_workload<W: Workload + ?Sized>(workload: &W) -> Self {
+        Self {
+            workload_name: workload.name().to_string(),
+            threads: workload.num_threads(),
+            fingerprint: workload.profile_fingerprint(),
+        }
+    }
+
+    /// The workload name component.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// The content fingerprint component.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// File name of this entry inside a cache directory: human-readable
+    /// prefix plus the full fingerprint in hex.
+    fn file_name(&self) -> String {
+        let sanitized: String = self
+            .workload_name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        format!("{sanitized}-{}t-{:016x}.bpprof", self.threads, self.fingerprint)
+    }
+}
+
+/// A directory of serialized [`ApplicationProfile`]s keyed by workload
+/// content.
+///
+/// ```
+/// use barrierpoint::{ExecutionPolicy, ProfileCache};
+/// use bp_workload::{Benchmark, WorkloadConfig};
+///
+/// let dir = std::env::temp_dir().join(format!("bp-profile-cache-doc-{}", std::process::id()));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// let cache = ProfileCache::new(&dir);
+/// let workload = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+///
+/// let (first, was_cached) =
+///     cache.load_or_profile(&workload, &ExecutionPolicy::parallel())?;
+/// assert!(!was_cached);
+/// let (second, was_cached) =
+///     cache.load_or_profile(&workload, &ExecutionPolicy::parallel())?;
+/// assert!(was_cached);
+/// assert_eq!(first, second);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), barrierpoint::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    root: PathBuf,
+}
+
+impl ProfileCache {
+    /// A cache rooted at `root` (created lazily on first store).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: &ProfileCacheKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    fn io_error(&self, path: &Path, err: &std::io::Error) -> Error {
+        Error::ProfileCache { path: path.display().to_string(), message: err.to_string() }
+    }
+
+    /// Looks up the profile stored under `key`.
+    ///
+    /// Returns `Ok(None)` on a miss — including stale-version or corrupt
+    /// entries, which a later [`store`](Self::store) will overwrite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProfileCache`] for I/O failures other than the entry
+    /// not existing.
+    pub fn load(&self, key: &ProfileCacheKey) -> Result<Option<ApplicationProfile>, Error> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(self.io_error(&path, &e)),
+        };
+        Ok(decode_entry(&bytes, key))
+    }
+
+    /// Persists `profile` under `key`, creating the cache directory if
+    /// needed.  The write goes through a temporary file and an atomic rename
+    /// so that concurrent readers never observe a torn entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProfileCache`] on I/O failure.
+    pub fn store(&self, key: &ProfileCacheKey, profile: &ApplicationProfile) -> Result<(), Error> {
+        fs::create_dir_all(&self.root).map_err(|e| self.io_error(&self.root, &e))?;
+        let path = self.entry_path(key);
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        fs::write(&tmp, encode_entry(key, profile)).map_err(|e| self.io_error(&tmp, &e))?;
+        fs::rename(&tmp, &path).map_err(|e| self.io_error(&path, &e))
+    }
+
+    /// Returns the cached profile for `workload`, profiling (under `policy`)
+    /// and populating the cache on a miss.  The boolean is `true` when the
+    /// profile came from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors ([`Error::EmptyWorkload`]) and cache I/O
+    /// errors.
+    pub fn load_or_profile<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        policy: &ExecutionPolicy,
+    ) -> Result<(ApplicationProfile, bool), Error> {
+        let key = ProfileCacheKey::for_workload(workload);
+        if let Some(profile) = self.load(&key)? {
+            return Ok((profile, true));
+        }
+        let profile = profile_application_with(workload, policy)?;
+        self.store(&key, &profile)?;
+        Ok((profile, false))
+    }
+}
+
+fn encode_entry(key: &ProfileCacheKey, profile: &ApplicationProfile) -> Vec<u8> {
+    let mut out = serde::Serializer::new();
+    out.write_bytes(MAGIC);
+    out.write_u32(FORMAT_VERSION);
+    out.write_str(&key.workload_name);
+    out.write_u64(key.threads as u64);
+    out.write_u64(key.fingerprint);
+    serde::Serialize::serialize(profile, &mut out);
+    out.into_bytes()
+}
+
+/// Decodes a cache entry, returning `None` for anything that does not match
+/// `key` exactly (wrong magic/version/key, torn or trailing bytes).
+fn decode_entry(bytes: &[u8], key: &ProfileCacheKey) -> Option<ApplicationProfile> {
+    let mut de = serde::Deserializer::new(bytes);
+    if de.read_bytes(MAGIC.len()).ok()? != MAGIC {
+        return None;
+    }
+    if de.read_u32().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    if de.read_string().ok()? != key.workload_name {
+        return None;
+    }
+    if de.read_u64().ok()? != key.threads as u64 {
+        return None;
+    }
+    if de.read_u64().ok()? != key.fingerprint {
+        return None;
+    }
+    let profile: ApplicationProfile = serde::Deserialize::deserialize(&mut de).ok()?;
+    if de.remaining() != 0 {
+        return None;
+    }
+    Some(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_workload::{Benchmark, WorkloadConfig};
+
+    fn temp_cache(tag: &str) -> ProfileCache {
+        let dir = std::env::temp_dir()
+            .join(format!("bp-profile-cache-test-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        ProfileCache::new(dir)
+    }
+
+    fn workload(scale: f64) -> impl Workload {
+        Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(scale))
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips_profile() {
+        let cache = temp_cache("roundtrip");
+        let w = workload(0.02);
+        let (first, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached);
+        let (second, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached);
+        assert_eq!(first, second);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn different_workload_configs_do_not_alias() {
+        let cache = temp_cache("alias");
+        let small = workload(0.02);
+        let large = workload(0.05);
+        assert_ne!(small.profile_fingerprint(), large.profile_fingerprint());
+        let (p_small, _) = cache.load_or_profile(&small, &ExecutionPolicy::Serial).unwrap();
+        let (p_large, cached) = cache.load_or_profile(&large, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached, "distinct configs must miss");
+        assert_ne!(p_small, p_large);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = temp_cache("corrupt");
+        let w = workload(0.02);
+        let key = ProfileCacheKey::for_workload(&w);
+        let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+
+        // Truncate the entry on disk.
+        let path = cache.entry_path(&key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(cache.load(&key).unwrap(), None);
+
+        // A re-store heals it.
+        cache.store(&key, &profile).unwrap();
+        assert_eq!(cache.load(&key).unwrap(), Some(profile));
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn stale_format_version_reads_as_miss() {
+        let cache = temp_cache("version");
+        let w = workload(0.02);
+        let key = ProfileCacheKey::for_workload(&w);
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+
+        let path = cache.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1); // bump the stored version
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.load(&key).unwrap(), None);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn key_file_names_are_sanitized() {
+        let key = ProfileCacheKey {
+            workload_name: "np/b is!".into(),
+            threads: 4,
+            fingerprint: 0xdead_beef,
+        };
+        let name = key.file_name();
+        assert!(name.starts_with("np_b_is_-4t-"));
+        assert!(name.ends_with(".bpprof"));
+        assert!(!name.contains('/'));
+    }
+}

@@ -40,6 +40,14 @@ pub enum Error {
         /// Regions in the second artifact.
         actual: usize,
     },
+    /// The on-disk profile cache failed with an I/O error (stale or corrupt
+    /// entries are *not* errors — they read as cache misses).
+    ProfileCache {
+        /// Path of the offending cache file or directory.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -60,6 +68,9 @@ impl fmt::Display for Error {
             }
             Error::RegionCountMismatch { expected, actual } => {
                 write!(f, "region count mismatch: expected {expected}, got {actual}")
+            }
+            Error::ProfileCache { path, message } => {
+                write!(f, "profile cache I/O failure at {path}: {message}")
             }
         }
     }

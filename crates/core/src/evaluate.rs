@@ -170,8 +170,8 @@ mod tests {
     use crate::profile::profile_application;
     use crate::select::select_barrierpoints;
     use bp_clustering::SimPointConfig;
-    use bp_sim::{Machine, SimConfig};
     use bp_signature::SignatureConfig;
+    use bp_sim::{Machine, SimConfig};
     use bp_workload::{Benchmark, WorkloadConfig};
 
     #[test]

@@ -8,13 +8,19 @@
 //!    and LRU stack distance vectors) for every inter-barrier region of a
 //!    barrier-synchronized workload ([`profile_application`],
 //!    [`ApplicationProfile`]; signatures come from `bp-signature`, workload
-//!    models from `bp-workload`).
+//!    models from `bp-workload`).  Profiling is *thread-major*: each workload
+//!    thread's full trace streams on its own OS thread under the pipeline's
+//!    [`ExecutionPolicy`], bit-identical to serial profiling
+//!    ([`profile_application_with`]).  A persistent, content-addressed
+//!    [`ProfileCache`] lets design-space sweeps profile once and reuse
+//!    ([`BarrierPoint::with_profile_cache`]).
 //! 2. **Select** — cluster the regions SimPoint-style and pick one
 //!    representative region per cluster, the *barrierpoint*, together with
 //!    its instruction-count multiplier ([`select_barrierpoints`],
 //!    [`BarrierPointSelection`]; clustering from `bp-clustering`).
 //! 3. **Simulate** — run only the barrierpoints in detailed simulation,
-//!    serially or in parallel, after warming the caches with the paper's MRU
+//!    serially or in parallel (one [`ExecutionPolicy`] knob governs both this
+//!    fan-out and profiling), after warming the caches with the paper's MRU
 //!    replay (or any other [`WarmupKind`]) — [`simulate_barrierpoints`] on
 //!    the `bp-sim` machine.
 //! 4. **Reconstruct** — estimate whole-application execution time, DRAM APKI
@@ -52,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod error;
 pub mod evaluate;
 mod pipeline;
@@ -61,9 +68,10 @@ pub mod report;
 mod select;
 mod simulate;
 
+pub use cache::{ProfileCache, ProfileCacheKey};
 pub use error::Error;
 pub use pipeline::{BarrierPoint, BarrierPointOutcome};
-pub use profile::{profile_application, ApplicationProfile};
+pub use profile::{profile_application, profile_application_with, ApplicationProfile};
 pub use reconstruct::{reconstruct, reconstruct_with_mode, ReconstructedRun, ScalingMode};
 pub use select::{
     select_barrierpoints, BarrierPointInfo, BarrierPointSelection, SIGNIFICANCE_THRESHOLD,
@@ -72,5 +80,6 @@ pub use simulate::{simulate_barrierpoints, BarrierPointMetrics, WarmupKind};
 
 // Re-export the substrate configuration types users need to drive the API.
 pub use bp_clustering::SimPointConfig;
+pub use bp_exec::ExecutionPolicy;
 pub use bp_signature::{LdvWeighting, SignatureConfig, SignatureKind};
 pub use bp_sim::SimConfig;

@@ -1,9 +1,11 @@
+use crate::cache::ProfileCache;
 use crate::error::Error;
-use crate::profile::{profile_application, ApplicationProfile};
+use crate::profile::{profile_application_with, ApplicationProfile};
 use crate::reconstruct::{reconstruct, ReconstructedRun};
 use crate::select::{select_barrierpoints, BarrierPointSelection};
 use crate::simulate::{simulate_barrierpoints, BarrierPointMetrics, WarmupKind};
 use bp_clustering::SimPointConfig;
+use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
 use bp_workload::Workload;
@@ -11,9 +13,10 @@ use bp_workload::Workload;
 /// The end-to-end BarrierPoint pipeline (Figure 2 of the paper) as a builder.
 ///
 /// Defaults follow the paper: combined BBV + LDV signatures, SimPoint
-/// parameters of Table II, MRU-replay warmup, parallel simulation of the
-/// barrierpoints, and a simulated machine with as many cores as the workload
-/// has threads.
+/// parameters of Table II, MRU-replay warmup, parallel execution of both the
+/// profiling pass and the barrierpoint simulations
+/// ([`ExecutionPolicy::Parallel`]), and a simulated machine with as many
+/// cores as the workload has threads.
 ///
 /// See the crate-level documentation for a complete example.
 #[derive(Debug)]
@@ -23,7 +26,8 @@ pub struct BarrierPoint<'a, W: Workload + ?Sized> {
     simpoint_config: SimPointConfig,
     sim_config: Option<SimConfig>,
     warmup: WarmupKind,
-    parallel_simulation: bool,
+    execution: ExecutionPolicy,
+    profile_cache: Option<ProfileCache>,
 }
 
 impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
@@ -35,7 +39,8 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
             simpoint_config: SimPointConfig::paper(),
             sim_config: None,
             warmup: WarmupKind::MruReplay,
-            parallel_simulation: true,
+            execution: ExecutionPolicy::parallel(),
+            profile_cache: None,
         }
     }
 
@@ -65,10 +70,25 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
         self
     }
 
-    /// Simulates barrierpoints back to back instead of in parallel (useful
-    /// for deterministic timing measurements of the harness itself).
-    pub fn with_serial_simulation(mut self) -> Self {
-        self.parallel_simulation = false;
+    /// Selects how the index-parallel pipeline stages — the per-thread
+    /// profiling passes and the per-barrierpoint detailed simulations —
+    /// execute.  [`ExecutionPolicy::Serial`] runs them back to back (useful
+    /// for deterministic timing measurements of the harness itself, and the
+    /// Figure 9 "serial speedup" scenario); the default is
+    /// [`ExecutionPolicy::Parallel`] over all CPUs.  Results are identical
+    /// under every policy.
+    pub fn with_execution_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.execution = policy;
+        self
+    }
+
+    /// Attaches a persistent [`ProfileCache`]: [`profile`](Self::profile)
+    /// (and therefore [`run`](Self::run)) will reuse an on-disk profile for
+    /// this workload when one exists and populate the cache otherwise.
+    /// Profiles are microarchitecture-independent, so one cached profile
+    /// serves every machine configuration in a design-space sweep.
+    pub fn with_profile_cache(mut self, cache: ProfileCache) -> Self {
+        self.profile_cache = Some(cache);
         self
     }
 
@@ -76,13 +96,22 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
         self.sim_config.unwrap_or_else(|| SimConfig::scaled(self.workload.num_threads()))
     }
 
-    /// Runs only the profiling step.
+    /// Runs only the profiling step (through the profile cache, when one is
+    /// attached).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::EmptyWorkload`] for a workload with no regions.
+    /// Returns [`Error::EmptyWorkload`] for a workload with no regions and
+    /// [`Error::ProfileCache`] for cache I/O failures.
     pub fn profile(&self) -> Result<ApplicationProfile, Error> {
-        profile_application(self.workload)
+        match &self.profile_cache {
+            Some(cache) => {
+                let (profile, _was_cached) =
+                    cache.load_or_profile(self.workload, &self.execution)?;
+                Ok(profile)
+            }
+            None => profile_application_with(self.workload, &self.execution),
+        }
     }
 
     /// Runs profiling and barrierpoint selection.
@@ -119,10 +148,9 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
             &selection,
             &sim_config,
             self.warmup,
-            self.parallel_simulation,
+            &self.execution,
         )?;
-        let reconstruction =
-            reconstruct(&selection, &metrics, sim_config.core.frequency_ghz)?;
+        let reconstruction = reconstruct(&selection, &metrics, sim_config.core.frequency_ghz)?;
         Ok(BarrierPointOutcome { profile, selection, metrics, reconstruction, sim_config })
     }
 }
@@ -175,10 +203,7 @@ mod tests {
         let outcome = BarrierPoint::new(&w).run().unwrap();
         assert_eq!(outcome.profile().num_regions(), 11);
         assert!(outcome.selection().num_barrierpoints() >= 1);
-        assert_eq!(
-            outcome.barrierpoint_metrics().len(),
-            outcome.selection().num_barrierpoints()
-        );
+        assert_eq!(outcome.barrierpoint_metrics().len(), outcome.selection().num_barrierpoints());
         assert!(outcome.reconstruction().execution_time_seconds() > 0.0);
         assert_eq!(outcome.sim_config().num_cores, 4);
     }
@@ -197,10 +222,42 @@ mod tests {
             .with_signature_config(SignatureConfig::bbv_only())
             .with_simpoint_config(SimPointConfig::paper().with_max_k(3))
             .with_warmup(WarmupKind::Cold)
-            .with_serial_simulation()
+            .with_execution_policy(ExecutionPolicy::Serial)
             .run()
             .unwrap();
         assert!(outcome.selection().num_barrierpoints() <= 3);
         assert_eq!(outcome.selection().signature_config(), &SignatureConfig::bbv_only());
+    }
+
+    #[test]
+    fn execution_policy_does_not_change_outcomes() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let serial =
+            BarrierPoint::new(&w).with_execution_policy(ExecutionPolicy::Serial).run().unwrap();
+        let parallel = BarrierPoint::new(&w)
+            .with_execution_policy(ExecutionPolicy::parallel_with(4))
+            .run()
+            .unwrap();
+        assert_eq!(serial.profile(), parallel.profile());
+        assert_eq!(serial.selection(), parallel.selection());
+        assert_eq!(serial.barrierpoint_metrics(), parallel.barrierpoint_metrics());
+        assert_eq!(serial.reconstruction(), parallel.reconstruction());
+    }
+
+    #[test]
+    fn pipeline_reuses_cached_profiles() {
+        let dir =
+            std::env::temp_dir().join(format!("bp-pipeline-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let uncached = BarrierPoint::new(&w).run().unwrap();
+        let first =
+            BarrierPoint::new(&w).with_profile_cache(ProfileCache::new(&dir)).run().unwrap();
+        let second =
+            BarrierPoint::new(&w).with_profile_cache(ProfileCache::new(&dir)).run().unwrap();
+        assert_eq!(uncached.profile(), first.profile());
+        assert_eq!(first.profile(), second.profile());
+        assert_eq!(first.reconstruction(), second.reconstruction());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,5 +1,8 @@
 use crate::error::Error;
-use bp_signature::{collect_application_signatures, RegionSignature, SignatureConfig, SignatureVector};
+use bp_exec::ExecutionPolicy;
+use bp_signature::{
+    collect_application_signatures_with, RegionSignature, SignatureConfig, SignatureVector,
+};
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -59,11 +62,30 @@ impl ApplicationProfile {
     }
 }
 
-/// Runs the one-time profiling pass: walks every `(region, thread)` trace of
-/// `workload` in program order and collects BBV / LDV signatures and
-/// instruction counts.  Reuse distances are tracked continuously across
-/// regions, so the first dynamic instance of a phase (cold data) gets a
-/// distinct data signature — the cold-start separation of Section III-A2.
+/// Runs the one-time profiling pass serially; see
+/// [`profile_application_with`] for the thread-parallel variant (identical
+/// output).
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyWorkload`] if the workload has no regions.
+pub fn profile_application<W: Workload + ?Sized>(
+    workload: &W,
+) -> Result<ApplicationProfile, Error> {
+    profile_application_with(workload, &ExecutionPolicy::Serial)
+}
+
+/// Runs the one-time profiling pass under `policy`: each workload thread's
+/// entire trace (all regions, in program order) is walked as one streaming
+/// pass — on its own OS thread under [`ExecutionPolicy::Parallel`] — and the
+/// per-thread results are zipped into per-region BBV / LDV signatures.
+/// Reuse distances are tracked continuously across regions, so the first
+/// dynamic instance of a phase (cold data) gets a distinct data signature —
+/// the cold-start separation of Section III-A2.
+///
+/// The result is bit-identical for every policy: per-thread signature state
+/// is independent across threads, which is exactly what makes the
+/// thread-major fan-out safe.
 ///
 /// This substitutes for the paper's Pin-based profiler, which runs the real
 /// application at a 20–30x slowdown.
@@ -71,11 +93,14 @@ impl ApplicationProfile {
 /// # Errors
 ///
 /// Returns [`Error::EmptyWorkload`] if the workload has no regions.
-pub fn profile_application<W: Workload + ?Sized>(workload: &W) -> Result<ApplicationProfile, Error> {
+pub fn profile_application_with<W: Workload + ?Sized>(
+    workload: &W,
+    policy: &ExecutionPolicy,
+) -> Result<ApplicationProfile, Error> {
     if workload.num_regions() == 0 {
         return Err(Error::EmptyWorkload { workload: workload.name().to_string() });
     }
-    let signatures = collect_application_signatures(workload);
+    let signatures = collect_application_signatures_with(workload, policy);
     Ok(ApplicationProfile {
         workload_name: workload.name().to_string(),
         threads: workload.num_threads(),
@@ -118,5 +143,13 @@ mod tests {
         let a = profile_application(&w).unwrap();
         let b = profile_application(&w).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_profiling_matches_serial() {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let serial = profile_application_with(&w, &ExecutionPolicy::Serial).unwrap();
+        let parallel = profile_application_with(&w, &ExecutionPolicy::parallel_with(4)).unwrap();
+        assert_eq!(serial, parallel);
     }
 }

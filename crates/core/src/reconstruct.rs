@@ -165,8 +165,8 @@ mod tests {
     use crate::profile::profile_application;
     use crate::select::select_barrierpoints;
     use bp_clustering::SimPointConfig;
-    use bp_sim::{Machine, SimConfig};
     use bp_signature::SignatureConfig;
+    use bp_sim::{Machine, SimConfig};
     use bp_workload::{Benchmark, Workload, WorkloadConfig};
 
     fn setup() -> (BarrierPointSelection, BarrierPointMetrics, bp_sim::RunMetrics) {
@@ -193,7 +193,8 @@ mod tests {
         let error = (estimate.total_cycles() - actual).abs() / actual;
         assert!(error < 0.10, "reconstruction error {error} too high");
         // Instruction counts should be reproduced almost exactly.
-        let instr_error = (estimate.total_instructions() - ground.total_instructions() as f64).abs()
+        let instr_error = (estimate.total_instructions() - ground.total_instructions() as f64)
+            .abs()
             / ground.total_instructions() as f64;
         assert!(instr_error < 1e-6, "instruction reconstruction error {instr_error}");
     }

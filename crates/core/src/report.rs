@@ -27,11 +27,8 @@ pub fn table1(config: &SimConfig) -> String {
         "  Core             {:.2} GHz, {}-way issue, {}-entry ROB",
         config.core.frequency_ghz, config.core.issue_width, config.core.rob_entries
     );
-    let _ = writeln!(
-        out,
-        "  Branch predictor {} cycles penalty",
-        config.core.branch_penalty_cycles
-    );
+    let _ =
+        writeln!(out, "  Branch predictor {} cycles penalty", config.core.branch_penalty_cycles);
     let _ = writeln!(
         out,
         "  L1-I             {} KB, {} way, {} cycle",
@@ -97,10 +94,8 @@ pub fn table3_row(input_size: &str, cores: usize, selection: &BarrierPointSelect
         insig_mult,
         insig_weight.max(0.0),
     );
-    let picks: Vec<String> = significant
-        .iter()
-        .map(|bp| format!("{} ({:.1})", bp.region, bp.multiplier))
-        .collect();
+    let picks: Vec<String> =
+        significant.iter().map(|bp| format!("{} ({:.1})", bp.region, bp.multiplier)).collect();
     let _ = write!(out, "{}", picks.join(" "));
     out
 }

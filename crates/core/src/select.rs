@@ -233,11 +233,8 @@ mod tests {
     #[test]
     fn multipliers_reconstruct_total_instruction_count() {
         let selection = selection_for(Benchmark::NpbCg, 4);
-        let reconstructed: f64 = selection
-            .barrierpoints()
-            .iter()
-            .map(|bp| bp.multiplier * bp.instructions as f64)
-            .sum();
+        let reconstructed: f64 =
+            selection.barrierpoints().iter().map(|bp| bp.multiplier * bp.instructions as f64).sum();
         let total = selection.total_instructions() as f64;
         assert!(
             (reconstructed - total).abs() / total < 1e-9,

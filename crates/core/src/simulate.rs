@@ -1,7 +1,8 @@
 use crate::error::Error;
 use crate::select::BarrierPointSelection;
+use bp_exec::ExecutionPolicy;
 use bp_sim::{Machine, RegionMetrics, SimConfig};
-use bp_warmup::{collect_mru_warmup, apply_warmup, WarmupStrategy};
+use bp_warmup::{apply_warmup, collect_mru_warmup, WarmupStrategy};
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -39,9 +40,11 @@ impl WarmupKind {
 /// instance and returns per-barrierpoint metrics.
 ///
 /// Barrierpoints are mutually independent — exactly the property the paper
-/// exploits — so with `parallel = true` they are simulated concurrently on
-/// worker threads (one simulated machine each); otherwise they run back to
-/// back, which models the "serial speedup" resource scenario of Figure 9.
+/// exploits — so under [`ExecutionPolicy::Parallel`] they are simulated
+/// concurrently on worker threads (one simulated machine each); under
+/// [`ExecutionPolicy::Serial`] they run back to back, which models the
+/// "serial speedup" resource scenario of Figure 9.  Results are identical in
+/// both modes.
 ///
 /// # Errors
 ///
@@ -53,7 +56,7 @@ pub fn simulate_barrierpoints<W: Workload + ?Sized>(
     selection: &BarrierPointSelection,
     sim_config: &SimConfig,
     warmup: WarmupKind,
-    parallel: bool,
+    policy: &ExecutionPolicy,
 ) -> Result<BarrierPointMetrics, Error> {
     if workload.num_threads() != sim_config.num_cores {
         return Err(Error::ThreadCountMismatch {
@@ -88,18 +91,7 @@ pub fn simulate_barrierpoints<W: Workload + ?Sized>(
     };
 
     let mut results = BTreeMap::new();
-    if parallel {
-        let collected: Vec<(usize, RegionMetrics)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = regions
-                .iter()
-                .map(|&region| scope.spawn(move || simulate_one(region)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
-        });
-        results.extend(collected);
-    } else {
-        results.extend(regions.iter().map(|&region| simulate_one(region)));
-    }
+    results.extend(policy.execute(regions.len(), |i| simulate_one(regions[i])));
     Ok(results)
 }
 
@@ -125,10 +117,22 @@ mod tests {
     fn serial_and_parallel_simulation_agree() {
         let (w, selection) = setup();
         let config = SimConfig::scaled(4);
-        let serial =
-            simulate_barrierpoints(&w, &selection, &config, WarmupKind::MruReplay, false).unwrap();
-        let parallel =
-            simulate_barrierpoints(&w, &selection, &config, WarmupKind::MruReplay, true).unwrap();
+        let serial = simulate_barrierpoints(
+            &w,
+            &selection,
+            &config,
+            WarmupKind::MruReplay,
+            &ExecutionPolicy::Serial,
+        )
+        .unwrap();
+        let parallel = simulate_barrierpoints(
+            &w,
+            &selection,
+            &config,
+            WarmupKind::MruReplay,
+            &ExecutionPolicy::parallel_with(4),
+        )
+        .unwrap();
         assert_eq!(serial, parallel);
         assert_eq!(serial.len(), selection.num_barrierpoints());
     }
@@ -137,10 +141,22 @@ mod tests {
     fn warmup_reduces_estimated_cycles() {
         let (w, selection) = setup();
         let config = SimConfig::scaled(4);
-        let cold =
-            simulate_barrierpoints(&w, &selection, &config, WarmupKind::Cold, false).unwrap();
-        let warm =
-            simulate_barrierpoints(&w, &selection, &config, WarmupKind::MruReplay, false).unwrap();
+        let cold = simulate_barrierpoints(
+            &w,
+            &selection,
+            &config,
+            WarmupKind::Cold,
+            &ExecutionPolicy::Serial,
+        )
+        .unwrap();
+        let warm = simulate_barrierpoints(
+            &w,
+            &selection,
+            &config,
+            WarmupKind::MruReplay,
+            &ExecutionPolicy::Serial,
+        )
+        .unwrap();
         let cold_cycles: u64 = cold.values().map(|m| m.cycles).sum();
         let warm_cycles: u64 = warm.values().map(|m| m.cycles).sum();
         assert!(warm_cycles <= cold_cycles, "warm {warm_cycles} vs cold {cold_cycles}");
@@ -149,8 +165,14 @@ mod tests {
     #[test]
     fn thread_mismatch_is_reported() {
         let (w, selection) = setup();
-        let err = simulate_barrierpoints(&w, &selection, &SimConfig::scaled(8), WarmupKind::Cold, false)
-            .unwrap_err();
+        let err = simulate_barrierpoints(
+            &w,
+            &selection,
+            &SimConfig::scaled(8),
+            WarmupKind::Cold,
+            &ExecutionPolicy::Serial,
+        )
+        .unwrap_err();
         assert!(matches!(err, Error::ThreadCountMismatch { .. }));
     }
 

@@ -1,0 +1,177 @@
+//! Shared execution layer for the BarrierPoint pipeline.
+//!
+//! Two independent fan-outs in the pipeline used to hand-roll their own
+//! `std::thread::scope` plumbing: the detailed simulation of the selected
+//! barrierpoints, and (since the thread-major profiling refactor) the
+//! per-thread profiling passes.  Both are *index-parallel* computations — run
+//! a pure function over `0..jobs` and collect the results in index order —
+//! so they share one abstraction, [`ExecutionPolicy::execute`].
+//!
+//! The policy is a configuration value (serializable, hashable) so it can sit
+//! in builder APIs: [`ExecutionPolicy::Serial`] runs jobs back to back on the
+//! calling thread, [`ExecutionPolicy::Parallel`] fans out over scoped OS
+//! threads with an optional cap.  Results are returned in job-index order in
+//! both modes, and job functions are required to be deterministic-per-index
+//! by contract, so the two modes are observationally identical — the property
+//! the equivalence test suite pins down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How an index-parallel pipeline stage executes its jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionPolicy {
+    /// Run all jobs back to back on the calling thread.  Useful for
+    /// deterministic timing of the harness itself and as the baseline of the
+    /// serial-vs-parallel equivalence tests.
+    Serial,
+    /// Fan jobs out over scoped OS threads.
+    Parallel {
+        /// Upper bound on worker threads; `0` means "one per available CPU".
+        /// The effective worker count never exceeds the number of jobs.
+        max_threads: usize,
+    },
+}
+
+impl ExecutionPolicy {
+    /// Serial execution.
+    pub fn serial() -> Self {
+        ExecutionPolicy::Serial
+    }
+
+    /// Parallel execution using all available CPUs.
+    pub fn parallel() -> Self {
+        ExecutionPolicy::Parallel { max_threads: 0 }
+    }
+
+    /// Parallel execution with at most `max_threads` workers.
+    ///
+    /// `max_threads == 0` means "one per available CPU" and
+    /// `max_threads == 1` is equivalent to [`ExecutionPolicy::Serial`].
+    pub fn parallel_with(max_threads: usize) -> Self {
+        ExecutionPolicy::Parallel { max_threads }
+    }
+
+    /// Short label used in reports and benchmark ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionPolicy::Serial => "serial",
+            ExecutionPolicy::Parallel { .. } => "parallel",
+        }
+    }
+
+    /// The number of worker threads [`execute`](Self::execute) would use for
+    /// `jobs` jobs.
+    pub fn worker_count(&self, jobs: usize) -> usize {
+        match *self {
+            ExecutionPolicy::Serial => 1,
+            ExecutionPolicy::Parallel { max_threads } => {
+                let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                // An explicit cap is honored even above the CPU count so that
+                // the parallel code path can be exercised (and tested) on
+                // machines with few cores.
+                let cap = if max_threads == 0 { hw } else { max_threads };
+                cap.max(1).min(jobs.max(1))
+            }
+        }
+    }
+
+    /// Runs `job(i)` for every `i in 0..jobs` and returns the results in
+    /// index order.
+    ///
+    /// `job` must be deterministic per index for the serial/parallel
+    /// equivalence guarantee to hold; nothing else about scheduling is
+    /// observable through this API.
+    pub fn execute<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.worker_count(jobs);
+        if workers <= 1 || jobs <= 1 {
+            return (0..jobs).map(job).collect();
+        }
+        // Work-stealing over an atomic index counter: deterministic results
+        // regardless of which worker claims which job, because results are
+        // reassembled by index afterwards.
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(jobs));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= jobs {
+                            break;
+                        }
+                        local.push((index, job(index)));
+                    }
+                    collected.lock().expect("worker result lock").extend(local);
+                });
+            }
+        });
+        let mut results = collected.into_inner().expect("worker result lock");
+        results.sort_by_key(|&(index, _)| index);
+        debug_assert_eq!(results.len(), jobs);
+        results.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+impl Default for ExecutionPolicy {
+    /// The default is parallel execution over all available CPUs.
+    fn default() -> Self {
+        ExecutionPolicy::parallel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_and_preserve_order() {
+        let f = |i: usize| i * i + 1;
+        let serial = ExecutionPolicy::Serial.execute(100, f);
+        let parallel = ExecutionPolicy::parallel().execute(100, f);
+        let capped = ExecutionPolicy::parallel_with(3).execute(100, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, capped);
+        assert_eq!(serial[10], 101);
+    }
+
+    #[test]
+    fn zero_and_single_job_edge_cases() {
+        let f = |i: usize| i;
+        assert!(ExecutionPolicy::parallel().execute(0, f).is_empty());
+        assert_eq!(ExecutionPolicy::parallel().execute(1, f), vec![0]);
+    }
+
+    #[test]
+    fn worker_count_respects_caps() {
+        assert_eq!(ExecutionPolicy::Serial.worker_count(16), 1);
+        assert!(ExecutionPolicy::parallel().worker_count(16) >= 1);
+        assert!(ExecutionPolicy::parallel_with(2).worker_count(16) <= 2);
+        // Never more workers than jobs.
+        assert_eq!(ExecutionPolicy::parallel_with(8).worker_count(2), 2);
+    }
+
+    #[test]
+    fn policy_round_trips_through_serde() {
+        for policy in [ExecutionPolicy::Serial, ExecutionPolicy::parallel_with(4)] {
+            let bytes = serde::to_vec(&policy);
+            let back: ExecutionPolicy = serde::from_slice(&bytes).unwrap();
+            assert_eq!(policy, back);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ExecutionPolicy::Serial.name(), "serial");
+        assert_eq!(ExecutionPolicy::parallel().name(), "parallel");
+    }
+}

@@ -100,10 +100,7 @@ impl Cache {
     /// Returns the state of `line` without updating replacement metadata.
     pub fn peek(&self, line: u64) -> Option<LineState> {
         let set = self.set_index(line);
-        self.sets[set]
-            .iter()
-            .find(|w| w.state.is_valid() && w.line == line)
-            .map(|w| w.state)
+        self.sets[set].iter().find(|w| w.state.is_valid() && w.line == line).map(|w| w.state)
     }
 
     /// Returns `true` if `line` is present (any valid state).
@@ -121,9 +118,7 @@ impl Cache {
         let tick = self.tick;
         let set = self.set_index(line);
         // Already present: update in place.
-        if let Some(way) = self.sets[set]
-            .iter_mut()
-            .find(|w| w.state.is_valid() && w.line == line)
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.state.is_valid() && w.line == line)
         {
             way.state = state;
             way.lru = tick;
@@ -149,9 +144,7 @@ impl Cache {
     /// Changes the state of `line` if present; returns `true` on success.
     pub fn set_state(&mut self, line: u64, state: LineState) -> bool {
         let set = self.set_index(line);
-        if let Some(way) = self.sets[set]
-            .iter_mut()
-            .find(|w| w.state.is_valid() && w.line == line)
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.state.is_valid() && w.line == line)
         {
             if state.is_valid() {
                 way.state = state;
@@ -190,19 +183,12 @@ impl Cache {
 
     /// Number of valid lines currently held.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|set| set.iter().filter(|w| w.state.is_valid()).count())
-            .sum()
+        self.sets.iter().map(|set| set.iter().filter(|w| w.state.is_valid()).count()).sum()
     }
 
     /// Iterates over all valid lines as `(line, state)` pairs.
     pub fn valid_lines(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|w| w.state.is_valid())
-            .map(|w| (w.line, w.state))
+        self.sets.iter().flatten().filter(|w| w.state.is_valid()).map(|w| (w.line, w.state))
     }
 }
 

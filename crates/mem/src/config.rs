@@ -27,7 +27,7 @@ impl CacheConfig {
         assert!(self.size_bytes > 0 && self.associativity > 0, "degenerate cache geometry");
         let lines = self.size_bytes / line_bytes;
         assert!(
-            lines >= self.associativity as u64 && lines % self.associativity as u64 == 0,
+            lines >= self.associativity as u64 && lines.is_multiple_of(self.associativity as u64),
             "cache size {} not divisible into {}-way sets of {}-byte lines",
             self.size_bytes,
             self.associativity,

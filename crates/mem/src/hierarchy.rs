@@ -174,12 +174,15 @@ impl MemoryHierarchy {
         self.access_line(core, line, false, true)
     }
 
-    fn access_line(&mut self, core: usize, line: u64, is_write: bool, is_instr: bool) -> AccessResult {
-        let l1_latency = if is_instr {
-            self.cores[core].l1i.latency()
-        } else {
-            self.cores[core].l1d.latency()
-        };
+    fn access_line(
+        &mut self,
+        core: usize,
+        line: u64,
+        is_write: bool,
+        is_instr: bool,
+    ) -> AccessResult {
+        let l1_latency =
+            if is_instr { self.cores[core].l1i.latency() } else { self.cores[core].l1d.latency() };
 
         // --- L1 ---
         let l1_state = if is_instr {
@@ -190,7 +193,11 @@ impl MemoryHierarchy {
         if let Some(state) = l1_state {
             if !is_write || state == LineState::Modified {
                 self.stats.l1_hits += 1;
-                return AccessResult { latency: l1_latency, level: ServiceLevel::L1, dram_access: false };
+                return AccessResult {
+                    latency: l1_latency,
+                    level: ServiceLevel::L1,
+                    dram_access: false,
+                };
             }
             // Write hit on a Shared line: upgrade through the directory.
             let latency = l1_latency + self.upgrade(core, line);

@@ -197,11 +197,7 @@ impl SharedCache {
 
     /// Iterates over resident lines as `(line, entry)`.
     pub fn valid_lines(&self) -> impl Iterator<Item = (u64, DirEntry)> + '_ {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|w| w.valid)
-            .map(|w| (w.line, w.entry))
+        self.sets.iter().flatten().filter(|w| w.valid).map(|w| (w.line, w.entry))
     }
 }
 

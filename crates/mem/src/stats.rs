@@ -117,7 +117,8 @@ mod tests {
 
     #[test]
     fn merge_and_delta_are_inverses() {
-        let a = MemoryStats { data_accesses: 10, l1_hits: 8, dram_accesses: 1, ..Default::default() };
+        let a =
+            MemoryStats { data_accesses: 10, l1_hits: 8, dram_accesses: 1, ..Default::default() };
         let b = MemoryStats { data_accesses: 5, l1_hits: 4, writes: 2, ..Default::default() };
         let mut sum = a;
         sum.merge(&b);

@@ -93,7 +93,10 @@ impl RegionSignature {
 /// distances are tracked continuously across regions — this is what lets the
 /// clustering separate cold-start regions from later, BBV-identical
 /// repetitions of the same phase (Section III-A2 of the paper).
-pub fn collect_region_signature<W: Workload + ?Sized>(workload: &W, region: usize) -> RegionSignature {
+pub fn collect_region_signature<W: Workload + ?Sized>(
+    workload: &W,
+    region: usize,
+) -> RegionSignature {
     let mut profiler = ApplicationProfiler::new(workload);
     profiler.profile_region(workload, region)
 }
@@ -140,17 +143,8 @@ impl ApplicationProfiler {
         let mut ldvs = Vec::with_capacity(threads);
         let mut instructions = Vec::with_capacity(threads);
         for (thread, tracker) in self.trackers.iter_mut().enumerate() {
-            let mut bbv = Bbv::new(self.num_blocks);
-            let mut ldv = Ldv::new();
-            let mut instr: u64 = 0;
-            for exec in workload.region_trace(region, thread) {
-                bbv.record(exec.block, exec.instructions);
-                instr += u64::from(exec.instructions);
-                for access in &exec.accesses {
-                    let distance = tracker.record(access.line());
-                    ldv.record(distance);
-                }
-            }
+            let (bbv, ldv, instr) =
+                profile_region_thread(workload, region, thread, tracker, self.num_blocks);
             bbvs.push(bbv);
             ldvs.push(ldv);
             instructions.push(instr);
@@ -164,10 +158,43 @@ impl ApplicationProfiler {
     }
 }
 
-/// Profiles the whole application with continuous reuse-distance tracking
-/// (one [`ApplicationProfiler`] pass), returning one signature per region.
+/// The innermost profiling loop shared by the region-major
+/// [`ApplicationProfiler`] and the thread-major streaming passes
+/// ([`crate::profile_thread`]): walks one `(region, thread)` trace, updating
+/// `tracker` and returning the trace's BBV, LDV and instruction count.
+pub(crate) fn profile_region_thread<W: Workload + ?Sized>(
+    workload: &W,
+    region: usize,
+    thread: usize,
+    tracker: &mut StackDistanceTracker,
+    num_blocks: usize,
+) -> (Bbv, Ldv, u64) {
+    let mut bbv = Bbv::new(num_blocks);
+    let mut ldv = Ldv::new();
+    let mut instr: u64 = 0;
+    for exec in workload.region_trace(region, thread) {
+        bbv.record(exec.block, exec.instructions);
+        instr += u64::from(exec.instructions);
+        for access in &exec.accesses {
+            let distance = tracker.record(access.line());
+            ldv.record(distance);
+        }
+    }
+    (bbv, ldv, instr)
+}
+
+/// Profiles the whole application with continuous reuse-distance tracking,
+/// returning one signature per region.
+///
+/// Since the thread-major refactor this delegates to the streaming
+/// thread-major path ([`crate::collect_application_signatures_with`]) under
+/// [`bp_exec::ExecutionPolicy::Serial`], which is bit-identical to the
+/// historical region-major walk.
 pub fn collect_application_signatures<W: Workload + ?Sized>(workload: &W) -> Vec<RegionSignature> {
-    ApplicationProfiler::new(workload).profile_all(workload)
+    crate::streaming::collect_application_signatures_with(
+        workload,
+        &bp_exec::ExecutionPolicy::Serial,
+    )
 }
 
 #[cfg(test)]
@@ -232,12 +259,12 @@ mod tests {
         let w = workload();
         let continuous = collect_application_signatures(&w);
         assert_eq!(continuous.len(), 46);
-        for region in 0..5 {
+        for (region, signature) in continuous.iter().enumerate().take(5) {
             // Instruction counts and BBVs do not depend on the reuse-distance
             // tracking mode; only the LDVs differ.
             let isolated = collect_region_signature(&w, region);
-            assert_eq!(continuous[region].total_instructions(), isolated.total_instructions());
-            assert_eq!(continuous[region].bbvs(), isolated.bbvs());
+            assert_eq!(signature.total_instructions(), isolated.total_instructions());
+            assert_eq!(signature.bbvs(), isolated.bbvs());
         }
     }
 

@@ -22,6 +22,15 @@
 //! collectors — the reproduction's substitute for the paper's Pin-based
 //! profiler.
 //!
+//! Whole-application profiling is *thread-major*: each workload thread's
+//! entire trace (all regions, in program order) is one streaming pass with
+//! its own continuously-updated reuse-distance tracker, and the per-thread
+//! streams are zipped back into per-region signatures
+//! ([`collect_application_signatures_with`]).  Because the per-thread state
+//! is independent across threads, the passes can run on separate OS threads
+//! under [`bp_exec::ExecutionPolicy::Parallel`] while remaining bit-identical
+//! to serial (and to the historical region-major) profiling.
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +52,7 @@ mod collector;
 mod config;
 mod ldv;
 mod stack_distance;
+mod streaming;
 mod vector;
 
 pub use bbv::Bbv;
@@ -52,4 +62,7 @@ pub use collector::{
 pub use config::{LdvWeighting, SignatureConfig, SignatureKind};
 pub use ldv::{Ldv, LDV_BUCKETS};
 pub use stack_distance::StackDistanceTracker;
+pub use streaming::{
+    collect_application_signatures_with, profile_thread, zip_thread_profiles, ThreadProfile,
+};
 pub use vector::SignatureVector;

@@ -106,7 +106,8 @@ impl StackDistanceTracker {
         let distance = match self.last.get(&line).copied() {
             Some(prev) => {
                 // Distinct lines accessed strictly after `prev`.
-                let marked_after_prev = self.tree_prefix_sum(self.tree.len() - 1) - self.tree_prefix_sum(prev);
+                let marked_after_prev =
+                    self.tree_prefix_sum(self.tree.len() - 1) - self.tree_prefix_sum(prev);
                 self.tree_add(prev, -1);
                 Some(marked_after_prev)
             }

@@ -1,0 +1,200 @@
+//! Thread-major streaming profiling.
+//!
+//! The region-major [`ApplicationProfiler`](crate::ApplicationProfiler) walks
+//! region 0 for all threads, then region 1, and so on — mirroring how the
+//! paper's Pintool observes execution.  But the per-thread state it carries
+//! (one [`StackDistanceTracker`] per thread) is completely independent across
+//! threads: thread `t`'s BBVs, LDVs and instruction counts depend only on
+//! thread `t`'s traces, in region order.  Profiling can therefore be
+//! restructured *thread-major* — walk each thread's entire trace (all
+//! regions, in program order) as one streaming pass — and the passes can run
+//! on separate OS threads.  Zipping the per-thread streams back together
+//! region by region reproduces the region-major result bit for bit.
+//!
+//! This matters because profiling is the one pipeline stage BarrierPoint
+//! cannot sample away: the paper's Pin-based profiler runs the full
+//! application at a 20–30x slowdown (Section III).  Thread-parallel profiling
+//! divides the reproduction's equivalent wall-clock cost by up to the
+//! workload's thread count.
+
+use crate::bbv::Bbv;
+use crate::collector::RegionSignature;
+use crate::ldv::Ldv;
+use crate::stack_distance::StackDistanceTracker;
+use bp_exec::ExecutionPolicy;
+use bp_workload::Workload;
+
+/// The complete profile of one thread: per-region BBVs, LDVs and instruction
+/// counts, collected in a single streaming pass with continuous
+/// reuse-distance tracking across regions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadProfile {
+    thread: usize,
+    bbvs: Vec<Bbv>,
+    ldvs: Vec<Ldv>,
+    instructions: Vec<u64>,
+}
+
+impl ThreadProfile {
+    /// The profiled thread id.
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+
+    /// Number of regions profiled.
+    pub fn num_regions(&self) -> usize {
+        self.bbvs.len()
+    }
+
+    /// Total instructions this thread retired over all regions.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions.iter().sum()
+    }
+
+    fn into_components(self) -> (Vec<Bbv>, Vec<Ldv>, Vec<u64>) {
+        (self.bbvs, self.ldvs, self.instructions)
+    }
+}
+
+/// Profiles one thread of `workload` over all regions in program order, with
+/// reuse distances tracked continuously across region boundaries (the same
+/// cold-start separation the region-major profiler provides; Section III-A2
+/// of the paper).
+pub fn profile_thread<W: Workload + ?Sized>(workload: &W, thread: usize) -> ThreadProfile {
+    assert!(thread < workload.num_threads(), "thread {thread} out of range");
+    let num_blocks = workload.block_table().len();
+    let num_regions = workload.num_regions();
+    let mut tracker = StackDistanceTracker::new();
+    let mut bbvs = Vec::with_capacity(num_regions);
+    let mut ldvs = Vec::with_capacity(num_regions);
+    let mut instructions = Vec::with_capacity(num_regions);
+    for region in 0..num_regions {
+        let (bbv, ldv, instr) = crate::collector::profile_region_thread(
+            workload,
+            region,
+            thread,
+            &mut tracker,
+            num_blocks,
+        );
+        bbvs.push(bbv);
+        ldvs.push(ldv);
+        instructions.push(instr);
+    }
+    ThreadProfile { thread, bbvs, ldvs, instructions }
+}
+
+/// Zips per-thread streaming profiles back into one [`RegionSignature`] per
+/// region (the region-major shape the rest of the pipeline consumes).
+///
+/// # Panics
+///
+/// Panics if the profiles disagree on region count or are not given in
+/// thread order starting at 0.
+pub fn zip_thread_profiles(profiles: Vec<ThreadProfile>) -> Vec<RegionSignature> {
+    assert!(!profiles.is_empty(), "at least one thread profile required");
+    let num_regions = profiles[0].num_regions();
+    for (expected, profile) in profiles.iter().enumerate() {
+        assert_eq!(profile.thread(), expected, "thread profiles must be in thread order");
+        assert_eq!(profile.num_regions(), num_regions, "region count mismatch across threads");
+    }
+    let mut per_thread: Vec<_> = profiles
+        .into_iter()
+        .map(|p| {
+            let (bbvs, ldvs, instructions) = p.into_components();
+            (bbvs.into_iter(), ldvs.into_iter(), instructions.into_iter())
+        })
+        .collect();
+    (0..num_regions)
+        .map(|_| {
+            let mut bbvs = Vec::with_capacity(per_thread.len());
+            let mut ldvs = Vec::with_capacity(per_thread.len());
+            let mut instructions = Vec::with_capacity(per_thread.len());
+            for (bbv_iter, ldv_iter, instr_iter) in per_thread.iter_mut() {
+                bbvs.push(bbv_iter.next().expect("region count verified"));
+                ldvs.push(ldv_iter.next().expect("region count verified"));
+                instructions.push(instr_iter.next().expect("region count verified"));
+            }
+            RegionSignature::new(bbvs, ldvs, instructions)
+        })
+        .collect()
+}
+
+/// Profiles the whole application thread-major under `policy`: each thread's
+/// full trace is walked in one streaming pass (on its own OS thread under
+/// [`ExecutionPolicy::Parallel`]) and the per-thread results are zipped back
+/// into per-region signatures.
+///
+/// The result is bit-identical to
+/// [`collect_application_signatures`](crate::collect_application_signatures)
+/// for every policy, because each thread's profile depends only on that
+/// thread's traces in region order.
+pub fn collect_application_signatures_with<W: Workload + ?Sized>(
+    workload: &W,
+    policy: &ExecutionPolicy,
+) -> Vec<RegionSignature> {
+    if workload.num_regions() == 0 {
+        return Vec::new();
+    }
+    let profiles =
+        policy.execute(workload.num_threads(), |thread| profile_thread(workload, thread));
+    zip_thread_profiles(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::collect_application_signatures;
+    use bp_workload::{Benchmark, WorkloadConfig};
+
+    fn workload() -> impl Workload {
+        Benchmark::NpbCg.build(&WorkloadConfig::new(4).with_scale(0.05))
+    }
+
+    #[test]
+    fn thread_major_matches_region_major_bit_for_bit() {
+        let w = workload();
+        let region_major = collect_application_signatures(&w);
+        let serial = collect_application_signatures_with(&w, &ExecutionPolicy::Serial);
+        let parallel = collect_application_signatures_with(&w, &ExecutionPolicy::parallel_with(4));
+        assert_eq!(region_major, serial);
+        assert_eq!(region_major, parallel);
+    }
+
+    #[test]
+    fn thread_profile_totals_match_traces() {
+        let w = workload();
+        for thread in 0..4 {
+            let profile = profile_thread(&w, thread);
+            assert_eq!(profile.thread(), thread);
+            assert_eq!(profile.num_regions(), w.num_regions());
+            let direct: u64 = (0..w.num_regions())
+                .map(|r| w.region_trace(r, thread).map(|e| u64::from(e.instructions)).sum::<u64>())
+                .sum();
+            assert_eq!(profile.total_instructions(), direct);
+        }
+    }
+
+    #[test]
+    fn zip_reassembles_thread_order() {
+        let w = workload();
+        let profiles: Vec<_> = (0..4).map(|t| profile_thread(&w, t)).collect();
+        let zipped = zip_thread_profiles(profiles);
+        assert_eq!(zipped.len(), w.num_regions());
+        assert!(zipped.iter().all(|s| s.num_threads() == 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zip_rejects_out_of_order_profiles() {
+        let w = workload();
+        let profiles = vec![profile_thread(&w, 1), profile_thread(&w, 0)];
+        let _ = zip_thread_profiles(profiles);
+    }
+
+    #[test]
+    #[should_panic]
+    fn profile_thread_rejects_bad_thread() {
+        let w = workload();
+        let _ = profile_thread(&w, 9);
+    }
+}

@@ -53,12 +53,7 @@ impl SignatureVector {
     /// Panics if the dimensions differ.
     pub fn euclidean_distance(&self, other: &SignatureVector) -> f64 {
         assert_eq!(self.dimension(), other.dimension(), "dimension mismatch");
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.values.iter().zip(&other.values).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 }
 

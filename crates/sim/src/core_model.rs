@@ -31,13 +31,7 @@ pub struct CoreModel {
 impl CoreModel {
     /// Creates a core model for core `core_id`.
     pub fn new(config: &CoreConfig, core_id: usize) -> Self {
-        Self {
-            config: *config,
-            core_id,
-            cycles: 0.0,
-            instructions: 0,
-            branch_accumulator: 0.0,
-        }
+        Self { config: *config, core_id, cycles: 0.0, instructions: 0, branch_accumulator: 0.0 }
     }
 
     /// The core this model simulates.

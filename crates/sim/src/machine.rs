@@ -70,7 +70,11 @@ impl Machine {
     ///
     /// Panics if the workload's thread count differs from the machine's core
     /// count or if `region` is out of range.
-    pub fn run_region<W: Workload + ?Sized>(&mut self, workload: &W, region: usize) -> RegionMetrics {
+    pub fn run_region<W: Workload + ?Sized>(
+        &mut self,
+        workload: &W,
+        region: usize,
+    ) -> RegionMetrics {
         assert_eq!(
             workload.num_threads(),
             self.config.num_cores,
@@ -108,9 +112,8 @@ impl Machine {
     /// compared against, and the source of "perfect warmup" region metrics.
     pub fn run_full<W: Workload + ?Sized>(&mut self, workload: &W) -> RunMetrics {
         self.reset();
-        let regions = (0..workload.num_regions())
-            .map(|region| self.run_region(workload, region))
-            .collect();
+        let regions =
+            (0..workload.num_regions()).map(|region| self.run_region(workload, region)).collect();
         RunMetrics::new(regions, self.config.core.frequency_ghz)
     }
 

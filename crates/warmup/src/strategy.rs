@@ -56,8 +56,9 @@ mod tests {
 
     #[test]
     fn only_functional_replay_scales_with_skip_depth() {
-        assert!(WarmupStrategy::FunctionalReplay { region: 10 }
-            .cost_scales_with_skipped_instructions());
+        assert!(
+            WarmupStrategy::FunctionalReplay { region: 10 }.cost_scales_with_skipped_instructions()
+        );
         assert!(!WarmupStrategy::Cold.cost_scales_with_skipped_instructions());
     }
 }

@@ -11,7 +11,7 @@
 //! distributed dynamically), which the model reflects with random-access
 //! particle state and a larger fraction of thread-private data.
 
-use super::{KB, MB};
+use super::KB;
 use crate::phase::AccessPattern;
 use crate::synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
 use crate::workload::WorkloadConfig;
@@ -34,7 +34,12 @@ pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
 
     let gradient = b
         .phase("image_gradient", 512, true)
-        .pattern(AccessPattern::Stencil { id: 0, bytes: 512 * KB, plane: 2 * KB, write_fraction: 0.0 })
+        .pattern(AccessPattern::Stencil {
+            id: 0,
+            bytes: 512 * KB,
+            plane: 2 * KB,
+            write_fraction: 0.0,
+        })
         .pattern(AccessPattern::SharedStream {
             id: 1,
             bytes: 512 * KB,
@@ -93,8 +98,6 @@ pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
         .block("bodytrack.resample.copy", 16, 5, 0)
         .block("bodytrack.resample.cdf", 10, 3, 1)
         .finish();
-
-    debug_assert!(512 * KB < MB);
 
     b.schedule_one(setup);
     for _ in 0..8usize {

@@ -27,7 +27,12 @@ pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
 
     let init_rhs = b
         .phase("rhs_init", 320, true)
-        .pattern(AccessPattern::Stencil { id: 0, bytes: 768 * KB, plane: 6 * KB, write_fraction: 0.3 })
+        .pattern(AccessPattern::Stencil {
+            id: 0,
+            bytes: 768 * KB,
+            plane: 6 * KB,
+            write_fraction: 0.3,
+        })
         .block("lu.rhs.stencil", 48, 9, 0)
         .finish();
 
@@ -47,7 +52,12 @@ pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
 
     let blts = b
         .phase("blts", 288, true)
-        .pattern(AccessPattern::Stencil { id: 0, bytes: 768 * KB, plane: 6 * KB, write_fraction: 0.4 })
+        .pattern(AccessPattern::Stencil {
+            id: 0,
+            bytes: 768 * KB,
+            plane: 6 * KB,
+            write_fraction: 0.4,
+        })
         .pattern(AccessPattern::PrivateStream { bytes: 24 * KB, stride: 64 })
         .block("lu.blts.wavefront", 56, 8, 0)
         .block("lu.blts.jac", 34, 4, 1)
@@ -55,7 +65,12 @@ pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
 
     let buts = b
         .phase("buts", 288, true)
-        .pattern(AccessPattern::Stencil { id: 0, bytes: 768 * KB, plane: 6 * KB, write_fraction: 0.4 })
+        .pattern(AccessPattern::Stencil {
+            id: 0,
+            bytes: 768 * KB,
+            plane: 6 * KB,
+            write_fraction: 0.4,
+        })
         .pattern(AccessPattern::PrivateStream { bytes: 24 * KB, stride: 64 })
         .block("lu.buts.wavefront", 58, 8, 0)
         .block("lu.buts.jac", 36, 4, 1)
@@ -63,7 +78,7 @@ pub fn build(config: &WorkloadConfig) -> SyntheticWorkload {
 
     // A shared grid of ~0.75 MB; the model never exceeds 1 MB so that the
     // scaled LLC capacities (256 KB vs 1 MB) straddle the working set.
-    debug_assert!(768 * KB < MB);
+    const _: () = assert!(768 * KB < MB);
 
     b.schedule_one(init_grid);
     b.schedule_one(init_rhs);

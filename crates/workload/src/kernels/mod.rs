@@ -43,13 +43,7 @@ mod tests {
         ] {
             for threads in [8, 32] {
                 let w = bench.build(&WorkloadConfig::new(threads).with_scale(0.05));
-                assert_eq!(
-                    w.num_regions(),
-                    expected,
-                    "{} at {} threads",
-                    bench.name(),
-                    threads
-                );
+                assert_eq!(w.num_regions(), expected, "{} at {} threads", bench.name(), threads);
                 assert_eq!(w.num_regions(), bench.paper_barrier_count());
             }
         }

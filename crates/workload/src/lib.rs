@@ -56,4 +56,4 @@ pub use kernels::suite::Benchmark;
 pub use phase::{AccessPattern, Phase, PhaseBlock, PhaseId, ScheduleEntry};
 pub use region::{BlockExecution, RegionTrace};
 pub use synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};
-pub use workload::{Workload, WorkloadConfig};
+pub use workload::{FingerprintHasher, Workload, WorkloadConfig};

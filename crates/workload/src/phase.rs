@@ -100,10 +100,7 @@ impl AccessPattern {
 
     /// Returns `true` when the pattern addresses thread-private memory.
     pub fn is_private(&self) -> bool {
-        matches!(
-            self,
-            AccessPattern::PrivateStream { .. } | AccessPattern::PrivateRandom { .. }
-        )
+        matches!(self, AccessPattern::PrivateStream { .. } | AccessPattern::PrivateRandom { .. })
     }
 
     /// Returns a copy with the working set scaled by `factor`, used by the
@@ -125,7 +122,8 @@ impl AccessPattern {
             | AccessPattern::ReduceShared { bytes, .. } => *bytes = scale_bytes(*bytes),
             AccessPattern::Stencil { bytes, plane, .. } => {
                 *bytes = scale_bytes(*bytes);
-                *plane = ((*plane as f64 * factor) as u64).clamp(MIN_PLANE, (*bytes / 2).max(MIN_PLANE));
+                *plane =
+                    ((*plane as f64 * factor) as u64).clamp(MIN_PLANE, (*bytes / 2).max(MIN_PLANE));
             }
         }
         scaled
@@ -173,11 +171,7 @@ impl Phase {
     /// some work.
     pub fn iterations_per_thread(&self, scale: f64, threads: usize) -> u64 {
         let total = (self.iterations as f64 * scale).max(1.0);
-        let per_thread = if self.divide_by_threads {
-            total / threads as f64
-        } else {
-            total
-        };
+        let per_thread = if self.divide_by_threads { total / threads as f64 } else { total };
         per_thread.round().max(1.0) as u64
     }
 }

@@ -41,7 +41,12 @@ impl RegionTrace {
             .iter()
             .enumerate()
             .map(|(idx, pattern)| {
-                PatternCursor::new(pattern.clone(), threads, thread, seed.wrapping_add(idx as u64 * 0x9e37_79b9))
+                PatternCursor::new(
+                    pattern.clone(),
+                    threads,
+                    thread,
+                    seed.wrapping_add(idx as u64 * 0x9e37_79b9),
+                )
             })
             .collect();
         Self { phase, cursors, iterations, iteration: 0, block_idx: 0 }
@@ -156,11 +161,8 @@ impl PatternCursor {
                 MemoryAccess { addr: base + off, kind, size: 8 }
             }
             AccessPattern::SharedStream { id, bytes, stride, write_fraction, chunked } => {
-                let (base, len) = if chunked {
-                    self.chunk(id, bytes)
-                } else {
-                    (shared_base(id), bytes.max(64))
-                };
+                let (base, len) =
+                    if chunked { self.chunk(id, bytes) } else { (shared_base(id), bytes.max(64)) };
                 let addr = base + self.position;
                 self.position = (self.position + stride) % len.max(stride);
                 let period = if write_fraction <= 0.0 {
@@ -205,7 +207,7 @@ impl PatternCursor {
                 MemoryAccess { addr, kind, size: 8 }
             }
             AccessPattern::ReduceShared { id, bytes } => {
-                if count % 2 == 0 {
+                if count.is_multiple_of(2) {
                     let off = self.rng.gen_range(0..bytes.max(8)) & !7;
                     self.last_addr = shared_base(id) + off;
                     MemoryAccess { addr: self.last_addr, kind: AccessKind::Read, size: 8 }

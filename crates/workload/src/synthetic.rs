@@ -92,6 +92,23 @@ impl Workload for SyntheticWorkload {
     fn region_phase_name(&self, region: usize) -> &str {
         &self.phases[self.schedule[region].phase.0].name
     }
+
+    fn profile_fingerprint(&self) -> u64 {
+        // The trait's default hashes only what is visible through the trait;
+        // synthetic traces additionally depend on the configuration (seed,
+        // scale, threads) and on every phase/schedule parameter.  Hash the
+        // serialized forms so new pattern fields can never silently alias.
+        let mut hasher = crate::workload::FingerprintHasher::new();
+        hasher.write_str("synthetic-v1");
+        hasher.write_str(&self.name);
+        hasher.write_u64(self.config.threads as u64);
+        hasher.write_f64(self.config.scale);
+        hasher.write_u64(self.config.seed);
+        hasher.write_bytes(&serde::to_vec(&self.phases));
+        hasher.write_bytes(&serde::to_vec(&self.schedule));
+        hasher.write_bytes(&serde::to_vec(&self.blocks));
+        hasher.finish()
+    }
 }
 
 /// Builder for [`SyntheticWorkload`]s.

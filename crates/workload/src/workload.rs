@@ -75,6 +75,84 @@ pub trait Workload: Send + Sync {
 
     /// Name of the phase executed by `region` (diagnostic only).
     fn region_phase_name(&self, region: usize) -> &str;
+
+    /// A stable fingerprint of everything that determines this workload's
+    /// profiling result, used as the content-address of the on-disk profile
+    /// cache.
+    ///
+    /// Two workloads with equal fingerprints must produce bit-identical
+    /// [`crate::RegionTrace`] streams for every `(region, thread)` pair.  The
+    /// default implementation hashes the structural identity visible through
+    /// this trait (name, thread count, region count, block table, per-region
+    /// phase names); implementations whose traces depend on state not visible
+    /// here — seeds, scale factors, input files — **must** override it and
+    /// mix that state in (see `SyntheticWorkload`), or disable caching.
+    fn profile_fingerprint(&self) -> u64 {
+        let mut hasher = FingerprintHasher::new();
+        hasher.write_str(self.name());
+        hasher.write_u64(self.num_threads() as u64);
+        hasher.write_u64(self.num_regions() as u64);
+        for block in self.block_table().iter() {
+            hasher.write_str(&block.name);
+            hasher.write_u64(u64::from(block.instructions));
+        }
+        for region in 0..self.num_regions() {
+            hasher.write_str(self.region_phase_name(region));
+        }
+        hasher.finish()
+    }
+}
+
+/// FNV-1a accumulator for [`Workload::profile_fingerprint`] implementations.
+///
+/// Deliberately not `std::hash::Hasher`: `DefaultHasher` is allowed to change
+/// across Rust releases, which would silently invalidate every on-disk
+/// profile cache entry.  FNV-1a is fixed forever.
+#[derive(Debug, Clone)]
+pub struct FingerprintHasher {
+    state: u64,
+}
+
+impl FingerprintHasher {
+    /// Creates a hasher with the standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    /// Mixes raw bytes into the fingerprint.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Mixes a length-delimited string into the fingerprint.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Mixes a `u64` into the fingerprint.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Mixes an `f64` (by bit pattern) into the fingerprint.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]

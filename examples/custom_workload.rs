@@ -17,8 +17,10 @@ use bp_workload::{AccessPattern, SyntheticWorkloadBuilder, Workload, WorkloadCon
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads = 4;
-    let mut builder =
-        SyntheticWorkloadBuilder::new("custom-pipeline", WorkloadConfig::new(threads).with_seed(99));
+    let mut builder = SyntheticWorkloadBuilder::new(
+        "custom-pipeline",
+        WorkloadConfig::new(threads).with_seed(99),
+    );
 
     // Phase 1: every thread fills its slice of a shared frame buffer.
     let produce = builder

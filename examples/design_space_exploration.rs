@@ -12,9 +12,10 @@
 //! ```
 
 use barrierpoint::evaluate::{estimate_from_full_run, relative_scaling};
-use barrierpoint::BarrierPoint;
+use barrierpoint::{BarrierPoint, ExecutionPolicy, ProfileCache};
 use bp_sim::{Machine, SimConfig};
 use bp_workload::{Benchmark, WorkloadConfig};
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = Benchmark::NpbCg;
@@ -23,13 +24,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // scaling of Figure 8.
     let scale = 1.0;
 
+    // Profiles are microarchitecture-independent, so a design-space sweep
+    // needs exactly one (thread-parallel) profiling pass per workload: every
+    // further pipeline run over the same workload hits the on-disk cache.
+    let cache = ProfileCache::new(std::env::temp_dir().join("barrierpoint-profile-cache"));
+    println!("profile cache at {}", cache.root().display());
+
     // Select barrierpoints once, from the 8-thread run's signatures.
     let workload8 = benchmark.build(&WorkloadConfig::new(8).with_scale(scale));
-    let selection = BarrierPoint::new(&workload8).select()?;
+    let pipeline = || {
+        BarrierPoint::new(&workload8)
+            .with_execution_policy(ExecutionPolicy::parallel())
+            .with_profile_cache(cache.clone())
+    };
+    let start = Instant::now();
+    let selection = pipeline().select()?;
+    let first_select = start.elapsed();
+    let start = Instant::now();
+    let selection_again = pipeline().select()?;
+    let cached_select = start.elapsed();
+    assert_eq!(selection.barrierpoint_regions(), selection_again.barrierpoint_regions());
     println!(
-        "{}: {} barrierpoints selected from the 8-thread profile",
+        "{}: {} barrierpoints selected from the 8-thread profile \
+         (cold selection {:.2?}, with cached profile {:.2?})",
         benchmark,
-        selection.num_barrierpoints()
+        selection.num_barrierpoints(),
+        first_select,
+        cached_select,
     );
 
     // Detailed ground truth for both design points (8 cores = 1 socket,

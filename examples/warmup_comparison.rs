@@ -9,7 +9,9 @@
 //! ```
 
 use barrierpoint::evaluate::prediction_error;
-use barrierpoint::{reconstruct, simulate_barrierpoints, BarrierPoint, WarmupKind};
+use barrierpoint::{
+    reconstruct, simulate_barrierpoints, BarrierPoint, ExecutionPolicy, WarmupKind,
+};
 use bp_sim::{Machine, SimConfig};
 use bp_workload::{Benchmark, WorkloadConfig};
 
@@ -34,7 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for warmup in [WarmupKind::Cold, WarmupKind::MruReplay, WarmupKind::FunctionalReplay] {
-        let metrics = simulate_barrierpoints(&workload, &selection, &sim_config, warmup, true)?;
+        let metrics = simulate_barrierpoints(
+            &workload,
+            &selection,
+            &sim_config,
+            warmup,
+            &ExecutionPolicy::parallel(),
+        )?;
         let estimate = reconstruct(&selection, &metrics, sim_config.core.frequency_ghz)?;
         let error = prediction_error(&ground, &estimate);
         let note = match warmup {

@@ -1,0 +1,10 @@
+//! Workspace root for the BarrierPoint reproduction.
+//!
+//! The substance lives in the member crates (`barrierpoint` and the `bp-*`
+//! substrate crates); this stub package only anchors the workspace-level
+//! integration tests under `tests/` and the runnable examples under
+//! `examples/`.  It re-exports the top-level crate for convenience.
+
+#![forbid(unsafe_code)]
+
+pub use barrierpoint;

@@ -25,7 +25,8 @@ fn selections_transfer_across_core_counts() {
     let ground8 = Machine::new(&SimConfig::tiny(8)).run_full(&w8);
 
     // Native and transferred estimates for the 8-core machine.
-    let native = prediction_error(&ground8, &estimate_from_full_run(&selection8, &ground8).unwrap());
+    let native =
+        prediction_error(&ground8, &estimate_from_full_run(&selection8, &ground8).unwrap());
     let transferred =
         prediction_error(&ground8, &estimate_from_full_run(&selection4, &ground8).unwrap());
     assert!(

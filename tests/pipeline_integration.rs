@@ -2,7 +2,7 @@
 //! detailed-simulation ground truth on several benchmarks.
 
 use barrierpoint::evaluate::{estimate_from_full_run, prediction_error, speedups};
-use barrierpoint::{BarrierPoint, SimPointConfig, SignatureConfig, WarmupKind};
+use barrierpoint::{BarrierPoint, SignatureConfig, SimPointConfig, WarmupKind};
 use bp_sim::{Machine, SimConfig};
 use bp_workload::{Benchmark, Workload, WorkloadConfig};
 
@@ -80,8 +80,7 @@ fn combined_signatures_are_at_least_as_accurate_as_bbv_only() {
 
     let mut errors = Vec::new();
     for config in [SignatureConfig::bbv_only(), SignatureConfig::combined()] {
-        let selection =
-            BarrierPoint::new(&w).with_signature_config(config).select().unwrap();
+        let selection = BarrierPoint::new(&w).with_signature_config(config).select().unwrap();
         let estimate = estimate_from_full_run(&selection, &ground).unwrap();
         errors.push(prediction_error(&ground, &estimate).runtime_percent_error);
     }

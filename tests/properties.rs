@@ -2,13 +2,11 @@
 //! generated synthetic workloads.
 
 use barrierpoint::{
-    profile_application, reconstruct, select_barrierpoints, BarrierPointMetrics, SimPointConfig,
-    SignatureConfig,
+    profile_application, reconstruct, select_barrierpoints, BarrierPointMetrics, SignatureConfig,
+    SimPointConfig,
 };
 use bp_sim::{Machine, SimConfig};
-use bp_workload::{
-    AccessPattern, SyntheticWorkloadBuilder, Workload, WorkloadConfig,
-};
+use bp_workload::{AccessPattern, SyntheticWorkloadBuilder, Workload, WorkloadConfig};
 use proptest::prelude::*;
 
 /// Builds a random but structurally valid workload: up to 4 phases with
@@ -25,7 +23,7 @@ fn arbitrary_workload() -> impl Strategy<Value = (bp_workload::SyntheticWorkload
             );
             let mut ids = Vec::new();
             for p in 0..phases {
-                let bytes = 16 * 1024u64 << p;
+                let bytes = (16 * 1024u64) << p;
                 let id = builder
                     .phase(format!("phase{p}"), 64 + 32 * p as u64, true)
                     .pattern(AccessPattern::PrivateStream { bytes, stride: 64 })

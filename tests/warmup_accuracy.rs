@@ -2,7 +2,9 @@
 //! recover most of the cold-start error and approach functional replay.
 
 use barrierpoint::evaluate::prediction_error;
-use barrierpoint::{reconstruct, simulate_barrierpoints, BarrierPoint, WarmupKind};
+use barrierpoint::{
+    reconstruct, simulate_barrierpoints, BarrierPoint, ExecutionPolicy, WarmupKind,
+};
 use bp_sim::{Machine, SimConfig};
 use bp_workload::{Benchmark, WorkloadConfig};
 
@@ -12,7 +14,9 @@ fn error_with_warmup(bench: Benchmark, warmup: WarmupKind) -> f64 {
     let sim_config = SimConfig::tiny(threads);
     let selection = BarrierPoint::new(&w).select().unwrap();
     let ground = Machine::new(&sim_config).run_full(&w);
-    let metrics = simulate_barrierpoints(&w, &selection, &sim_config, warmup, true).unwrap();
+    let metrics =
+        simulate_barrierpoints(&w, &selection, &sim_config, warmup, &ExecutionPolicy::parallel())
+            .unwrap();
     let estimate = reconstruct(&selection, &metrics, sim_config.core.frequency_ghz).unwrap();
     prediction_error(&ground, &estimate).runtime_percent_error
 }
@@ -22,10 +26,7 @@ fn mru_replay_not_worse_than_cold_start() {
     for bench in [Benchmark::NpbFt, Benchmark::NpbCg] {
         let cold = error_with_warmup(bench, WarmupKind::Cold);
         let mru = error_with_warmup(bench, WarmupKind::MruReplay);
-        assert!(
-            mru <= cold + 1.0,
-            "{bench}: MRU error {mru:.2}% vs cold error {cold:.2}%"
-        );
+        assert!(mru <= cold + 1.0, "{bench}: MRU error {mru:.2}% vs cold error {cold:.2}%");
     }
 }
 

@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde` with the same import surface the rest of the
+//! workspace uses: `use serde::{Deserialize, Serialize};` imports both the
+//! traits and the derive macros, exactly as with the real crate's `derive`
+//! feature.
+//!
+//! Instead of serde's visitor-based data model, this implementation writes a
+//! compact, fixed-layout little-endian binary encoding: field order is the
+//! declaration order, sequences are length-prefixed, enum variants are
+//! encoded by index.  That is sufficient (and fully deterministic) for the
+//! on-disk profile cache and any snapshotting the workspace does, without a
+//! network dependency.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error (only produced on the read side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Error for an out-of-range enum variant index.
+    pub fn invalid_variant(type_name: &str, index: u32) -> Self {
+        Self::custom(format!("invalid variant index {index} for enum {type_name}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Byte-stream writer handed to [`Serialize`] implementations.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    buf: Vec<u8>,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the serializer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a sequence length.
+    pub fn write_len(&mut self, len: usize) {
+        self.write_u64(len as u64);
+    }
+
+    /// Writes an enum variant index.
+    pub fn write_variant(&mut self, index: u32) {
+        self.write_u32(index);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_len(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+}
+
+/// Byte-stream reader handed to [`Deserialize`] implementations.
+#[derive(Debug)]
+pub struct Deserializer<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Deserializer<'a> {
+    /// Creates a deserializer over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.remaining() < n {
+            return Err(Error::custom(format!(
+                "unexpected end of input: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, Error> {
+        let b = self.read_bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, Error> {
+        let b = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&mut self) -> Result<u8, Error> {
+        Ok(self.read_bytes(1)?[0])
+    }
+
+    /// Reads a sequence length, rejecting lengths that cannot fit in memory.
+    pub fn read_len(&mut self) -> Result<usize, Error> {
+        let len = self.read_u64()?;
+        if len > (1 << 40) {
+            return Err(Error::custom(format!("implausible sequence length {len}")));
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads an enum variant index.
+    pub fn read_variant(&mut self) -> Result<u32, Error> {
+        self.read_u32()
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_string(&mut self) -> Result<String, Error> {
+        let len = self.read_len()?;
+        let bytes = self.read_bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| Error::custom(e.to_string()))
+    }
+}
+
+/// A type that can be written to a [`Serializer`].
+pub trait Serialize {
+    /// Writes `self` to `out`.
+    fn serialize(&self, out: &mut Serializer);
+}
+
+/// A type that can be read back from a [`Deserializer`].
+pub trait Deserialize: Sized {
+    /// Reads a value from `de`.
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error>;
+}
+
+/// Encodes `value` to a byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut s = Serializer::new();
+    value.serialize(&mut s);
+    s.into_bytes()
+}
+
+/// Decodes a value from `bytes`, requiring the whole input to be consumed.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut de = Deserializer::new(bytes);
+    let value = T::deserialize(&mut de)?;
+    if de.remaining() != 0 {
+        return Err(Error::custom(format!("{} trailing bytes after value", de.remaining())));
+    }
+    Ok(value)
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, out: &mut Serializer) {
+                out.write_bytes(&(*self as u64).to_le_bytes());
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+                Ok(de.read_u64()? as $ty)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u8(u8::from(*self));
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match de.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(Error::custom(format!("invalid bool byte {b}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u64(self.to_bits());
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(f64::from_bits(de.read_u64()?))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u32(self.to_bits());
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(f32::from_bits(de.read_u32()?))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_u32(*self as u32);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let v = de.read_u32()?;
+        char::from_u32(v).ok_or_else(|| Error::custom(format!("invalid char scalar {v}")))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_str(self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        de.read_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_str(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Serializer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_len(self.len());
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = de.read_len()?;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::deserialize(de)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        match self {
+            None => out.write_u8(0),
+            Some(v) => {
+                out.write_u8(1);
+                v.serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match de.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(de)?)),
+            b => Err(Error::custom(format!("invalid Option tag {b}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(de)?))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, out: &mut Serializer) {
+        out.write_len(self.len());
+        for (k, v) in self {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = de.read_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(de)?;
+            let v = V::deserialize(de)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut Serializer) {
+                $(self.$idx.serialize(out);)+
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+                Ok(($($name::deserialize(de)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v: (u64, bool, f64, String) = (42, true, 2.5, "hello".into());
+        let bytes = to_vec(&v);
+        let back: (u64, bool, f64, String) = from_slice(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let v: Vec<Option<Vec<(u64, bool)>>> =
+            vec![None, Some(vec![(1, true), (2, false)]), Some(vec![])];
+        let back: Vec<Option<Vec<(u64, bool)>>> = from_slice(&to_vec(&v)).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_vec(&7u64);
+        bytes.push(0);
+        assert!(from_slice::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_vec(&7u64);
+        assert!(from_slice::<u64>(&bytes[..4]).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! The macros parse the item declaration directly from the raw
+//! [`proc_macro::TokenStream`] (no `syn`/`quote`, which are unavailable
+//! offline) and emit field-by-field implementations of the stand-in's
+//! `Serialize` / `Deserialize` traits.  Supported shapes — plain structs with
+//! named fields, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple, or struct-like — cover every derived type in this workspace.
+//! Generics and serde attributes are intentionally not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// `struct S { a: A, b: B }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` with the field count.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skips any number of leading `#[...]` / `#![...]` attribute token runs.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == '!' {
+                            i += 1;
+                        }
+                    }
+                }
+                // The `[...]` group of the attribute.
+                if i < tokens.len() {
+                    if let TokenTree::Group(g) = &tokens[i] {
+                        if g.delimiter() == Delimiter::Bracket {
+                            i += 1;
+                            continue;
+                        }
+                    }
+                }
+                panic!("malformed attribute in derive input");
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, `pub(in ...)`).
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses `name: Type` field lists inside a brace group, returning the field
+/// names in declaration order.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_visibility(&tokens, i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field name, found {other}"),
+        }
+        // Skip the type: consume tokens until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the comma-separated fields of a tuple-struct / tuple-variant group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to past the next top-level comma (also skips `= discriminant`).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) stand-in does not support generics on `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, fields: parse_named_fields(g) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g) }
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive Serialize/Deserialize for `{other}` items"),
+    }
+}
+
+/// Emits the `Serialize` implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body: String = fields
+                .iter()
+                .map(|f| format!("::serde::Serialize::serialize(&self.{f}, __out);"))
+                .collect();
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i}, __out);"))
+                .collect();
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, ""),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => {{ __out.write_variant({idx}u32); }}\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let writes: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b}, __out);"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ __out.write_variant({idx}u32); {writes} }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let writes: String = fields
+                            .iter()
+                            .map(|f| format!("::serde::Serialize::serialize({f}, __out);"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ __out.write_variant({idx}u32); {writes} }}\n",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{ {arms} }}"))
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, __out: &mut ::serde::Serializer) {{\n\
+                 let _ = &__out; {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Emits the `Deserialize` implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(__de)?,"))
+                .collect();
+            impl_deserialize(name, &format!("::core::result::Result::Ok({name} {{ {inits} }})"))
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> =
+                (0..*arity).map(|_| "::serde::Deserialize::deserialize(__de)?".into()).collect();
+            impl_deserialize(
+                name,
+                &format!("::core::result::Result::Ok({name}({}))", inits.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::core::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|_| "::serde::Deserialize::deserialize(__de)?".into())
+                            .collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::core::result::Result::Ok({name}::{vn}({})),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::Deserialize::deserialize(__de)?,"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::core::result::Result::Ok({name}::{vn} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            impl_deserialize(
+                name,
+                &format!(
+                    "match __de.read_variant()? {{ {arms} __v => \
+                     ::core::result::Result::Err(::serde::Error::invalid_variant(\"{name}\", __v)), }}"
+                ),
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__de: &mut ::serde::Deserializer<'_>) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
