@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
             |b, &bench| {
                 let workload = config.workload(bench, config.cores_small);
                 b.iter(|| {
-                    let selection = BarrierPoint::new(&workload).select().unwrap();
+                    let selection = BarrierPoint::new(&workload).select().unwrap().into_selection();
                     speedups(&selection)
                 })
             },

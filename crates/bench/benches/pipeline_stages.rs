@@ -5,12 +5,12 @@
 use barrierpoint::evaluate::perfect_warmup_metrics;
 use barrierpoint::{
     profile_application, profile_application_with, reconstruct, reconstruct_with_mode,
-    select_barrierpoints, ExecutionPolicy, ProfileCache, ScalingMode, SignatureConfig,
+    select_barrierpoints, ArtifactCache, ExecutionPolicy, ScalingMode, SignatureConfig,
     SimPointConfig,
 };
 use bp_bench::{prepare, ExperimentConfig};
 use bp_sim::Machine;
-use bp_warmup::collect_mru_warmup;
+use bp_warmup::{collect_mru_warmup, collect_mru_warmup_with};
 use bp_workload::{Benchmark, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::{Duration, Instant};
@@ -44,6 +44,12 @@ fn bench(c: &mut Criterion) {
         let capacity = run.sim_config.memory.llc_total_lines(config.cores_small);
         b.iter(|| collect_mru_warmup(&workload, &targets, capacity))
     });
+    group.bench_function("collect_mru_warmup_parallel_npb_cg", |b| {
+        let targets = run.selection.barrierpoint_regions();
+        let capacity = run.sim_config.memory.llc_total_lines(config.cores_small);
+        let policy = ExecutionPolicy::parallel_with(config.cores_small);
+        b.iter(|| collect_mru_warmup_with(&workload, &targets, capacity, &policy))
+    });
     group.bench_function("reconstruct_scaled_npb_cg", |b| {
         b.iter(|| reconstruct(&run.selection, &metrics, freq).unwrap())
     });
@@ -66,7 +72,7 @@ fn bench_profiling(_c: &mut Criterion) {
     let workload = Benchmark::NpbCg.build(&WorkloadConfig::new(threads).with_scale(0.05));
     let cache_dir = std::env::temp_dir().join(format!("bp-bench-cache-{}", std::process::id()));
     std::fs::remove_dir_all(&cache_dir).ok();
-    let cache = ProfileCache::new(&cache_dir);
+    let cache = ArtifactCache::new(&cache_dir);
     // Policy capped at the workload's thread count; over-committing past the
     // machine's CPUs is fine (and lets the parallel path run anywhere).
     let parallel = ExecutionPolicy::parallel_with(threads);

@@ -1,0 +1,103 @@
+//! Design-space sweep throughput: the amortization economy, measured.
+//!
+//! Compares three ways of evaluating the same machine-configuration matrix
+//! (the [`bp_bench::sweep_machine_variants`] variants) over one workload:
+//!
+//! * **monolithic** — one full `BarrierPoint::run` per configuration, the
+//!   pre-redesign shape: profiling and clustering repeat per config;
+//! * **sweep** — one `Sweep::run`: profile once, cluster once, simulate per
+//!   config;
+//! * **cached sweep** — `Sweep::run` with a warm `ArtifactCache`: both
+//!   one-time passes load from disk.
+//!
+//! Medians go to the console and to `BENCH_sweep.json` at the repository
+//! root so the sweep perf trajectory is recorded run over run.  Each variant
+//! is timed by one explicit sample loop (one untimed warmup + 5 timed runs),
+//! like the profiling bench.
+
+use barrierpoint::{ArtifactCache, BarrierPoint, Sweep};
+use bp_bench::{sweep_machine_variants, ExperimentConfig};
+use bp_workload::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_sweep(_c: &mut Criterion) {
+    let config = ExperimentConfig::quick();
+    let cores = config.cores_small;
+    let workload = config.workload(Benchmark::NpbCg, cores);
+    let variants = sweep_machine_variants(&config, cores);
+    let cache_dir =
+        std::env::temp_dir().join(format!("bp-sweep-bench-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let cache = ArtifactCache::new(&cache_dir);
+
+    // Median over explicit wall-clock samples (one untimed warmup first).
+    let median = |f: &dyn Fn()| -> Duration {
+        f();
+        let mut samples: Vec<Duration> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+
+    println!("group sweep (median of 5, npb-cg at {cores} threads, {} configs)", variants.len());
+    let monolithic = median(&|| {
+        for (_, machine) in &variants {
+            BarrierPoint::new(&workload).with_sim_config(*machine).run().unwrap();
+        }
+    });
+    println!("sweep/monolithic_per_config {monolithic:>42.2?}");
+
+    let build_sweep = |with_cache: bool| {
+        let mut sweep = Sweep::new(&workload);
+        if with_cache {
+            sweep = sweep.with_cache(cache.clone());
+        }
+        for (label, machine) in &variants {
+            sweep = sweep.add_config(*label, *machine);
+        }
+        sweep
+    };
+    let staged = median(&|| {
+        let report = build_sweep(false).run().unwrap();
+        assert_eq!(report.counters().profile_passes, 1);
+    });
+    println!("sweep/staged_single_pass {staged:>45.2?}");
+
+    build_sweep(true).run().unwrap(); // populate the cache
+    let cached = median(&|| {
+        let report = build_sweep(true).run().unwrap();
+        assert_eq!(report.counters().profile_passes, 0);
+        assert_eq!(report.counters().clustering_passes, 0);
+    });
+    println!("sweep/staged_cached {cached:>50.2?}");
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"workload\": \"npb-cg\",\n  \
+         \"threads\": {cores},\n  \"configs\": {},\n  \"host_cpus\": {cpus},\n  \
+         \"monolithic_per_config_ns\": {},\n  \"sweep_ns\": {},\n  \"sweep_cached_ns\": {},\n  \
+         \"sweep_speedup\": {:.3},\n  \"cached_speedup\": {:.3}\n}}\n",
+        variants.len(),
+        monolithic.as_nanos(),
+        staged.as_nanos(),
+        cached.as_nanos(),
+        monolithic.as_secs_f64() / staged.as_secs_f64().max(1e-12),
+        monolithic.as_secs_f64() / cached.as_secs_f64().max(1e-12),
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -20,7 +20,7 @@ fn main() {
     for &bench in Benchmark::all() {
         let start = std::time::Instant::now();
         let w = bench.build(&WorkloadConfig::new(threads).with_scale(scale));
-        let selection = BarrierPoint::new(&w).select().unwrap();
+        let selection = BarrierPoint::new(&w).select().unwrap().into_selection();
         let ground = Machine::new(&sim_config).run_full(&w);
         let estimate = estimate_from_full_run(&selection, &ground).unwrap();
         let err = prediction_error(&ground, &estimate);

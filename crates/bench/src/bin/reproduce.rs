@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Supported experiment names: `table1`, `table2`, `table3`, `fig1`, `fig3`,
-//! `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `ablation`, `all`.
+//! `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `ablation`, `sweep`,
+//! `all`.
 
 use bp_bench::ExperimentConfig;
 use std::time::Instant;
@@ -15,7 +16,8 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--quick] <experiment>...\n\
-         experiments: table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation all"
+         experiments: table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation \
+         sweep all"
     );
     std::process::exit(2);
 }
@@ -36,7 +38,7 @@ fn main() {
     if experiments.iter().any(|e| e == "all") {
         experiments = [
             "table1", "table2", "fig1", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "fig8",
-            "fig9", "ablation",
+            "fig9", "ablation", "sweep",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -66,6 +68,7 @@ fn main() {
             "fig8" => bp_bench::fig8_relative_scaling(&config),
             "fig9" => bp_bench::fig9_speedups(&config),
             "ablation" => bp_bench::ablation_scaling(&config),
+            "sweep" => bp_bench::sweep_design_space(&config),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage();

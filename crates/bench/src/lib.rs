@@ -21,8 +21,8 @@ use barrierpoint::evaluate::{
 use barrierpoint::report;
 use barrierpoint::{
     profile_application, reconstruct, reconstruct_with_mode, select_barrierpoints,
-    simulate_barrierpoints, ApplicationProfile, BarrierPointSelection, ExecutionPolicy,
-    ProfileCache, ScalingMode, SignatureConfig, SimConfig, SimPointConfig, WarmupKind,
+    simulate_barrierpoints, ApplicationProfile, ArtifactCache, BarrierPoint, BarrierPointSelection,
+    ExecutionPolicy, ScalingMode, SignatureConfig, SimConfig, SimPointConfig, Sweep, WarmupKind,
 };
 use bp_sim::{Machine, RunMetrics};
 use bp_workload::{Benchmark, SyntheticWorkload, Workload, WorkloadConfig};
@@ -100,30 +100,26 @@ pub fn prepare(config: &ExperimentConfig, bench: Benchmark, cores: usize) -> Pre
     prepare_with_cache(config, bench, cores, None)
 }
 
-/// [`prepare`] with an optional persistent profile cache: when `cache` is
-/// given, the microarchitecture-independent profiling pass is skipped for
-/// workloads already profiled by an earlier experiment in the sweep (the
-/// Figure 6 reuse property).
+/// [`prepare`] with an optional persistent artifact cache: when `cache` is
+/// given, the staged pipeline loads the microarchitecture-independent
+/// profile *and* the barrierpoint selection from disk for workloads already
+/// prepared by an earlier experiment in the sweep (the Figure 6 reuse
+/// property).
 pub fn prepare_with_cache(
     config: &ExperimentConfig,
     bench: Benchmark,
     cores: usize,
-    cache: Option<&ProfileCache>,
+    cache: Option<&ArtifactCache>,
 ) -> PreparedRun {
     let workload = config.workload(bench, cores);
     let sim_config = config.machine(cores);
-    let profile = match cache {
-        Some(cache) => {
-            cache
-                .load_or_profile(&workload, &ExecutionPolicy::parallel())
-                .expect("profile cache usable")
-                .0
-        }
-        None => profile_application(&workload).expect("non-empty workload"),
-    };
-    let selection =
-        select_barrierpoints(&profile, &SignatureConfig::combined(), &SimPointConfig::paper())
-            .expect("selection succeeds");
+    let mut pipeline = BarrierPoint::new(&workload);
+    if let Some(cache) = cache {
+        pipeline = pipeline.with_cache(cache.clone());
+    }
+    let selected = pipeline.select().expect("selection succeeds");
+    let profile = selected.profile().clone();
+    let selection = selected.into_selection();
     let ground = Machine::new(&sim_config).run_full(&workload);
     PreparedRun { benchmark: bench, cores, workload, profile, selection, ground, sim_config }
 }
@@ -449,6 +445,41 @@ pub fn fig9_speedups(config: &ExperimentConfig) -> String {
     out
 }
 
+/// The machine-configuration variants explored by the [`sweep_design_space`]
+/// experiment and the `sweep` bench: the experiment's stock machine, a 25 %
+/// faster clock, and a half-size LLC, for `cores` cores.
+pub fn sweep_machine_variants(
+    config: &ExperimentConfig,
+    cores: usize,
+) -> Vec<(&'static str, SimConfig)> {
+    let base = config.machine(cores);
+    let mut fast_clock = base;
+    fast_clock.core.frequency_ghz *= 1.25;
+    let mut small_llc = base;
+    small_llc.memory.l3.size_bytes /= 2;
+    vec![("base", base), ("fast-clock", fast_clock), ("small-llc", small_llc)]
+}
+
+/// Design-space sweep demo: one benchmark, the [`sweep_machine_variants`]
+/// machine matrix, one profiling pass and one clustering pass — the
+/// amortization economy of Figures 6/8 as a single `Sweep::run` call.
+pub fn sweep_design_space(config: &ExperimentConfig) -> String {
+    let cores = config.cores_small;
+    let workload = config.workload(Benchmark::NpbCg, cores);
+    let mut sweep = Sweep::new(&workload);
+    for (label, machine) in sweep_machine_variants(config, cores) {
+        sweep = sweep.add_config(label, machine);
+    }
+    let sweep_report = sweep.run().expect("sweep succeeds");
+    let mut out = report::sweep_table(&sweep_report);
+    let _ = writeln!(
+        out,
+        "  (speedup of fast-clock over base: {:.2}x predicted)",
+        sweep_report.predicted_speedup("base", "fast-clock").expect("both legs present"),
+    );
+    out
+}
+
 /// Ablation (Section VI-A): reconstruction with and without instruction-count
 /// scaling of the multipliers.
 pub fn ablation_scaling(config: &ExperimentConfig) -> String {
@@ -501,6 +532,15 @@ mod tests {
         assert!(fig1.contains("npb-sp"));
         assert!(table1_system(&config).contains("L3 cache"));
         assert!(table2_simpoint().contains("maxK"));
+    }
+
+    #[test]
+    fn quick_sweep_reports_single_pass_amortization() {
+        let config = ExperimentConfig::quick();
+        let text = sweep_design_space(&config);
+        assert!(text.contains("npb-cg"));
+        assert!(text.contains("fast-clock"));
+        assert!(text.contains("1 profile pass(es), 1 clustering pass(es), 3 simulation leg(s)"));
     }
 
     #[test]

@@ -1,32 +1,55 @@
-//! Content-addressed on-disk cache of [`ApplicationProfile`]s.
+//! Content-addressed on-disk cache of pipeline artifacts.
 //!
-//! Profiling is microarchitecture-independent (Section III / Figure 6 of the
-//! paper), so one profile serves every machine configuration in a design
-//! space sweep — but the reproduction used to re-profile from scratch on
-//! every pipeline run.  [`ProfileCache`] persists profiles keyed by the
-//! workload's [`profile_fingerprint`](Workload::profile_fingerprint) (a
-//! content address over everything that determines the traces: name, thread
-//! count, seed, scale, phase structure), so sweeps profile once and reuse.
+//! The paper's central economy is amortization: the one-time artifacts of the
+//! pipeline — the signature profile and the barrierpoint selection — serve
+//! *many* detailed simulations, and (Figure 6) even transfer across machine
+//! configurations.  [`ArtifactCache`] persists both stage artifacts so that
+//! design-space sweeps pay their one-time costs exactly once:
 //!
-//! Cache files are self-validating: a magic number, a format version, and
-//! the full key are stored in the header, and any mismatch — version bump,
+//! * **Profiles** are keyed by the workload's
+//!   [`profile_fingerprint`](Workload::profile_fingerprint) (a content
+//!   address over everything that determines the traces: name, thread count,
+//!   seed, scale, phase structure).
+//! * **Selections** are keyed by the same fingerprint *plus* a fingerprint of
+//!   the [`SignatureConfig`] and [`SimPointConfig`] that produced them, so a
+//!   changed clustering parameter can never alias a cached selection.
+//!
+//! Cache files are self-validating: a magic number, a format version, and the
+//! full key are stored in the header, and any mismatch — version bump,
 //! fingerprint collision on the truncated file name, corrupt payload — is
-//! treated as a miss rather than an error.  Only genuine I/O failures
-//! surface as [`Error::ProfileCache`].
+//! treated as a miss rather than an error (a later store self-heals the
+//! entry).  Only genuine I/O failures surface as [`Error::ProfileCache`].
+//!
+//! The cache keeps shared hit/miss counters ([`ArtifactCache::stats`];
+//! clones share them) and can be size-bounded with
+//! [`ArtifactCache::with_max_bytes`], which evicts least-recently-used
+//! entries (by file modification time — loads touch entries) after every
+//! store.
 
 use crate::error::Error;
 use crate::profile::{profile_application_with, ApplicationProfile};
+use crate::select::{select_barrierpoints, BarrierPointSelection};
+use bp_clustering::SimPointConfig;
 use bp_exec::ExecutionPolicy;
-use bp_workload::Workload;
+use bp_signature::SignatureConfig;
+use bp_workload::{FingerprintHasher, Workload};
 use std::fs;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::SystemTime;
 
-/// Magic bytes at the start of every cache file.
-const MAGIC: &[u8; 4] = b"BPPF";
-/// Bump whenever the serialized layout of [`ApplicationProfile`] (or this
+/// Magic bytes at the start of every profile cache file.
+const PROFILE_MAGIC: &[u8; 4] = b"BPPF";
+/// Magic bytes at the start of every selection cache file.
+const SELECTION_MAGIC: &[u8; 4] = b"BPSL";
+/// Bump whenever the serialized layout of a cached artifact (or the entry
 /// header) changes; old entries then read as misses and are overwritten.
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u32 = 2;
+/// File extensions of the two artifact kinds (also the eviction scan filter).
+const PROFILE_EXT: &str = "bpprof";
+const SELECTION_EXT: &str = "bpsel";
 
 /// The content address of one profile: everything the cache needs to locate
 /// and validate an entry.
@@ -60,46 +83,175 @@ impl ProfileCacheKey {
     /// File name of this entry inside a cache directory: human-readable
     /// prefix plus the full fingerprint in hex.
     fn file_name(&self) -> String {
-        let sanitized: String = self
-            .workload_name
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
-            .collect();
-        format!("{sanitized}-{}t-{:016x}.bpprof", self.threads, self.fingerprint)
+        format!(
+            "{}-{}t-{:016x}.{PROFILE_EXT}",
+            sanitize(&self.workload_name),
+            self.threads,
+            self.fingerprint
+        )
     }
 }
 
-/// A directory of serialized [`ApplicationProfile`]s keyed by workload
-/// content.
+/// The content address of one barrierpoint selection: the profile's identity
+/// plus a fingerprint of the configuration pair that derived the selection
+/// from it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SelectionCacheKey {
+    workload_name: String,
+    threads: usize,
+    profile_fingerprint: u64,
+    config_fingerprint: u64,
+}
+
+impl SelectionCacheKey {
+    /// Computes the key for selecting barrierpoints from `profile_key`'s
+    /// profile under `(signature_config, simpoint_config)`.
+    pub fn new(
+        profile_key: &ProfileCacheKey,
+        signature_config: &SignatureConfig,
+        simpoint_config: &SimPointConfig,
+    ) -> Self {
+        let mut hasher = FingerprintHasher::new();
+        hasher.write_bytes(&serde::to_vec(signature_config));
+        hasher.write_bytes(&serde::to_vec(simpoint_config));
+        Self {
+            workload_name: profile_key.workload_name.clone(),
+            threads: profile_key.threads,
+            profile_fingerprint: profile_key.fingerprint,
+            config_fingerprint: hasher.finish(),
+        }
+    }
+
+    /// Computes the key for `workload` under `(signature_config,
+    /// simpoint_config)`.
+    pub fn for_workload<W: Workload + ?Sized>(
+        workload: &W,
+        signature_config: &SignatureConfig,
+        simpoint_config: &SimPointConfig,
+    ) -> Self {
+        Self::new(&ProfileCacheKey::for_workload(workload), signature_config, simpoint_config)
+    }
+
+    /// The fingerprint of the profile the selection derives from.
+    pub fn profile_fingerprint(&self) -> u64 {
+        self.profile_fingerprint
+    }
+
+    /// The fingerprint of the `(SignatureConfig, SimPointConfig)` pair.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
+    }
+
+    fn file_name(&self) -> String {
+        format!(
+            "{}-{}t-{:016x}-{:016x}.{SELECTION_EXT}",
+            sanitize(&self.workload_name),
+            self.threads,
+            self.profile_fingerprint,
+            self.config_fingerprint
+        )
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// A point-in-time snapshot of a cache's hit/miss counters.
+///
+/// Counters are shared between clones of an [`ArtifactCache`], so one
+/// snapshot accounts for every pipeline and sweep using that cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Profile lookups that were served from disk.
+    pub profile_hits: u64,
+    /// Profile lookups that had to re-profile (including corrupt entries).
+    pub profile_misses: u64,
+    /// Selection lookups that were served from disk.
+    pub selection_hits: u64,
+    /// Selection lookups that had to re-cluster (including corrupt entries).
+    pub selection_misses: u64,
+    /// Entries deleted by LRU eviction.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    profile_hits: AtomicU64,
+    profile_misses: AtomicU64,
+    selection_hits: AtomicU64,
+    selection_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A directory of serialized pipeline artifacts — [`ApplicationProfile`]s and
+/// [`BarrierPointSelection`]s — keyed by workload and configuration content.
 ///
 /// ```
-/// use barrierpoint::{ExecutionPolicy, ProfileCache};
+/// use barrierpoint::{ArtifactCache, ExecutionPolicy, SignatureConfig, SimPointConfig};
 /// use bp_workload::{Benchmark, WorkloadConfig};
 ///
-/// let dir = std::env::temp_dir().join(format!("bp-profile-cache-doc-{}", std::process::id()));
+/// let dir = std::env::temp_dir().join(format!("bp-artifact-cache-doc-{}", std::process::id()));
 /// # std::fs::remove_dir_all(&dir).ok();
-/// let cache = ProfileCache::new(&dir);
+/// let cache = ArtifactCache::new(&dir);
 /// let workload = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
 ///
-/// let (first, was_cached) =
+/// let (profile, was_cached) =
 ///     cache.load_or_profile(&workload, &ExecutionPolicy::parallel())?;
 /// assert!(!was_cached);
-/// let (second, was_cached) =
-///     cache.load_or_profile(&workload, &ExecutionPolicy::parallel())?;
+/// let (selection, was_cached) = cache.load_or_select(
+///     &profile,
+///     &workload,
+///     &SignatureConfig::combined(),
+///     &SimPointConfig::paper(),
+/// )?;
+/// assert!(!was_cached);
+///
+/// // Second time around, both one-time stages come from disk.
+/// let (_, was_cached) = cache.load_or_profile(&workload, &ExecutionPolicy::parallel())?;
 /// assert!(was_cached);
-/// assert_eq!(first, second);
+/// let (again, was_cached) = cache.load_or_select(
+///     &profile,
+///     &workload,
+///     &SignatureConfig::combined(),
+///     &SimPointConfig::paper(),
+/// )?;
+/// assert!(was_cached);
+/// assert_eq!(selection, again);
+/// assert_eq!(cache.stats().profile_hits, 1);
+/// assert_eq!(cache.stats().selection_hits, 1);
 /// # std::fs::remove_dir_all(&dir).ok();
 /// # Ok::<(), barrierpoint::Error>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct ProfileCache {
+pub struct ArtifactCache {
     root: PathBuf,
+    max_bytes: Option<u64>,
+    stats: Arc<StatCounters>,
 }
 
-impl ProfileCache {
-    /// A cache rooted at `root` (created lazily on first store).
+/// The pre-redesign name of [`ArtifactCache`], kept for continuity: the
+/// profile-caching API is unchanged, the type has only grown selection
+/// memoization, statistics and eviction.
+pub type ProfileCache = ArtifactCache;
+
+impl ArtifactCache {
+    /// A cache rooted at `root` (created lazily on first store), unbounded.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        Self { root: root.into() }
+        Self { root: root.into(), max_bytes: None, stats: Arc::default() }
+    }
+
+    /// Bounds the cache's total on-disk size: after every store, entries are
+    /// evicted least-recently-used first (by file modification time; loads
+    /// touch entries) until the total drops to `max_bytes` or below.
+    ///
+    /// The bound is best-effort — a single entry larger than `max_bytes`
+    /// is evicted only once a newer entry arrives.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
     }
 
     /// The cache directory.
@@ -107,12 +259,108 @@ impl ProfileCache {
         &self.root
     }
 
-    fn entry_path(&self, key: &ProfileCacheKey) -> PathBuf {
+    /// The configured size bound, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// A snapshot of the hit/miss/eviction counters, aggregated over every
+    /// clone of this cache.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            profile_hits: self.stats.profile_hits.load(Ordering::Relaxed),
+            profile_misses: self.stats.profile_misses.load(Ordering::Relaxed),
+            selection_hits: self.stats.selection_hits.load(Ordering::Relaxed),
+            selection_misses: self.stats.selection_misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn profile_path(&self, key: &ProfileCacheKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    fn selection_path(&self, key: &SelectionCacheKey) -> PathBuf {
         self.root.join(key.file_name())
     }
 
     fn io_error(&self, path: &Path, err: &std::io::Error) -> Error {
         Error::ProfileCache { path: path.display().to_string(), message: err.to_string() }
+    }
+
+    /// Reads an entry file, marking it as recently used.  Missing files
+    /// return `Ok(None)`; other I/O failures are errors.
+    fn read_entry(&self, path: &Path) -> Result<Option<Vec<u8>>, Error> {
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(self.io_error(path, &e)),
+        };
+        // Touch for LRU: a load makes the entry the most recently used.  Best
+        // effort — filesystems without mtime updates degrade to FIFO.
+        if self.max_bytes.is_some() {
+            if let Ok(file) = fs::OpenOptions::new().write(true).open(path) {
+                let _ = file.set_modified(SystemTime::now());
+            }
+        }
+        Ok(Some(bytes))
+    }
+
+    /// Writes an entry through a temporary file and an atomic rename so that
+    /// concurrent readers never observe a torn entry, then enforces the size
+    /// bound.
+    fn write_entry(&self, path: &Path, bytes: &[u8]) -> Result<(), Error> {
+        fs::create_dir_all(&self.root).map_err(|e| self.io_error(&self.root, &e))?;
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        fs::write(&tmp, bytes).map_err(|e| self.io_error(&tmp, &e))?;
+        fs::rename(&tmp, path).map_err(|e| self.io_error(path, &e))?;
+        self.evict_to_limit(path);
+        Ok(())
+    }
+
+    /// Evicts least-recently-used entries (oldest mtime first) until the
+    /// total size of all cache entries is within the bound.  `just_written`
+    /// is exempt so a store can never evict its own entry.  The scan also
+    /// deletes orphaned temporary files left behind by a crashed writer
+    /// (killed between write and rename), once they are clearly stale —
+    /// they are not valid entries, so they neither count toward the bound
+    /// nor toward the eviction statistics.
+    fn evict_to_limit(&self, just_written: &Path) {
+        let Some(max_bytes) = self.max_bytes else { return };
+        let Ok(entries) = fs::read_dir(&self.root) else { return };
+        let now = SystemTime::now();
+        let mut files: Vec<(SystemTime, u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let path = entry.path();
+                let ext = path.extension()?.to_str()?;
+                let meta = entry.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                if ext != PROFILE_EXT && ext != SELECTION_EXT {
+                    // An old enough tmp file cannot belong to a live write.
+                    let age = now.duration_since(mtime).unwrap_or_default();
+                    if ext.starts_with("tmp-") && age.as_secs() >= 60 {
+                        let _ = fs::remove_file(&path);
+                    }
+                    return None;
+                }
+                Some((mtime, meta.len(), path))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|&(_, len, _)| len).sum();
+        files.sort_by_key(|&(mtime, _, _)| mtime);
+        for (_, len, path) in files {
+            if total <= max_bytes {
+                break;
+            }
+            if path == just_written {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Looks up the profile stored under `key`.
@@ -125,28 +373,47 @@ impl ProfileCache {
     /// Returns [`Error::ProfileCache`] for I/O failures other than the entry
     /// not existing.
     pub fn load(&self, key: &ProfileCacheKey) -> Result<Option<ApplicationProfile>, Error> {
-        let path = self.entry_path(key);
-        let bytes = match fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(self.io_error(&path, &e)),
-        };
-        Ok(decode_entry(&bytes, key))
+        let path = self.profile_path(key);
+        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
+        Ok(decode_profile(&bytes, key))
     }
 
     /// Persists `profile` under `key`, creating the cache directory if
-    /// needed.  The write goes through a temporary file and an atomic rename
-    /// so that concurrent readers never observe a torn entry.
+    /// needed.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ProfileCache`] on I/O failure.
     pub fn store(&self, key: &ProfileCacheKey, profile: &ApplicationProfile) -> Result<(), Error> {
-        fs::create_dir_all(&self.root).map_err(|e| self.io_error(&self.root, &e))?;
-        let path = self.entry_path(key);
-        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
-        fs::write(&tmp, encode_entry(key, profile)).map_err(|e| self.io_error(&tmp, &e))?;
-        fs::rename(&tmp, &path).map_err(|e| self.io_error(&path, &e))
+        self.write_entry(&self.profile_path(key), &encode_profile(key, profile))
+    }
+
+    /// Looks up the selection stored under `key`; `Ok(None)` on any miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProfileCache`] for I/O failures other than the entry
+    /// not existing.
+    pub fn load_selection(
+        &self,
+        key: &SelectionCacheKey,
+    ) -> Result<Option<BarrierPointSelection>, Error> {
+        let path = self.selection_path(key);
+        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
+        Ok(decode_selection(&bytes, key))
+    }
+
+    /// Persists `selection` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProfileCache`] on I/O failure.
+    pub fn store_selection(
+        &self,
+        key: &SelectionCacheKey,
+        selection: &BarrierPointSelection,
+    ) -> Result<(), Error> {
+        self.write_entry(&self.selection_path(key), &encode_selection(key, selection))
     }
 
     /// Returns the cached profile for `workload`, profiling (under `policy`)
@@ -164,17 +431,46 @@ impl ProfileCache {
     ) -> Result<(ApplicationProfile, bool), Error> {
         let key = ProfileCacheKey::for_workload(workload);
         if let Some(profile) = self.load(&key)? {
+            self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((profile, true));
         }
+        self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
         let profile = profile_application_with(workload, policy)?;
         self.store(&key, &profile)?;
         Ok((profile, false))
     }
+
+    /// Returns the cached barrierpoint selection of `profile` (profiled from
+    /// `workload`) under `(signature_config, simpoint_config)`, clustering
+    /// and populating the cache on a miss.  The boolean is `true` when the
+    /// selection came from the cache — clustering was skipped entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection errors ([`Error::EmptyWorkload`]) and cache I/O
+    /// errors.
+    pub fn load_or_select<W: Workload + ?Sized>(
+        &self,
+        profile: &ApplicationProfile,
+        workload: &W,
+        signature_config: &SignatureConfig,
+        simpoint_config: &SimPointConfig,
+    ) -> Result<(BarrierPointSelection, bool), Error> {
+        let key = SelectionCacheKey::for_workload(workload, signature_config, simpoint_config);
+        if let Some(selection) = self.load_selection(&key)? {
+            self.stats.selection_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((selection, true));
+        }
+        self.stats.selection_misses.fetch_add(1, Ordering::Relaxed);
+        let selection = select_barrierpoints(profile, signature_config, simpoint_config)?;
+        self.store_selection(&key, &selection)?;
+        Ok((selection, false))
+    }
 }
 
-fn encode_entry(key: &ProfileCacheKey, profile: &ApplicationProfile) -> Vec<u8> {
+fn encode_profile(key: &ProfileCacheKey, profile: &ApplicationProfile) -> Vec<u8> {
     let mut out = serde::Serializer::new();
-    out.write_bytes(MAGIC);
+    out.write_bytes(PROFILE_MAGIC);
     out.write_u32(FORMAT_VERSION);
     out.write_str(&key.workload_name);
     out.write_u64(key.threads as u64);
@@ -183,11 +479,11 @@ fn encode_entry(key: &ProfileCacheKey, profile: &ApplicationProfile) -> Vec<u8> 
     out.into_bytes()
 }
 
-/// Decodes a cache entry, returning `None` for anything that does not match
+/// Decodes a profile entry, returning `None` for anything that does not match
 /// `key` exactly (wrong magic/version/key, torn or trailing bytes).
-fn decode_entry(bytes: &[u8], key: &ProfileCacheKey) -> Option<ApplicationProfile> {
+fn decode_profile(bytes: &[u8], key: &ProfileCacheKey) -> Option<ApplicationProfile> {
     let mut de = serde::Deserializer::new(bytes);
-    if de.read_bytes(MAGIC.len()).ok()? != MAGIC {
+    if de.read_bytes(PROFILE_MAGIC.len()).ok()? != PROFILE_MAGIC {
         return None;
     }
     if de.read_u32().ok()? != FORMAT_VERSION {
@@ -209,16 +505,59 @@ fn decode_entry(bytes: &[u8], key: &ProfileCacheKey) -> Option<ApplicationProfil
     Some(profile)
 }
 
+fn encode_selection(key: &SelectionCacheKey, selection: &BarrierPointSelection) -> Vec<u8> {
+    let mut out = serde::Serializer::new();
+    out.write_bytes(SELECTION_MAGIC);
+    out.write_u32(FORMAT_VERSION);
+    out.write_str(&key.workload_name);
+    out.write_u64(key.threads as u64);
+    out.write_u64(key.profile_fingerprint);
+    out.write_u64(key.config_fingerprint);
+    serde::Serialize::serialize(selection, &mut out);
+    out.into_bytes()
+}
+
+/// Decodes a selection entry; `None` on any mismatch, as for profiles.
+fn decode_selection(bytes: &[u8], key: &SelectionCacheKey) -> Option<BarrierPointSelection> {
+    let mut de = serde::Deserializer::new(bytes);
+    if de.read_bytes(SELECTION_MAGIC.len()).ok()? != SELECTION_MAGIC {
+        return None;
+    }
+    if de.read_u32().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    if de.read_string().ok()? != key.workload_name {
+        return None;
+    }
+    if de.read_u64().ok()? != key.threads as u64 {
+        return None;
+    }
+    if de.read_u64().ok()? != key.profile_fingerprint {
+        return None;
+    }
+    if de.read_u64().ok()? != key.config_fingerprint {
+        return None;
+    }
+    let selection: BarrierPointSelection = serde::Deserialize::deserialize(&mut de).ok()?;
+    if de.remaining() != 0 {
+        return None;
+    }
+    Some(selection)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::profile_application;
+    use std::time::Duration;
+
     use bp_workload::{Benchmark, WorkloadConfig};
 
-    fn temp_cache(tag: &str) -> ProfileCache {
+    fn temp_cache(tag: &str) -> ArtifactCache {
         let dir = std::env::temp_dir()
-            .join(format!("bp-profile-cache-test-{tag}-{}", std::process::id()));
+            .join(format!("bp-artifact-cache-test-{tag}-{}", std::process::id()));
         fs::remove_dir_all(&dir).ok();
-        ProfileCache::new(dir)
+        ArtifactCache::new(dir)
     }
 
     fn workload(scale: f64) -> impl Workload {
@@ -234,6 +573,8 @@ mod tests {
         let (second, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
         assert!(cached);
         assert_eq!(first, second);
+        assert_eq!(cache.stats().profile_hits, 1);
+        assert_eq!(cache.stats().profile_misses, 1);
         fs::remove_dir_all(cache.root()).ok();
     }
 
@@ -251,14 +592,14 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_read_as_misses() {
+    fn corrupt_profile_entries_read_as_misses() {
         let cache = temp_cache("corrupt");
         let w = workload(0.02);
         let key = ProfileCacheKey::for_workload(&w);
         let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
 
         // Truncate the entry on disk.
-        let path = cache.entry_path(&key);
+        let path = cache.profile_path(&key);
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert_eq!(cache.load(&key).unwrap(), None);
@@ -276,7 +617,7 @@ mod tests {
         let key = ProfileCacheKey::for_workload(&w);
         cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
 
-        let path = cache.entry_path(&key);
+        let path = cache.profile_path(&key);
         let mut bytes = fs::read(&path).unwrap();
         bytes[4] = bytes[4].wrapping_add(1); // bump the stored version
         fs::write(&path, &bytes).unwrap();
@@ -295,5 +636,181 @@ mod tests {
         assert!(name.starts_with("np_b_is_-4t-"));
         assert!(name.ends_with(".bpprof"));
         assert!(!name.contains('/'));
+    }
+
+    #[test]
+    fn selection_miss_then_hit_skips_clustering_and_accounts() {
+        let cache = temp_cache("sel-roundtrip");
+        let w = workload(0.02);
+        let profile = profile_application(&w).unwrap();
+        let sig = SignatureConfig::combined();
+        let sp = SimPointConfig::paper();
+
+        let (first, cached) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        assert!(!cached);
+        let (second, cached) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        assert!(cached);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!(stats.selection_misses, 1);
+        assert_eq!(stats.selection_hits, 1);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn changed_simpoint_config_produces_a_distinct_key_and_misses() {
+        let cache = temp_cache("sel-config");
+        let w = workload(0.02);
+        let profile = profile_application(&w).unwrap();
+        let sig = SignatureConfig::combined();
+        let paper = SimPointConfig::paper();
+        let reseeded = SimPointConfig::paper().with_seed(0xfeed);
+        let small_k = SimPointConfig::paper().with_max_k(3);
+
+        let paper_key = SelectionCacheKey::for_workload(&w, &sig, &paper);
+        for other in [&reseeded, &small_k] {
+            let other_key = SelectionCacheKey::for_workload(&w, &sig, other);
+            assert_ne!(paper_key, other_key);
+            assert_ne!(paper_key.file_name(), other_key.file_name());
+        }
+        // And a changed signature config likewise.
+        let bbv_key = SelectionCacheKey::for_workload(&w, &SignatureConfig::bbv_only(), &paper);
+        assert_ne!(paper_key.config_fingerprint(), bbv_key.config_fingerprint());
+
+        cache.load_or_select(&profile, &w, &sig, &paper).unwrap();
+        let (_, cached) = cache.load_or_select(&profile, &w, &sig, &small_k).unwrap();
+        assert!(!cached, "a changed SimPointConfig must miss");
+        assert_eq!(cache.stats().selection_misses, 2);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_selection_entry_self_heals_as_a_miss() {
+        let cache = temp_cache("sel-corrupt");
+        let w = workload(0.02);
+        let profile = profile_application(&w).unwrap();
+        let sig = SignatureConfig::combined();
+        let sp = SimPointConfig::paper();
+        let key = SelectionCacheKey::for_workload(&w, &sig, &sp);
+        let (selection, _) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+
+        // Corrupt the payload: flip a byte past the header.
+        let path = cache.selection_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        bytes.push(0); // and leave trailing garbage
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.load_selection(&key).unwrap(), None);
+
+        // The next load_or_select re-clusters, restores, and heals the entry.
+        let (healed, cached) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        assert!(!cached);
+        assert_eq!(healed, selection);
+        assert_eq!(cache.load_selection(&key).unwrap(), Some(selection));
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn size_bound_evicts_least_recently_used_entries() {
+        let cache = temp_cache("evict").with_max_bytes(1);
+        let w = workload(0.02);
+        let profile = profile_application(&w).unwrap();
+        let profile_key = ProfileCacheKey::for_workload(&w);
+        let sig = SignatureConfig::combined();
+        let sp = SimPointConfig::paper();
+        let selection_key = SelectionCacheKey::for_workload(&w, &sig, &sp);
+
+        // With a 1-byte budget, storing the selection after the profile must
+        // evict the (older) profile but keep the entry just written.
+        cache.store(&profile_key, &profile).unwrap();
+        std::thread::sleep(Duration::from_millis(20)); // distinct mtimes
+        let selection = select_barrierpoints(&profile, &sig, &sp).unwrap();
+        cache.store_selection(&selection_key, &selection).unwrap();
+
+        assert_eq!(cache.load(&profile_key).unwrap(), None, "older entry evicted");
+        assert_eq!(cache.load_selection(&selection_key).unwrap(), Some(selection));
+        assert_eq!(cache.stats().evictions, 1);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn stale_orphaned_tmp_files_are_cleaned_up() {
+        let cache = temp_cache("tmp-orphan").with_max_bytes(64 * 1024 * 1024);
+        let w = workload(0.02);
+        let profile = profile_application(&w).unwrap();
+        let key = ProfileCacheKey::for_workload(&w);
+
+        // Simulate a writer killed between write and rename, long ago.
+        fs::create_dir_all(cache.root()).unwrap();
+        let orphan = cache.root().join("npb-is-2t-0000000000000000.tmp-99999");
+        fs::write(&orphan, b"torn").unwrap();
+        let old = SystemTime::now() - Duration::from_secs(120);
+        fs::OpenOptions::new().write(true).open(&orphan).unwrap().set_modified(old).unwrap();
+
+        // A fresh tmp file (a concurrent writer) must be left alone.
+        let live = cache.root().join("npb-is-2t-1111111111111111.tmp-88888");
+        fs::write(&live, b"in-flight").unwrap();
+
+        cache.store(&key, &profile).unwrap();
+        assert!(!orphan.exists(), "stale orphan must be deleted by the store's scan");
+        assert!(live.exists(), "recent tmp files must survive");
+        assert_eq!(cache.stats().evictions, 0, "orphan cleanup is not an eviction");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn generous_size_bound_keeps_everything() {
+        let cache = temp_cache("no-evict").with_max_bytes(64 * 1024 * 1024);
+        let w = workload(0.02);
+        let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        let (_, _) = cache
+            .load_or_select(&profile, &w, &SignatureConfig::combined(), &SimPointConfig::paper())
+            .unwrap();
+        let (_, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached);
+        assert_eq!(cache.stats().evictions, 0);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn loads_touch_entries_so_recently_used_survive_eviction() {
+        let w_small = workload(0.02);
+        let w_large = workload(0.05);
+        let cache = temp_cache("lru-touch");
+        // Measure real entry sizes, then bound the cache so only two fit.
+        let (p_small, _) = cache.load_or_profile(&w_small, &ExecutionPolicy::Serial).unwrap();
+        let (_p_large, _) = cache.load_or_profile(&w_large, &ExecutionPolicy::Serial).unwrap();
+        let total: u64 = fs::read_dir(cache.root())
+            .unwrap()
+            .flatten()
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        fs::remove_dir_all(cache.root()).ok();
+
+        let cache = temp_cache("lru-touch").with_max_bytes(total);
+        cache.store(&ProfileCacheKey::for_workload(&w_small), &p_small).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        cache.load_or_profile(&w_large, &ExecutionPolicy::Serial).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // Touch the small profile: it becomes most recently used.
+        let (_, cached) = cache.load_or_profile(&w_small, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached);
+        std::thread::sleep(Duration::from_millis(20));
+        // A third entry (a selection) pushes the cache over budget; the
+        // least-recently-used entry is now the *large* profile.
+        let (sel, _) = cache
+            .load_or_select(
+                &p_small,
+                &w_small,
+                &SignatureConfig::combined(),
+                &SimPointConfig::paper(),
+            )
+            .unwrap();
+        let _ = sel;
+        assert!(cache.stats().evictions >= 1);
+        let (_, small_cached) = cache.load_or_profile(&w_small, &ExecutionPolicy::Serial).unwrap();
+        assert!(small_cached, "recently touched entry must survive eviction");
+        fs::remove_dir_all(cache.root()).ok();
     }
 }

@@ -40,13 +40,24 @@ pub enum Error {
         /// Regions in the second artifact.
         actual: usize,
     },
-    /// The on-disk profile cache failed with an I/O error (stale or corrupt
+    /// The on-disk artifact cache failed with an I/O error (stale or corrupt
     /// entries are *not* errors — they read as cache misses).
     ProfileCache {
         /// Path of the offending cache file or directory.
         path: String,
         /// The underlying I/O error, rendered.
         message: String,
+    },
+    /// A design-space sweep was run without any design point.
+    EmptySweep {
+        /// Name of the swept workload.
+        workload: String,
+    },
+    /// Two design points of a sweep share a label, which would make the
+    /// report ambiguous.
+    DuplicateSweepLabel {
+        /// The repeated label.
+        label: String,
     },
 }
 
@@ -70,7 +81,13 @@ impl fmt::Display for Error {
                 write!(f, "region count mismatch: expected {expected}, got {actual}")
             }
             Error::ProfileCache { path, message } => {
-                write!(f, "profile cache I/O failure at {path}: {message}")
+                write!(f, "artifact cache I/O failure at {path}: {message}")
+            }
+            Error::EmptySweep { workload } => {
+                write!(f, "sweep over workload {workload} has no design points")
+            }
+            Error::DuplicateSweepLabel { label } => {
+                write!(f, "sweep design-point label {label:?} is used more than once")
             }
         }
     }

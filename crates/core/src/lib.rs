@@ -2,56 +2,93 @@
 //!
 //! This crate is the top of the BarrierPoint reproduction (Carlson, Heirman,
 //! Van Craeynest, Eeckhout — ISPASS 2014).  It implements the complete
-//! methodology of Figure 2 of the paper on top of the substrate crates:
+//! methodology of Figure 2 of the paper as a **staged, artifact-typed
+//! pipeline** on top of the substrate crates:
 //!
-//! 1. **Profile** — collect microarchitecture-independent signatures (BBVs
-//!    and LRU stack distance vectors) for every inter-barrier region of a
-//!    barrier-synchronized workload ([`profile_application`],
-//!    [`ApplicationProfile`]; signatures come from `bp-signature`, workload
-//!    models from `bp-workload`).  Profiling is *thread-major*: each workload
-//!    thread's full trace streams on its own OS thread under the pipeline's
-//!    [`ExecutionPolicy`], bit-identical to serial profiling
-//!    ([`profile_application_with`]).  A persistent, content-addressed
-//!    [`ProfileCache`] lets design-space sweeps profile once and reuse
-//!    ([`BarrierPoint::with_profile_cache`]).
-//! 2. **Select** — cluster the regions SimPoint-style and pick one
-//!    representative region per cluster, the *barrierpoint*, together with
-//!    its instruction-count multiplier ([`select_barrierpoints`],
-//!    [`BarrierPointSelection`]; clustering from `bp-clustering`).
-//! 3. **Simulate** — run only the barrierpoints in detailed simulation,
-//!    serially or in parallel (one [`ExecutionPolicy`] knob governs both this
-//!    fan-out and profiling), after warming the caches with the paper's MRU
-//!    replay (or any other [`WarmupKind`]) — [`simulate_barrierpoints`] on
-//!    the `bp-sim` machine.
-//! 4. **Reconstruct** — estimate whole-application execution time, DRAM APKI
-//!    and per-region performance from the barrierpoint measurements and
-//!    multipliers ([`reconstruct`], [`ReconstructedRun`]).
+//! 1. **Profile** ([`BarrierPoint::profile`] → [`Profiled`]) — collect
+//!    microarchitecture-independent signatures (BBVs and LRU stack distance
+//!    vectors) for every inter-barrier region
+//!    ([`ApplicationProfile`]; signatures from `bp-signature`, workload
+//!    models from `bp-workload`).  Profiling is *thread-major*: each
+//!    workload thread's full trace streams on its own OS thread under the
+//!    pipeline's [`ExecutionPolicy`], bit-identical to serial profiling.
+//! 2. **Select** ([`Profiled::select`] → [`Selected`]) — cluster the regions
+//!    SimPoint-style and pick one representative region per cluster, the
+//!    *barrierpoint*, with its instruction-count multiplier
+//!    ([`BarrierPointSelection`]; clustering from `bp-clustering`).
+//! 3. **Simulate** ([`Selected::simulate`] → [`Simulated`]) — run only the
+//!    barrierpoints in detailed simulation on one machine configuration,
+//!    after MRU-replay warmup (or any other [`WarmupKind`]), and
+//!    **reconstruct** the whole-application estimate from the samples
+//!    ([`ReconstructedRun`]).
 //!
-//! The [`BarrierPoint`] builder ties the steps together; the [`evaluate`]
-//! module adds everything needed to reproduce the paper's evaluation
-//! (prediction errors, cross-core-count validation, relative scaling,
-//! speedup and resource-reduction accounting); [`report`] renders the
-//! paper-style tables.
+//! Each stage is an explicit, serializable artifact.  The profile and the
+//! selection are machine-independent (Section III / Figure 6), so one
+//! [`Selected`] fans out to any number of [`Selected::simulate`] legs —
+//! and [`Sweep`] packages that fan-out: given N machine configurations it
+//! profiles once, clusters once, simulates N times, in parallel
+//! ([`SweepReport`]).  An [`ArtifactCache`] persists both one-time
+//! artifacts on disk (with LRU size bounding and hit/miss accounting), so
+//! the amortization extends across processes.
+//!
+//! The [`evaluate`] module adds everything needed to reproduce the paper's
+//! evaluation (prediction errors, cross-core-count validation, relative
+//! scaling, speedup and resource-reduction accounting); [`report`] renders
+//! the paper-style tables.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use barrierpoint::{BarrierPoint, WarmupKind};
+//! use barrierpoint::BarrierPoint;
 //! use bp_sim::SimConfig;
 //! use bp_workload::{Benchmark, WorkloadConfig};
 //!
-//! // A small CG run on a 4-core machine.
+//! // A small CG run; stages are explicit artifacts.
 //! let workload = Benchmark::NpbCg.build(&WorkloadConfig::new(4).with_scale(0.02));
-//! let outcome = BarrierPoint::new(&workload)
-//!     .with_sim_config(SimConfig::scaled(4))
-//!     .with_warmup(WarmupKind::MruReplay)
-//!     .run()?;
+//! let selected = BarrierPoint::new(&workload).profile()?.select()?;
+//! let simulated = selected.simulate(&SimConfig::scaled(4))?;
 //!
 //! println!(
 //!     "{} barrierpoints estimate {:.3} ms of execution time",
-//!     outcome.selection().num_barrierpoints(),
-//!     outcome.reconstruction().execution_time_seconds() * 1e3,
+//!     selected.selection().num_barrierpoints(),
+//!     simulated.reconstruction().execution_time_seconds() * 1e3,
 //! );
+//! # Ok::<(), barrierpoint::Error>(())
+//! ```
+//!
+//! The one-call convenience wrapper is still there:
+//!
+//! ```
+//! use barrierpoint::{BarrierPoint, WarmupKind};
+//! use bp_workload::{Benchmark, WorkloadConfig};
+//!
+//! let workload = Benchmark::NpbCg.build(&WorkloadConfig::new(4).with_scale(0.02));
+//! let outcome = BarrierPoint::new(&workload).with_warmup(WarmupKind::MruReplay).run()?;
+//! assert!(outcome.reconstruction().execution_time_seconds() > 0.0);
+//! # Ok::<(), barrierpoint::Error>(())
+//! ```
+//!
+//! ## Design-space sweeps
+//!
+//! [`Sweep`] turns the amortization economy into one call — here a
+//! miniature Figure 6, reusing one selection across two core counts:
+//!
+//! ```
+//! use barrierpoint::Sweep;
+//! use bp_sim::SimConfig;
+//! use bp_workload::{Benchmark, WorkloadConfig};
+//!
+//! let w2 = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+//! let w4 = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.02));
+//!
+//! let report = Sweep::new(&w2)
+//!     .add_config("2-core", SimConfig::scaled(2))
+//!     .add_point("4-core", SimConfig::scaled(4), &w4) // same selection, other machine
+//!     .run()?;
+//!
+//! assert_eq!(report.counters().profile_passes, 1);    // profiled once,
+//! assert_eq!(report.counters().clustering_passes, 1); // clustered once,
+//! assert_eq!(report.legs().len(), 2);                 // simulated per config.
 //! # Ok::<(), barrierpoint::Error>(())
 //! ```
 
@@ -67,8 +104,10 @@ mod reconstruct;
 pub mod report;
 mod select;
 mod simulate;
+mod stages;
+mod sweep;
 
-pub use cache::{ProfileCache, ProfileCacheKey};
+pub use cache::{ArtifactCache, CacheStats, ProfileCache, ProfileCacheKey, SelectionCacheKey};
 pub use error::Error;
 pub use pipeline::{BarrierPoint, BarrierPointOutcome};
 pub use profile::{profile_application, profile_application_with, ApplicationProfile};
@@ -77,6 +116,8 @@ pub use select::{
     select_barrierpoints, BarrierPointInfo, BarrierPointSelection, SIGNIFICANCE_THRESHOLD,
 };
 pub use simulate::{simulate_barrierpoints, BarrierPointMetrics, WarmupKind};
+pub use stages::{Profiled, Selected, Simulated};
+pub use sweep::{Sweep, SweepCounters, SweepLeg, SweepReport};
 
 // Re-export the substrate configuration types users need to drive the API.
 pub use bp_clustering::SimPointConfig;

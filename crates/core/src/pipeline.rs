@@ -1,22 +1,33 @@
-use crate::cache::ProfileCache;
+use crate::cache::ArtifactCache;
 use crate::error::Error;
 use crate::profile::{profile_application_with, ApplicationProfile};
-use crate::reconstruct::{reconstruct, ReconstructedRun};
-use crate::select::{select_barrierpoints, BarrierPointSelection};
-use crate::simulate::{simulate_barrierpoints, BarrierPointMetrics, WarmupKind};
+use crate::reconstruct::ReconstructedRun;
+use crate::select::BarrierPointSelection;
+use crate::simulate::{BarrierPointMetrics, WarmupKind};
+use crate::stages::{Profiled, Selected};
 use bp_clustering::SimPointConfig;
 use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
 use bp_workload::Workload;
 
-/// The end-to-end BarrierPoint pipeline (Figure 2 of the paper) as a builder.
+/// The end-to-end BarrierPoint pipeline (Figure 2 of the paper) as a staged
+/// builder.
 ///
 /// Defaults follow the paper: combined BBV + LDV signatures, SimPoint
 /// parameters of Table II, MRU-replay warmup, parallel execution of both the
 /// profiling pass and the barrierpoint simulations
 /// ([`ExecutionPolicy::Parallel`]), and a simulated machine with as many
 /// cores as the workload has threads.
+///
+/// The pipeline's stages are explicit artifacts:
+/// [`profile`](Self::profile) → [`Profiled`],
+/// [`Profiled::select`] → [`Selected`], and
+/// [`Selected::simulate`] → [`crate::Simulated`] — each inspectable,
+/// serializable, cacheable, and independently reusable (a single `Selected`
+/// fans out to many simulation legs; see [`crate::Sweep`]).
+/// [`run`](Self::run) remains the one-call convenience wrapper over the
+/// whole chain.
 ///
 /// See the crate-level documentation for a complete example.
 #[derive(Debug)]
@@ -27,7 +38,23 @@ pub struct BarrierPoint<'a, W: Workload + ?Sized> {
     sim_config: Option<SimConfig>,
     warmup: WarmupKind,
     execution: ExecutionPolicy,
-    profile_cache: Option<ProfileCache>,
+    cache: Option<ArtifactCache>,
+}
+
+// Manual impl: a derive would needlessly require `W: Clone` (the workload is
+// only held by reference).
+impl<W: Workload + ?Sized> Clone for BarrierPoint<'_, W> {
+    fn clone(&self) -> Self {
+        Self {
+            workload: self.workload,
+            signature_config: self.signature_config,
+            simpoint_config: self.simpoint_config,
+            sim_config: self.sim_config,
+            warmup: self.warmup,
+            execution: self.execution,
+            cache: self.cache.clone(),
+        }
+    }
 }
 
 impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
@@ -40,7 +67,7 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
             sim_config: None,
             warmup: WarmupKind::MruReplay,
             execution: ExecutionPolicy::parallel(),
-            profile_cache: None,
+            cache: None,
         }
     }
 
@@ -56,8 +83,10 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
         self
     }
 
-    /// Sets the simulated machine.  Defaults to
-    /// [`SimConfig::scaled`] with one core per workload thread.
+    /// Sets the simulated machine used by [`run`](Self::run).  Defaults to
+    /// [`SimConfig::scaled`] with one core per workload thread.  (The staged
+    /// chain takes the machine at [`Selected::simulate`] instead, where one
+    /// selection can fan out to many machines.)
     pub fn with_sim_config(mut self, config: SimConfig) -> Self {
         self.sim_config = Some(config);
         self
@@ -82,51 +111,88 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
         self
     }
 
-    /// Attaches a persistent [`ProfileCache`]: [`profile`](Self::profile)
-    /// (and therefore [`run`](Self::run)) will reuse an on-disk profile for
-    /// this workload when one exists and populate the cache otherwise.
-    /// Profiles are microarchitecture-independent, so one cached profile
-    /// serves every machine configuration in a design-space sweep.
-    pub fn with_profile_cache(mut self, cache: ProfileCache) -> Self {
-        self.profile_cache = Some(cache);
+    /// Attaches a persistent [`ArtifactCache`]: [`profile`](Self::profile)
+    /// reuses an on-disk profile for this workload when one exists, and
+    /// [`Profiled::select`] likewise reuses a cached selection for the
+    /// configured `(SignatureConfig, SimPointConfig)` pair.  Both artifacts
+    /// are microarchitecture-independent, so one cached pair serves every
+    /// machine configuration in a design-space sweep.
+    pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
-    fn effective_sim_config(&self) -> SimConfig {
+    /// Pre-redesign name of [`with_cache`](Self::with_cache).
+    pub fn with_profile_cache(self, cache: ArtifactCache) -> Self {
+        self.with_cache(cache)
+    }
+
+    /// The workload the pipeline runs on.
+    pub fn workload(&self) -> &'a W {
+        self.workload
+    }
+
+    /// The configured signature selection.
+    pub fn signature_config(&self) -> &SignatureConfig {
+        &self.signature_config
+    }
+
+    /// The configured SimPoint clustering parameters.
+    pub fn simpoint_config(&self) -> &SimPointConfig {
+        &self.simpoint_config
+    }
+
+    /// The configured warmup technique.
+    pub fn warmup(&self) -> WarmupKind {
+        self.warmup
+    }
+
+    /// The configured execution policy.
+    pub fn execution_policy(&self) -> &ExecutionPolicy {
+        &self.execution
+    }
+
+    /// The attached artifact cache, if any.
+    pub fn cache(&self) -> Option<&ArtifactCache> {
+        self.cache.as_ref()
+    }
+
+    pub(crate) fn effective_sim_config(&self) -> SimConfig {
         self.sim_config.unwrap_or_else(|| SimConfig::scaled(self.workload.num_threads()))
     }
 
-    /// Runs only the profiling step (through the profile cache, when one is
-    /// attached).
+    /// Runs the profiling stage (through the artifact cache, when one is
+    /// attached) and returns the [`Profiled`] stage, from which
+    /// [`Profiled::select`] and [`Selected::simulate`] continue the chain.
     ///
     /// # Errors
     ///
     /// Returns [`Error::EmptyWorkload`] for a workload with no regions and
     /// [`Error::ProfileCache`] for cache I/O failures.
-    pub fn profile(&self) -> Result<ApplicationProfile, Error> {
-        match &self.profile_cache {
-            Some(cache) => {
-                let (profile, _was_cached) =
-                    cache.load_or_profile(self.workload, &self.execution)?;
-                Ok(profile)
-            }
-            None => profile_application_with(self.workload, &self.execution),
-        }
+    pub fn profile(self) -> Result<Profiled<'a, W>, Error> {
+        let (profile, was_cached) = match &self.cache {
+            Some(cache) => cache.load_or_profile(self.workload, &self.execution)?,
+            None => (profile_application_with(self.workload, &self.execution)?, false),
+        };
+        Ok(Profiled { pipeline: self, profile, was_cached })
     }
 
-    /// Runs profiling and barrierpoint selection.
+    /// Runs profiling and barrierpoint selection — shorthand for
+    /// [`profile()`](Self::profile)`?.`[`select()`](Profiled::select).
     ///
     /// # Errors
     ///
-    /// Propagates profiling and selection errors.
-    pub fn select(&self) -> Result<BarrierPointSelection, Error> {
-        let profile = self.profile()?;
-        select_barrierpoints(&profile, &self.signature_config, &self.simpoint_config)
+    /// Propagates profiling, selection and cache errors.
+    pub fn select(self) -> Result<Selected<'a, W>, Error> {
+        self.profile()?.select()
     }
 
     /// Runs the complete pipeline: profile, select, simulate the
     /// barrierpoints with the configured warmup, and reconstruct
-    /// whole-application metrics.
+    /// whole-application metrics.  This is the convenience wrapper over the
+    /// staged chain — equivalent to
+    /// `self.profile()?.select()?.simulate(&sim_config)?` with the artifacts
+    /// bundled into one [`BarrierPointOutcome`].
     ///
     /// # Errors
     ///
@@ -140,17 +206,10 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
                 machine_cores: sim_config.num_cores,
             });
         }
-        let profile = self.profile()?;
-        let selection =
-            select_barrierpoints(&profile, &self.signature_config, &self.simpoint_config)?;
-        let metrics = simulate_barrierpoints(
-            self.workload,
-            &selection,
-            &sim_config,
-            self.warmup,
-            &self.execution,
-        )?;
-        let reconstruction = reconstruct(&selection, &metrics, sim_config.core.frequency_ghz)?;
+        let selected = self.clone().profile()?.select()?;
+        let simulated = selected.simulate(&sim_config)?;
+        let (profile, selection) = selected.into_parts();
+        let (metrics, reconstruction, sim_config) = simulated.into_parts();
         Ok(BarrierPointOutcome { profile, selection, metrics, reconstruction, sim_config })
     }
 }
@@ -195,6 +254,7 @@ impl BarrierPointOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::ArtifactCache;
     use bp_workload::{Benchmark, WorkloadConfig};
 
     #[test]
@@ -245,16 +305,29 @@ mod tests {
     }
 
     #[test]
+    fn run_matches_the_staged_chain() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let outcome = BarrierPoint::new(&w).run().unwrap();
+        let simulated = BarrierPoint::new(&w)
+            .profile()
+            .unwrap()
+            .select()
+            .unwrap()
+            .simulate(&SimConfig::scaled(2))
+            .unwrap();
+        assert_eq!(outcome.barrierpoint_metrics(), simulated.metrics());
+        assert_eq!(outcome.reconstruction(), simulated.reconstruction());
+    }
+
+    #[test]
     fn pipeline_reuses_cached_profiles() {
         let dir =
             std::env::temp_dir().join(format!("bp-pipeline-cache-test-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
         let uncached = BarrierPoint::new(&w).run().unwrap();
-        let first =
-            BarrierPoint::new(&w).with_profile_cache(ProfileCache::new(&dir)).run().unwrap();
-        let second =
-            BarrierPoint::new(&w).with_profile_cache(ProfileCache::new(&dir)).run().unwrap();
+        let first = BarrierPoint::new(&w).with_cache(ArtifactCache::new(&dir)).run().unwrap();
+        let second = BarrierPoint::new(&w).with_cache(ArtifactCache::new(&dir)).run().unwrap();
         assert_eq!(uncached.profile(), first.profile());
         assert_eq!(first.profile(), second.profile());
         assert_eq!(first.reconstruction(), second.reconstruction());

@@ -6,6 +6,7 @@
 
 use crate::evaluate::PredictionError;
 use crate::select::BarrierPointSelection;
+use crate::sweep::SweepReport;
 use bp_clustering::SimPointConfig;
 use bp_sim::SimConfig;
 use std::fmt::Write as _;
@@ -123,6 +124,43 @@ pub fn accuracy_row(benchmark: &str, cores: usize, error: &PredictionError) -> S
     )
 }
 
+/// Renders a [`SweepReport`] as an aligned per-design-point table plus the
+/// stage-execution summary that shows the amortization (one profile pass,
+/// one clustering pass, N simulation legs).
+pub fn sweep_table(report: &SweepReport) -> String {
+    let mut out = String::new();
+    let counters = report.counters();
+    let _ = writeln!(
+        out,
+        "Design-space sweep: {} ({} barrierpoints; {} profile pass(es), {} clustering \
+         pass(es), {} simulation leg(s))",
+        report.workload_name(),
+        report.selection().num_barrierpoints(),
+        counters.profile_passes,
+        counters.clustering_passes,
+        counters.simulate_legs,
+    );
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>5} {:>10} {:>14} {:>10} {:>10}",
+        "design point", "cores", "GHz", "est. time (ms)", "IPC", "DRAM APKI"
+    );
+    for leg in report.legs() {
+        let r = leg.reconstruction();
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>5} {:>10.2} {:>14.3} {:>10.2} {:>10.2}",
+            leg.label(),
+            leg.sim_config().num_cores,
+            leg.sim_config().core.frequency_ghz,
+            r.execution_time_seconds() * 1e3,
+            r.aggregate_ipc(),
+            r.dram_apki(),
+        );
+    }
+    out
+}
+
 /// Renders a simple aligned two-column series (used for Figure 1, 5, 8, 9
 /// outputs).
 pub fn series(title: &str, rows: &[(String, f64)]) -> String {
@@ -171,6 +209,24 @@ mod tests {
             assert!(row.contains(&format!("{} (", bp.region)));
         }
         assert!(!table3_header().is_empty());
+    }
+
+    #[test]
+    fn sweep_table_lists_every_leg() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let base = SimConfig::scaled(2);
+        let mut fast = base;
+        fast.core.frequency_ghz *= 2.0;
+        let report = crate::Sweep::new(&w)
+            .add_config("base", base)
+            .add_config("fast-clock", fast)
+            .run()
+            .unwrap();
+        let text = sweep_table(&report);
+        assert!(text.contains("npb-is"));
+        assert!(text.contains("base"));
+        assert!(text.contains("fast-clock"));
+        assert!(text.contains("1 profile pass(es), 1 clustering pass(es), 2 simulation leg(s)"));
     }
 
     #[test]

@@ -2,10 +2,10 @@ use crate::error::Error;
 use crate::select::BarrierPointSelection;
 use bp_exec::ExecutionPolicy;
 use bp_sim::{Machine, RegionMetrics, SimConfig};
-use bp_warmup::{apply_warmup, collect_mru_warmup, WarmupStrategy};
+use bp_warmup::{apply_warmup, collect_mru_warmup_with, MruWarmupData, WarmupStrategy};
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Detailed simulation results keyed by barrierpoint region index.
 pub type BarrierPointMetrics = BTreeMap<usize, RegionMetrics>;
@@ -58,6 +58,23 @@ pub fn simulate_barrierpoints<W: Workload + ?Sized>(
     warmup: WarmupKind,
     policy: &ExecutionPolicy,
 ) -> Result<BarrierPointMetrics, Error> {
+    simulate_barrierpoints_impl(workload, selection, sim_config, warmup, policy, None)
+}
+
+/// [`simulate_barrierpoints`] with an optionally precollected MRU warmup
+/// payload, so a design-space sweep can share one whole-trace collection
+/// pass across legs with the same workload and LLC capacity.  The payload
+/// must have been collected from `workload` at
+/// `sim_config.memory.llc_total_lines(num_cores)` for the selection's
+/// barrierpoint regions.
+pub(crate) fn simulate_barrierpoints_impl<W: Workload + ?Sized>(
+    workload: &W,
+    selection: &BarrierPointSelection,
+    sim_config: &SimConfig,
+    warmup: WarmupKind,
+    policy: &ExecutionPolicy,
+    precollected_mru: Option<&HashMap<usize, MruWarmupData>>,
+) -> Result<BarrierPointMetrics, Error> {
     if workload.num_threads() != sim_config.num_cores {
         return Err(Error::ThreadCountMismatch {
             workload_threads: workload.num_threads(),
@@ -69,12 +86,21 @@ pub fn simulate_barrierpoints<W: Workload + ?Sized>(
         return Err(Error::RegionOutOfRange { region: bad, num_regions: workload.num_regions() });
     }
 
-    // One streaming pass collects the MRU warmup payload for every target.
-    let mru_data = if warmup == WarmupKind::MruReplay {
-        let capacity = sim_config.memory.llc_total_lines(sim_config.num_cores);
-        collect_mru_warmup(workload, &regions, capacity)
-    } else {
-        Default::default()
+    // One streaming pass collects the MRU warmup payload for every target
+    // (unless a sweep already collected it); it fans out thread-major under
+    // the same policy as the simulations.
+    let collected;
+    let mru_data: &HashMap<usize, MruWarmupData> = match (warmup, precollected_mru) {
+        (WarmupKind::MruReplay, Some(data)) => data,
+        (WarmupKind::MruReplay, None) => {
+            let capacity = sim_config.memory.llc_total_lines(sim_config.num_cores);
+            collected = collect_mru_warmup_with(workload, &regions, capacity, policy);
+            &collected
+        }
+        _ => {
+            collected = HashMap::new();
+            &collected
+        }
     };
 
     let simulate_one = |region: usize| -> (usize, RegionMetrics) {

@@ -1,0 +1,506 @@
+//! Design-space sweeps: many machine configurations, one set of one-time
+//! artifacts.
+//!
+//! The paper's central economy is amortization — one profiling pass and one
+//! barrierpoint selection serve *many* detailed simulations, and (Figure 6)
+//! a selection even transfers across core counts.  [`Sweep`] makes that
+//! economy structural: given one workload and N machine configurations, it
+//! runs the profiling stage **once**, the clustering stage **once**, and
+//! fans the N simulate+reconstruct legs out through
+//! [`ExecutionPolicy`], returning a [`SweepReport`] keyed by configuration.
+//! The report carries [`SweepCounters`] so callers (and tests) can verify
+//! the one-time stages really ran at most once — and, with an
+//! [`ArtifactCache`](crate::ArtifactCache) attached, zero times on repeats.
+//!
+//! Cross-core-count legs ([`Sweep::add_point`]) take their own workload
+//! instance (the same benchmark rebuilt at another thread count — the
+//! barrier count is thread-count invariant), which makes the paper's
+//! Figure 6 cross-validation and Figure 8 scaling one-call scenarios.
+//!
+//! ```
+//! use barrierpoint::Sweep;
+//! use bp_sim::SimConfig;
+//! use bp_workload::{Benchmark, WorkloadConfig};
+//!
+//! let workload = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+//! let base = SimConfig::scaled(2);
+//! let mut fast = base;
+//! fast.core.frequency_ghz *= 1.5;
+//!
+//! let report = Sweep::new(&workload)
+//!     .add_config("base", base)
+//!     .add_config("fast-clock", fast)
+//!     .run()?;
+//!
+//! assert_eq!(report.counters().profile_passes, 1);
+//! assert_eq!(report.counters().clustering_passes, 1);
+//! assert!(report.predicted_speedup("base", "fast-clock").unwrap() > 1.0);
+//! # Ok::<(), barrierpoint::Error>(())
+//! ```
+
+use crate::error::Error;
+use crate::pipeline::BarrierPoint;
+use crate::select::BarrierPointSelection;
+use crate::simulate::WarmupKind;
+use crate::stages::Simulated;
+use bp_clustering::SimPointConfig;
+use bp_exec::ExecutionPolicy;
+use bp_signature::SignatureConfig;
+use bp_sim::SimConfig;
+use bp_warmup::MruWarmupData;
+use bp_workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One design point of a sweep: a label, a machine configuration, and
+/// (for cross-core-count legs) an optional workload override.
+#[derive(Clone, Copy)]
+struct SweepPoint<'a> {
+    sim_config: SimConfig,
+    workload: Option<&'a dyn Workload>,
+}
+
+impl std::fmt::Debug for SweepPoint<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPoint")
+            .field("sim_config", &self.sim_config)
+            .field("workload", &self.workload.map(Workload::name))
+            .finish()
+    }
+}
+
+/// A design-space sweep over one workload: profile once, select once, then
+/// simulate and reconstruct every configured design point.
+///
+/// Configuration mirrors [`BarrierPoint`]; the same signature, SimPoint,
+/// warmup, execution-policy and cache knobs apply to every leg.
+#[derive(Debug)]
+pub struct Sweep<'a, W: Workload + ?Sized> {
+    base: BarrierPoint<'a, W>,
+    labels: Vec<String>,
+    points: Vec<SweepPoint<'a>>,
+}
+
+impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
+    /// Starts a sweep over `workload` with the paper's default pipeline
+    /// settings and no design points yet.
+    pub fn new(workload: &'a W) -> Self {
+        Self { base: BarrierPoint::new(workload), labels: Vec::new(), points: Vec::new() }
+    }
+
+    /// Builds a sweep on top of an already configured pipeline builder.
+    pub fn from_pipeline(pipeline: BarrierPoint<'a, W>) -> Self {
+        Self { base: pipeline, labels: Vec::new(), points: Vec::new() }
+    }
+
+    /// Selects which signatures to cluster on (Figure 5's variants).
+    pub fn with_signature_config(mut self, config: SignatureConfig) -> Self {
+        self.base = self.base.with_signature_config(config);
+        self
+    }
+
+    /// Overrides the SimPoint clustering parameters (Table II).
+    pub fn with_simpoint_config(mut self, config: SimPointConfig) -> Self {
+        self.base = self.base.with_simpoint_config(config);
+        self
+    }
+
+    /// Selects the warmup technique applied before each barrierpoint's
+    /// detailed simulation, on every leg.
+    pub fn with_warmup(mut self, warmup: WarmupKind) -> Self {
+        self.base = self.base.with_warmup(warmup);
+        self
+    }
+
+    /// Selects how the sweep executes.  Under
+    /// [`ExecutionPolicy::Parallel`] the profiling pass fans out
+    /// thread-major and the simulation legs fan out config-major (each leg
+    /// serial inside); results are identical under every policy.
+    pub fn with_execution_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.base = self.base.with_execution_policy(policy);
+        self
+    }
+
+    /// Attaches a persistent [`ArtifactCache`](crate::ArtifactCache):
+    /// repeated sweeps then skip the profiling *and* clustering passes
+    /// entirely ([`SweepCounters`] reports zero passes on a fully cached
+    /// run).
+    pub fn with_cache(mut self, cache: crate::ArtifactCache) -> Self {
+        self.base = self.base.with_cache(cache);
+        self
+    }
+
+    /// Adds one design point simulating the sweep's own workload on
+    /// `sim_config` (whose core count must match the workload's thread
+    /// count).  Labels key the [`SweepReport`] and must be unique.
+    pub fn add_config(mut self, label: impl Into<String>, sim_config: SimConfig) -> Self {
+        self.labels.push(label.into());
+        self.points.push(SweepPoint { sim_config, workload: None });
+        self
+    }
+
+    /// Adds design points for every configuration in `configs`, labelled
+    /// `config-0`, `config-1`, … in order.
+    pub fn add_configs(mut self, configs: impl IntoIterator<Item = SimConfig>) -> Self {
+        for config in configs {
+            let label = format!("config-{}", self.points.len());
+            self = self.add_config(label, config);
+        }
+        self
+    }
+
+    /// Adds a cross-core-count design point (Figure 6 / Figure 8): the leg
+    /// simulates `workload` — the same benchmark rebuilt at another thread
+    /// count, with an identical region structure — while reusing the
+    /// sweep's one selection.
+    pub fn add_point(
+        mut self,
+        label: impl Into<String>,
+        sim_config: SimConfig,
+        workload: &'a dyn Workload,
+    ) -> Self {
+        self.labels.push(label.into());
+        self.points.push(SweepPoint { sim_config, workload: Some(workload) });
+        self
+    }
+
+    /// Runs the sweep: one profiling pass, one clustering pass (both through
+    /// the artifact cache when attached), then every design-point leg.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptySweep`] when no design point was added and
+    /// [`Error::DuplicateSweepLabel`] for a repeated label; propagates the
+    /// first leg error (thread/region mismatches, cache I/O) otherwise.
+    pub fn run(&self) -> Result<SweepReport, Error> {
+        if self.points.is_empty() {
+            return Err(Error::EmptySweep { workload: self.base.workload().name().to_string() });
+        }
+        for (i, label) in self.labels.iter().enumerate() {
+            if self.labels[..i].contains(label) {
+                return Err(Error::DuplicateSweepLabel { label: label.clone() });
+            }
+        }
+
+        let selected = self.base.clone().profile()?.select()?;
+
+        // Collect the MRU warmup payloads up front, once per distinct
+        // (workload instance, LLC capacity) pair: legs that differ only in
+        // core parameters (clock, ROB, …) share one whole-trace collection
+        // pass — the collection is itself comparable in cost to profiling,
+        // so it amortizes the same way.  Collection fans out thread-major
+        // under the sweep's policy.
+        let mut warmup_payloads: Vec<((usize, u64), HashMap<usize, MruWarmupData>)> = Vec::new();
+        if self.base.warmup() == WarmupKind::MruReplay {
+            let regions = selected.selection().barrierpoint_regions();
+            for point in &self.points {
+                let key = self.warmup_sharing_key(point);
+                if warmup_payloads.iter().any(|(k, _)| *k == key) {
+                    continue;
+                }
+                let data = match point.workload {
+                    Some(workload) => bp_warmup::collect_mru_warmup_with(
+                        workload,
+                        &regions,
+                        key.1,
+                        self.base.execution_policy(),
+                    ),
+                    None => bp_warmup::collect_mru_warmup_with(
+                        self.base.workload(),
+                        &regions,
+                        key.1,
+                        self.base.execution_policy(),
+                    ),
+                };
+                warmup_payloads.push((key, data));
+            }
+        }
+        let counters = SweepCounters {
+            profile_passes: usize::from(!selected.profile_was_cached()),
+            clustering_passes: usize::from(!selected.selection_was_cached()),
+            warmup_collections: warmup_payloads.len(),
+            simulate_legs: self.points.len(),
+        };
+
+        // Legs are mutually independent, so they fan out config-major under
+        // the sweep's policy; each leg then gets an equal share of the
+        // machine's workers so the pool stays at one level of parallelism
+        // without stranding cores when legs are few.  Results are identical
+        // under every split (the execution-equivalence invariant).
+        let leg_policy = match self.base.execution_policy() {
+            outer @ ExecutionPolicy::Parallel { .. } if self.points.len() > 1 => {
+                let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let outer_workers = outer.worker_count(self.points.len());
+                ExecutionPolicy::parallel_with((hw / outer_workers).max(1))
+            }
+            policy => *policy,
+        };
+        let legs: Vec<Result<Simulated, Error>> =
+            self.base.execution_policy().execute(self.points.len(), |i| {
+                let point = &self.points[i];
+                let key = self.warmup_sharing_key(point);
+                let payload = warmup_payloads.iter().find(|(k, _)| *k == key).map(|(_, d)| d);
+                match point.workload {
+                    Some(workload) => {
+                        selected.simulate_on_with(workload, &point.sim_config, &leg_policy, payload)
+                    }
+                    None => selected.simulate_on_with(
+                        self.base.workload(),
+                        &point.sim_config,
+                        &leg_policy,
+                        payload,
+                    ),
+                }
+            });
+        let legs = self
+            .labels
+            .iter()
+            .zip(legs)
+            .map(|(label, result)| Ok(SweepLeg { label: label.clone(), simulated: result? }))
+            .collect::<Result<Vec<_>, Error>>()?;
+
+        Ok(SweepReport {
+            workload_name: self.base.workload().name().to_string(),
+            selection: selected.into_parts().1,
+            legs,
+            counters,
+        })
+    }
+
+    /// Key under which a design point may share an MRU warmup payload:
+    /// the workload instance (by address; `0` stands for the sweep's own
+    /// workload) and the machine's LLC line capacity.  Points rebuilt from
+    /// the same workload at the same capacity replay identical state.
+    fn warmup_sharing_key(&self, point: &SweepPoint<'a>) -> (usize, u64) {
+        let workload_id = match point.workload {
+            Some(workload) => workload as *const dyn Workload as *const () as usize,
+            None => 0,
+        };
+        let capacity = point.sim_config.memory.llc_total_lines(point.sim_config.num_cores);
+        (workload_id, capacity)
+    }
+}
+
+/// How many times each pipeline stage actually executed during a sweep.
+///
+/// With an [`ArtifactCache`](crate::ArtifactCache) attached, the one-time
+/// passes drop to zero on repeated sweeps; without one they are exactly one
+/// each — never once per design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepCounters {
+    /// Profiling passes executed (0 on a cache hit, else 1).
+    pub profile_passes: usize,
+    /// Clustering passes executed (0 on a cache hit, else 1).
+    pub clustering_passes: usize,
+    /// MRU warmup collection passes executed: one per distinct
+    /// (workload, LLC capacity) pair across the design points — never one
+    /// per leg.  Zero for non-MRU warmup.
+    pub warmup_collections: usize,
+    /// Simulate+reconstruct legs executed (one per design point).
+    pub simulate_legs: usize,
+}
+
+/// One completed design-point leg of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepLeg {
+    label: String,
+    simulated: Simulated,
+}
+
+impl SweepLeg {
+    /// The design point's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The leg's full simulation artifact.
+    pub fn simulated(&self) -> &Simulated {
+        &self.simulated
+    }
+
+    /// The machine configuration of this leg.
+    pub fn sim_config(&self) -> &SimConfig {
+        self.simulated.sim_config()
+    }
+
+    /// The reconstructed whole-application estimate of this leg.
+    pub fn reconstruction(&self) -> &crate::ReconstructedRun {
+        self.simulated.reconstruction()
+    }
+}
+
+/// Everything produced by one [`Sweep::run`]: the shared selection, every
+/// design-point leg keyed by label, and the stage-execution counters.
+///
+/// A pure data artifact — serializable like the stage artifacts it contains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    workload_name: String,
+    selection: BarrierPointSelection,
+    legs: Vec<SweepLeg>,
+    counters: SweepCounters,
+}
+
+impl SweepReport {
+    /// Name of the swept workload.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// The single barrierpoint selection shared by every leg.
+    pub fn selection(&self) -> &BarrierPointSelection {
+        &self.selection
+    }
+
+    /// All legs, in the order their design points were added.
+    pub fn legs(&self) -> &[SweepLeg] {
+        &self.legs
+    }
+
+    /// The leg labelled `label`, if any.
+    pub fn get(&self, label: &str) -> Option<&SweepLeg> {
+        self.legs.iter().find(|leg| leg.label == label)
+    }
+
+    /// Stage-execution counters (profiling/clustering ran at most once).
+    pub fn counters(&self) -> SweepCounters {
+        self.counters
+    }
+
+    /// Predicted speedup of the `scaled` leg over the `baseline` leg
+    /// (Figure 8's predicted series): baseline estimated time over scaled
+    /// estimated time.  `None` when either label is missing.
+    pub fn predicted_speedup(&self, baseline: &str, scaled: &str) -> Option<f64> {
+        let baseline = self.get(baseline)?.reconstruction().execution_time_seconds();
+        let scaled = self.get(scaled)?.reconstruction().execution_time_seconds();
+        if scaled > 0.0 {
+            Some(baseline / scaled)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ArtifactCache;
+    use bp_workload::{Benchmark, WorkloadConfig};
+
+    fn workload(threads: usize) -> impl Workload {
+        Benchmark::NpbIs.build(&WorkloadConfig::new(threads).with_scale(0.02))
+    }
+
+    #[test]
+    fn empty_sweep_is_rejected() {
+        let w = workload(2);
+        let err = Sweep::new(&w).run().unwrap_err();
+        assert!(matches!(err, Error::EmptySweep { .. }));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let w = workload(2);
+        let config = SimConfig::scaled(2);
+        let err = Sweep::new(&w).add_config("a", config).add_config("a", config).run().unwrap_err();
+        assert!(matches!(err, Error::DuplicateSweepLabel { ref label } if label == "a"));
+    }
+
+    #[test]
+    fn sweep_runs_one_time_stages_once_and_all_legs() {
+        let w = workload(2);
+        let base = SimConfig::scaled(2);
+        let mut fast = base;
+        fast.core.frequency_ghz *= 2.0;
+        let report =
+            Sweep::new(&w).add_config("base", base).add_config("fast", fast).run().unwrap();
+        // base and fast differ only in clock speed, so one warmup
+        // collection serves both legs.
+        assert_eq!(
+            report.counters(),
+            SweepCounters {
+                profile_passes: 1,
+                clustering_passes: 1,
+                warmup_collections: 1,
+                simulate_legs: 2,
+            }
+        );
+        assert_eq!(report.legs().len(), 2);
+        assert_eq!(report.workload_name(), "npb-is");
+        assert!(report.predicted_speedup("base", "fast").unwrap() > 1.0);
+        assert!(report.get("missing").is_none());
+    }
+
+    #[test]
+    fn auto_labelled_configs_enumerate_in_order() {
+        let w = workload(2);
+        let config = SimConfig::scaled(2);
+        let report = Sweep::new(&w).add_configs([config, config]).run().unwrap();
+        assert_eq!(report.legs()[0].label(), "config-0");
+        assert_eq!(report.legs()[1].label(), "config-1");
+        // Identical configs produce identical legs.
+        assert_eq!(report.legs()[0].reconstruction(), report.legs()[1].reconstruction());
+    }
+
+    #[test]
+    fn cached_sweep_skips_both_one_time_stages() {
+        let dir = std::env::temp_dir().join(format!("bp-sweep-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let w = workload(2);
+        let cache = ArtifactCache::new(&dir);
+        let sweep =
+            || Sweep::new(&w).with_cache(cache.clone()).add_config("base", SimConfig::scaled(2));
+        let cold = sweep().run().unwrap();
+        assert_eq!(cold.counters().profile_passes, 1);
+        assert_eq!(cold.counters().clustering_passes, 1);
+        let warm = sweep().run().unwrap();
+        assert_eq!(warm.counters().profile_passes, 0);
+        assert_eq!(warm.counters().clustering_passes, 0);
+        assert_eq!(cold.legs(), warm.legs());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cross_core_count_points_reuse_the_selection() {
+        let bench = Benchmark::NpbIs;
+        let w2 = bench.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let w4 = bench.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let report = Sweep::new(&w2)
+            .add_config("2c", SimConfig::scaled(2))
+            .add_point("4c", SimConfig::scaled(4), &w4)
+            .run()
+            .unwrap();
+        assert_eq!(report.counters().profile_passes, 1);
+        assert_eq!(report.counters().clustering_passes, 1);
+        assert_eq!(report.get("4c").unwrap().sim_config().num_cores, 4);
+        assert!(report.get("4c").unwrap().reconstruction().execution_time_seconds() > 0.0);
+    }
+
+    #[test]
+    fn sweep_report_round_trips_through_serde() {
+        let w = workload(2);
+        let report = Sweep::new(&w).add_config("base", SimConfig::scaled(2)).run().unwrap();
+        let bytes = serde::to_vec(&report);
+        let back: SweepReport = serde::from_slice(&bytes).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let w = workload(4);
+        let base = SimConfig::scaled(4);
+        let mut small_llc = base;
+        small_llc.memory.l3.size_bytes /= 2;
+        let build = |policy| {
+            Sweep::new(&w)
+                .with_execution_policy(policy)
+                .add_config("base", base)
+                .add_config("small-llc", small_llc)
+                .run()
+                .unwrap()
+        };
+        let serial = build(ExecutionPolicy::Serial);
+        let parallel = build(ExecutionPolicy::parallel_with(4));
+        assert_eq!(serial, parallel);
+    }
+}

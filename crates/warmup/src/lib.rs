@@ -18,7 +18,8 @@
 //!   instruction count — the limitation BarrierPoint wants to avoid),
 //! * [`WarmupStrategy::MruReplay`] — the paper's proposal
 //!   ([`MruWarmupData`], collected with [`MruCollector`] /
-//!   [`collect_mru_warmup`]).
+//!   [`collect_mru_warmup`]; [`collect_mru_warmup_with`] streams the same
+//!   pass thread-major under a `bp-exec` execution policy).
 //!
 //! # Example
 //!
@@ -44,5 +45,5 @@ mod mru;
 mod strategy;
 
 pub use apply::apply_warmup;
-pub use mru::{collect_mru_warmup, MruCollector, MruWarmupData};
+pub use mru::{collect_mru_warmup, collect_mru_warmup_with, MruCollector, MruWarmupData};
 pub use strategy::WarmupStrategy;

@@ -1,3 +1,4 @@
+use bp_exec::ExecutionPolicy;
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -121,6 +122,10 @@ impl MruCollector {
 ///
 /// Returns a map from target region index to its warmup data; the data for
 /// region `r` reflects all accesses of regions `0..r`.
+///
+/// This is the serial, region-major reference; [`collect_mru_warmup_with`]
+/// restructures the same pass thread-major so it can fan out over OS threads
+/// (bit-identical output).
 pub fn collect_mru_warmup<W: Workload + ?Sized>(
     workload: &W,
     targets: &[usize],
@@ -141,6 +146,70 @@ pub fn collect_mru_warmup<W: Workload + ?Sized>(
         }
     }
     result
+}
+
+/// Walks one thread's trace of regions `0..=last`, snapshotting the thread's
+/// MRU state at every boundary in `wanted` (sorted, deduplicated).
+///
+/// The returned snapshots are in `wanted` order; snapshot `i` reflects all of
+/// the thread's accesses in regions `0..wanted[i]`.
+fn collect_thread_snapshots<W: Workload + ?Sized>(
+    workload: &W,
+    thread: usize,
+    wanted: &[usize],
+    capacity_lines: u64,
+) -> Vec<Vec<(u64, bool)>> {
+    let mut collector = MruCollector::new(1, capacity_lines);
+    let mut snapshots = Vec::with_capacity(wanted.len());
+    let last = wanted.last().copied().unwrap_or(0);
+    for region in 0..=last.min(workload.num_regions().saturating_sub(1)) {
+        if wanted.binary_search(&region).is_ok() {
+            snapshots.push(collector.snapshot().per_thread[0].clone());
+        }
+        if region < last {
+            for exec in workload.region_trace(region, thread) {
+                for access in &exec.accesses {
+                    collector.record(0, access.line(), access.kind.is_write());
+                }
+            }
+        }
+    }
+    snapshots
+}
+
+/// [`collect_mru_warmup`] restructured *thread-major* under an
+/// [`ExecutionPolicy`]: every thread's MRU state depends only on that
+/// thread's own accesses (the per-core recency lists never interact), so
+/// each thread's full trace streams independently — on its own OS thread
+/// under [`ExecutionPolicy::Parallel`] — and the per-thread snapshots are
+/// zipped back into one [`MruWarmupData`] per target.
+///
+/// The output is bit-identical to [`collect_mru_warmup`] for every policy:
+/// within a thread the recency order is the thread's own program order, and
+/// the capacity bound is enforced per thread in both formulations.
+pub fn collect_mru_warmup_with<W: Workload + ?Sized>(
+    workload: &W,
+    targets: &[usize],
+    capacity_lines: u64,
+    policy: &ExecutionPolicy,
+) -> HashMap<usize, MruWarmupData> {
+    let mut wanted: Vec<usize> = targets.to_vec();
+    wanted.sort_unstable();
+    wanted.dedup();
+    let threads = workload.num_threads();
+    let per_thread_snapshots = policy.execute(threads, |thread| {
+        collect_thread_snapshots(workload, thread, &wanted, capacity_lines)
+    });
+    let snapshots_per_thread = per_thread_snapshots.first().map_or(0, Vec::len);
+    wanted
+        .iter()
+        .take(snapshots_per_thread)
+        .enumerate()
+        .map(|(i, &target)| {
+            let per_thread = per_thread_snapshots.iter().map(|snaps| snaps[i].clone()).collect();
+            (target, MruWarmupData { per_thread, capacity_lines: capacity_lines.max(1) })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -204,5 +273,37 @@ mod tests {
         let a = collect_mru_warmup(&w, &[7], 4096);
         let b = collect_mru_warmup(&w, &[7], 4096);
         assert_eq!(a[&7], b[&7]);
+    }
+
+    #[test]
+    fn thread_major_collection_matches_region_major_bit_for_bit() {
+        for threads in [1, 2, 4] {
+            let w = Benchmark::NpbCg.build(&WorkloadConfig::new(threads).with_scale(0.05));
+            let targets = [0, 3, 9, 3]; // duplicate + first region on purpose
+            let reference = collect_mru_warmup(&w, &targets, 2048);
+            let serial = collect_mru_warmup_with(&w, &targets, 2048, &ExecutionPolicy::Serial);
+            let parallel = collect_mru_warmup_with(
+                &w,
+                &targets,
+                2048,
+                &ExecutionPolicy::parallel_with(threads),
+            );
+            assert_eq!(reference, serial, "{threads} threads, serial");
+            assert_eq!(reference, parallel, "{threads} threads, parallel");
+        }
+    }
+
+    #[test]
+    fn thread_major_collection_handles_empty_and_out_of_range_targets() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let empty = collect_mru_warmup_with(&w, &[], 1024, &ExecutionPolicy::parallel());
+        assert!(empty.is_empty());
+        // Targets past the last region are simply absent, as in the serial pass.
+        let clamped = collect_mru_warmup_with(&w, &[1, 999], 1024, &ExecutionPolicy::Serial);
+        assert_eq!(
+            clamped.keys().copied().collect::<Vec<_>>(),
+            collect_mru_warmup(&w, &[1, 999], 1024).keys().copied().collect::<Vec<_>>()
+        );
+        assert!(clamped.contains_key(&1) && !clamped.contains_key(&999));
     }
 }

@@ -1,18 +1,21 @@
 //! Design-space exploration with fixed units of work.
 //!
-//! Barrierpoints are microarchitecture-independent, so a single selection can
-//! be reused to compare processor configurations — the use case motivating
-//! the paper's Figure 6 (cross-core-count validation) and Figure 8 (relative
-//! scaling).  This example selects barrierpoints once (from an 8-thread
-//! profile) and uses them to predict the 8-core versus 32-core speedup of a
-//! benchmark, comparing the prediction against full detailed simulations.
+//! Barrierpoints are microarchitecture-independent, so the one-time pipeline
+//! artifacts — the signature profile and the barrierpoint selection — can be
+//! reused across processor configurations: the use case motivating the
+//! paper's Figure 6 (cross-core-count validation) and Figure 8 (relative
+//! scaling).  This example drives the `Sweep` subsystem over three machine
+//! configurations of one 8-thread CG run (the stock clock, a faster clock
+//! and a half-size LLC), plus a cross-core-count design point reusing the
+//! same selection for the 32-thread build, then verifies the Figure 8
+//! prediction against full detailed simulations.
 //!
 //! ```bash
 //! cargo run --release --example design_space_exploration
 //! ```
 
 use barrierpoint::evaluate::{estimate_from_full_run, relative_scaling};
-use barrierpoint::{BarrierPoint, ExecutionPolicy, ProfileCache};
+use barrierpoint::{report, ArtifactCache, Sweep};
 use bp_sim::{Machine, SimConfig};
 use bp_workload::{Benchmark, WorkloadConfig};
 use std::time::Instant;
@@ -23,46 +26,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // four sockets' combined LLC, which is what produces the super-linear
     // scaling of Figure 8.
     let scale = 1.0;
-
-    // Profiles are microarchitecture-independent, so a design-space sweep
-    // needs exactly one (thread-parallel) profiling pass per workload: every
-    // further pipeline run over the same workload hits the on-disk cache.
-    let cache = ProfileCache::new(std::env::temp_dir().join("barrierpoint-profile-cache"));
-    println!("profile cache at {}", cache.root().display());
-
-    // Select barrierpoints once, from the 8-thread run's signatures.
     let workload8 = benchmark.build(&WorkloadConfig::new(8).with_scale(scale));
-    let pipeline = || {
-        BarrierPoint::new(&workload8)
-            .with_execution_policy(ExecutionPolicy::parallel())
-            .with_profile_cache(cache.clone())
-    };
+    let workload32 = benchmark.build(&WorkloadConfig::new(32).with_scale(scale));
+
+    // The one-time artifacts (profile + selection) persist on disk, so a
+    // re-run of this example skips profiling *and* clustering entirely.
+    let cache = ArtifactCache::new(std::env::temp_dir().join("barrierpoint-artifact-cache"));
+    println!("artifact cache at {}\n", cache.root().display());
+
+    // Three machine variants for the 8-thread build...
+    let base = SimConfig::scaled(8);
+    let mut fast_clock = base;
+    fast_clock.core.frequency_ghz *= 1.25;
+    let mut small_llc = base;
+    small_llc.memory.l3.size_bytes /= 2;
+
     let start = Instant::now();
-    let selection = pipeline().select()?;
-    let first_select = start.elapsed();
-    let start = Instant::now();
-    let selection_again = pipeline().select()?;
-    let cached_select = start.elapsed();
-    assert_eq!(selection.barrierpoint_regions(), selection_again.barrierpoint_regions());
+    let sweep_report = Sweep::new(&workload8)
+        .with_cache(cache.clone())
+        .add_config("8c-base", base)
+        .add_config("8c-fast-clock", fast_clock)
+        .add_config("8c-small-llc", small_llc)
+        // ...plus a cross-core-count design point (Figure 6): the 32-thread
+        // build simulated with the *same* selection.
+        .add_point("32c-base", SimConfig::scaled(32), &workload32)
+        .run()?;
+    let elapsed = start.elapsed();
+
+    print!("{}", report::sweep_table(&sweep_report));
+    let c = sweep_report.counters();
     println!(
-        "{}: {} barrierpoints selected from the 8-thread profile \
-         (cold selection {:.2?}, with cached profile {:.2?})",
-        benchmark,
-        selection.num_barrierpoints(),
-        first_select,
-        cached_select,
+        "\nsweep of {} design points took {:.2?} — {} profiling and {} clustering pass(es) \
+         (a second run loads both from the cache and reports zero)",
+        sweep_report.legs().len(),
+        elapsed,
+        c.profile_passes,
+        c.clustering_passes,
     );
 
-    // Detailed ground truth for both design points (8 cores = 1 socket,
-    // 32 cores = 4 sockets with 4x the aggregate LLC).
+    // Verify the headline Figure 8 prediction against detailed ground truth.
+    let selection = sweep_report.selection();
     let ground8 = Machine::new(&SimConfig::scaled(8)).run_full(&workload8);
-    let workload32 = benchmark.build(&WorkloadConfig::new(32).with_scale(scale));
     let ground32 = Machine::new(&SimConfig::scaled(32)).run_full(&workload32);
-
-    // Estimate both design points from the *same* barrierpoints.
-    let estimate8 = estimate_from_full_run(&selection, &ground8)?;
-    let estimate32 = estimate_from_full_run(&selection, &ground32)?;
-
+    let estimate8 = estimate_from_full_run(selection, &ground8)?;
+    let estimate32 = estimate_from_full_run(selection, &ground32)?;
     let scaling = relative_scaling(&ground8, &estimate8, &ground32, &estimate32);
     println!();
     println!("8-core measured time   : {:>9.3} ms", ground8.execution_time_seconds() * 1e3);

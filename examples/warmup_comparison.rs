@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Warmup comparison: {benchmark} on {threads} cores ==\n");
 
-    let selection = BarrierPoint::new(&workload).select()?;
+    let selection = BarrierPoint::new(&workload).select()?.into_selection();
     let ground = Machine::new(&sim_config).run_full(&workload);
     println!(
         "{} barrierpoints, measured execution time {:.3} ms\n",

@@ -18,8 +18,8 @@ fn selections_transfer_across_core_counts() {
     let w4 = bench.build(&WorkloadConfig::new(4).with_scale(SCALE));
     let w8 = bench.build(&WorkloadConfig::new(8).with_scale(SCALE));
 
-    let selection4 = BarrierPoint::new(&w4).select().unwrap();
-    let selection8 = BarrierPoint::new(&w8).select().unwrap();
+    let selection4 = BarrierPoint::new(&w4).select().unwrap().into_selection();
+    let selection8 = BarrierPoint::new(&w8).select().unwrap().into_selection();
 
     let ground4 = Machine::new(&SimConfig::tiny(4)).run_full(&w4);
     let ground8 = Machine::new(&SimConfig::tiny(8)).run_full(&w8);
@@ -55,7 +55,7 @@ fn relative_scaling_prediction_tracks_measured_speedup() {
     let w8 = bench.build(&WorkloadConfig::new(8).with_scale(SCALE));
     let w32 = bench.build(&WorkloadConfig::new(32).with_scale(SCALE));
 
-    let selection = BarrierPoint::new(&w8).select().unwrap();
+    let selection = BarrierPoint::new(&w8).select().unwrap().into_selection();
     let ground8 = Machine::new(&SimConfig::tiny(8)).run_full(&w8);
     let ground32 = Machine::new(&SimConfig::tiny(32)).run_full(&w32);
 
@@ -80,7 +80,7 @@ fn barrierpoint_regions_exist_at_any_thread_count() {
     let bench = Benchmark::NpbMg;
     let w8 = bench.build(&WorkloadConfig::new(8).with_scale(0.02));
     let w32 = bench.build(&WorkloadConfig::new(32).with_scale(0.02));
-    let selection = BarrierPoint::new(&w8).select().unwrap();
+    let selection = BarrierPoint::new(&w8).select().unwrap().into_selection();
     for bp in selection.barrierpoints() {
         assert!(bp.region < bp_workload::Workload::num_regions(&w32));
     }

@@ -19,7 +19,7 @@ fn perfect_warmup_estimates_are_accurate_across_benchmarks() {
     for bench in [Benchmark::NpbCg, Benchmark::NpbFt, Benchmark::NpbIs] {
         let w = workload(bench, 4);
         let sim_config = SimConfig::tiny(4);
-        let selection = BarrierPoint::new(&w).select().unwrap();
+        let selection = BarrierPoint::new(&w).select().unwrap().into_selection();
         let ground = Machine::new(&sim_config).run_full(&w);
         let estimate = estimate_from_full_run(&selection, &ground).unwrap();
         let error = prediction_error(&ground, &estimate);
@@ -63,7 +63,7 @@ fn sampling_reduces_simulated_instructions_substantially() {
     // Figure 9's point: large serial/parallel speedups for phase-repetitive
     // benchmarks.  LU repeats two solver phases 250 times.
     let w = workload(Benchmark::NpbLu, 4);
-    let selection = BarrierPoint::new(&w).select().unwrap();
+    let selection = BarrierPoint::new(&w).select().unwrap().into_selection();
     let s = speedups(&selection);
     assert!(s.serial > 5.0, "serial speedup {:.1} too small", s.serial);
     assert!(s.parallel >= s.serial);
@@ -80,7 +80,8 @@ fn combined_signatures_are_at_least_as_accurate_as_bbv_only() {
 
     let mut errors = Vec::new();
     for config in [SignatureConfig::bbv_only(), SignatureConfig::combined()] {
-        let selection = BarrierPoint::new(&w).with_signature_config(config).select().unwrap();
+        let selection =
+            BarrierPoint::new(&w).with_signature_config(config).select().unwrap().into_selection();
         let estimate = estimate_from_full_run(&selection, &ground).unwrap();
         errors.push(prediction_error(&ground, &estimate).runtime_percent_error);
     }
@@ -103,7 +104,8 @@ fn accuracy_improves_with_max_k() {
         let selection = BarrierPoint::new(&w)
             .with_simpoint_config(SimPointConfig::paper().with_max_k(max_k))
             .select()
-            .unwrap();
+            .unwrap()
+            .into_selection();
         let estimate = estimate_from_full_run(&selection, &ground).unwrap();
         errors.push(prediction_error(&ground, &estimate).runtime_percent_error);
     }

@@ -1,0 +1,119 @@
+//! Design-space `Sweep` acceptance tests: the amortization economy must be
+//! real (one-time stages run exactly once) and free (per-config results are
+//! bit-identical to running the monolithic pipeline per configuration).
+
+use barrierpoint::{ArtifactCache, BarrierPoint, SimConfig, Sweep};
+use bp_workload::{Benchmark, Workload, WorkloadConfig};
+
+fn workload(threads: usize) -> impl Workload {
+    Benchmark::NpbCg.build(&WorkloadConfig::new(threads).with_scale(0.05))
+}
+
+/// Three machine variants at the same core count: stock, faster clock,
+/// half-size LLC.
+fn machine_matrix(cores: usize) -> Vec<(&'static str, SimConfig)> {
+    let base = SimConfig::tiny(cores);
+    let mut fast_clock = base;
+    fast_clock.core.frequency_ghz *= 1.5;
+    let mut small_llc = base;
+    small_llc.memory.l3.size_bytes /= 2;
+    vec![("base", base), ("fast-clock", fast_clock), ("small-llc", small_llc)]
+}
+
+#[test]
+fn sweep_runs_one_time_stages_once_for_three_configs() {
+    let w = workload(4);
+    let mut sweep = Sweep::new(&w);
+    for (label, machine) in machine_matrix(4) {
+        sweep = sweep.add_config(label, machine);
+    }
+    let report = sweep.run().unwrap();
+    let counters = report.counters();
+    assert_eq!(counters.profile_passes, 1, "exactly one profiling pass");
+    assert_eq!(counters.clustering_passes, 1, "exactly one clustering pass");
+    assert_eq!(counters.simulate_legs, 3, "one leg per configuration");
+    assert_eq!(
+        counters.warmup_collections, 2,
+        "base and fast-clock share one MRU collection; small-llc needs its own capacity"
+    );
+    assert_eq!(report.legs().len(), 3);
+}
+
+#[test]
+fn sweep_legs_are_bit_identical_to_monolithic_runs() {
+    let w = workload(4);
+    let matrix = machine_matrix(4);
+    let mut sweep = Sweep::new(&w);
+    for (label, machine) in &matrix {
+        sweep = sweep.add_config(*label, *machine);
+    }
+    let report = sweep.run().unwrap();
+
+    for (label, machine) in &matrix {
+        let monolithic = BarrierPoint::new(&w).with_sim_config(*machine).run().unwrap();
+        let leg = report.get(label).unwrap();
+        assert_eq!(
+            leg.simulated().metrics(),
+            monolithic.barrierpoint_metrics(),
+            "{label}: barrierpoint metrics must match the monolithic pipeline"
+        );
+        assert_eq!(
+            leg.reconstruction(),
+            monolithic.reconstruction(),
+            "{label}: reconstruction must be bit-identical to the monolithic pipeline"
+        );
+        assert_eq!(report.selection(), monolithic.selection());
+    }
+}
+
+#[test]
+fn cached_sweep_skips_profiling_and_clustering_and_counts_hits() {
+    let dir = std::env::temp_dir().join(format!("bp-sweep-accept-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let w = workload(2);
+    let cache = ArtifactCache::new(&dir);
+    let run_sweep = || {
+        let mut sweep = Sweep::new(&w).with_cache(cache.clone());
+        for (label, machine) in machine_matrix(2) {
+            sweep = sweep.add_config(label, machine);
+        }
+        sweep.run().unwrap()
+    };
+
+    let cold = run_sweep();
+    assert_eq!(cold.counters().profile_passes, 1);
+    assert_eq!(cold.counters().clustering_passes, 1);
+    let stats = cache.stats();
+    assert_eq!((stats.profile_misses, stats.selection_misses), (1, 1));
+
+    let warm = run_sweep();
+    assert_eq!(warm.counters().profile_passes, 0, "profile served from cache");
+    assert_eq!(warm.counters().clustering_passes, 0, "selection served from cache");
+    let stats = cache.stats();
+    assert_eq!((stats.profile_hits, stats.selection_hits), (1, 1));
+    // Counters differ by design (1 pass vs 0); the artifacts must not.
+    assert_eq!(cold.selection(), warm.selection());
+    assert_eq!(cold.legs(), warm.legs(), "cached artifacts reproduce the sweep bit for bit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cross_core_count_sweep_expresses_figure6_in_one_call() {
+    // Figure 6: one selection drives design points at two core counts.
+    let bench = Benchmark::NpbFt;
+    let w4 = bench.build(&WorkloadConfig::new(4).with_scale(0.05));
+    let w8 = bench.build(&WorkloadConfig::new(8).with_scale(0.05));
+    let report = Sweep::new(&w4)
+        .add_config("4c", SimConfig::tiny(4))
+        .add_point("8c", SimConfig::tiny(8), &w8)
+        .run()
+        .unwrap();
+    assert_eq!(report.counters().profile_passes, 1);
+    assert_eq!(report.counters().clustering_passes, 1);
+    let t4 = report.get("4c").unwrap().reconstruction().execution_time_seconds();
+    let t8 = report.get("8c").unwrap().reconstruction().execution_time_seconds();
+    assert!(t4 > 0.0 && t8 > 0.0);
+    assert!(t8 < t4, "8 cores should be estimated faster than 4 ({t8} vs {t4})");
+    // The Figure 8 one-liner: predicted speedup of the scaled machine.
+    assert!(report.predicted_speedup("4c", "8c").unwrap() > 1.0);
+}

@@ -12,7 +12,7 @@ fn error_with_warmup(bench: Benchmark, warmup: WarmupKind) -> f64 {
     let threads = 4;
     let w = bench.build(&WorkloadConfig::new(threads).with_scale(0.05));
     let sim_config = SimConfig::tiny(threads);
-    let selection = BarrierPoint::new(&w).select().unwrap();
+    let selection = BarrierPoint::new(&w).select().unwrap().into_selection();
     let ground = Machine::new(&sim_config).run_full(&w);
     let metrics =
         simulate_barrierpoints(&w, &selection, &sim_config, warmup, &ExecutionPolicy::parallel())
