@@ -4,18 +4,24 @@
 //! (the [`bp_bench::sweep_machine_variants`] variants) over one workload:
 //!
 //! * **monolithic** — one full `BarrierPoint::run` per configuration, the
-//!   pre-redesign shape: profiling and clustering repeat per config;
-//! * **sweep** — one `Sweep::run`: profile once, cluster once, simulate per
-//!   config;
-//! * **cached sweep** — `Sweep::run` with a warm `ArtifactCache`: both
-//!   one-time passes load from disk.
+//!   pre-redesign shape: profiling, clustering and warmup collection repeat
+//!   per config;
+//! * **sweep** — one `Sweep::run`: profile once, cluster once, collect the
+//!   MRU warmup once (all LLC capacities from a single pass), simulate per
+//!   config under one shared worker budget;
+//! * **cached sweep** — `Sweep::run` with a warm `ArtifactCache`: the
+//!   one-time passes *and every simulated leg* load from disk — the fully
+//!   incremental case, with a smoke assertion that zero simulate legs (and
+//!   zero warmup collections) execute.
 //!
 //! Medians go to the console and to `BENCH_sweep.json` at the repository
-//! root so the sweep perf trajectory is recorded run over run.  Each variant
-//! is timed by one explicit sample loop (one untimed warmup + 5 timed runs),
-//! like the profiling bench.
+//! root so the sweep perf trajectory is recorded run over run, together
+//! with the scheduling and caching telemetry (steal count, simulated-leg
+//! cache hits, per-stage timings).  Each variant is timed by one explicit
+//! sample loop (one untimed warmup + 5 timed runs), like the profiling
+//! bench.
 
-use barrierpoint::{ArtifactCache, BarrierPoint, Sweep};
+use barrierpoint::{ArtifactCache, BarrierPoint, ExecutionPolicy, Sweep, WorkerBudget};
 use bp_bench::{sweep_machine_variants, ExperimentConfig};
 use bp_workload::Benchmark;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -26,6 +32,9 @@ fn bench_sweep(_c: &mut Criterion) {
     let cores = config.cores_small;
     let workload = config.workload(Benchmark::NpbCg, cores);
     let variants = sweep_machine_variants(&config, cores);
+    // Serial on 1-CPU hosts, parallel over all CPUs otherwise: spawning
+    // workers on a degenerate host only measures scheduling overhead.
+    let policy = ExecutionPolicy::auto();
     let cache_dir =
         std::env::temp_dir().join(format!("bp-sweep-bench-cache-{}", std::process::id()));
     std::fs::remove_dir_all(&cache_dir).ok();
@@ -48,13 +57,28 @@ fn bench_sweep(_c: &mut Criterion) {
     println!("group sweep (median of 5, npb-cg at {cores} threads, {} configs)", variants.len());
     let monolithic = median(&|| {
         for (_, machine) in &variants {
-            BarrierPoint::new(&workload).with_sim_config(*machine).run().unwrap();
+            BarrierPoint::new(&workload)
+                .with_execution_policy(policy)
+                .with_sim_config(*machine)
+                .run()
+                .unwrap();
         }
     });
     println!("sweep/monolithic_per_config {monolithic:>42.2?}");
 
+    // Per-stage timings of the one-time artifacts (what the sweep amortizes).
+    let profile_stage = median(&|| {
+        BarrierPoint::new(&workload).with_execution_policy(policy).profile().unwrap();
+    });
+    let profiled = BarrierPoint::new(&workload).with_execution_policy(policy).profile().unwrap();
+    let cluster_stage = median(&|| {
+        profiled.clone().select().unwrap();
+    });
+    println!("sweep/stage_profile {profile_stage:>50.2?}");
+    println!("sweep/stage_cluster {cluster_stage:>50.2?}");
+
     let build_sweep = |with_cache: bool| {
-        let mut sweep = Sweep::new(&workload);
+        let mut sweep = Sweep::new(&workload).with_execution_policy(policy);
         if with_cache {
             sweep = sweep.with_cache(cache.clone());
         }
@@ -63,18 +87,40 @@ fn bench_sweep(_c: &mut Criterion) {
         }
         sweep
     };
+    // One shared budget across all sampled runs accumulates the steal
+    // telemetry of the work-stealing leg scheduler (quiescent-pool ramp-ups
+    // between runs are not counted as steals).
+    let budget = WorkerBudget::for_policy(&policy);
+    let warmup_collections = std::cell::Cell::new(0usize);
     let staged = median(&|| {
-        let report = build_sweep(false).run().unwrap();
+        let report = build_sweep(false).with_shared_budget(budget.clone()).run().unwrap();
         assert_eq!(report.counters().profile_passes, 1);
+        assert_eq!(
+            report.counters().warmup_collections,
+            1,
+            "one multi-capacity MRU collection must serve every LLC capacity"
+        );
+        warmup_collections.set(report.counters().warmup_collections);
     });
+    let warmup_collections = warmup_collections.get();
+    let steal_count = budget.steal_count();
     println!("sweep/staged_single_pass {staged:>45.2?}");
 
     build_sweep(true).run().unwrap(); // populate the cache
+    let simulated_cache_hits = std::cell::Cell::new(0usize);
     let cached = median(&|| {
         let report = build_sweep(true).run().unwrap();
-        assert_eq!(report.counters().profile_passes, 0);
-        assert_eq!(report.counters().clustering_passes, 0);
+        let counters = report.counters();
+        assert_eq!(counters.profile_passes, 0);
+        assert_eq!(counters.clustering_passes, 0);
+        // CI smoke assertion: a warm re-sweep is fully incremental — zero
+        // simulate legs and zero warmup collections execute.
+        assert_eq!(counters.simulate_legs, 0, "warm re-sweep must execute zero simulate legs");
+        assert_eq!(counters.warmup_collections, 0, "warm re-sweep must not walk any trace");
+        assert_eq!(counters.simulated_cache_hits, 3);
+        simulated_cache_hits.set(counters.simulated_cache_hits);
     });
+    let simulated_cache_hits = simulated_cache_hits.get();
     println!("sweep/staged_cached {cached:>50.2?}");
     std::fs::remove_dir_all(&cache_dir).ok();
 
@@ -82,12 +128,20 @@ fn bench_sweep(_c: &mut Criterion) {
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"workload\": \"npb-cg\",\n  \
          \"threads\": {cores},\n  \"configs\": {},\n  \"host_cpus\": {cpus},\n  \
+         \"policy\": \"{}\",\n  \
          \"monolithic_per_config_ns\": {},\n  \"sweep_ns\": {},\n  \"sweep_cached_ns\": {},\n  \
+         \"stage_profile_ns\": {},\n  \"stage_cluster_ns\": {},\n  \
+         \"warmup_collections\": {warmup_collections},\n  \
+         \"steal_count\": {steal_count},\n  \
+         \"simulated_cache_hits\": {simulated_cache_hits},\n  \
          \"sweep_speedup\": {:.3},\n  \"cached_speedup\": {:.3}\n}}\n",
         variants.len(),
+        policy.name(),
         monolithic.as_nanos(),
         staged.as_nanos(),
         cached.as_nanos(),
+        profile_stage.as_nanos(),
+        cluster_stage.as_nanos(),
         monolithic.as_secs_f64() / staged.as_secs_f64().max(1e-12),
         monolithic.as_secs_f64() / cached.as_secs_f64().max(1e-12),
     );

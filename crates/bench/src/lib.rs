@@ -359,7 +359,7 @@ pub fn fig7_mru_warmup(config: &ExperimentConfig) -> (String, Vec<AccuracyRow>) 
                 &run.selection,
                 &run.sim_config,
                 WarmupKind::MruReplay,
-                &ExecutionPolicy::parallel(),
+                &ExecutionPolicy::auto(),
             )
             .expect("simulation succeeds");
             let estimate = reconstruct(&run.selection, &metrics, run.sim_config.core.frequency_ghz)

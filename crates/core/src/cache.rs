@@ -29,9 +29,12 @@
 use crate::error::Error;
 use crate::profile::{profile_application_with, ApplicationProfile};
 use crate::select::{select_barrierpoints, BarrierPointSelection};
+use crate::simulate::WarmupKind;
+use crate::stages::Simulated;
 use bp_clustering::SimPointConfig;
 use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
+use bp_sim::SimConfig;
 use bp_workload::{FingerprintHasher, Workload};
 use std::fs;
 use std::io::ErrorKind;
@@ -44,12 +47,16 @@ use std::time::SystemTime;
 const PROFILE_MAGIC: &[u8; 4] = b"BPPF";
 /// Magic bytes at the start of every selection cache file.
 const SELECTION_MAGIC: &[u8; 4] = b"BPSL";
+/// Magic bytes at the start of every simulated-leg cache file.
+const SIMULATED_MAGIC: &[u8; 4] = b"BPSM";
 /// Bump whenever the serialized layout of a cached artifact (or the entry
 /// header) changes; old entries then read as misses and are overwritten.
 const FORMAT_VERSION: u32 = 2;
-/// File extensions of the two artifact kinds (also the eviction scan filter).
+/// File extensions of the three artifact kinds (also the eviction scan
+/// filter).
 const PROFILE_EXT: &str = "bpprof";
 const SELECTION_EXT: &str = "bpsel";
+const SIMULATED_EXT: &str = "bpsim";
 
 /// The content address of one profile: everything the cache needs to locate
 /// and validate an entry.
@@ -153,6 +160,68 @@ impl SelectionCacheKey {
     }
 }
 
+/// The content address of one detailed-simulation leg: the identity of the
+/// workload instance that was simulated, the *content* of the barrierpoint
+/// selection that drove it, and a fingerprint of the machine configuration
+/// plus warmup technique.
+///
+/// Keying by selection content (not by how the selection was derived) means
+/// a leg cached by one sweep is hit by any other pipeline arriving at the
+/// same selection — including cross-core-count legs, where the selection
+/// transfers across workload builds (the leg workload's own fingerprint
+/// keeps those from aliasing).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimulatedCacheKey {
+    workload_name: String,
+    threads: usize,
+    workload_fingerprint: u64,
+    selection_fingerprint: u64,
+    config_fingerprint: u64,
+}
+
+impl SimulatedCacheKey {
+    /// Computes the key for simulating `selection`'s barrierpoints of
+    /// `workload` on `sim_config` under `warmup`.
+    pub fn new<W: Workload + ?Sized>(
+        workload: &W,
+        selection: &BarrierPointSelection,
+        sim_config: &SimConfig,
+        warmup: WarmupKind,
+    ) -> Self {
+        let mut hasher = FingerprintHasher::new();
+        hasher.write_bytes(&serde::to_vec(sim_config));
+        hasher.write_str(warmup.name());
+        Self {
+            workload_name: workload.name().to_string(),
+            threads: workload.num_threads(),
+            workload_fingerprint: workload.profile_fingerprint(),
+            selection_fingerprint: selection.fingerprint(),
+            config_fingerprint: hasher.finish(),
+        }
+    }
+
+    /// The fingerprint of the selection content the leg was driven by.
+    pub fn selection_fingerprint(&self) -> u64 {
+        self.selection_fingerprint
+    }
+
+    /// The fingerprint of the `(SimConfig, WarmupKind)` pair.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
+    }
+
+    fn file_name(&self) -> String {
+        format!(
+            "{}-{}t-{:016x}-{:016x}-{:016x}.{SIMULATED_EXT}",
+            sanitize(&self.workload_name),
+            self.threads,
+            self.workload_fingerprint,
+            self.selection_fingerprint,
+            self.config_fingerprint
+        )
+    }
+}
+
 fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
@@ -173,6 +242,12 @@ pub struct CacheStats {
     pub selection_hits: u64,
     /// Selection lookups that had to re-cluster (including corrupt entries).
     pub selection_misses: u64,
+    /// Simulated-leg lookups that were served from disk (the detailed
+    /// simulation was skipped entirely).
+    pub simulated_hits: u64,
+    /// Simulated-leg lookups that had to simulate (including corrupt
+    /// entries).
+    pub simulated_misses: u64,
     /// Entries deleted by LRU eviction.
     pub evictions: u64,
 }
@@ -183,6 +258,8 @@ struct StatCounters {
     profile_misses: AtomicU64,
     selection_hits: AtomicU64,
     selection_misses: AtomicU64,
+    simulated_hits: AtomicU64,
+    simulated_misses: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -272,6 +349,8 @@ impl ArtifactCache {
             profile_misses: self.stats.profile_misses.load(Ordering::Relaxed),
             selection_hits: self.stats.selection_hits.load(Ordering::Relaxed),
             selection_misses: self.stats.selection_misses.load(Ordering::Relaxed),
+            simulated_hits: self.stats.simulated_hits.load(Ordering::Relaxed),
+            simulated_misses: self.stats.simulated_misses.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
         }
     }
@@ -281,6 +360,10 @@ impl ArtifactCache {
     }
 
     fn selection_path(&self, key: &SelectionCacheKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    fn simulated_path(&self, key: &SimulatedCacheKey) -> PathBuf {
         self.root.join(key.file_name())
     }
 
@@ -308,10 +391,15 @@ impl ArtifactCache {
 
     /// Writes an entry through a temporary file and an atomic rename so that
     /// concurrent readers never observe a torn entry, then enforces the size
-    /// bound.
+    /// bound.  The temporary name carries the process id *and* a process-wide
+    /// sequence number: two threads of one process storing the same key must
+    /// not share a tmp path, or the loser's rename fails on the path the
+    /// winner already consumed.
     fn write_entry(&self, path: &Path, bytes: &[u8]) -> Result<(), Error> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         fs::create_dir_all(&self.root).map_err(|e| self.io_error(&self.root, &e))?;
-        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
         fs::write(&tmp, bytes).map_err(|e| self.io_error(&tmp, &e))?;
         fs::rename(&tmp, path).map_err(|e| self.io_error(path, &e))?;
         self.evict_to_limit(path);
@@ -336,7 +424,7 @@ impl ArtifactCache {
                 let ext = path.extension()?.to_str()?;
                 let meta = entry.metadata().ok()?;
                 let mtime = meta.modified().ok()?;
-                if ext != PROFILE_EXT && ext != SELECTION_EXT {
+                if ext != PROFILE_EXT && ext != SELECTION_EXT && ext != SIMULATED_EXT {
                     // An old enough tmp file cannot belong to a live write.
                     let age = now.duration_since(mtime).unwrap_or_default();
                     if ext.starts_with("tmp-") && age.as_secs() >= 60 {
@@ -438,6 +526,74 @@ impl ArtifactCache {
         let profile = profile_application_with(workload, policy)?;
         self.store(&key, &profile)?;
         Ok((profile, false))
+    }
+
+    /// Looks up the simulated leg stored under `key`; `Ok(None)` on any miss
+    /// (stale version, corrupt payload, wrong key).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProfileCache`] for I/O failures other than the entry
+    /// not existing.
+    pub fn load_simulated(&self, key: &SimulatedCacheKey) -> Result<Option<Simulated>, Error> {
+        let path = self.simulated_path(key);
+        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
+        Ok(decode_simulated(&bytes, key))
+    }
+
+    /// Persists `simulated` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProfileCache`] on I/O failure.
+    pub fn store_simulated(
+        &self,
+        key: &SimulatedCacheKey,
+        simulated: &Simulated,
+    ) -> Result<(), Error> {
+        self.write_entry(&self.simulated_path(key), &encode_simulated(key, simulated))
+    }
+
+    /// [`load_simulated`](Self::load_simulated) with hit/miss accounting:
+    /// every *logical* simulated-leg lookup goes through here exactly once
+    /// (the sweep probes legs up front so it can skip the warmup collection
+    /// of fully cached legs; the staged API probes through
+    /// [`load_or_simulate`](Self::load_or_simulate)).
+    pub(crate) fn probe_simulated(
+        &self,
+        key: &SimulatedCacheKey,
+    ) -> Result<Option<Simulated>, Error> {
+        let loaded = self.load_simulated(key)?;
+        let counter = match loaded {
+            Some(_) => &self.stats.simulated_hits,
+            None => &self.stats.simulated_misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(loaded)
+    }
+
+    /// Returns the cached simulated leg under `key`, running `simulate` and
+    /// populating the cache on a miss.  The boolean is `true` when the leg
+    /// came from the cache — the detailed simulation (and its warmup
+    /// collection) was skipped entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `simulate`'s error and cache I/O errors.
+    pub fn load_or_simulate<F>(
+        &self,
+        key: &SimulatedCacheKey,
+        simulate: F,
+    ) -> Result<(Simulated, bool), Error>
+    where
+        F: FnOnce() -> Result<Simulated, Error>,
+    {
+        if let Some(simulated) = self.probe_simulated(key)? {
+            return Ok((simulated, true));
+        }
+        let simulated = simulate()?;
+        self.store_simulated(key, &simulated)?;
+        Ok((simulated, false))
     }
 
     /// Returns the cached barrierpoint selection of `profile` (profiled from
@@ -543,6 +699,50 @@ fn decode_selection(bytes: &[u8], key: &SelectionCacheKey) -> Option<BarrierPoin
         return None;
     }
     Some(selection)
+}
+
+fn encode_simulated(key: &SimulatedCacheKey, simulated: &Simulated) -> Vec<u8> {
+    let mut out = serde::Serializer::new();
+    out.write_bytes(SIMULATED_MAGIC);
+    out.write_u32(FORMAT_VERSION);
+    out.write_str(&key.workload_name);
+    out.write_u64(key.threads as u64);
+    out.write_u64(key.workload_fingerprint);
+    out.write_u64(key.selection_fingerprint);
+    out.write_u64(key.config_fingerprint);
+    serde::Serialize::serialize(simulated, &mut out);
+    out.into_bytes()
+}
+
+/// Decodes a simulated-leg entry; `None` on any mismatch, as for profiles.
+fn decode_simulated(bytes: &[u8], key: &SimulatedCacheKey) -> Option<Simulated> {
+    let mut de = serde::Deserializer::new(bytes);
+    if de.read_bytes(SIMULATED_MAGIC.len()).ok()? != SIMULATED_MAGIC {
+        return None;
+    }
+    if de.read_u32().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    if de.read_string().ok()? != key.workload_name {
+        return None;
+    }
+    if de.read_u64().ok()? != key.threads as u64 {
+        return None;
+    }
+    if de.read_u64().ok()? != key.workload_fingerprint {
+        return None;
+    }
+    if de.read_u64().ok()? != key.selection_fingerprint {
+        return None;
+    }
+    if de.read_u64().ok()? != key.config_fingerprint {
+        return None;
+    }
+    let simulated: Simulated = serde::Deserialize::deserialize(&mut de).ok()?;
+    if de.remaining() != 0 {
+        return None;
+    }
+    Some(simulated)
 }
 
 #[cfg(test)]
@@ -770,6 +970,109 @@ mod tests {
         let (_, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
         assert!(cached);
         assert_eq!(cache.stats().evictions, 0);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn simulated_miss_then_hit_skips_simulation_and_accounts() {
+        let cache = temp_cache("sim-roundtrip");
+        let w = workload(0.02);
+        let selected = crate::BarrierPoint::new(&w).profile().unwrap().select().unwrap();
+        let sim_config = SimConfig::scaled(2);
+        let key =
+            SimulatedCacheKey::new(&w, selected.selection(), &sim_config, WarmupKind::MruReplay);
+
+        let (first, was_cached) =
+            cache.load_or_simulate(&key, || selected.simulate(&sim_config)).unwrap();
+        assert!(!was_cached);
+        let (second, was_cached) =
+            cache.load_or_simulate(&key, || panic!("a hit must not re-simulate")).unwrap();
+        assert!(was_cached);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.simulated_misses, stats.simulated_hits), (1, 1));
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn changed_sim_config_or_warmup_produces_a_distinct_simulated_key() {
+        let w = workload(0.02);
+        let selected = crate::BarrierPoint::new(&w).profile().unwrap().select().unwrap();
+        let base = SimConfig::scaled(2);
+        let mut fast = base;
+        fast.core.frequency_ghz *= 1.5;
+
+        let base_key =
+            SimulatedCacheKey::new(&w, selected.selection(), &base, WarmupKind::MruReplay);
+        let fast_key =
+            SimulatedCacheKey::new(&w, selected.selection(), &fast, WarmupKind::MruReplay);
+        let cold_key = SimulatedCacheKey::new(&w, selected.selection(), &base, WarmupKind::Cold);
+        assert_ne!(base_key, fast_key, "a changed SimConfig must not alias");
+        assert_ne!(base_key, cold_key, "a changed WarmupKind must not alias");
+        assert_ne!(base_key.file_name(), fast_key.file_name());
+        assert_ne!(base_key.file_name(), cold_key.file_name());
+
+        // And on disk: a base-config entry never serves the others.
+        let cache = temp_cache("sim-config");
+        let (_, _) = cache.load_or_simulate(&base_key, || selected.simulate(&base)).unwrap();
+        assert_eq!(cache.load_simulated(&fast_key).unwrap(), None);
+        assert_eq!(cache.load_simulated(&cold_key).unwrap(), None);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_simulated_entry_self_heals_as_a_miss() {
+        let cache = temp_cache("sim-corrupt");
+        let w = workload(0.02);
+        let selected = crate::BarrierPoint::new(&w).profile().unwrap().select().unwrap();
+        let sim_config = SimConfig::scaled(2);
+        let key =
+            SimulatedCacheKey::new(&w, selected.selection(), &sim_config, WarmupKind::MruReplay);
+        let (simulated, _) =
+            cache.load_or_simulate(&key, || selected.simulate(&sim_config)).unwrap();
+
+        // Corrupt the payload: flip a byte past the header and add garbage.
+        let path = cache.simulated_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        bytes.push(0);
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.load_simulated(&key).unwrap(), None);
+
+        // The next load_or_simulate re-simulates and heals the entry.
+        let (healed, was_cached) =
+            cache.load_or_simulate(&key, || selected.simulate(&sim_config)).unwrap();
+        assert!(!was_cached);
+        assert_eq!(healed, simulated);
+        assert_eq!(cache.load_simulated(&key).unwrap(), Some(simulated));
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn simulated_entries_participate_in_lru_eviction() {
+        let cache = temp_cache("sim-evict").with_max_bytes(1);
+        let w = workload(0.02);
+        let selected = crate::BarrierPoint::new(&w).profile().unwrap().select().unwrap();
+        let profile_key = ProfileCacheKey::for_workload(&w);
+        cache.store(&profile_key, selected.profile()).unwrap();
+        std::thread::sleep(Duration::from_millis(20)); // distinct mtimes
+
+        // Storing the (large) simulated leg with a 1-byte budget must evict
+        // the older profile entry but keep the leg just written.
+        let sim_config = SimConfig::scaled(2);
+        let key =
+            SimulatedCacheKey::new(&w, selected.selection(), &sim_config, WarmupKind::MruReplay);
+        let simulated = selected.simulate(&sim_config).unwrap();
+        cache.store_simulated(&key, &simulated).unwrap();
+        assert_eq!(cache.load(&profile_key).unwrap(), None, "older profile evicted");
+        assert_eq!(cache.load_simulated(&key).unwrap(), Some(simulated.clone()));
+        assert!(cache.stats().evictions >= 1);
+
+        // And a newer profile store evicts the simulated entry in turn.
+        std::thread::sleep(Duration::from_millis(20));
+        cache.store(&profile_key, selected.profile()).unwrap();
+        assert_eq!(cache.load_simulated(&key).unwrap(), None, "simulated leg evicted by LRU");
         fs::remove_dir_all(cache.root()).ok();
     }
 

@@ -26,10 +26,15 @@
 //! selection are machine-independent (Section III / Figure 6), so one
 //! [`Selected`] fans out to any number of [`Selected::simulate`] legs —
 //! and [`Sweep`] packages that fan-out: given N machine configurations it
-//! profiles once, clusters once, simulates N times, in parallel
-//! ([`SweepReport`]).  An [`ArtifactCache`] persists both one-time
-//! artifacts on disk (with LRU size bounding and hit/miss accounting), so
-//! the amortization extends across processes.
+//! profiles once, clusters once, collects the MRU warmup once per workload
+//! (legs differing in LLC capacity share a single multi-capacity pass),
+//! and simulates the legs in parallel under one shared, work-stealing
+//! [`WorkerBudget`] ([`SweepReport`]).  An [`ArtifactCache`] persists all
+//! three artifact kinds on disk (with LRU size bounding and hit/miss
+//! accounting) — profiles, selections *and* simulated legs — so the
+//! amortization extends across processes and repeated sweeps over
+//! overlapping configuration matrices are fully incremental: a warm
+//! re-sweep executes zero simulate legs.
 //!
 //! The [`evaluate`] module adds everything needed to reproduce the paper's
 //! evaluation (prediction errors, cross-core-count validation, relative
@@ -107,7 +112,9 @@ mod simulate;
 mod stages;
 mod sweep;
 
-pub use cache::{ArtifactCache, CacheStats, ProfileCache, ProfileCacheKey, SelectionCacheKey};
+pub use cache::{
+    ArtifactCache, CacheStats, ProfileCache, ProfileCacheKey, SelectionCacheKey, SimulatedCacheKey,
+};
 pub use error::Error;
 pub use pipeline::{BarrierPoint, BarrierPointOutcome};
 pub use profile::{profile_application, profile_application_with, ApplicationProfile};
@@ -121,6 +128,6 @@ pub use sweep::{Sweep, SweepCounters, SweepLeg, SweepReport};
 
 // Re-export the substrate configuration types users need to drive the API.
 pub use bp_clustering::SimPointConfig;
-pub use bp_exec::ExecutionPolicy;
+pub use bp_exec::{ExecutionPolicy, WorkerBudget};
 pub use bp_signature::{LdvWeighting, SignatureConfig, SignatureKind};
 pub use bp_sim::SimConfig;

@@ -130,10 +130,15 @@ pub fn accuracy_row(benchmark: &str, cores: usize, error: &PredictionError) -> S
 pub fn sweep_table(report: &SweepReport) -> String {
     let mut out = String::new();
     let counters = report.counters();
+    let cached = if counters.simulated_cache_hits > 0 {
+        format!(", {} leg(s) from cache", counters.simulated_cache_hits)
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
         "Design-space sweep: {} ({} barrierpoints; {} profile pass(es), {} clustering \
-         pass(es), {} simulation leg(s))",
+         pass(es), {} simulation leg(s){cached})",
         report.workload_name(),
         report.selection().num_barrierpoints(),
         counters.profile_passes,

@@ -155,6 +155,22 @@ impl BarrierPointSelection {
             self.num_regions() as f64 / self.barrierpoints.len() as f64
         }
     }
+
+    /// A content fingerprint of the complete selection — the serialized
+    /// artifact (barrierpoints, multipliers, region mapping, and the
+    /// configurations that derived it) through the stable
+    /// [`FingerprintHasher`](bp_workload::FingerprintHasher).  Two
+    /// selections with equal fingerprints drive identical simulation legs,
+    /// which is what lets the artifact cache key cached [`Simulated`]
+    /// legs by selection *content* rather than by how the selection was
+    /// obtained.
+    ///
+    /// [`Simulated`]: crate::Simulated
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = bp_workload::FingerprintHasher::new();
+        hasher.write_bytes(&serde::to_vec(self));
+        hasher.finish()
+    }
 }
 
 /// Clusters the profiled regions and selects barrierpoints plus multipliers.

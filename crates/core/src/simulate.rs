@@ -1,6 +1,6 @@
 use crate::error::Error;
 use crate::select::BarrierPointSelection;
-use bp_exec::ExecutionPolicy;
+use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_sim::{Machine, RegionMetrics, SimConfig};
 use bp_warmup::{apply_warmup, collect_mru_warmup_with, MruWarmupData, WarmupStrategy};
 use bp_workload::Workload;
@@ -58,13 +58,15 @@ pub fn simulate_barrierpoints<W: Workload + ?Sized>(
     warmup: WarmupKind,
     policy: &ExecutionPolicy,
 ) -> Result<BarrierPointMetrics, Error> {
-    simulate_barrierpoints_impl(workload, selection, sim_config, warmup, policy, None)
+    simulate_barrierpoints_impl(workload, selection, sim_config, warmup, policy, None, None)
 }
 
-/// [`simulate_barrierpoints`] with an optionally precollected MRU warmup
-/// payload, so a design-space sweep can share one whole-trace collection
-/// pass across legs with the same workload and LLC capacity.  The payload
-/// must have been collected from `workload` at
+/// [`simulate_barrierpoints`] with an optional shared [`WorkerBudget`] (a
+/// design-space sweep passes one budget to every concurrent leg, so workers
+/// idled by a drained leg immediately help the busy ones) and an optionally
+/// precollected MRU warmup payload, so legs with the same workload and LLC
+/// capacity share one whole-trace collection pass.  The payload must have
+/// been collected from `workload` at
 /// `sim_config.memory.llc_total_lines(num_cores)` for the selection's
 /// barrierpoint regions.
 pub(crate) fn simulate_barrierpoints_impl<W: Workload + ?Sized>(
@@ -73,6 +75,7 @@ pub(crate) fn simulate_barrierpoints_impl<W: Workload + ?Sized>(
     sim_config: &SimConfig,
     warmup: WarmupKind,
     policy: &ExecutionPolicy,
+    budget: Option<&WorkerBudget>,
     precollected_mru: Option<&HashMap<usize, MruWarmupData>>,
 ) -> Result<BarrierPointMetrics, Error> {
     if workload.num_threads() != sim_config.num_cores {
@@ -117,7 +120,13 @@ pub(crate) fn simulate_barrierpoints_impl<W: Workload + ?Sized>(
     };
 
     let mut results = BTreeMap::new();
-    results.extend(policy.execute(regions.len(), |i| simulate_one(regions[i])));
+    let per_region = match budget {
+        Some(budget) => {
+            policy.execute_budgeted(regions.len(), budget, |i| simulate_one(regions[i]))
+        }
+        None => policy.execute(regions.len(), |i| simulate_one(regions[i])),
+    };
+    results.extend(per_region);
     Ok(results)
 }
 

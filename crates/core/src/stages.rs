@@ -21,14 +21,14 @@
 //! recomputed or loaded — the accounting that lets
 //! [`Sweep`](crate::Sweep) prove it runs each one-time stage exactly once.
 
-use crate::cache::SelectionCacheKey;
+use crate::cache::{SelectionCacheKey, SimulatedCacheKey};
 use crate::error::Error;
 use crate::pipeline::BarrierPoint;
 use crate::profile::ApplicationProfile;
 use crate::reconstruct::{reconstruct, ReconstructedRun};
 use crate::select::{select_barrierpoints, BarrierPointSelection};
 use crate::simulate::{BarrierPointMetrics, WarmupKind};
-use bp_exec::ExecutionPolicy;
+use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_sim::SimConfig;
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -158,13 +158,17 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
     /// whole-application estimate — one design-point leg.
     ///
     /// Takes `&self` so a design-space sweep can fan many legs out from one
-    /// selection.
+    /// selection.  When an [`ArtifactCache`](crate::ArtifactCache) is
+    /// attached the leg itself is memoized, keyed by the selection *content*
+    /// plus the `(SimConfig, WarmupKind)` pair: a repeated leg loads from
+    /// disk and skips both the warmup collection and the detailed
+    /// simulation.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ThreadCountMismatch`] if `sim_config.num_cores`
-    /// differs from the workload's thread count, and propagates simulation
-    /// and reconstruction errors.
+    /// differs from the workload's thread count, and propagates simulation,
+    /// reconstruction and cache I/O errors.
     pub fn simulate(&self, sim_config: &SimConfig) -> Result<Simulated, Error> {
         self.simulate_on(self.pipeline.workload(), sim_config)
     }
@@ -179,25 +183,64 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
     /// Returns [`Error::RegionCountMismatch`] if `workload` does not have the
     /// same region count as the selection, [`Error::ThreadCountMismatch`] if
     /// `sim_config.num_cores` differs from `workload`'s thread count, and
-    /// propagates simulation and reconstruction errors.
+    /// propagates simulation, reconstruction and cache I/O errors.
     pub fn simulate_on<V: Workload + ?Sized>(
         &self,
         workload: &V,
         sim_config: &SimConfig,
     ) -> Result<Simulated, Error> {
-        self.simulate_on_with(workload, sim_config, self.pipeline.execution_policy(), None)
+        match self.pipeline.cache() {
+            Some(cache) => {
+                let key = SimulatedCacheKey::new(
+                    workload,
+                    &self.selection,
+                    sim_config,
+                    self.pipeline.warmup(),
+                );
+                let (simulated, _was_cached) = cache.load_or_simulate(&key, || {
+                    self.simulate_on_with(
+                        workload,
+                        sim_config,
+                        self.pipeline.execution_policy(),
+                        None,
+                        None,
+                    )
+                })?;
+                Ok(simulated)
+            }
+            None => self.simulate_on_with(
+                workload,
+                sim_config,
+                self.pipeline.execution_policy(),
+                None,
+                None,
+            ),
+        }
     }
 
-    /// [`simulate_on`](Self::simulate_on) under an explicit execution policy
-    /// and an optionally precollected MRU warmup payload (used by
-    /// [`Sweep`](crate::Sweep), which parallelizes across legs, splits the
-    /// worker budget between them, and shares one warmup-collection pass
-    /// among legs with the same workload and LLC capacity).
+    /// The cache key a [`simulate_on`](Self::simulate_on) leg would use.
+    pub fn simulated_cache_key<V: Workload + ?Sized>(
+        &self,
+        workload: &V,
+        sim_config: &SimConfig,
+    ) -> SimulatedCacheKey {
+        SimulatedCacheKey::new(workload, &self.selection, sim_config, self.pipeline.warmup())
+    }
+
+    /// The uncached compute path of one leg, under an explicit execution
+    /// policy, an optional shared [`WorkerBudget`] (so concurrent sweep legs
+    /// steal idle workers from each other instead of splitting the machine
+    /// statically) and an optionally precollected MRU warmup payload (so
+    /// legs sharing a workload and LLC capacity share one collection pass).
+    /// [`Sweep`](crate::Sweep) drives this directly — it probes the
+    /// simulated-leg cache up front, before deciding what to collect and
+    /// simulate.
     pub(crate) fn simulate_on_with<V: Workload + ?Sized>(
         &self,
         workload: &V,
         sim_config: &SimConfig,
         policy: &ExecutionPolicy,
+        budget: Option<&WorkerBudget>,
         precollected_mru: Option<&std::collections::HashMap<usize, bp_warmup::MruWarmupData>>,
     ) -> Result<Simulated, Error> {
         if workload.num_regions() != self.selection.num_regions() {
@@ -213,6 +256,7 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
             sim_config,
             warmup,
             policy,
+            budget,
             precollected_mru,
         )?;
         let reconstruction = reconstruct(&self.selection, &metrics, sim_config.core.frequency_ghz)?;

@@ -5,12 +5,17 @@
 //! barrierpoint selection serve *many* detailed simulations, and (Figure 6)
 //! a selection even transfers across core counts.  [`Sweep`] makes that
 //! economy structural: given one workload and N machine configurations, it
-//! runs the profiling stage **once**, the clustering stage **once**, and
-//! fans the N simulate+reconstruct legs out through
-//! [`ExecutionPolicy`], returning a [`SweepReport`] keyed by configuration.
-//! The report carries [`SweepCounters`] so callers (and tests) can verify
-//! the one-time stages really ran at most once — and, with an
-//! [`ArtifactCache`](crate::ArtifactCache) attached, zero times on repeats.
+//! runs the profiling stage **once**, the clustering stage **once**, the
+//! MRU warmup collection **once per workload instance** (legs differing in
+//! LLC capacity share a single multi-capacity pass), and fans the N
+//! simulate+reconstruct legs out through [`ExecutionPolicy`] with one
+//! shared [`WorkerBudget`] — workers that drain a small leg steal
+//! barrierpoint jobs from the big ones.  The result is a [`SweepReport`]
+//! keyed by configuration, carrying [`SweepCounters`] so callers (and
+//! tests) can verify each stage really ran at most that often — and, with
+//! an [`ArtifactCache`](crate::ArtifactCache) attached, **zero** times on
+//! repeats: the simulated legs themselves are cached by selection content
+//! and machine configuration, so a warm re-sweep is pure disk loads.
 //!
 //! Cross-core-count legs ([`Sweep::add_point`]) take their own workload
 //! instance (the same benchmark rebuilt at another thread count — the
@@ -44,7 +49,7 @@ use crate::select::BarrierPointSelection;
 use crate::simulate::WarmupKind;
 use crate::stages::Simulated;
 use bp_clustering::SimPointConfig;
-use bp_exec::ExecutionPolicy;
+use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
 use bp_warmup::MruWarmupData;
@@ -79,18 +84,24 @@ pub struct Sweep<'a, W: Workload + ?Sized> {
     base: BarrierPoint<'a, W>,
     labels: Vec<String>,
     points: Vec<SweepPoint<'a>>,
+    shared_budget: Option<WorkerBudget>,
 }
 
 impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
     /// Starts a sweep over `workload` with the paper's default pipeline
     /// settings and no design points yet.
     pub fn new(workload: &'a W) -> Self {
-        Self { base: BarrierPoint::new(workload), labels: Vec::new(), points: Vec::new() }
+        Self {
+            base: BarrierPoint::new(workload),
+            labels: Vec::new(),
+            points: Vec::new(),
+            shared_budget: None,
+        }
     }
 
     /// Builds a sweep on top of an already configured pipeline builder.
     pub fn from_pipeline(pipeline: BarrierPoint<'a, W>) -> Self {
-        Self { base: pipeline, labels: Vec::new(), points: Vec::new() }
+        Self { base: pipeline, labels: Vec::new(), points: Vec::new(), shared_budget: None }
     }
 
     /// Selects which signatures to cluster on (Figure 5's variants).
@@ -114,17 +125,33 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
 
     /// Selects how the sweep executes.  Under
     /// [`ExecutionPolicy::Parallel`] the profiling pass fans out
-    /// thread-major and the simulation legs fan out config-major (each leg
-    /// serial inside); results are identical under every policy.
+    /// thread-major and the simulation legs fan out config-major, all legs
+    /// drawing helper threads from **one shared [`WorkerBudget`]**: a worker
+    /// that drains a small leg immediately starts stealing barrierpoint
+    /// jobs from the legs still running, so imbalanced design points (say,
+    /// one 32-core cross-point among 8-core points) never strand cores.
+    /// Results are identical under every policy and schedule.
     pub fn with_execution_policy(mut self, policy: ExecutionPolicy) -> Self {
         self.base = self.base.with_execution_policy(policy);
         self
     }
 
+    /// Supplies the [`WorkerBudget`] the sweep's two scheduling levels draw
+    /// helper threads from, instead of deriving one from the execution
+    /// policy.  Useful to share one budget across several concurrent sweeps
+    /// — and to read [`WorkerBudget::steal_count`] afterwards, which the
+    /// sweep bench records.
+    pub fn with_shared_budget(mut self, budget: WorkerBudget) -> Self {
+        self.shared_budget = Some(budget);
+        self
+    }
+
     /// Attaches a persistent [`ArtifactCache`](crate::ArtifactCache):
-    /// repeated sweeps then skip the profiling *and* clustering passes
-    /// entirely ([`SweepCounters`] reports zero passes on a fully cached
-    /// run).
+    /// repeated sweeps then skip the profiling pass, the clustering pass,
+    /// the warmup collections *and* every already-simulated design-point
+    /// leg ([`SweepCounters`] reports zero executed stages on a fully
+    /// cached run — the sweep is fully incremental over overlapping
+    /// configuration matrices).
     pub fn with_cache(mut self, cache: crate::ArtifactCache) -> Self {
         self.base = self.base.with_cache(cache);
         self
@@ -164,8 +191,12 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         self
     }
 
-    /// Runs the sweep: one profiling pass, one clustering pass (both through
-    /// the artifact cache when attached), then every design-point leg.
+    /// Runs the sweep: one profiling pass, one clustering pass, at most one
+    /// MRU warmup collection per workload instance (all LLC capacities in a
+    /// single pass), then every design-point leg that is not already in the
+    /// artifact cache — all through the cache when one is attached, making
+    /// repeated sweeps over overlapping configuration matrices fully
+    /// incremental (a warm re-sweep executes **zero** simulate legs).
     ///
     /// # Errors
     ///
@@ -183,81 +214,139 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         }
 
         let selected = self.base.clone().profile()?.select()?;
+        let policy = *self.base.execution_policy();
+        let budget =
+            self.shared_budget.clone().unwrap_or_else(|| WorkerBudget::for_policy(&policy));
 
-        // Collect the MRU warmup payloads up front, once per distinct
-        // (workload instance, LLC capacity) pair: legs that differ only in
-        // core parameters (clock, ROB, …) share one whole-trace collection
-        // pass — the collection is itself comparable in cost to profiling,
-        // so it amortizes the same way.  Collection fans out thread-major
-        // under the sweep's policy.
-        let mut warmup_payloads: Vec<((usize, u64), HashMap<usize, MruWarmupData>)> = Vec::new();
-        if self.base.warmup() == WarmupKind::MruReplay {
-            let regions = selected.selection().barrierpoint_regions();
-            for point in &self.points {
-                let key = self.warmup_sharing_key(point);
-                if warmup_payloads.iter().any(|(k, _)| *k == key) {
-                    continue;
+        // Probe the simulated-leg cache *before* any warmup collection: a
+        // fully cached leg costs one disk load — no trace walk, no
+        // simulation.  Only the missing legs are paid for below.
+        let mut results: Vec<Option<Simulated>> = (0..self.points.len()).map(|_| None).collect();
+        let mut missing: Vec<usize> = Vec::new();
+        match self.base.cache() {
+            Some(cache) => {
+                for (i, point) in self.points.iter().enumerate() {
+                    let key = match point.workload {
+                        Some(workload) => selected.simulated_cache_key(workload, &point.sim_config),
+                        None => {
+                            selected.simulated_cache_key(self.base.workload(), &point.sim_config)
+                        }
+                    };
+                    match cache.probe_simulated(&key)? {
+                        Some(simulated) => results[i] = Some(simulated),
+                        None => missing.push(i),
+                    }
                 }
-                let data = match point.workload {
-                    Some(workload) => bp_warmup::collect_mru_warmup_with(
+            }
+            None => missing = (0..self.points.len()).collect(),
+        }
+        let simulated_cache_hits = self.points.len() - missing.len();
+
+        // Collect the MRU warmup payloads the *missing* legs need, in one
+        // streaming pass per workload instance: legs that differ only in
+        // core parameters (clock, ROB, …) trivially share a payload, and
+        // legs that differ in LLC capacity share the same pass too — the
+        // collector runs at the largest requested capacity and every
+        // smaller capacity's payload falls out by truncation (the MRU
+        // list's prefix property).  Collection fans out thread-major under
+        // the sweep's policy.
+        let mut warmup_payloads: Vec<((usize, u64), HashMap<usize, MruWarmupData>)> = Vec::new();
+        let mut warmup_collections = 0;
+        if self.base.warmup() == WarmupKind::MruReplay && !missing.is_empty() {
+            let regions = selected.selection().barrierpoint_regions();
+            let mut groups: Vec<(usize, Option<&dyn Workload>, Vec<u64>)> = Vec::new();
+            for &i in &missing {
+                let point = &self.points[i];
+                let (workload_id, capacity) = self.warmup_sharing_key(point);
+                match groups.iter_mut().find(|(id, _, _)| *id == workload_id) {
+                    Some((_, _, capacities)) => {
+                        if !capacities.contains(&capacity) {
+                            capacities.push(capacity);
+                        }
+                    }
+                    None => groups.push((workload_id, point.workload, vec![capacity])),
+                }
+            }
+            for (workload_id, leg_workload, capacities) in groups {
+                let mut per_capacity = match leg_workload {
+                    Some(workload) => bp_warmup::collect_mru_warmup_multi(
                         workload,
                         &regions,
-                        key.1,
-                        self.base.execution_policy(),
+                        &capacities,
+                        &policy,
                     ),
-                    None => bp_warmup::collect_mru_warmup_with(
+                    None => bp_warmup::collect_mru_warmup_multi(
                         self.base.workload(),
                         &regions,
-                        key.1,
-                        self.base.execution_policy(),
+                        &capacities,
+                        &policy,
                     ),
                 };
-                warmup_payloads.push((key, data));
+                warmup_collections += 1;
+                for capacity in capacities {
+                    if let Some(data) = per_capacity.remove(&capacity) {
+                        warmup_payloads.push(((workload_id, capacity), data));
+                    }
+                }
             }
         }
-        let counters = SweepCounters {
-            profile_passes: usize::from(!selected.profile_was_cached()),
-            clustering_passes: usize::from(!selected.selection_was_cached()),
-            warmup_collections: warmup_payloads.len(),
-            simulate_legs: self.points.len(),
-        };
 
-        // Legs are mutually independent, so they fan out config-major under
-        // the sweep's policy; each leg then gets an equal share of the
-        // machine's workers so the pool stays at one level of parallelism
-        // without stranding cores when legs are few.  Results are identical
-        // under every split (the execution-equivalence invariant).
-        let leg_policy = match self.base.execution_policy() {
-            outer @ ExecutionPolicy::Parallel { .. } if self.points.len() > 1 => {
-                let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-                let outer_workers = outer.worker_count(self.points.len());
-                ExecutionPolicy::parallel_with((hw / outer_workers).max(1))
-            }
-            policy => *policy,
-        };
-        let legs: Vec<Result<Simulated, Error>> =
-            self.base.execution_policy().execute(self.points.len(), |i| {
-                let point = &self.points[i];
+        // The missing legs fan out config-major; outer leg workers and the
+        // per-barrierpoint workers inside every leg draw helpers from the
+        // one shared budget, so a drained leg's workers migrate into the
+        // legs still running.  Results are identical under every schedule
+        // (the execution-equivalence invariant: reassembly is by index).
+        let computed: Vec<Result<Simulated, Error>> =
+            policy.execute_budgeted(missing.len(), &budget, |j| {
+                let point = &self.points[missing[j]];
                 let key = self.warmup_sharing_key(point);
                 let payload = warmup_payloads.iter().find(|(k, _)| *k == key).map(|(_, d)| d);
                 match point.workload {
-                    Some(workload) => {
-                        selected.simulate_on_with(workload, &point.sim_config, &leg_policy, payload)
-                    }
+                    Some(workload) => selected.simulate_on_with(
+                        workload,
+                        &point.sim_config,
+                        &policy,
+                        Some(&budget),
+                        payload,
+                    ),
                     None => selected.simulate_on_with(
                         self.base.workload(),
                         &point.sim_config,
-                        &leg_policy,
+                        &policy,
+                        Some(&budget),
                         payload,
                     ),
                 }
             });
+        for (&i, result) in missing.iter().zip(computed) {
+            let simulated = result?;
+            if let Some(cache) = self.base.cache() {
+                let point = &self.points[i];
+                let key = match point.workload {
+                    Some(workload) => selected.simulated_cache_key(workload, &point.sim_config),
+                    None => selected.simulated_cache_key(self.base.workload(), &point.sim_config),
+                };
+                cache.store_simulated(&key, &simulated)?;
+            }
+            results[i] = Some(simulated);
+        }
+
+        let counters = SweepCounters {
+            profile_passes: usize::from(!selected.profile_was_cached()),
+            clustering_passes: usize::from(!selected.selection_was_cached()),
+            warmup_collections,
+            simulate_legs: missing.len(),
+            simulated_cache_hits,
+        };
         let legs = self
             .labels
             .iter()
-            .zip(legs)
-            .map(|(label, result)| Ok(SweepLeg { label: label.clone(), simulated: result? }))
-            .collect::<Result<Vec<_>, Error>>()?;
+            .zip(results)
+            .map(|(label, simulated)| SweepLeg {
+                label: label.clone(),
+                simulated: simulated.expect("every design point resolved"),
+            })
+            .collect();
 
         Ok(SweepReport {
             workload_name: self.base.workload().name().to_string(),
@@ -283,21 +372,29 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
 
 /// How many times each pipeline stage actually executed during a sweep.
 ///
-/// With an [`ArtifactCache`](crate::ArtifactCache) attached, the one-time
-/// passes drop to zero on repeated sweeps; without one they are exactly one
-/// each — never once per design point.
+/// With an [`ArtifactCache`](crate::ArtifactCache) attached, *every* stage
+/// drops to zero on repeated sweeps — the one-time passes and the simulate
+/// legs alike; without one, the one-time passes are exactly one each (never
+/// once per design point) and every leg simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepCounters {
     /// Profiling passes executed (0 on a cache hit, else 1).
     pub profile_passes: usize,
     /// Clustering passes executed (0 on a cache hit, else 1).
     pub clustering_passes: usize,
-    /// MRU warmup collection passes executed: one per distinct
-    /// (workload, LLC capacity) pair across the design points — never one
-    /// per leg.  Zero for non-MRU warmup.
+    /// MRU warmup collection passes executed: one per distinct workload
+    /// instance with at least one uncached leg — legs differing only in LLC
+    /// capacity share a single multi-capacity pass, so this is 1 for a
+    /// whole single-workload sweep.  Zero for non-MRU warmup and for fully
+    /// cached sweeps.
     pub warmup_collections: usize,
-    /// Simulate+reconstruct legs executed (one per design point).
+    /// Simulate+reconstruct legs actually executed (cached legs load from
+    /// disk instead and are counted in
+    /// [`simulated_cache_hits`](Self::simulated_cache_hits)).
     pub simulate_legs: usize,
+    /// Design points whose simulated leg was served from the artifact
+    /// cache.
+    pub simulated_cache_hits: usize,
 }
 
 /// One completed design-point leg of a sweep.
@@ -423,6 +520,7 @@ mod tests {
                 clustering_passes: 1,
                 warmup_collections: 1,
                 simulate_legs: 2,
+                simulated_cache_hits: 0,
             }
         );
         assert_eq!(report.legs().len(), 2);

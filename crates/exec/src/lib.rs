@@ -14,13 +14,181 @@
 //! both modes, and job functions are required to be deterministic-per-index
 //! by contract, so the two modes are observationally identical — the property
 //! the equivalence test suite pins down.
+//!
+//! # Two-level scheduling with a shared worker budget
+//!
+//! Nested fan-outs (a design-space sweep running legs in parallel, each leg
+//! simulating barrierpoints in parallel) share one machine.  A static split
+//! of the worker count across the levels strands cores whenever the legs are
+//! imbalanced: a worker that finishes a small leg cannot help a large one.
+//! [`WorkerBudget`] fixes this: it is a shared pool of *helper permits*, and
+//! [`ExecutionPolicy::execute_budgeted`] recruits helper threads from the
+//! pool dynamically — between job claims — so a permit released by a drained
+//! fan-out is picked up mid-flight by whichever fan-out still has unclaimed
+//! jobs.  Results stay bit-identical under every schedule because they are
+//! reassembled by job index.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
+
+/// A shared pool of helper-thread permits, used to bound the total number of
+/// OS worker threads across *nested* [`ExecutionPolicy::execute_budgeted`]
+/// fan-outs.
+///
+/// One permit stands for the right to run one helper thread *in addition to*
+/// the thread that entered the fan-out.  Every fan-out always makes progress
+/// on its calling thread, so a budget with zero permits degrades to serial
+/// execution and can never deadlock.  Permits are acquired when a fan-out
+/// still has unclaimed jobs and released as soon as the helper finds the job
+/// queue drained — at which point another fan-out (e.g. a larger sweep leg)
+/// can immediately re-acquire them.
+///
+/// Budgets are cheaply cloneable handles to shared state; clones count
+/// against the same pool.
+#[derive(Debug, Clone)]
+pub struct WorkerBudget {
+    inner: Arc<BudgetInner>,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    permits: AtomicUsize,
+    total: usize,
+    released: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl WorkerBudget {
+    /// A budget with `permits` helper permits (total concurrency of a fan-out
+    /// tree sharing this budget is `permits + 1`).
+    pub fn new(permits: usize) -> Self {
+        Self {
+            inner: Arc::new(BudgetInner {
+                permits: AtomicUsize::new(permits),
+                total: permits,
+                released: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The budget matching `policy`'s worker cap: `cap - 1` permits for
+    /// [`ExecutionPolicy::Parallel`] (the calling thread is the first
+    /// worker), zero permits for [`ExecutionPolicy::Serial`].
+    pub fn for_policy(policy: &ExecutionPolicy) -> Self {
+        match *policy {
+            ExecutionPolicy::Serial => Self::new(0),
+            ExecutionPolicy::Parallel { max_threads } => {
+                let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let cap = if max_threads == 0 { hw } else { max_threads };
+                Self::new(cap.max(1) - 1)
+            }
+        }
+    }
+
+    /// Takes one helper permit if any is available.
+    pub fn try_acquire(&self) -> bool {
+        let mut current = self.inner.permits.load(Ordering::Relaxed);
+        while current > 0 {
+            match self.inner.permits.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    // Telemetry: a permit acquired from a partially drained
+                    // pool — some sibling fan-out released it and others are
+                    // still holding permits — is a "steal": a worker slot
+                    // migrating into a still-busy fan-out.  Ramp-up acquires
+                    // from a quiescent (full) pool are not counted, even
+                    // when the budget is reused across sequential fan-outs.
+                    // Approximate by nature (scheduling-dependent), exact
+                    // enough to show the sharing is happening.
+                    if self.inner.released.load(Ordering::Relaxed) > 0 {
+                        self.inner.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return true;
+                }
+                Err(observed) => current = observed,
+            }
+        }
+        false
+    }
+
+    /// Returns one helper permit to the pool.
+    pub fn release(&self) {
+        self.inner.released.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.permits.fetch_add(1, Ordering::AcqRel) + 1;
+        if now == self.inner.total {
+            // The pool is quiescent again — every fan-out drained.  Later
+            // acquires are ordinary ramp-up, not migration.
+            self.inner.released.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> usize {
+        self.inner.permits.load(Ordering::Relaxed)
+    }
+
+    /// How many helper threads were recruited from a *partially drained*
+    /// pool — worker slots that left one fan-out and migrated into a
+    /// sibling still running.  Acquires from a quiescent pool (all permits
+    /// home, e.g. the ramp-up of sequential fan-outs reusing one budget) do
+    /// not count.  Purely scheduling telemetry: results never depend on it.
+    pub fn steal_count(&self) -> u64 {
+        self.inner.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything a budgeted fan-out's workers share, bundled so helper threads
+/// can recruit further helpers recursively.
+struct FanOut<'a, T, F> {
+    next: &'a AtomicUsize,
+    collected: &'a Mutex<Vec<(usize, T)>>,
+    job: &'a F,
+    budget: &'a WorkerBudget,
+    jobs: usize,
+    chunk: usize,
+}
+
+/// The claim-and-run loop of one worker.  Before working on each claimed
+/// chunk the worker tries to recruit one more helper from the budget when
+/// unclaimed jobs remain — this is both the initial ramp-up (a cascade of
+/// spawns) and the mid-flight stealing of permits released by other
+/// fan-outs.
+fn worker_loop<'s, T, F>(scope: &'s Scope<'s, '_>, shared: &'s FanOut<'s, T, F>, helper: bool)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut local: Vec<(usize, T)> = Vec::new();
+    loop {
+        let start = shared.next.fetch_add(shared.chunk, Ordering::Relaxed);
+        if start >= shared.jobs {
+            break;
+        }
+        let end = (start + shared.chunk).min(shared.jobs);
+        if end < shared.jobs && shared.budget.try_acquire() {
+            scope.spawn(move || worker_loop(scope, shared, true));
+        }
+        for index in start..end {
+            local.push((index, (shared.job)(index)));
+        }
+    }
+    if !local.is_empty() {
+        shared.collected.lock().expect("worker result lock").extend(local);
+    }
+    if helper {
+        shared.budget.release();
+    }
+}
 
 /// How an index-parallel pipeline stage executes its jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -56,6 +224,18 @@ impl ExecutionPolicy {
         ExecutionPolicy::Parallel { max_threads }
     }
 
+    /// The policy matching the host: [`ExecutionPolicy::Parallel`] over all
+    /// CPUs on multi-core machines, [`ExecutionPolicy::Serial`] when only a
+    /// single CPU is available (where spawning worker threads can only add
+    /// overhead — degenerate hosts showed parallel *slowdowns* in
+    /// `BENCH_profiling.json` before this existed).
+    pub fn auto() -> Self {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => ExecutionPolicy::parallel(),
+            _ => ExecutionPolicy::Serial,
+        }
+    }
+
     /// Short label used in reports and benchmark ids.
     pub fn name(&self) -> &'static str {
         match self {
@@ -80,6 +260,24 @@ impl ExecutionPolicy {
         }
     }
 
+    /// How many job indices a worker claims per atomic fetch: single claims
+    /// for small batches (where claim contention is irrelevant and fine-
+    /// grained stealing matters most), growing chunks for many-tiny-job
+    /// fan-outs so the shared counter stops being a contention point.
+    fn chunk_size(&self, jobs: usize) -> usize {
+        if matches!(self, ExecutionPolicy::Serial) {
+            return 1;
+        }
+        let workers = self.worker_count(jobs);
+        if jobs <= workers.saturating_mul(8) {
+            1
+        } else {
+            // ~8 chunks per worker keeps stealing responsive while cutting
+            // the number of atomic claims by the chunk factor.
+            (jobs / workers.saturating_mul(8).max(1)).clamp(1, 64)
+        }
+    }
+
     /// Runs `job(i)` for every `i in 0..jobs` and returns the results in
     /// index order.
     ///
@@ -92,29 +290,47 @@ impl ExecutionPolicy {
         F: Fn(usize) -> T + Sync,
     {
         let workers = self.worker_count(jobs);
-        if workers <= 1 || jobs <= 1 {
+        if workers <= 1 {
+            // The budget below would be private and empty — no sibling can
+            // ever donate a permit — so skip the fan-out scaffolding
+            // entirely (e.g. `Parallel` on a single-CPU host).
+            return (0..jobs).map(job).collect();
+        }
+        let budget = WorkerBudget::new(workers - 1);
+        self.execute_budgeted(jobs, &budget, job)
+    }
+
+    /// [`execute`](Self::execute) drawing helper threads from a shared
+    /// [`WorkerBudget`] instead of a private per-call worker pool.
+    ///
+    /// The calling thread always participates, so the call completes even
+    /// with an exhausted budget; helpers are recruited between job claims
+    /// whenever unclaimed jobs remain and a permit is available — including
+    /// permits released mid-flight by sibling fan-outs sharing the budget.
+    /// Results are identical to [`execute`](Self::execute) for every budget
+    /// (the serial/parallel equivalence invariant).
+    pub fn execute_budgeted<T, F>(&self, jobs: usize, budget: &WorkerBudget, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if matches!(self, ExecutionPolicy::Serial) || jobs <= 1 {
             return (0..jobs).map(job).collect();
         }
         // Work-stealing over an atomic index counter: deterministic results
-        // regardless of which worker claims which job, because results are
+        // regardless of which worker claims which chunk, because results are
         // reassembled by index afterwards.
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(jobs));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= jobs {
-                            break;
-                        }
-                        local.push((index, job(index)));
-                    }
-                    collected.lock().expect("worker result lock").extend(local);
-                });
-            }
-        });
+        let shared = FanOut {
+            next: &next,
+            collected: &collected,
+            job: &job,
+            budget,
+            jobs,
+            chunk: self.chunk_size(jobs),
+        };
+        std::thread::scope(|scope| worker_loop(scope, &shared, false));
         let mut results = collected.into_inner().expect("worker result lock");
         results.sort_by_key(|&(index, _)| index);
         debug_assert_eq!(results.len(), jobs);
@@ -173,5 +389,89 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(ExecutionPolicy::Serial.name(), "serial");
         assert_eq!(ExecutionPolicy::parallel().name(), "parallel");
+    }
+
+    #[test]
+    fn auto_policy_matches_host_parallelism() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        match ExecutionPolicy::auto() {
+            ExecutionPolicy::Serial => assert_eq!(hw, 1),
+            ExecutionPolicy::Parallel { max_threads } => {
+                assert!(hw > 1);
+                assert_eq!(max_threads, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_claiming_still_yields_index_order() {
+        // 4096 jobs over few workers forces the chunked claim path.
+        let f = |i: usize| i as u64 * 3;
+        let serial = ExecutionPolicy::Serial.execute(4096, f);
+        let chunked = ExecutionPolicy::parallel_with(4).execute(4096, f);
+        assert_eq!(serial, chunked);
+        assert!(ExecutionPolicy::parallel_with(4).chunk_size(4096) > 1);
+        assert_eq!(ExecutionPolicy::parallel_with(4).chunk_size(8), 1);
+        assert_eq!(ExecutionPolicy::Serial.chunk_size(4096), 1);
+    }
+
+    #[test]
+    fn budgeted_execution_matches_unbudgeted() {
+        let f = |i: usize| i * 7 + 1;
+        let reference = ExecutionPolicy::Serial.execute(200, f);
+        for permits in [0, 1, 3, 16] {
+            let budget = WorkerBudget::new(permits);
+            let got = ExecutionPolicy::parallel().execute_budgeted(200, &budget, f);
+            assert_eq!(reference, got, "permits = {permits}");
+            assert_eq!(budget.available(), permits, "all permits returned");
+        }
+    }
+
+    #[test]
+    fn nested_budgeted_fanouts_share_one_pool() {
+        // Two outer "legs" of very different sizes share one budget; the
+        // total thread count stays bounded by permits + outer callers, and
+        // results are exact.
+        let budget = WorkerBudget::new(3);
+        let outer = ExecutionPolicy::parallel_with(2);
+        let inner = ExecutionPolicy::parallel();
+        let legs = outer.execute_budgeted(2, &budget, |leg| {
+            let jobs = if leg == 0 { 64 } else { 4 };
+            inner.execute_budgeted(jobs, &budget, move |i| leg * 1000 + i)
+        });
+        assert_eq!(legs[0].len(), 64);
+        assert_eq!(legs[1].len(), 4);
+        assert_eq!(legs[0][63], 63);
+        assert_eq!(legs[1][3], 1003);
+        assert_eq!(budget.available(), 3, "no permit leaked");
+    }
+
+    #[test]
+    fn steal_counter_counts_recycled_permits_only() {
+        let budget = WorkerBudget::new(2);
+        assert!(budget.try_acquire());
+        assert!(budget.try_acquire());
+        assert!(!budget.try_acquire());
+        assert_eq!(budget.steal_count(), 0, "fresh permits are not steals");
+        budget.release();
+        assert!(budget.try_acquire(), "released permit is reusable");
+        assert_eq!(budget.steal_count(), 1, "a recycled permit is a steal");
+        budget.release();
+        budget.release();
+        assert_eq!(budget.available(), 2);
+
+        // Quiescence resets the marker: once every permit is home, a new
+        // fan-out's ramp-up on the same budget is not counted as stealing.
+        assert!(budget.try_acquire());
+        assert_eq!(budget.steal_count(), 1, "ramp-up from a full pool is not a steal");
+        budget.release();
+    }
+
+    #[test]
+    fn for_policy_budgets_match_worker_caps() {
+        assert_eq!(WorkerBudget::for_policy(&ExecutionPolicy::Serial).available(), 0);
+        assert_eq!(WorkerBudget::for_policy(&ExecutionPolicy::parallel_with(4)).available(), 3);
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(WorkerBudget::for_policy(&ExecutionPolicy::parallel()).available(), hw - 1);
     }
 }

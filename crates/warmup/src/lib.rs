@@ -19,7 +19,9 @@
 //! * [`WarmupStrategy::MruReplay`] — the paper's proposal
 //!   ([`MruWarmupData`], collected with [`MruCollector`] /
 //!   [`collect_mru_warmup`]; [`collect_mru_warmup_with`] streams the same
-//!   pass thread-major under a `bp-exec` execution policy).
+//!   pass thread-major under a `bp-exec` execution policy, and
+//!   [`collect_mru_warmup_multi`] serves several LLC capacities from one
+//!   pass by truncating at the largest requested capacity).
 //!
 //! # Example
 //!
@@ -45,5 +47,8 @@ mod mru;
 mod strategy;
 
 pub use apply::apply_warmup;
-pub use mru::{collect_mru_warmup, collect_mru_warmup_with, MruCollector, MruWarmupData};
+pub use mru::{
+    collect_mru_warmup, collect_mru_warmup_multi, collect_mru_warmup_with, MruCollector,
+    MruWarmupData,
+};
 pub use strategy::WarmupStrategy;

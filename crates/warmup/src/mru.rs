@@ -40,17 +40,41 @@ impl MruWarmupData {
     }
 }
 
+/// Per-line recency state inside the collector.
+///
+/// `dirty_depth` encodes the dirty bit for *every* capacity at once: the
+/// line is dirty at capacity `c` iff `dirty_depth < c`.  It is the maximum
+/// recency depth (number of distinct more recently used lines) this line has
+/// reached since its last write — the depth at which a capacity-`c` collector
+/// would have evicted it, losing the dirty state.  `u64::MAX` marks a line
+/// with no write in its current residency (clean at every capacity).
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    seq: u64,
+    dirty_depth: u64,
+}
+
 /// Streaming collector of per-core MRU unique-line state.
 ///
 /// Feed it the application's inter-barrier regions in program order; at any
 /// region boundary, [`MruCollector::snapshot`] yields the warmup data that a
 /// barrierpoint starting at that boundary needs.
+///
+/// The collector runs at one *collection capacity* but can snapshot at any
+/// smaller capacity too ([`MruCollector::snapshot_at`]), bit-identically to
+/// a collector run directly at that capacity: the MRU list's inclusion
+/// property makes the smaller list a suffix of the larger one, and a
+/// per-line *dirty depth* (the maximum recency depth reached since the
+/// line's last write) reconstructs the capacity-dependent dirty bit — a
+/// smaller collector loses a line's written state whenever the line's
+/// recency depth exceeds that capacity, so the line is dirty at capacity
+/// `c` iff its dirty depth is below `c`.
 #[derive(Debug, Clone)]
 pub struct MruCollector {
     /// Per thread: ordering sequence -> line.
     by_seq: Vec<BTreeMap<u64, u64>>,
-    /// Per thread: line -> (sequence, last access was a write).
-    by_line: Vec<HashMap<u64, (u64, bool)>>,
+    /// Per thread: line -> recency state.
+    by_line: Vec<HashMap<u64, LineState>>,
     capacity_lines: u64,
     next_seq: u64,
 }
@@ -68,17 +92,40 @@ impl MruCollector {
         }
     }
 
+    /// The collection capacity (upper bound for [`snapshot_at`](Self::snapshot_at)).
+    pub fn capacity_lines(&self) -> u64 {
+        self.capacity_lines
+    }
+
     /// Records one access by `thread` to cache line `line`.
     pub fn record(&mut self, thread: usize, line: u64, is_write: bool) {
         self.next_seq += 1;
         let seq = self.next_seq;
-        if let Some((old_seq, old_write)) = self.by_line[thread].insert(line, (seq, is_write)) {
-            self.by_seq[thread].remove(&old_seq);
-            // A line once written stays "dirty" for warmup purposes even if the
-            // latest access is a read: the modified state must be rebuilt.
-            if old_write && !is_write {
-                self.by_line[thread].insert(line, (seq, true));
+        let dirty_depth = if is_write {
+            // A write is in-residency at every capacity that still holds the
+            // line — and re-enters the line dirty where it was evicted.
+            0
+        } else {
+            match self.by_line[thread].get(&line) {
+                // Never written in this residency: stays clean everywhere.
+                // `u64::MAX` is absorbing, so the depth query is skipped.
+                Some(state) if state.dirty_depth == u64::MAX => u64::MAX,
+                // Read of a line written earlier in this residency: the
+                // dirty state survives at capacity `c` only if the line
+                // never sank to depth >= c since that write.  The current
+                // depth is the number of distinct lines touched since the
+                // line's own last access — all still resident, because this
+                // line is.
+                Some(state) => {
+                    let depth = self.by_seq[thread].range(state.seq + 1..).count() as u64;
+                    state.dirty_depth.max(depth)
+                }
+                // (Re-)entering the list through a read: clean everywhere.
+                None => u64::MAX,
             }
+        };
+        if let Some(old) = self.by_line[thread].insert(line, LineState { seq, dirty_depth }) {
+            self.by_seq[thread].remove(&old.seq);
         }
         self.by_seq[thread].insert(seq, line);
         if self.by_seq[thread].len() as u64 > self.capacity_lines {
@@ -100,20 +147,66 @@ impl MruCollector {
         }
     }
 
-    /// The warmup data corresponding to the current point in the program.
+    /// The warmup data corresponding to the current point in the program, at
+    /// the full collection capacity.
     pub fn snapshot(&self) -> MruWarmupData {
+        self.snapshot_at(self.capacity_lines)
+    }
+
+    /// The warmup data a collector bounded by `capacity_lines` (clamped to
+    /// the collection capacity) would hold at this point — bit-identical to
+    /// running a dedicated collector at that capacity over the same
+    /// accesses.  This is what lets one collection pass at the largest LLC
+    /// capacity of a design-space sweep serve every smaller capacity by
+    /// truncation.
+    pub fn snapshot_at(&self, capacity_lines: u64) -> MruWarmupData {
+        let capacity = capacity_lines.max(1).min(self.capacity_lines);
         let per_thread = self
             .by_seq
             .iter()
             .zip(&self.by_line)
-            .map(|(seqs, lines)| {
-                seqs.iter()
-                    .map(|(_, &line)| (line, lines.get(&line).map(|&(_, w)| w).unwrap_or(false)))
-                    .collect()
-            })
+            .map(|(seqs, lines)| Self::truncate_thread(seqs, lines, capacity))
             .collect();
-        MruWarmupData { per_thread, capacity_lines: self.capacity_lines }
+        MruWarmupData { per_thread, capacity_lines: capacity }
     }
+
+    /// The most recent `capacity` entries of one thread's recency list
+    /// (least recent first), with the capacity-dependent dirty bit.
+    fn truncate_thread(
+        seqs: &BTreeMap<u64, u64>,
+        lines: &HashMap<u64, LineState>,
+        capacity: u64,
+    ) -> Vec<(u64, bool)> {
+        let skip = (seqs.len() as u64).saturating_sub(capacity) as usize;
+        seqs.iter()
+            .skip(skip)
+            .map(|(_, &line)| {
+                let dirty = lines.get(&line).is_some_and(|s| s.dirty_depth < capacity);
+                (line, dirty)
+            })
+            .collect()
+    }
+
+    /// Raw per-thread recency state — `(line, dirty_depth)` least recent
+    /// first — from which [`collect_mru_warmup_multi`] derives every
+    /// requested capacity's payload after the parallel pass.
+    fn raw_thread_state(&self, thread: usize) -> Vec<(u64, u64)> {
+        self.by_seq[thread]
+            .iter()
+            .map(|(_, &line)| {
+                let depth =
+                    self.by_line[thread].get(&line).map_or(u64::MAX, |state| state.dirty_depth);
+                (line, depth)
+            })
+            .collect()
+    }
+}
+
+/// Derives one capacity's per-thread payload from a raw `(line, dirty_depth)`
+/// snapshot taken at a larger collection capacity.
+fn truncate_raw(raw: &[(u64, u64)], capacity: u64) -> Vec<(u64, bool)> {
+    let skip = (raw.len() as u64).saturating_sub(capacity) as usize;
+    raw[skip..].iter().map(|&(line, depth)| (line, depth < capacity)).collect()
 }
 
 /// Collects MRU warmup data for each region in `targets` by streaming the
@@ -125,7 +218,8 @@ impl MruCollector {
 ///
 /// This is the serial, region-major reference; [`collect_mru_warmup_with`]
 /// restructures the same pass thread-major so it can fan out over OS threads
-/// (bit-identical output).
+/// (bit-identical output), and [`collect_mru_warmup_multi`] additionally
+/// serves several LLC capacities from the one pass.
 pub fn collect_mru_warmup<W: Workload + ?Sized>(
     workload: &W,
     targets: &[usize],
@@ -149,7 +243,9 @@ pub fn collect_mru_warmup<W: Workload + ?Sized>(
 }
 
 /// Walks one thread's trace of regions `0..=last`, snapshotting the thread's
-/// MRU state at every boundary in `wanted` (sorted, deduplicated).
+/// raw MRU state (`(line, dirty_depth)`, least recent first) at every
+/// boundary in `wanted` (sorted, deduplicated), collecting at
+/// `collection_capacity`.
 ///
 /// The returned snapshots are in `wanted` order; snapshot `i` reflects all of
 /// the thread's accesses in regions `0..wanted[i]`.
@@ -157,14 +253,14 @@ fn collect_thread_snapshots<W: Workload + ?Sized>(
     workload: &W,
     thread: usize,
     wanted: &[usize],
-    capacity_lines: u64,
-) -> Vec<Vec<(u64, bool)>> {
-    let mut collector = MruCollector::new(1, capacity_lines);
+    collection_capacity: u64,
+) -> Vec<Vec<(u64, u64)>> {
+    let mut collector = MruCollector::new(1, collection_capacity);
     let mut snapshots = Vec::with_capacity(wanted.len());
     let last = wanted.last().copied().unwrap_or(0);
     for region in 0..=last.min(workload.num_regions().saturating_sub(1)) {
         if wanted.binary_search(&region).is_ok() {
-            snapshots.push(collector.snapshot().per_thread[0].clone());
+            snapshots.push(collector.raw_thread_state(0));
         }
         if region < last {
             for exec in workload.region_trace(region, thread) {
@@ -193,23 +289,60 @@ pub fn collect_mru_warmup_with<W: Workload + ?Sized>(
     capacity_lines: u64,
     policy: &ExecutionPolicy,
 ) -> HashMap<usize, MruWarmupData> {
+    collect_mru_warmup_multi(workload, targets, &[capacity_lines], policy)
+        .remove(&capacity_lines)
+        .unwrap_or_default()
+}
+
+/// One streaming pass, *many* LLC capacities: collects at the largest
+/// requested capacity and derives every smaller capacity's payload by
+/// truncating the recency lists (the MRU list's inclusion property) and
+/// thresholding the per-line dirty depth — bit-identical to collecting each
+/// capacity directly, without walking the trace once per capacity.
+///
+/// This is what makes a design-space sweep whose legs differ in LLC size pay
+/// for exactly **one** warmup collection.  The pass fans out thread-major
+/// under `policy`, like [`collect_mru_warmup_with`].
+///
+/// Returns one `target region -> warmup data` map per requested capacity,
+/// keyed by the capacity values as given (duplicates collapse).
+pub fn collect_mru_warmup_multi<W: Workload + ?Sized>(
+    workload: &W,
+    targets: &[usize],
+    capacities: &[u64],
+    policy: &ExecutionPolicy,
+) -> HashMap<u64, HashMap<usize, MruWarmupData>> {
     let mut wanted: Vec<usize> = targets.to_vec();
     wanted.sort_unstable();
     wanted.dedup();
+    let collection_capacity = capacities.iter().copied().max().unwrap_or(1).max(1);
     let threads = workload.num_threads();
     let per_thread_snapshots = policy.execute(threads, |thread| {
-        collect_thread_snapshots(workload, thread, &wanted, capacity_lines)
+        collect_thread_snapshots(workload, thread, &wanted, collection_capacity)
     });
     let snapshots_per_thread = per_thread_snapshots.first().map_or(0, Vec::len);
-    wanted
-        .iter()
-        .take(snapshots_per_thread)
-        .enumerate()
-        .map(|(i, &target)| {
-            let per_thread = per_thread_snapshots.iter().map(|snaps| snaps[i].clone()).collect();
-            (target, MruWarmupData { per_thread, capacity_lines: capacity_lines.max(1) })
-        })
-        .collect()
+    let mut result: HashMap<u64, HashMap<usize, MruWarmupData>> =
+        HashMap::with_capacity(capacities.len());
+    for &requested in capacities {
+        if result.contains_key(&requested) {
+            continue;
+        }
+        let capacity = requested.max(1);
+        let per_capacity = wanted
+            .iter()
+            .take(snapshots_per_thread)
+            .enumerate()
+            .map(|(i, &target)| {
+                let per_thread = per_thread_snapshots
+                    .iter()
+                    .map(|snaps| truncate_raw(&snaps[i], capacity))
+                    .collect();
+                (target, MruWarmupData { per_thread, capacity_lines: capacity })
+            })
+            .collect();
+        result.insert(requested, per_capacity);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -249,6 +382,26 @@ mod tests {
         collector.record(0, 42, false);
         let lines = collector.snapshot();
         assert_eq!(lines.per_thread()[0], vec![(42, true)]);
+    }
+
+    #[test]
+    fn dirty_state_is_lost_exactly_where_a_smaller_collector_would_evict() {
+        // Write A, read B, read A: at capacity 1 the write to A is evicted by
+        // B before A returns, so A re-enters clean; at capacity >= 2 A stays
+        // resident and the sticky dirty bit survives.
+        let mut large = MruCollector::new(1, 4);
+        large.record(0, 0xa, true);
+        large.record(0, 0xb, false);
+        large.record(0, 0xa, false);
+        assert_eq!(large.snapshot_at(1).per_thread()[0], vec![(0xa, false)]);
+        assert_eq!(large.snapshot_at(2).per_thread()[0], vec![(0xb, false), (0xa, true)]);
+
+        // And a dedicated capacity-1 collector agrees bit for bit.
+        let mut small = MruCollector::new(1, 1);
+        small.record(0, 0xa, true);
+        small.record(0, 0xb, false);
+        small.record(0, 0xa, false);
+        assert_eq!(small.snapshot().per_thread(), large.snapshot_at(1).per_thread());
     }
 
     #[test]
@@ -305,5 +458,27 @@ mod tests {
             collect_mru_warmup(&w, &[1, 999], 1024).keys().copied().collect::<Vec<_>>()
         );
         assert!(clamped.contains_key(&1) && !clamped.contains_key(&999));
+    }
+
+    #[test]
+    fn multi_capacity_collection_matches_direct_collection_per_capacity() {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(2).with_scale(0.05));
+        let targets = [2, 7];
+        let capacities = [64u64, 512, 2048];
+        let multi = collect_mru_warmup_multi(&w, &targets, &capacities, &ExecutionPolicy::Serial);
+        assert_eq!(multi.len(), capacities.len());
+        for &capacity in &capacities {
+            let direct = collect_mru_warmup(&w, &targets, capacity);
+            assert_eq!(multi[&capacity], direct, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn multi_capacity_handles_duplicates_and_zero() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let multi = collect_mru_warmup_multi(&w, &[3], &[128, 128, 0], &ExecutionPolicy::Serial);
+        assert_eq!(multi.len(), 2, "duplicates collapse, 0 clamps to 1");
+        assert_eq!(multi[&0], collect_mru_warmup(&w, &[3], 0));
+        assert_eq!(multi[&128], collect_mru_warmup(&w, &[3], 128));
     }
 }

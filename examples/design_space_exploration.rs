@@ -15,7 +15,7 @@
 //! ```
 
 use barrierpoint::evaluate::{estimate_from_full_run, relative_scaling};
-use barrierpoint::{report, ArtifactCache, Sweep};
+use barrierpoint::{report, ArtifactCache, ExecutionPolicy, Sweep};
 use bp_sim::{Machine, SimConfig};
 use bp_workload::{Benchmark, WorkloadConfig};
 use std::time::Instant;
@@ -44,6 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = Instant::now();
     let sweep_report = Sweep::new(&workload8)
         .with_cache(cache.clone())
+        // Serial on 1-CPU hosts, parallel over all CPUs otherwise; parallel
+        // legs share one worker budget (idle workers steal from busy legs).
+        .with_execution_policy(ExecutionPolicy::auto())
         .add_config("8c-base", base)
         .add_config("8c-fast-clock", fast_clock)
         .add_config("8c-small-llc", small_llc)
@@ -56,12 +59,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", report::sweep_table(&sweep_report));
     let c = sweep_report.counters();
     println!(
-        "\nsweep of {} design points took {:.2?} — {} profiling and {} clustering pass(es) \
-         (a second run loads both from the cache and reports zero)",
+        "\nsweep of {} design points took {:.2?} — {} profiling pass(es), {} clustering \
+         pass(es), {} warmup collection(s), {} simulated leg(s) executed, {} served from \
+         the cache (a warm re-run loads everything and executes zero legs)",
         sweep_report.legs().len(),
         elapsed,
         c.profile_passes,
         c.clustering_passes,
+        c.warmup_collections,
+        c.simulate_legs,
+        c.simulated_cache_hits,
     );
 
     // Verify the headline Figure 8 prediction against detailed ground truth.

@@ -41,7 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &selection,
             &sim_config,
             warmup,
-            &ExecutionPolicy::parallel(),
+            // Serial on 1-CPU hosts, parallel everywhere else.
+            &ExecutionPolicy::auto(),
         )?;
         let estimate = reconstruct(&selection, &metrics, sim_config.core.frequency_ghz)?;
         let error = prediction_error(&ground, &estimate);

@@ -33,9 +33,11 @@ fn sweep_runs_one_time_stages_once_for_three_configs() {
     assert_eq!(counters.clustering_passes, 1, "exactly one clustering pass");
     assert_eq!(counters.simulate_legs, 3, "one leg per configuration");
     assert_eq!(
-        counters.warmup_collections, 2,
-        "base and fast-clock share one MRU collection; small-llc needs its own capacity"
+        counters.warmup_collections, 1,
+        "one multi-capacity MRU collection serves base, fast-clock AND the half-size-LLC \
+         point (prefix truncation of the largest capacity)"
     );
+    assert_eq!(counters.simulated_cache_hits, 0, "no cache attached");
     assert_eq!(report.legs().len(), 3);
 }
 
@@ -83,17 +85,93 @@ fn cached_sweep_skips_profiling_and_clustering_and_counts_hits() {
     let cold = run_sweep();
     assert_eq!(cold.counters().profile_passes, 1);
     assert_eq!(cold.counters().clustering_passes, 1);
+    assert_eq!(cold.counters().simulate_legs, 3, "cold run simulates every leg");
+    assert_eq!(cold.counters().simulated_cache_hits, 0);
     let stats = cache.stats();
     assert_eq!((stats.profile_misses, stats.selection_misses), (1, 1));
+    assert_eq!(stats.simulated_misses, 3);
 
     let warm = run_sweep();
     assert_eq!(warm.counters().profile_passes, 0, "profile served from cache");
     assert_eq!(warm.counters().clustering_passes, 0, "selection served from cache");
+    assert_eq!(warm.counters().simulate_legs, 0, "warm re-sweep executes zero simulate legs");
+    assert_eq!(warm.counters().warmup_collections, 0, "no uncached leg, no trace walk");
+    assert_eq!(warm.counters().simulated_cache_hits, 3, "every leg served from cache");
     let stats = cache.stats();
     assert_eq!((stats.profile_hits, stats.selection_hits), (1, 1));
+    assert_eq!(stats.simulated_hits, 3);
     // Counters differ by design (1 pass vs 0); the artifacts must not.
     assert_eq!(cold.selection(), warm.selection());
     assert_eq!(cold.legs(), warm.legs(), "cached artifacts reproduce the sweep bit for bit");
+
+    // A third sweep extending the matrix with a new design point is
+    // incremental: only the new leg simulates.
+    let mut extended = Sweep::new(&w).with_cache(cache.clone());
+    for (label, machine) in machine_matrix(2) {
+        extended = extended.add_config(label, machine);
+    }
+    let mut tiny_llc = SimConfig::tiny(2);
+    tiny_llc.memory.l3.size_bytes /= 4;
+    let extended = extended.add_config("tiny-llc", tiny_llc).run().unwrap();
+    assert_eq!(extended.counters().simulate_legs, 1, "only the new design point simulates");
+    assert_eq!(extended.counters().simulated_cache_hits, 3);
+    assert_eq!(extended.legs()[..3], *cold.legs(), "old legs are reproduced bit for bit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_capacity_sweep_legs_match_monolithic_runs_bit_for_bit() {
+    // Four distinct LLC capacities -> one shared collection pass, every
+    // leg's payload derived by truncation; the acceptance bar is that this
+    // is invisible in the results.
+    let w = workload(2);
+    let base = SimConfig::tiny(2);
+    let mut sweep = Sweep::new(&w);
+    let mut matrix = Vec::new();
+    for (i, divisor) in [1u64, 2, 4, 8].into_iter().enumerate() {
+        let mut machine = base;
+        machine.memory.l3.size_bytes /= divisor;
+        let label = format!("llc-div-{i}");
+        matrix.push((label.clone(), machine));
+        sweep = sweep.add_config(label, machine);
+    }
+    let report = sweep.run().unwrap();
+    assert_eq!(report.counters().warmup_collections, 1, "one pass covers all four capacities");
+    for (label, machine) in &matrix {
+        let monolithic = BarrierPoint::new(&w).with_sim_config(*machine).run().unwrap();
+        let leg = report.get(label).unwrap();
+        assert_eq!(leg.simulated().metrics(), monolithic.barrierpoint_metrics(), "{label}");
+        assert_eq!(leg.reconstruction(), monolithic.reconstruction(), "{label}");
+    }
+}
+
+#[test]
+fn cached_simulate_legs_are_bit_identical_to_uncached_runs() {
+    let dir = std::env::temp_dir().join(format!("bp-sweep-simcache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let w = workload(2);
+    let matrix = machine_matrix(2);
+    let uncached = {
+        let mut sweep = Sweep::new(&w);
+        for (label, machine) in &matrix {
+            sweep = sweep.add_config(*label, *machine);
+        }
+        sweep.run().unwrap()
+    };
+    let cache = ArtifactCache::new(&dir);
+    let cached_run = || {
+        let mut sweep = Sweep::new(&w).with_cache(cache.clone());
+        for (label, machine) in &matrix {
+            sweep = sweep.add_config(*label, *machine);
+        }
+        sweep.run().unwrap()
+    };
+    let cold = cached_run();
+    let warm = cached_run();
+    assert_eq!(warm.counters().simulate_legs, 0);
+    for report in [&cold, &warm] {
+        assert_eq!(report.legs(), uncached.legs(), "caching must be invisible in the results");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
