@@ -1,10 +1,26 @@
-//! Content-addressed on-disk cache of pipeline artifacts.
+//! Two-tier content-addressed cache of pipeline artifacts.
 //!
 //! The paper's central economy is amortization: the one-time artifacts of the
 //! pipeline — the signature profile and the barrierpoint selection — serve
 //! *many* detailed simulations, and (Figure 6) even transfer across machine
-//! configurations.  [`ArtifactCache`] persists both stage artifacts so that
-//! design-space sweeps pay their one-time costs exactly once:
+//! configurations.  [`ArtifactCache`] keeps all three stage artifacts so that
+//! design-space sweeps pay their one-time costs exactly once, in **two
+//! tiers**:
+//!
+//! * a **memory tier**: decoded artifacts (`Arc<ApplicationProfile>`,
+//!   `Arc<BarrierPointSelection>`, `Arc<Simulated>`) held in-process, shared
+//!   across clones of the cache like the stat counters.  A memory hit is a
+//!   pointer clone — no I/O, no deserialization — which is what makes warm
+//!   *in-process* re-sweeps drop below the disk tier's decode floor.  The
+//!   tier has its own LRU order and byte bound
+//!   ([`ArtifactCache::with_memory_max_bytes`], charged at serialized entry
+//!   size).
+//! * a **disk tier**: the persistent, self-validating entry files that
+//!   survive the process and carry the amortization across runs.
+//!
+//! Lookups check memory first and fall back to disk; a successful disk decode
+//! populates the memory tier, and stores write through both tiers.  Keying is
+//! identical in both tiers:
 //!
 //! * **Profiles** are keyed by the workload's
 //!   [`profile_fingerprint`](Workload::profile_fingerprint) (a content
@@ -13,18 +29,25 @@
 //! * **Selections** are keyed by the same fingerprint *plus* a fingerprint of
 //!   the [`SignatureConfig`] and [`SimPointConfig`] that produced them, so a
 //!   changed clustering parameter can never alias a cached selection.
+//! * **Simulated legs** are keyed by the leg workload's fingerprint, the
+//!   selection *content* fingerprint, and a fingerprint of the
+//!   `(SimConfig, WarmupKind)` pair.
 //!
-//! Cache files are self-validating: a magic number, a format version, and the
-//! full key are stored in the header, and any mismatch — version bump,
+//! Disk entries are self-validating: a magic number, a format version, and
+//! the full key are stored in the header, and any mismatch — version bump,
 //! fingerprint collision on the truncated file name, corrupt payload — is
 //! treated as a miss rather than an error (a later store self-heals the
-//! entry).  Only genuine I/O failures surface as [`Error::ProfileCache`].
+//! entry).  An entry is marked recently-used only *after* it decodes
+//! successfully, so corrupt or stale garbage can never be promoted over
+//! valid entries in the disk tier's LRU order.  Only genuine I/O failures
+//! surface as [`Error::ProfileCache`].
 //!
 //! The cache keeps shared hit/miss counters ([`ArtifactCache::stats`];
-//! clones share them) and can be size-bounded with
+//! clones share them, and every counter distinguishes the serving tier) and
+//! the disk tier can be size-bounded with
 //! [`ArtifactCache::with_max_bytes`], which evicts least-recently-used
-//! entries (by file modification time — loads touch entries) after every
-//! store.
+//! entries (by file modification time — successful loads touch entries)
+//! after every store.
 
 use crate::error::Error;
 use crate::profile::{profile_application_with, ApplicationProfile};
@@ -36,11 +59,12 @@ use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
 use bp_workload::{FingerprintHasher, Workload};
+use std::collections::HashMap;
 use std::fs;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::SystemTime;
 
 /// Magic bytes at the start of every profile cache file.
@@ -188,6 +212,18 @@ impl SimulatedCacheKey {
         sim_config: &SimConfig,
         warmup: WarmupKind,
     ) -> Self {
+        Self::with_selection_fingerprint(workload, selection.fingerprint(), sim_config, warmup)
+    }
+
+    /// [`new`](Self::new) with a precomputed selection-content fingerprint:
+    /// deriving the fingerprint serializes the whole selection, so a sweep
+    /// deriving one key per design point computes it once and reuses it.
+    pub(crate) fn with_selection_fingerprint<W: Workload + ?Sized>(
+        workload: &W,
+        selection_fingerprint: u64,
+        sim_config: &SimConfig,
+        warmup: WarmupKind,
+    ) -> Self {
         let mut hasher = FingerprintHasher::new();
         hasher.write_bytes(&serde::to_vec(sim_config));
         hasher.write_str(warmup.name());
@@ -195,7 +231,7 @@ impl SimulatedCacheKey {
             workload_name: workload.name().to_string(),
             threads: workload.num_threads(),
             workload_fingerprint: workload.profile_fingerprint(),
-            selection_fingerprint: selection.fingerprint(),
+            selection_fingerprint,
             config_fingerprint: hasher.finish(),
         }
     }
@@ -231,40 +267,173 @@ fn sanitize(name: &str) -> String {
 /// A point-in-time snapshot of a cache's hit/miss counters.
 ///
 /// Counters are shared between clones of an [`ArtifactCache`], so one
-/// snapshot accounts for every pipeline and sweep using that cache.
+/// snapshot accounts for every pipeline and sweep using that cache.  Hits
+/// are split by serving tier: `*_memory_hits` were pointer clones of an
+/// already-decoded artifact, `*_hits` were disk reads plus a decode (which
+/// then populated the memory tier).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
+    /// Profile lookups served from the in-process memory tier (no disk
+    /// read, no decode).
+    pub profile_memory_hits: u64,
     /// Profile lookups that were served from disk.
     pub profile_hits: u64,
     /// Profile lookups that had to re-profile (including corrupt entries).
     pub profile_misses: u64,
+    /// Selection lookups served from the in-process memory tier.
+    pub selection_memory_hits: u64,
     /// Selection lookups that were served from disk.
     pub selection_hits: u64,
     /// Selection lookups that had to re-cluster (including corrupt entries).
     pub selection_misses: u64,
+    /// Simulated-leg lookups served from the in-process memory tier.
+    pub simulated_memory_hits: u64,
     /// Simulated-leg lookups that were served from disk (the detailed
     /// simulation was skipped entirely).
     pub simulated_hits: u64,
     /// Simulated-leg lookups that had to simulate (including corrupt
     /// entries).
     pub simulated_misses: u64,
-    /// Entries deleted by LRU eviction.
+    /// Disk entries deleted by LRU eviction.
     pub evictions: u64,
+    /// Memory-tier entries dropped by its byte-bound LRU eviction (the disk
+    /// copy survives, so a later lookup degrades to a disk hit, not a miss).
+    pub memory_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups served from the memory tier, over all artifact kinds.
+    pub fn memory_hits(&self) -> u64 {
+        self.profile_memory_hits + self.selection_memory_hits + self.simulated_memory_hits
+    }
+
+    /// Total lookups served from the disk tier, over all artifact kinds.
+    pub fn disk_hits(&self) -> u64 {
+        self.profile_hits + self.selection_hits + self.simulated_hits
+    }
 }
 
 #[derive(Debug, Default)]
 struct StatCounters {
+    profile_memory_hits: AtomicU64,
     profile_hits: AtomicU64,
     profile_misses: AtomicU64,
+    selection_memory_hits: AtomicU64,
     selection_hits: AtomicU64,
     selection_misses: AtomicU64,
+    simulated_memory_hits: AtomicU64,
     simulated_hits: AtomicU64,
     simulated_misses: AtomicU64,
     evictions: AtomicU64,
+    memory_evictions: AtomicU64,
 }
 
-/// A directory of serialized pipeline artifacts — [`ApplicationProfile`]s and
-/// [`BarrierPointSelection`]s — keyed by workload and configuration content.
+/// Key space of the memory tier — the same content addresses as the disk
+/// tier, one variant per artifact kind so kinds can never alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MemoryKey {
+    Profile(ProfileCacheKey),
+    Selection(SelectionCacheKey),
+    Simulated(SimulatedCacheKey),
+}
+
+/// A decoded artifact held by the memory tier.  Cloning is a pointer clone.
+#[derive(Debug, Clone)]
+enum MemoryArtifact {
+    Profile(Arc<ApplicationProfile>),
+    Selection(Arc<BarrierPointSelection>),
+    Simulated(Arc<Simulated>),
+}
+
+#[derive(Debug)]
+struct MemoryEntry {
+    artifact: MemoryArtifact,
+    /// Serialized size of the artifact (what the disk entry occupies) — the
+    /// currency of the byte bound, so both tiers meter the same way.
+    bytes: u64,
+    /// LRU stamp: the tier-wide tick at the entry's last hit or insert.
+    last_used: u64,
+}
+
+/// The in-process tier: decoded artifacts behind one mutex, shared by every
+/// clone of an [`ArtifactCache`].  All operations are O(entries) at worst
+/// (eviction scans), which is negligible next to the decode work the tier
+/// exists to skip.
+#[derive(Debug, Default)]
+struct MemoryTier {
+    state: Mutex<MemoryState>,
+}
+
+#[derive(Debug, Default)]
+struct MemoryState {
+    entries: HashMap<MemoryKey, MemoryEntry>,
+    total_bytes: u64,
+    tick: u64,
+    max_bytes: Option<u64>,
+}
+
+impl MemoryTier {
+    /// Looks up `key`, marking the entry most recently used on a hit.
+    fn get(&self, key: &MemoryKey) -> Option<MemoryArtifact> {
+        let mut state = self.state.lock().expect("memory tier lock");
+        state.tick += 1;
+        let tick = state.tick;
+        let entry = state.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.artifact.clone())
+    }
+
+    /// Inserts (or replaces) `key`, then enforces the byte bound by dropping
+    /// least-recently-used entries.  Unlike the disk tier, an entry that on
+    /// its own exceeds the bound is not retained — which also makes a bound
+    /// of `0` an exact "memory tier off" switch.
+    fn insert(&self, key: MemoryKey, artifact: MemoryArtifact, bytes: u64, evictions: &AtomicU64) {
+        let mut state = self.state.lock().expect("memory tier lock");
+        state.tick += 1;
+        let tick = state.tick;
+        if state.max_bytes.is_some_and(|max_bytes| bytes > max_bytes) {
+            // The entry alone exceeds the bound: it is never retained (and
+            // must not flush everything else out first trying to make room).
+            // Dropping any stale value under the key is not an eviction, and
+            // neither is declining the insert.
+            if let Some(old) = state.entries.remove(&key) {
+                state.total_bytes -= old.bytes;
+            }
+            return;
+        }
+        if let Some(old) =
+            state.entries.insert(key.clone(), MemoryEntry { artifact, bytes, last_used: tick })
+        {
+            state.total_bytes -= old.bytes;
+        }
+        state.total_bytes += bytes;
+        let Some(max_bytes) = state.max_bytes else { return };
+        while state.total_bytes > max_bytes {
+            // A victim always exists here: the new entry fits the bound on
+            // its own, so exceeding it requires at least one other entry.
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(entry) = state.entries.remove(&victim) {
+                state.total_bytes -= entry.bytes;
+                evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn set_max_bytes(&self, max_bytes: Option<u64>) {
+        self.state.lock().expect("memory tier lock").max_bytes = max_bytes;
+    }
+}
+
+/// A two-tier cache of pipeline artifacts — [`ApplicationProfile`]s,
+/// [`BarrierPointSelection`]s and [`Simulated`] legs — keyed by workload and
+/// configuration content: an in-process memory tier of decoded artifacts in
+/// front of a directory of serialized entries.
 ///
 /// ```
 /// use barrierpoint::{ArtifactCache, ExecutionPolicy, SignatureConfig, SimPointConfig};
@@ -286,7 +455,8 @@ struct StatCounters {
 /// )?;
 /// assert!(!was_cached);
 ///
-/// // Second time around, both one-time stages come from disk.
+/// // Second time around (same process), both one-time stages are pointer
+/// // clones from the memory tier — stores write through both tiers.
 /// let (_, was_cached) = cache.load_or_profile(&workload, &ExecutionPolicy::parallel())?;
 /// assert!(was_cached);
 /// let (again, was_cached) = cache.load_or_select(
@@ -297,8 +467,15 @@ struct StatCounters {
 /// )?;
 /// assert!(was_cached);
 /// assert_eq!(selection, again);
-/// assert_eq!(cache.stats().profile_hits, 1);
-/// assert_eq!(cache.stats().selection_hits, 1);
+/// assert_eq!(cache.stats().profile_memory_hits, 1);
+/// assert_eq!(cache.stats().selection_memory_hits, 1);
+///
+/// // A fresh cache handle over the same directory starts with a cold
+/// // memory tier and decodes from disk instead.
+/// let reopened = ArtifactCache::new(&dir);
+/// let (_, was_cached) = reopened.load_or_profile(&workload, &ExecutionPolicy::parallel())?;
+/// assert!(was_cached);
+/// assert_eq!(reopened.stats().profile_hits, 1);
 /// # std::fs::remove_dir_all(&dir).ok();
 /// # Ok::<(), barrierpoint::Error>(())
 /// ```
@@ -307,6 +484,7 @@ pub struct ArtifactCache {
     root: PathBuf,
     max_bytes: Option<u64>,
     stats: Arc<StatCounters>,
+    memory: Arc<MemoryTier>,
 }
 
 /// The pre-redesign name of [`ArtifactCache`], kept for continuity: the
@@ -315,19 +493,33 @@ pub struct ArtifactCache {
 pub type ProfileCache = ArtifactCache;
 
 impl ArtifactCache {
-    /// A cache rooted at `root` (created lazily on first store), unbounded.
+    /// A cache rooted at `root` (created lazily on first store); both tiers
+    /// unbounded.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        Self { root: root.into(), max_bytes: None, stats: Arc::default() }
+        Self { root: root.into(), max_bytes: None, stats: Arc::default(), memory: Arc::default() }
     }
 
     /// Bounds the cache's total on-disk size: after every store, entries are
-    /// evicted least-recently-used first (by file modification time; loads
-    /// touch entries) until the total drops to `max_bytes` or below.
+    /// evicted least-recently-used first (by file modification time;
+    /// successful loads touch entries) until the total drops to `max_bytes`
+    /// or below.
     ///
     /// The bound is best-effort — a single entry larger than `max_bytes`
     /// is evicted only once a newer entry arrives.
     pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
         self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Bounds the in-process memory tier (charged at serialized entry size):
+    /// inserts drop least-recently-used memory entries until the tier fits.
+    /// A dropped memory entry still has its disk copy, so later lookups
+    /// degrade to disk hits, never to misses.  `0` disables the memory tier.
+    ///
+    /// The memory tier is shared across clones, so the bound applies to (and
+    /// is visible from) every clone of this cache.
+    pub fn with_memory_max_bytes(self, max_bytes: u64) -> Self {
+        self.memory.set_max_bytes(Some(max_bytes));
         self
     }
 
@@ -345,13 +537,17 @@ impl ArtifactCache {
     /// clone of this cache.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            profile_memory_hits: self.stats.profile_memory_hits.load(Ordering::Relaxed),
             profile_hits: self.stats.profile_hits.load(Ordering::Relaxed),
             profile_misses: self.stats.profile_misses.load(Ordering::Relaxed),
+            selection_memory_hits: self.stats.selection_memory_hits.load(Ordering::Relaxed),
             selection_hits: self.stats.selection_hits.load(Ordering::Relaxed),
             selection_misses: self.stats.selection_misses.load(Ordering::Relaxed),
+            simulated_memory_hits: self.stats.simulated_memory_hits.load(Ordering::Relaxed),
             simulated_hits: self.stats.simulated_hits.load(Ordering::Relaxed),
             simulated_misses: self.stats.simulated_misses.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
+            memory_evictions: self.stats.memory_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -371,22 +567,29 @@ impl ArtifactCache {
         Error::ProfileCache { path: path.display().to_string(), message: err.to_string() }
     }
 
-    /// Reads an entry file, marking it as recently used.  Missing files
-    /// return `Ok(None)`; other I/O failures are errors.
+    /// Reads an entry file's raw bytes.  Missing files return `Ok(None)`;
+    /// other I/O failures are errors.
+    ///
+    /// Deliberately does *not* touch the entry for LRU: a read alone proves
+    /// nothing — the payload may be corrupt or stale-versioned, and marking
+    /// it recently used would let garbage outlive valid entries under a size
+    /// bound.  The `lookup_*` paths touch only after a successful decode.
     fn read_entry(&self, path: &Path) -> Result<Option<Vec<u8>>, Error> {
-        let bytes = match fs::read(path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(self.io_error(path, &e)),
-        };
-        // Touch for LRU: a load makes the entry the most recently used.  Best
-        // effort — filesystems without mtime updates degrade to FIFO.
+        match fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(self.io_error(path, &e)),
+        }
+    }
+
+    /// Marks a *validated* entry as most recently used.  Best effort —
+    /// filesystems without mtime updates degrade to FIFO.
+    fn touch_entry(&self, path: &Path) {
         if self.max_bytes.is_some() {
             if let Ok(file) = fs::OpenOptions::new().write(true).open(path) {
                 let _ = file.set_modified(SystemTime::now());
             }
         }
-        Ok(Some(bytes))
     }
 
     /// Writes an entry through a temporary file and an atomic rename so that
@@ -451,32 +654,98 @@ impl ArtifactCache {
         }
     }
 
-    /// Looks up the profile stored under `key`.
+    /// Tiered profile lookup: memory first, then disk (a successful disk
+    /// decode touches the entry and populates the memory tier).  The boolean
+    /// is `true` when the memory tier served the hit.
+    fn lookup_profile(
+        &self,
+        key: &ProfileCacheKey,
+    ) -> Result<Option<(Arc<ApplicationProfile>, bool)>, Error> {
+        if let Some(MemoryArtifact::Profile(profile)) =
+            self.memory.get(&MemoryKey::Profile(key.clone()))
+        {
+            return Ok(Some((profile, true)));
+        }
+        let path = self.profile_path(key);
+        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
+        let Some(profile) = decode_profile(&bytes, key) else { return Ok(None) };
+        self.touch_entry(&path);
+        let profile = Arc::new(profile);
+        self.memory.insert(
+            MemoryKey::Profile(key.clone()),
+            MemoryArtifact::Profile(profile.clone()),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(Some((profile, false)))
+    }
+
+    /// Looks up the profile stored under `key`, in either tier.
     ///
     /// Returns `Ok(None)` on a miss — including stale-version or corrupt
-    /// entries, which a later [`store`](Self::store) will overwrite.
+    /// disk entries, which a later [`store`](Self::store) will overwrite.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ProfileCache`] for I/O failures other than the entry
     /// not existing.
-    pub fn load(&self, key: &ProfileCacheKey) -> Result<Option<ApplicationProfile>, Error> {
-        let path = self.profile_path(key);
-        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
-        Ok(decode_profile(&bytes, key))
+    pub fn load(&self, key: &ProfileCacheKey) -> Result<Option<Arc<ApplicationProfile>>, Error> {
+        Ok(self.lookup_profile(key)?.map(|(profile, _)| profile))
     }
 
-    /// Persists `profile` under `key`, creating the cache directory if
-    /// needed.
+    /// Persists `profile` under `key` in both tiers, creating the cache
+    /// directory if needed.
     ///
     /// # Errors
     ///
     /// Returns [`Error::ProfileCache`] on I/O failure.
     pub fn store(&self, key: &ProfileCacheKey, profile: &ApplicationProfile) -> Result<(), Error> {
-        self.write_entry(&self.profile_path(key), &encode_profile(key, profile))
+        self.store_profile_arc(key, &Arc::new(profile.clone()))
     }
 
-    /// Looks up the selection stored under `key`; `Ok(None)` on any miss.
+    /// Write-through store of an already-shared profile (no deep copy).
+    fn store_profile_arc(
+        &self,
+        key: &ProfileCacheKey,
+        profile: &Arc<ApplicationProfile>,
+    ) -> Result<(), Error> {
+        let bytes = encode_profile(key, profile);
+        self.write_entry(&self.profile_path(key), &bytes)?;
+        self.memory.insert(
+            MemoryKey::Profile(key.clone()),
+            MemoryArtifact::Profile(profile.clone()),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(())
+    }
+
+    /// Tiered selection lookup; see [`lookup_profile`](Self::lookup_profile).
+    fn lookup_selection(
+        &self,
+        key: &SelectionCacheKey,
+    ) -> Result<Option<(Arc<BarrierPointSelection>, bool)>, Error> {
+        if let Some(MemoryArtifact::Selection(selection)) =
+            self.memory.get(&MemoryKey::Selection(key.clone()))
+        {
+            return Ok(Some((selection, true)));
+        }
+        let path = self.selection_path(key);
+        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
+        let Some(selection) = decode_selection(&bytes, key) else { return Ok(None) };
+        self.touch_entry(&path);
+        let selection = Arc::new(selection);
+        self.memory.insert(
+            MemoryKey::Selection(key.clone()),
+            MemoryArtifact::Selection(selection.clone()),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(Some((selection, false)))
+    }
+
+    /// Looks up the selection stored under `key`, in either tier; `Ok(None)`
+    /// on any miss.
     ///
     /// # Errors
     ///
@@ -485,13 +754,11 @@ impl ArtifactCache {
     pub fn load_selection(
         &self,
         key: &SelectionCacheKey,
-    ) -> Result<Option<BarrierPointSelection>, Error> {
-        let path = self.selection_path(key);
-        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
-        Ok(decode_selection(&bytes, key))
+    ) -> Result<Option<Arc<BarrierPointSelection>>, Error> {
+        Ok(self.lookup_selection(key)?.map(|(selection, _)| selection))
     }
 
-    /// Persists `selection` under `key`.
+    /// Persists `selection` under `key` in both tiers.
     ///
     /// # Errors
     ///
@@ -501,7 +768,24 @@ impl ArtifactCache {
         key: &SelectionCacheKey,
         selection: &BarrierPointSelection,
     ) -> Result<(), Error> {
-        self.write_entry(&self.selection_path(key), &encode_selection(key, selection))
+        self.store_selection_arc(key, &Arc::new(selection.clone()))
+    }
+
+    /// Write-through store of an already-shared selection (no deep copy).
+    fn store_selection_arc(
+        &self,
+        key: &SelectionCacheKey,
+        selection: &Arc<BarrierPointSelection>,
+    ) -> Result<(), Error> {
+        let bytes = encode_selection(key, selection);
+        self.write_entry(&self.selection_path(key), &bytes)?;
+        self.memory.insert(
+            MemoryKey::Selection(key.clone()),
+            MemoryArtifact::Selection(selection.clone()),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(())
     }
 
     /// Returns the cached profile for `workload`, profiling (under `policy`)
@@ -516,32 +800,63 @@ impl ArtifactCache {
         &self,
         workload: &W,
         policy: &ExecutionPolicy,
-    ) -> Result<(ApplicationProfile, bool), Error> {
+    ) -> Result<(Arc<ApplicationProfile>, bool), Error> {
         let key = ProfileCacheKey::for_workload(workload);
-        if let Some(profile) = self.load(&key)? {
-            self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((profile, true));
+        match self.lookup_profile(&key)? {
+            Some((profile, true)) => {
+                self.stats.profile_memory_hits.fetch_add(1, Ordering::Relaxed);
+                Ok((profile, true))
+            }
+            Some((profile, false)) => {
+                self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
+                Ok((profile, true))
+            }
+            None => {
+                self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
+                let profile = Arc::new(profile_application_with(workload, policy)?);
+                self.store_profile_arc(&key, &profile)?;
+                Ok((profile, false))
+            }
         }
-        self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
-        let profile = profile_application_with(workload, policy)?;
-        self.store(&key, &profile)?;
-        Ok((profile, false))
     }
 
-    /// Looks up the simulated leg stored under `key`; `Ok(None)` on any miss
-    /// (stale version, corrupt payload, wrong key).
+    /// Tiered simulated-leg lookup; see
+    /// [`lookup_profile`](Self::lookup_profile).
+    fn lookup_simulated(
+        &self,
+        key: &SimulatedCacheKey,
+    ) -> Result<Option<(Arc<Simulated>, bool)>, Error> {
+        if let Some(MemoryArtifact::Simulated(simulated)) =
+            self.memory.get(&MemoryKey::Simulated(key.clone()))
+        {
+            return Ok(Some((simulated, true)));
+        }
+        let path = self.simulated_path(key);
+        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
+        let Some(simulated) = decode_simulated(&bytes, key) else { return Ok(None) };
+        self.touch_entry(&path);
+        let simulated = Arc::new(simulated);
+        self.memory.insert(
+            MemoryKey::Simulated(key.clone()),
+            MemoryArtifact::Simulated(simulated.clone()),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(Some((simulated, false)))
+    }
+
+    /// Looks up the simulated leg stored under `key`, in either tier;
+    /// `Ok(None)` on any miss (stale version, corrupt payload, wrong key).
     ///
     /// # Errors
     ///
     /// Returns [`Error::ProfileCache`] for I/O failures other than the entry
     /// not existing.
-    pub fn load_simulated(&self, key: &SimulatedCacheKey) -> Result<Option<Simulated>, Error> {
-        let path = self.simulated_path(key);
-        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
-        Ok(decode_simulated(&bytes, key))
+    pub fn load_simulated(&self, key: &SimulatedCacheKey) -> Result<Option<Arc<Simulated>>, Error> {
+        Ok(self.lookup_simulated(key)?.map(|(simulated, _)| simulated))
     }
 
-    /// Persists `simulated` under `key`.
+    /// Persists `simulated` under `key` in both tiers.
     ///
     /// # Errors
     ///
@@ -551,29 +866,53 @@ impl ArtifactCache {
         key: &SimulatedCacheKey,
         simulated: &Simulated,
     ) -> Result<(), Error> {
-        self.write_entry(&self.simulated_path(key), &encode_simulated(key, simulated))
+        self.store_simulated_arc(key, &Arc::new(simulated.clone()))
     }
 
-    /// [`load_simulated`](Self::load_simulated) with hit/miss accounting:
-    /// every *logical* simulated-leg lookup goes through here exactly once
-    /// (the sweep probes legs up front so it can skip the warmup collection
-    /// of fully cached legs; the staged API probes through
+    /// Write-through store of an already-shared simulated leg (no deep copy).
+    pub(crate) fn store_simulated_arc(
+        &self,
+        key: &SimulatedCacheKey,
+        simulated: &Arc<Simulated>,
+    ) -> Result<(), Error> {
+        let bytes = encode_simulated(key, simulated);
+        self.write_entry(&self.simulated_path(key), &bytes)?;
+        self.memory.insert(
+            MemoryKey::Simulated(key.clone()),
+            MemoryArtifact::Simulated(simulated.clone()),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(())
+    }
+
+    /// [`load_simulated`](Self::load_simulated) with per-tier hit/miss
+    /// accounting: every *logical* simulated-leg lookup goes through here
+    /// exactly once (the sweep probes legs up front so it can skip the
+    /// warmup collection of fully cached legs; the staged API probes through
     /// [`load_or_simulate`](Self::load_or_simulate)).
     pub(crate) fn probe_simulated(
         &self,
         key: &SimulatedCacheKey,
-    ) -> Result<Option<Simulated>, Error> {
-        let loaded = self.load_simulated(key)?;
-        let counter = match loaded {
-            Some(_) => &self.stats.simulated_hits,
-            None => &self.stats.simulated_misses,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-        Ok(loaded)
+    ) -> Result<Option<Arc<Simulated>>, Error> {
+        match self.lookup_simulated(key)? {
+            Some((simulated, true)) => {
+                self.stats.simulated_memory_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(simulated))
+            }
+            Some((simulated, false)) => {
+                self.stats.simulated_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(simulated))
+            }
+            None => {
+                self.stats.simulated_misses.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+        }
     }
 
     /// Returns the cached simulated leg under `key`, running `simulate` and
-    /// populating the cache on a miss.  The boolean is `true` when the leg
+    /// populating both tiers on a miss.  The boolean is `true` when the leg
     /// came from the cache — the detailed simulation (and its warmup
     /// collection) was skipped entirely.
     ///
@@ -584,15 +923,15 @@ impl ArtifactCache {
         &self,
         key: &SimulatedCacheKey,
         simulate: F,
-    ) -> Result<(Simulated, bool), Error>
+    ) -> Result<(Arc<Simulated>, bool), Error>
     where
-        F: FnOnce() -> Result<Simulated, Error>,
+        F: FnOnce() -> Result<Arc<Simulated>, Error>,
     {
         if let Some(simulated) = self.probe_simulated(key)? {
             return Ok((simulated, true));
         }
         let simulated = simulate()?;
-        self.store_simulated(key, &simulated)?;
+        self.store_simulated_arc(key, &simulated)?;
         Ok((simulated, false))
     }
 
@@ -611,16 +950,25 @@ impl ArtifactCache {
         workload: &W,
         signature_config: &SignatureConfig,
         simpoint_config: &SimPointConfig,
-    ) -> Result<(BarrierPointSelection, bool), Error> {
+    ) -> Result<(Arc<BarrierPointSelection>, bool), Error> {
         let key = SelectionCacheKey::for_workload(workload, signature_config, simpoint_config);
-        if let Some(selection) = self.load_selection(&key)? {
-            self.stats.selection_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((selection, true));
+        match self.lookup_selection(&key)? {
+            Some((selection, true)) => {
+                self.stats.selection_memory_hits.fetch_add(1, Ordering::Relaxed);
+                Ok((selection, true))
+            }
+            Some((selection, false)) => {
+                self.stats.selection_hits.fetch_add(1, Ordering::Relaxed);
+                Ok((selection, true))
+            }
+            None => {
+                self.stats.selection_misses.fetch_add(1, Ordering::Relaxed);
+                let selection =
+                    Arc::new(select_barrierpoints(profile, signature_config, simpoint_config)?);
+                self.store_selection_arc(&key, &selection)?;
+                Ok((selection, false))
+            }
         }
-        self.stats.selection_misses.fetch_add(1, Ordering::Relaxed);
-        let selection = select_barrierpoints(profile, signature_config, simpoint_config)?;
-        self.store_selection(&key, &selection)?;
-        Ok((selection, false))
     }
 }
 
@@ -760,6 +1108,12 @@ mod tests {
         ArtifactCache::new(dir)
     }
 
+    /// A fresh handle over the same directory: cold memory tier, warm disk
+    /// tier — the "new process" view of the cache.
+    fn reopen(cache: &ArtifactCache) -> ArtifactCache {
+        ArtifactCache::new(cache.root())
+    }
+
     fn workload(scale: f64) -> impl Workload {
         Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(scale))
     }
@@ -770,11 +1124,20 @@ mod tests {
         let w = workload(0.02);
         let (first, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
         assert!(!cached);
+        // Same handle: the store wrote through to the memory tier.
         let (second, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
         assert!(cached);
         assert_eq!(first, second);
-        assert_eq!(cache.stats().profile_hits, 1);
+        assert_eq!(cache.stats().profile_memory_hits, 1);
+        assert_eq!(cache.stats().profile_hits, 0);
         assert_eq!(cache.stats().profile_misses, 1);
+        // A reopened handle decodes the same artifact from disk.
+        let reopened = reopen(&cache);
+        let (third, cached) = reopened.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached);
+        assert_eq!(first, third);
+        assert_eq!(reopened.stats().profile_hits, 1);
+        assert_eq!(reopened.stats().profile_memory_hits, 0);
         fs::remove_dir_all(cache.root()).ok();
     }
 
@@ -798,15 +1161,16 @@ mod tests {
         let key = ProfileCacheKey::for_workload(&w);
         let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
 
-        // Truncate the entry on disk.
+        // Truncate the entry on disk; a cold-memory handle must miss.
         let path = cache.profile_path(&key);
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert_eq!(cache.load(&key).unwrap(), None);
+        let reopened = reopen(&cache);
+        assert_eq!(reopened.load(&key).unwrap(), None);
 
         // A re-store heals it.
-        cache.store(&key, &profile).unwrap();
-        assert_eq!(cache.load(&key).unwrap(), Some(profile));
+        reopened.store(&key, &profile).unwrap();
+        assert_eq!(reopen(&reopened).load(&key).unwrap().as_deref(), Some(&*profile));
         fs::remove_dir_all(cache.root()).ok();
     }
 
@@ -821,7 +1185,7 @@ mod tests {
         let mut bytes = fs::read(&path).unwrap();
         bytes[4] = bytes[4].wrapping_add(1); // bump the stored version
         fs::write(&path, &bytes).unwrap();
-        assert_eq!(cache.load(&key).unwrap(), None);
+        assert_eq!(reopen(&cache).load(&key).unwrap(), None);
         fs::remove_dir_all(cache.root()).ok();
     }
 
@@ -853,7 +1217,12 @@ mod tests {
         assert_eq!(first, second);
         let stats = cache.stats();
         assert_eq!(stats.selection_misses, 1);
-        assert_eq!(stats.selection_hits, 1);
+        assert_eq!(stats.selection_memory_hits, 1, "same handle hits the memory tier");
+        let reopened = reopen(&cache);
+        let (third, cached) = reopened.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        assert!(cached);
+        assert_eq!(first, third);
+        assert_eq!(reopened.stats().selection_hits, 1, "cold memory falls back to disk");
         fs::remove_dir_all(cache.root()).ok();
     }
 
@@ -894,26 +1263,29 @@ mod tests {
         let key = SelectionCacheKey::for_workload(&w, &sig, &sp);
         let (selection, _) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
 
-        // Corrupt the payload: flip a byte past the header.
+        // Corrupt the payload: flip a byte past the header.  A cold-memory
+        // handle sees the corruption and must miss.
         let path = cache.selection_path(&key);
         let mut bytes = fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         bytes.push(0); // and leave trailing garbage
         fs::write(&path, &bytes).unwrap();
-        assert_eq!(cache.load_selection(&key).unwrap(), None);
+        let reopened = reopen(&cache);
+        assert_eq!(reopened.load_selection(&key).unwrap(), None);
 
         // The next load_or_select re-clusters, restores, and heals the entry.
-        let (healed, cached) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        let (healed, cached) = reopened.load_or_select(&profile, &w, &sig, &sp).unwrap();
         assert!(!cached);
         assert_eq!(healed, selection);
-        assert_eq!(cache.load_selection(&key).unwrap(), Some(selection));
+        assert_eq!(reopen(&reopened).load_selection(&key).unwrap(), Some(selection));
         fs::remove_dir_all(cache.root()).ok();
     }
 
     #[test]
     fn size_bound_evicts_least_recently_used_entries() {
-        let cache = temp_cache("evict").with_max_bytes(1);
+        // Memory tier off: this test pins the *disk* tier's LRU behavior.
+        let cache = temp_cache("evict").with_max_bytes(1).with_memory_max_bytes(0);
         let w = workload(0.02);
         let profile = profile_application(&w).unwrap();
         let profile_key = ProfileCacheKey::for_workload(&w);
@@ -929,7 +1301,7 @@ mod tests {
         cache.store_selection(&selection_key, &selection).unwrap();
 
         assert_eq!(cache.load(&profile_key).unwrap(), None, "older entry evicted");
-        assert_eq!(cache.load_selection(&selection_key).unwrap(), Some(selection));
+        assert_eq!(cache.load_selection(&selection_key).unwrap().as_deref(), Some(&selection));
         assert_eq!(cache.stats().evictions, 1);
         fs::remove_dir_all(cache.root()).ok();
     }
@@ -990,7 +1362,14 @@ mod tests {
         assert!(was_cached);
         assert_eq!(first, second);
         let stats = cache.stats();
-        assert_eq!((stats.simulated_misses, stats.simulated_hits), (1, 1));
+        assert_eq!((stats.simulated_misses, stats.simulated_memory_hits), (1, 1));
+        // A cold-memory handle serves the same leg from disk.
+        let reopened = reopen(&cache);
+        let (third, was_cached) =
+            reopened.load_or_simulate(&key, || panic!("a disk hit must not re-simulate")).unwrap();
+        assert!(was_cached);
+        assert_eq!(first, third);
+        assert_eq!(reopened.stats().simulated_hits, 1);
         fs::remove_dir_all(cache.root()).ok();
     }
 
@@ -1032,26 +1411,29 @@ mod tests {
             cache.load_or_simulate(&key, || selected.simulate(&sim_config)).unwrap();
 
         // Corrupt the payload: flip a byte past the header and add garbage.
+        // A cold-memory handle sees the corruption and must miss.
         let path = cache.simulated_path(&key);
         let mut bytes = fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         bytes.push(0);
         fs::write(&path, &bytes).unwrap();
-        assert_eq!(cache.load_simulated(&key).unwrap(), None);
+        let reopened = reopen(&cache);
+        assert_eq!(reopened.load_simulated(&key).unwrap(), None);
 
         // The next load_or_simulate re-simulates and heals the entry.
         let (healed, was_cached) =
-            cache.load_or_simulate(&key, || selected.simulate(&sim_config)).unwrap();
+            reopened.load_or_simulate(&key, || selected.simulate(&sim_config)).unwrap();
         assert!(!was_cached);
         assert_eq!(healed, simulated);
-        assert_eq!(cache.load_simulated(&key).unwrap(), Some(simulated));
+        assert_eq!(reopen(&reopened).load_simulated(&key).unwrap(), Some(simulated));
         fs::remove_dir_all(cache.root()).ok();
     }
 
     #[test]
     fn simulated_entries_participate_in_lru_eviction() {
-        let cache = temp_cache("sim-evict").with_max_bytes(1);
+        // Memory tier off: this test pins the *disk* tier's LRU behavior.
+        let cache = temp_cache("sim-evict").with_max_bytes(1).with_memory_max_bytes(0);
         let w = workload(0.02);
         let selected = crate::BarrierPoint::new(&w).profile().unwrap().select().unwrap();
         let profile_key = ProfileCacheKey::for_workload(&w);
@@ -1091,7 +1473,8 @@ mod tests {
             .sum();
         fs::remove_dir_all(cache.root()).ok();
 
-        let cache = temp_cache("lru-touch").with_max_bytes(total);
+        // Memory tier off: this test pins the disk tier's touch-on-load LRU.
+        let cache = temp_cache("lru-touch").with_max_bytes(total).with_memory_max_bytes(0);
         cache.store(&ProfileCacheKey::for_workload(&w_small), &p_small).unwrap();
         std::thread::sleep(Duration::from_millis(20));
         cache.load_or_profile(&w_large, &ExecutionPolicy::Serial).unwrap();
@@ -1114,6 +1497,225 @@ mod tests {
         assert!(cache.stats().evictions >= 1);
         let (_, small_cached) = cache.load_or_profile(&w_small, &ExecutionPolicy::Serial).unwrap();
         assert!(small_cached, "recently touched entry must survive eviction");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    /// Regression test: a *failed* load (corrupt payload) must not mark the
+    /// entry recently used.  The pre-fix `read_entry` touched the mtime
+    /// before validating, so a corrupt entry became MRU and LRU eviction
+    /// deleted valid older entries while protecting the garbage.
+    #[test]
+    fn failed_loads_do_not_promote_corrupt_entries_over_valid_ones() {
+        let w_corrupt = workload(0.02);
+        let w_valid = workload(0.05);
+        let setup = temp_cache("corrupt-lru").with_max_bytes(u64::MAX).with_memory_max_bytes(0);
+        let (_p_corrupt, _) = setup.load_or_profile(&w_corrupt, &ExecutionPolicy::Serial).unwrap();
+        let (p_valid, _) = setup.load_or_profile(&w_valid, &ExecutionPolicy::Serial).unwrap();
+        let key_corrupt = ProfileCacheKey::for_workload(&w_corrupt);
+        let key_valid = ProfileCacheKey::for_workload(&w_valid);
+        let path_corrupt = setup.profile_path(&key_corrupt);
+        let path_valid = setup.profile_path(&key_valid);
+
+        // Corrupt the first entry and back-date it far into the past: it is
+        // now both garbage and the LRU victim-to-be.
+        let bytes = fs::read(&path_corrupt).unwrap();
+        fs::write(&path_corrupt, &bytes[..bytes.len() / 2]).unwrap();
+        let old = SystemTime::now() - Duration::from_secs(600);
+        fs::OpenOptions::new().write(true).open(&path_corrupt).unwrap().set_modified(old).unwrap();
+
+        // Stage a third entry so its size is known, then remove it again.
+        let sig = SignatureConfig::combined();
+        let sp = SimPointConfig::paper();
+        let selection = select_barrierpoints(&p_valid, &sig, &sp).unwrap();
+        let selection_key = SelectionCacheKey::for_workload(&w_valid, &sig, &sp);
+        setup.store_selection(&selection_key, &selection).unwrap();
+        let path_selection = setup.selection_path(&selection_key);
+        let size_selection = fs::metadata(&path_selection).unwrap().len();
+        let size_valid = fs::metadata(&path_valid).unwrap().len();
+        fs::remove_file(&path_selection).unwrap();
+
+        // Load the corrupt entry through a size-bounded handle: a miss — and
+        // it must NOT touch the corrupt file's mtime.
+        let bounded = ArtifactCache::new(setup.root())
+            .with_max_bytes(size_valid + size_selection)
+            .with_memory_max_bytes(0);
+        assert_eq!(bounded.load(&key_corrupt).unwrap(), None);
+
+        // The next store must evict the corrupt entry (oldest mtime), not
+        // the valid one.  Pre-fix, the failed load had just made the corrupt
+        // entry MRU, so the valid profile was deleted and garbage retained.
+        bounded.store_selection(&selection_key, &selection).unwrap();
+        assert!(!path_corrupt.exists(), "the corrupt entry must be the eviction victim");
+        assert!(
+            bounded.load(&key_valid).unwrap().is_some(),
+            "the valid older entry must survive eviction"
+        );
+        fs::remove_dir_all(setup.root()).ok();
+    }
+
+    #[test]
+    fn memory_tier_accounts_hits_per_artifact_kind() {
+        let cache = temp_cache("mem-accounting");
+        let w = workload(0.02);
+        let sig = SignatureConfig::combined();
+        let sp = SimPointConfig::paper();
+        let sim_config = SimConfig::scaled(2);
+
+        let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        let (selection, _) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        let selected = crate::BarrierPoint::new(&w).profile().unwrap().select().unwrap();
+        let key = SimulatedCacheKey::new(&w, &selection, &sim_config, WarmupKind::MruReplay);
+        cache.load_or_simulate(&key, || selected.simulate(&sim_config)).unwrap();
+
+        let before = cache.stats();
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        cache.load_or_simulate(&key, || panic!("memory hit expected")).unwrap();
+        let after = cache.stats();
+        assert_eq!(after.profile_memory_hits - before.profile_memory_hits, 1);
+        assert_eq!(after.selection_memory_hits - before.selection_memory_hits, 1);
+        assert_eq!(after.simulated_memory_hits - before.simulated_memory_hits, 1);
+        assert_eq!(after.disk_hits(), before.disk_hits(), "no disk decode on a warm handle");
+        assert_eq!(after.memory_hits() - before.memory_hits(), 3);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    /// The tier must be invisible in the artifacts: a memory-tier hit
+    /// returns exactly what a cold-memory handle decodes from disk.
+    #[test]
+    fn memory_tier_hits_equal_disk_tier_decodes() {
+        let cache = temp_cache("mem-bit-identity");
+        let w = workload(0.02);
+        let sig = SignatureConfig::combined();
+        let sp = SimPointConfig::paper();
+        let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        let (selection, _) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+
+        let (mem_profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        let (mem_selection, _) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        assert_eq!(cache.stats().memory_hits(), 2);
+
+        let disk = reopen(&cache);
+        let (disk_profile, _) = disk.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        let (disk_selection, _) = disk.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        assert_eq!(disk.stats().disk_hits(), 2);
+        assert_eq!(mem_profile, disk_profile);
+        assert_eq!(mem_selection, disk_selection);
+        assert_eq!(selection, disk_selection);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn memory_tier_byte_bound_evicts_lru_down_to_disk_hits() {
+        let w_a = workload(0.02);
+        let w_b = workload(0.05);
+        // Measure the serialized entry sizes first.
+        let sizing = temp_cache("mem-bound-sizing");
+        sizing.load_or_profile(&w_a, &ExecutionPolicy::Serial).unwrap();
+        let size_a =
+            fs::metadata(sizing.profile_path(&ProfileCacheKey::for_workload(&w_a))).unwrap().len();
+        sizing.load_or_profile(&w_b, &ExecutionPolicy::Serial).unwrap();
+        let size_b =
+            fs::metadata(sizing.profile_path(&ProfileCacheKey::for_workload(&w_b))).unwrap().len();
+        fs::remove_dir_all(sizing.root()).ok();
+
+        // Room for the larger entry but never both: inserting B evicts A
+        // from memory; A's disk copy still serves.
+        let cache = temp_cache("mem-bound").with_memory_max_bytes(size_b.max(size_a));
+        cache.load_or_profile(&w_a, &ExecutionPolicy::Serial).unwrap();
+        cache.load_or_profile(&w_b, &ExecutionPolicy::Serial).unwrap();
+        assert!(cache.stats().memory_evictions >= 1, "the bound must evict");
+        let before = cache.stats();
+        let (_, cached) = cache.load_or_profile(&w_a, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached);
+        let after = cache.stats();
+        assert_eq!(after.profile_hits - before.profile_hits, 1, "degrades to a disk hit");
+        assert_eq!(after.profile_misses, before.profile_misses, "never to a miss");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    /// An artifact that on its own exceeds the memory bound is declined up
+    /// front — it must not flush the resident (and fitting) entries out of
+    /// the tier while failing to make room for itself.
+    #[test]
+    fn oversized_memory_entries_do_not_flush_the_tier() {
+        let w = workload(0.02);
+        let sig = SignatureConfig::combined();
+        let sp = SimPointConfig::paper();
+        let sizing = temp_cache("mem-oversize-sizing");
+        let (profile, _) = sizing.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        sizing.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        let size_profile =
+            fs::metadata(sizing.profile_path(&ProfileCacheKey::for_workload(&w))).unwrap().len();
+        let size_selection =
+            fs::metadata(sizing.selection_path(&SelectionCacheKey::for_workload(&w, &sig, &sp)))
+                .unwrap()
+                .len();
+        fs::remove_dir_all(sizing.root()).ok();
+        assert!(size_profile > size_selection, "a profile must outweigh its selection");
+
+        // Exactly room for the selection; the profile can never fit.
+        let cache = temp_cache("mem-oversize").with_memory_max_bytes(size_selection);
+        let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        // The oversized profile insert (store and re-decode alike) must
+        // neither evict the resident selection nor count as an eviction.
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert_eq!(
+            cache.stats().memory_evictions,
+            0,
+            "declining an oversized insert evicts nothing"
+        );
+        let before = cache.stats();
+        let (_, cached) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
+        assert!(cached);
+        let after = cache.stats();
+        assert_eq!(
+            after.selection_memory_hits - before.selection_memory_hits,
+            1,
+            "the fitting entry must survive the oversized insert"
+        );
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn memory_tier_write_through_and_reopen_coherence() {
+        let cache = temp_cache("mem-coherence");
+        let w = workload(0.02);
+        let key = ProfileCacheKey::for_workload(&w);
+        let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+
+        // Delete the disk entry behind the cache's back: the memory tier
+        // still serves the artifact to this process.
+        fs::remove_file(cache.profile_path(&key)).unwrap();
+        let (hit, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached, "memory tier survives disk deletion");
+        assert_eq!(hit, profile);
+        assert_eq!(cache.stats().profile_memory_hits, 1);
+
+        // A fresh handle (drop + reopen) misses both tiers for the deleted
+        // entry and recomputes; for a surviving entry it hits disk.
+        let reopened = reopen(&cache);
+        let (_, cached) = reopened.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached, "deleted disk entry + cold memory = miss");
+        let (_, cached) = reopen(&reopened).load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached, "the recompute re-persisted the entry");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn memory_tier_is_shared_across_clones() {
+        let cache = temp_cache("mem-clones");
+        let w = workload(0.02);
+        let (first, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        let clone = cache.clone();
+        let (second, cached) = clone.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "clones must share the memory tier's allocation, not re-decode"
+        );
+        assert_eq!(clone.stats().profile_memory_hits, 1, "stats shared too");
         fs::remove_dir_all(cache.root()).ok();
     }
 }

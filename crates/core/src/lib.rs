@@ -29,12 +29,15 @@
 //! profiles once, clusters once, collects the MRU warmup once per workload
 //! (legs differing in LLC capacity share a single multi-capacity pass),
 //! and simulates the legs in parallel under one shared, work-stealing
-//! [`WorkerBudget`] ([`SweepReport`]).  An [`ArtifactCache`] persists all
-//! three artifact kinds on disk (with LRU size bounding and hit/miss
-//! accounting) — profiles, selections *and* simulated legs — so the
-//! amortization extends across processes and repeated sweeps over
-//! overlapping configuration matrices are fully incremental: a warm
-//! re-sweep executes zero simulate legs.
+//! [`WorkerBudget`] ([`SweepReport`]).  An [`ArtifactCache`] keeps all
+//! three artifact kinds — profiles, selections *and* simulated legs — in
+//! two tiers: an in-process memory tier of decoded, `Arc`-shared artifacts
+//! (a hit is a pointer clone) in front of an on-disk tier of serialized
+//! entries (each with its own LRU size bounding, and per-tier hit/miss
+//! accounting).  The amortization therefore extends across processes, and
+//! repeated sweeps over overlapping configuration matrices are fully
+//! incremental: a warm re-sweep executes zero simulate legs — in the same
+//! process, it performs zero disk reads altogether.
 //!
 //! The [`evaluate`] module adds everything needed to reproduce the paper's
 //! evaluation (prediction errors, cross-core-count validation, relative

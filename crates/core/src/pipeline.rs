@@ -4,12 +4,13 @@ use crate::profile::{profile_application_with, ApplicationProfile};
 use crate::reconstruct::ReconstructedRun;
 use crate::select::BarrierPointSelection;
 use crate::simulate::{BarrierPointMetrics, WarmupKind};
-use crate::stages::{Profiled, Selected};
+use crate::stages::{Profiled, Selected, Simulated};
 use bp_clustering::SimPointConfig;
 use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
 use bp_workload::Workload;
+use std::sync::Arc;
 
 /// The end-to-end BarrierPoint pipeline (Figure 2 of the paper) as a staged
 /// builder.
@@ -172,7 +173,7 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
     pub fn profile(self) -> Result<Profiled<'a, W>, Error> {
         let (profile, was_cached) = match &self.cache {
             Some(cache) => cache.load_or_profile(self.workload, &self.execution)?,
-            None => (profile_application_with(self.workload, &self.execution)?, false),
+            None => (Arc::new(profile_application_with(self.workload, &self.execution)?), false),
         };
         Ok(Profiled { pipeline: self, profile, was_cached })
     }
@@ -209,19 +210,20 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
         let selected = self.clone().profile()?.select()?;
         let simulated = selected.simulate(&sim_config)?;
         let (profile, selection) = selected.into_parts();
-        let (metrics, reconstruction, sim_config) = simulated.into_parts();
-        Ok(BarrierPointOutcome { profile, selection, metrics, reconstruction, sim_config })
+        Ok(BarrierPointOutcome { profile, selection, simulated })
     }
 }
 
 /// Everything produced by one end-to-end BarrierPoint run.
+///
+/// All three artifacts are held behind [`Arc`] — the same allocations an
+/// attached cache's memory tier shares — so assembling or cloning an
+/// outcome never deep-copies them.
 #[derive(Debug, Clone)]
 pub struct BarrierPointOutcome {
-    profile: ApplicationProfile,
-    selection: BarrierPointSelection,
-    metrics: BarrierPointMetrics,
-    reconstruction: ReconstructedRun,
-    sim_config: SimConfig,
+    profile: Arc<ApplicationProfile>,
+    selection: Arc<BarrierPointSelection>,
+    simulated: Arc<Simulated>,
 }
 
 impl BarrierPointOutcome {
@@ -237,17 +239,17 @@ impl BarrierPointOutcome {
 
     /// Detailed metrics of each simulated barrierpoint.
     pub fn barrierpoint_metrics(&self) -> &BarrierPointMetrics {
-        &self.metrics
+        self.simulated.metrics()
     }
 
     /// The reconstructed whole-application estimate.
     pub fn reconstruction(&self) -> &ReconstructedRun {
-        &self.reconstruction
+        self.simulated.reconstruction()
     }
 
     /// The machine configuration the barrierpoints were simulated on.
     pub fn sim_config(&self) -> &SimConfig {
-        &self.sim_config
+        self.simulated.sim_config()
     }
 }
 

@@ -32,15 +32,21 @@ use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_sim::SimConfig;
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The profiling stage's output: an [`ApplicationProfile`] bound to the
 /// pipeline configuration that produced it.
+///
+/// The artifact sits behind an [`Arc`] — the same shared allocation the
+/// [`ArtifactCache`](crate::ArtifactCache) memory tier holds — so cloning a
+/// stage, fanning it out, or re-loading it warm is a pointer clone, never a
+/// deep copy.
 ///
 /// Created by [`BarrierPoint::profile`](crate::BarrierPoint::profile).
 #[derive(Debug, Clone)]
 pub struct Profiled<'a, W: Workload + ?Sized> {
     pub(crate) pipeline: BarrierPoint<'a, W>,
-    pub(crate) profile: ApplicationProfile,
+    pub(crate) profile: Arc<ApplicationProfile>,
     pub(crate) was_cached: bool,
 }
 
@@ -50,9 +56,10 @@ impl<'a, W: Workload + ?Sized> Profiled<'a, W> {
         &self.profile
     }
 
-    /// Extracts the bare artifact, dropping the pipeline binding.
+    /// Extracts the bare artifact, dropping the pipeline binding (cloning
+    /// only if the cache memory tier still shares the allocation).
     pub fn into_profile(self) -> ApplicationProfile {
-        self.profile
+        Arc::unwrap_or_clone(self.profile)
     }
 
     /// The workload the profile was collected from.
@@ -85,9 +92,10 @@ impl<'a, W: Workload + ?Sized> Profiled<'a, W> {
                 &signature_config,
                 &simpoint_config,
             )?,
-            None => {
-                (select_barrierpoints(&self.profile, &signature_config, &simpoint_config)?, false)
-            }
+            None => (
+                Arc::new(select_barrierpoints(&self.profile, &signature_config, &simpoint_config)?),
+                false,
+            ),
         };
         Ok(Selected {
             pipeline: self.pipeline,
@@ -106,9 +114,9 @@ impl<'a, W: Workload + ?Sized> Profiled<'a, W> {
 #[derive(Debug, Clone)]
 pub struct Selected<'a, W: Workload + ?Sized> {
     pipeline: BarrierPoint<'a, W>,
-    profile: ApplicationProfile,
+    profile: Arc<ApplicationProfile>,
     profile_was_cached: bool,
-    selection: BarrierPointSelection,
+    selection: Arc<BarrierPointSelection>,
     selection_was_cached: bool,
 }
 
@@ -123,9 +131,10 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
         &self.selection
     }
 
-    /// Extracts the bare selection artifact, dropping the pipeline binding.
+    /// Extracts the bare selection artifact, dropping the pipeline binding
+    /// (cloning only if the cache memory tier still shares the allocation).
     pub fn into_selection(self) -> BarrierPointSelection {
-        self.selection
+        Arc::unwrap_or_clone(self.selection)
     }
 
     /// The workload the selection was derived from.
@@ -161,7 +170,8 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
     /// selection.  When an [`ArtifactCache`](crate::ArtifactCache) is
     /// attached the leg itself is memoized, keyed by the selection *content*
     /// plus the `(SimConfig, WarmupKind)` pair: a repeated leg loads from
-    /// disk and skips both the warmup collection and the detailed
+    /// the cache (a pointer clone on a memory-tier hit, a disk decode
+    /// otherwise) and skips both the warmup collection and the detailed
     /// simulation.
     ///
     /// # Errors
@@ -169,7 +179,7 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
     /// Returns [`Error::ThreadCountMismatch`] if `sim_config.num_cores`
     /// differs from the workload's thread count, and propagates simulation,
     /// reconstruction and cache I/O errors.
-    pub fn simulate(&self, sim_config: &SimConfig) -> Result<Simulated, Error> {
+    pub fn simulate(&self, sim_config: &SimConfig) -> Result<Arc<Simulated>, Error> {
         self.simulate_on(self.pipeline.workload(), sim_config)
     }
 
@@ -188,7 +198,7 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
         &self,
         workload: &V,
         sim_config: &SimConfig,
-    ) -> Result<Simulated, Error> {
+    ) -> Result<Arc<Simulated>, Error> {
         match self.pipeline.cache() {
             Some(cache) => {
                 let key = SimulatedCacheKey::new(
@@ -205,16 +215,19 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
                         None,
                         None,
                     )
+                    .map(Arc::new)
                 })?;
                 Ok(simulated)
             }
-            None => self.simulate_on_with(
-                workload,
-                sim_config,
-                self.pipeline.execution_policy(),
-                None,
-                None,
-            ),
+            None => self
+                .simulate_on_with(
+                    workload,
+                    sim_config,
+                    self.pipeline.execution_policy(),
+                    None,
+                    None,
+                )
+                .map(Arc::new),
         }
     }
 
@@ -269,7 +282,7 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
         })
     }
 
-    pub(crate) fn into_parts(self) -> (ApplicationProfile, BarrierPointSelection) {
+    pub(crate) fn into_parts(self) -> (Arc<ApplicationProfile>, Arc<BarrierPointSelection>) {
         (self.profile, self.selection)
     }
 }
@@ -314,10 +327,6 @@ impl Simulated {
     /// The reconstructed whole-application estimate.
     pub fn reconstruction(&self) -> &ReconstructedRun {
         &self.reconstruction
-    }
-
-    pub(crate) fn into_parts(self) -> (BarrierPointMetrics, ReconstructedRun, SimConfig) {
-        (self.metrics, self.reconstruction, self.sim_config)
     }
 }
 
@@ -395,7 +404,7 @@ mod tests {
             .unwrap();
         let bytes = serde::to_vec(&simulated);
         let back: Simulated = serde::from_slice(&bytes).unwrap();
-        assert_eq!(simulated, back);
+        assert_eq!(*simulated, back);
     }
 
     #[test]

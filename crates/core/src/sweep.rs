@@ -43,6 +43,7 @@
 //! # Ok::<(), barrierpoint::Error>(())
 //! ```
 
+use crate::cache::SimulatedCacheKey;
 use crate::error::Error;
 use crate::pipeline::BarrierPoint;
 use crate::select::BarrierPointSelection;
@@ -56,6 +57,7 @@ use bp_warmup::MruWarmupData;
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One design point of a sweep: a label, a machine configuration, and
 /// (for cross-core-count legs) an optional workload override.
@@ -218,21 +220,42 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         let budget =
             self.shared_budget.clone().unwrap_or_else(|| WorkerBudget::for_policy(&policy));
 
+        // Every design point's simulated-leg content address, computed once:
+        // the probe, the duplicate-leg dedup and the store all key off it.
+        // The selection-content fingerprint (a serialization of the whole
+        // selection) is shared by every key, so derive it once per sweep.
+        let selection_fp = selected.selection().fingerprint();
+        let warmup = self.base.warmup();
+        let keys: Vec<_> = self
+            .points
+            .iter()
+            .map(|point| match point.workload {
+                Some(workload) => SimulatedCacheKey::with_selection_fingerprint(
+                    workload,
+                    selection_fp,
+                    &point.sim_config,
+                    warmup,
+                ),
+                None => SimulatedCacheKey::with_selection_fingerprint(
+                    self.base.workload(),
+                    selection_fp,
+                    &point.sim_config,
+                    warmup,
+                ),
+            })
+            .collect();
+
         // Probe the simulated-leg cache *before* any warmup collection: a
-        // fully cached leg costs one disk load — no trace walk, no
-        // simulation.  Only the missing legs are paid for below.
-        let mut results: Vec<Option<Simulated>> = (0..self.points.len()).map(|_| None).collect();
+        // fully cached leg costs one memory-tier pointer clone (or one disk
+        // load) — no trace walk, no simulation.  Only the missing legs are
+        // paid for below.
+        let mut results: Vec<Option<Arc<Simulated>>> =
+            (0..self.points.len()).map(|_| None).collect();
         let mut missing: Vec<usize> = Vec::new();
         match self.base.cache() {
             Some(cache) => {
-                for (i, point) in self.points.iter().enumerate() {
-                    let key = match point.workload {
-                        Some(workload) => selected.simulated_cache_key(workload, &point.sim_config),
-                        None => {
-                            selected.simulated_cache_key(self.base.workload(), &point.sim_config)
-                        }
-                    };
-                    match cache.probe_simulated(&key)? {
+                for (i, key) in keys.iter().enumerate() {
+                    match cache.probe_simulated(key)? {
                         Some(simulated) => results[i] = Some(simulated),
                         None => missing.push(i),
                     }
@@ -242,32 +265,44 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         }
         let simulated_cache_hits = self.points.len() - missing.len();
 
-        // Collect the MRU warmup payloads the *missing* legs need, in one
-        // streaming pass per workload instance: legs that differ only in
-        // core parameters (clock, ROB, …) trivially share a payload, and
+        // Dedupe the missing legs by cache key: identical design points
+        // (same leg workload content, machine configuration and warmup)
+        // compute once and share the resulting artifact — with or without a
+        // cache attached.
+        let mut unique: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &i in &missing {
+            match unique.iter_mut().find(|&&mut (rep, _)| keys[rep] == keys[i]) {
+                Some((_, indices)) => indices.push(i),
+                None => unique.push((i, vec![i])),
+            }
+        }
+
+        // Collect the MRU warmup payloads the *distinct* missing legs need,
+        // in one streaming pass per workload content: legs that differ only
+        // in core parameters (clock, ROB, …) trivially share a payload, and
         // legs that differ in LLC capacity share the same pass too — the
         // collector runs at the largest requested capacity and every
         // smaller capacity's payload falls out by truncation (the MRU
         // list's prefix property).  Collection fans out thread-major under
         // the sweep's policy.
-        let mut warmup_payloads: Vec<((usize, u64), HashMap<usize, MruWarmupData>)> = Vec::new();
+        let mut warmup_payloads: Vec<((u64, u64), HashMap<usize, MruWarmupData>)> = Vec::new();
         let mut warmup_collections = 0;
-        if self.base.warmup() == WarmupKind::MruReplay && !missing.is_empty() {
+        if self.base.warmup() == WarmupKind::MruReplay && !unique.is_empty() {
             let regions = selected.selection().barrierpoint_regions();
-            let mut groups: Vec<(usize, Option<&dyn Workload>, Vec<u64>)> = Vec::new();
-            for &i in &missing {
-                let point = &self.points[i];
-                let (workload_id, capacity) = self.warmup_sharing_key(point);
-                match groups.iter_mut().find(|(id, _, _)| *id == workload_id) {
+            let mut groups: Vec<(u64, Option<&dyn Workload>, Vec<u64>)> = Vec::new();
+            for &(rep, _) in &unique {
+                let point = &self.points[rep];
+                let (workload_fp, capacity) = self.warmup_sharing_key(point);
+                match groups.iter_mut().find(|(fp, _, _)| *fp == workload_fp) {
                     Some((_, _, capacities)) => {
                         if !capacities.contains(&capacity) {
                             capacities.push(capacity);
                         }
                     }
-                    None => groups.push((workload_id, point.workload, vec![capacity])),
+                    None => groups.push((workload_fp, point.workload, vec![capacity])),
                 }
             }
-            for (workload_id, leg_workload, capacities) in groups {
+            for (workload_fp, leg_workload, capacities) in groups {
                 let mut per_capacity = match leg_workload {
                     Some(workload) => bp_warmup::collect_mru_warmup_multi(
                         workload,
@@ -285,20 +320,21 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                 warmup_collections += 1;
                 for capacity in capacities {
                     if let Some(data) = per_capacity.remove(&capacity) {
-                        warmup_payloads.push(((workload_id, capacity), data));
+                        warmup_payloads.push(((workload_fp, capacity), data));
                     }
                 }
             }
         }
 
-        // The missing legs fan out config-major; outer leg workers and the
-        // per-barrierpoint workers inside every leg draw helpers from the
-        // one shared budget, so a drained leg's workers migrate into the
-        // legs still running.  Results are identical under every schedule
-        // (the execution-equivalence invariant: reassembly is by index).
+        // The distinct missing legs fan out config-major; outer leg workers
+        // and the per-barrierpoint workers inside every leg draw helpers
+        // from the one shared budget, so a drained leg's workers migrate
+        // into the legs still running.  Results are identical under every
+        // schedule (the execution-equivalence invariant: reassembly is by
+        // index).
         let computed: Vec<Result<Simulated, Error>> =
-            policy.execute_budgeted(missing.len(), &budget, |j| {
-                let point = &self.points[missing[j]];
+            policy.execute_budgeted(unique.len(), &budget, |j| {
+                let point = &self.points[unique[j].0];
                 let key = self.warmup_sharing_key(point);
                 let payload = warmup_payloads.iter().find(|(k, _)| *k == key).map(|(_, d)| d);
                 match point.workload {
@@ -318,24 +354,21 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                     ),
                 }
             });
-        for (&i, result) in missing.iter().zip(computed) {
-            let simulated = result?;
+        for ((rep, indices), result) in unique.iter().zip(computed) {
+            let simulated = Arc::new(result?);
             if let Some(cache) = self.base.cache() {
-                let point = &self.points[i];
-                let key = match point.workload {
-                    Some(workload) => selected.simulated_cache_key(workload, &point.sim_config),
-                    None => selected.simulated_cache_key(self.base.workload(), &point.sim_config),
-                };
-                cache.store_simulated(&key, &simulated)?;
+                cache.store_simulated_arc(&keys[*rep], &simulated)?;
             }
-            results[i] = Some(simulated);
+            for &i in indices {
+                results[i] = Some(simulated.clone());
+            }
         }
 
         let counters = SweepCounters {
             profile_passes: usize::from(!selected.profile_was_cached()),
             clustering_passes: usize::from(!selected.selection_was_cached()),
             warmup_collections,
-            simulate_legs: missing.len(),
+            simulate_legs: unique.len(),
             simulated_cache_hits,
         };
         let legs = self
@@ -356,17 +389,19 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         })
     }
 
-    /// Key under which a design point may share an MRU warmup payload:
-    /// the workload instance (by address; `0` stands for the sweep's own
-    /// workload) and the machine's LLC line capacity.  Points rebuilt from
-    /// the same workload at the same capacity replay identical state.
-    fn warmup_sharing_key(&self, point: &SweepPoint<'a>) -> (usize, u64) {
-        let workload_id = match point.workload {
-            Some(workload) => workload as *const dyn Workload as *const () as usize,
-            None => 0,
+    /// Key under which a design point may share an MRU warmup payload: the
+    /// workload's *content* fingerprint (equal fingerprints guarantee
+    /// bit-identical traces, so [`add_point`](Self::add_point) legs whose
+    /// workload is content-identical to the base — or to each other — share
+    /// one collection, regardless of which instance they reference) and the
+    /// machine's LLC line capacity.
+    fn warmup_sharing_key(&self, point: &SweepPoint<'a>) -> (u64, u64) {
+        let workload_fp = match point.workload {
+            Some(workload) => workload.profile_fingerprint(),
+            None => self.base.workload().profile_fingerprint(),
         };
         let capacity = point.sim_config.memory.llc_total_lines(point.sim_config.num_cores);
-        (workload_id, capacity)
+        (workload_fp, capacity)
     }
 }
 
@@ -383,14 +418,17 @@ pub struct SweepCounters {
     /// Clustering passes executed (0 on a cache hit, else 1).
     pub clustering_passes: usize,
     /// MRU warmup collection passes executed: one per distinct workload
-    /// instance with at least one uncached leg — legs differing only in LLC
-    /// capacity share a single multi-capacity pass, so this is 1 for a
-    /// whole single-workload sweep.  Zero for non-MRU warmup and for fully
-    /// cached sweeps.
+    /// *content* (by [`Workload::profile_fingerprint`]) with at least one
+    /// uncached leg — legs differing only in LLC capacity share a single
+    /// multi-capacity pass, so this is 1 for a whole single-workload sweep
+    /// even when design points carry their own content-identical workload
+    /// instances.  Zero for non-MRU warmup and for fully cached sweeps.
     pub warmup_collections: usize,
-    /// Simulate+reconstruct legs actually executed (cached legs load from
-    /// disk instead and are counted in
-    /// [`simulated_cache_hits`](Self::simulated_cache_hits)).
+    /// Simulate+reconstruct legs actually executed: *distinct* computations
+    /// — design points with identical leg content (same workload content,
+    /// machine configuration and warmup) are deduplicated and share one
+    /// result.  Cached legs load from the cache instead and are counted in
+    /// [`simulated_cache_hits`](Self::simulated_cache_hits).
     pub simulate_legs: usize,
     /// Design points whose simulated leg was served from the artifact
     /// cache.
@@ -398,10 +436,14 @@ pub struct SweepCounters {
 }
 
 /// One completed design-point leg of a sweep.
+///
+/// The simulation artifact sits behind an [`Arc`]: a leg served by the
+/// cache's memory tier (or shared with a duplicate design point) is a
+/// pointer clone of the same allocation, never a deep copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepLeg {
     label: String,
-    simulated: Simulated,
+    simulated: Arc<Simulated>,
 }
 
 impl SweepLeg {
@@ -433,7 +475,7 @@ impl SweepLeg {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
     workload_name: String,
-    selection: BarrierPointSelection,
+    selection: Arc<BarrierPointSelection>,
     legs: Vec<SweepLeg>,
     counters: SweepCounters,
 }
@@ -536,8 +578,66 @@ mod tests {
         let report = Sweep::new(&w).add_configs([config, config]).run().unwrap();
         assert_eq!(report.legs()[0].label(), "config-0");
         assert_eq!(report.legs()[1].label(), "config-1");
-        // Identical configs produce identical legs.
+        // Identical configs produce identical legs — computed once and
+        // shared, not simulated once per duplicate.
         assert_eq!(report.legs()[0].reconstruction(), report.legs()[1].reconstruction());
+        assert_eq!(report.counters().simulate_legs, 1, "duplicate design points dedupe");
+        assert_eq!(report.counters().warmup_collections, 1);
+    }
+
+    /// Regression test: duplicate design points used to simulate once per
+    /// duplicate on a cold run.  They must dedupe by simulated-leg content
+    /// — with and without a cache attached — and duplicates must share the
+    /// one result.
+    #[test]
+    fn duplicate_design_points_simulate_once_and_share_the_result() {
+        let w = workload(2);
+        let config = SimConfig::scaled(2);
+        let mut fast = config;
+        fast.core.frequency_ghz *= 1.5;
+
+        // Uncached: three points, two distinct — two computations.
+        let report = Sweep::new(&w).add_configs([config, fast, config]).run().unwrap();
+        assert_eq!(report.counters().simulate_legs, 2, "two distinct legs compute");
+        assert_eq!(report.legs()[0].simulated(), report.legs()[2].simulated());
+
+        // Cached cold run: the duplicate is still a single computation and a
+        // single store.
+        let dir = std::env::temp_dir().join(format!("bp-sweep-dedup-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = ArtifactCache::new(&dir);
+        let cached =
+            Sweep::new(&w).with_cache(cache.clone()).add_configs([config, config]).run().unwrap();
+        assert_eq!(cached.counters().simulate_legs, 1);
+        assert_eq!(cache.stats().simulated_misses, 2, "both probes logically missed");
+        assert_eq!(cached.legs()[0].simulated(), cached.legs()[1].simulated());
+        assert_eq!(cached.legs()[0].simulated(), report.legs()[0].simulated());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression test: the warmup sharing key used to identify workloads by
+    /// pointer address, so an [`Sweep::add_point`] leg whose workload is
+    /// content-identical to the base collected the same MRU warmup twice.
+    #[test]
+    fn content_identical_add_point_workload_shares_the_warmup_collection() {
+        let w = workload(2);
+        let w_same = workload(2); // separate instance, identical content
+        assert_eq!(w.profile_fingerprint(), w_same.profile_fingerprint());
+        let base = SimConfig::scaled(2);
+        let mut fast = base;
+        fast.core.frequency_ghz *= 1.5; // distinct leg, same workload + LLC
+        let report =
+            Sweep::new(&w).add_config("base", base).add_point("fast", fast, &w_same).run().unwrap();
+        assert_eq!(
+            report.counters().warmup_collections,
+            1,
+            "content-identical workload instances must share one MRU collection"
+        );
+        assert_eq!(report.counters().simulate_legs, 2);
+        // And the shared collection is invisible in the results.
+        let direct =
+            Sweep::new(&w).add_config("base", base).add_config("fast", fast).run().unwrap();
+        assert_eq!(report.legs(), direct.legs());
     }
 
     #[test]

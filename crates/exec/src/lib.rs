@@ -59,7 +59,16 @@ pub struct WorkerBudget {
 struct BudgetInner {
     permits: AtomicUsize,
     total: usize,
+    /// Monotonic count of every [`WorkerBudget::release`] call.  Never reset:
+    /// quiescence is recorded as a *baseline* in [`quiesced`](Self::quiesced)
+    /// instead, so a release racing with another thread's quiescence check can
+    /// never be silently wiped (the lost-update bug the old `store(0)` reset
+    /// had, which undercounted [`WorkerBudget::steal_count`]).
     released: AtomicU64,
+    /// The value of [`released`](Self::released) at the most recent quiescent
+    /// instant (every permit home).  An acquire is a *steal* iff some release
+    /// happened after that instant, i.e. `released > quiesced`.
+    quiesced: AtomicU64,
     steals: AtomicU64,
 }
 
@@ -72,6 +81,7 @@ impl WorkerBudget {
                 permits: AtomicUsize::new(permits),
                 total: permits,
                 released: AtomicU64::new(0),
+                quiesced: AtomicU64::new(0),
                 steals: AtomicU64::new(0),
             }),
         }
@@ -110,7 +120,9 @@ impl WorkerBudget {
                     // when the budget is reused across sequential fan-outs.
                     // Approximate by nature (scheduling-dependent), exact
                     // enough to show the sharing is happening.
-                    if self.inner.released.load(Ordering::Relaxed) > 0 {
+                    if self.inner.released.load(Ordering::Relaxed)
+                        > self.inner.quiesced.load(Ordering::Relaxed)
+                    {
                         self.inner.steals.fetch_add(1, Ordering::Relaxed);
                     }
                     return true;
@@ -123,12 +135,20 @@ impl WorkerBudget {
 
     /// Returns one helper permit to the pool.
     pub fn release(&self) {
-        self.inner.released.fetch_add(1, Ordering::Relaxed);
+        let rel = self.inner.released.fetch_add(1, Ordering::Relaxed) + 1;
         let now = self.inner.permits.fetch_add(1, Ordering::AcqRel) + 1;
         if now == self.inner.total {
             // The pool is quiescent again — every fan-out drained.  Later
-            // acquires are ordinary ramp-up, not migration.
-            self.inner.released.store(0, Ordering::Relaxed);
+            // acquires are ordinary ramp-up, not migration.  Record the
+            // release counter *as of this release* as the new baseline: at
+            // the quiescent instant no other release can be mid-flight (a
+            // releasing thread still holds its permit, so `permits` could
+            // not have reached `total`), which makes `rel` exact — and
+            // `fetch_max` keeps a delayed quiescer from regressing a newer
+            // baseline.  Nothing is ever wiped, so a release concurrent
+            // with this check (the old `store(0)` lost-update) still counts
+            // toward the next steal decision.
+            self.inner.quiesced.fetch_max(rel, Ordering::Relaxed);
         }
     }
 
@@ -465,6 +485,90 @@ mod tests {
         assert!(budget.try_acquire());
         assert_eq!(budget.steal_count(), 1, "ramp-up from a full pool is not a steal");
         budget.release();
+    }
+
+    /// Regression test for the quiescence-reset race: the old reset
+    /// (`released.store(0)`) could wipe a release that another thread had
+    /// just recorded, so the permit that release handed off mid-flight was
+    /// not counted as a steal.  The fix records quiescence as a monotonic
+    /// *baseline* (`quiesced.fetch_max(rel)`, with `rel` captured at the
+    /// quiescing release itself), so no increment is ever lost.  This test
+    /// replays the exact interleaving through the budget's primitives: a
+    /// quiescing thread stalled between returning the last permit and
+    /// marking quiescence, while other threads acquire and release in the
+    /// window.
+    #[test]
+    fn quiescence_marking_never_wipes_a_concurrent_release() {
+        let budget = WorkerBudget::new(2);
+        assert!(budget.try_acquire()); // thread A holds the only outstanding permit
+
+        // A's release, interrupted mid-flight: counter increment and permit
+        // return done (pool momentarily quiescent), baseline not yet marked.
+        let rel = budget.inner.released.fetch_add(1, Ordering::Relaxed) + 1;
+        budget.inner.permits.fetch_add(1, Ordering::AcqRel);
+
+        // In A's stall window: B and C acquire, then B releases — B's permit
+        // is now up for grabs mid-flight while C still works.
+        assert!(budget.try_acquire()); // B
+        assert!(budget.try_acquire()); // C
+        budget.release(); // B: released increments past A's captured value
+
+        // A resumes and marks quiescence.  The old code stored 0 here,
+        // wiping B's release.
+        budget.inner.quiesced.fetch_max(rel, Ordering::Relaxed);
+
+        // D picks up B's mid-flight permit while C still holds one: a
+        // genuine steal, and it must be counted.
+        let steals_before = budget.steal_count();
+        assert!(budget.try_acquire()); // D
+        assert_eq!(
+            budget.steal_count(),
+            steals_before + 1,
+            "a release concurrent with quiescence marking must still count toward steals"
+        );
+        budget.release(); // C
+        budget.release(); // D
+    }
+
+    /// The release counter is monotonic — nothing the quiescence marking
+    /// does may lose an increment, under any interleaving.  Hammer the
+    /// budget from many threads (every release racing every other and the
+    /// quiescence path) and check exact conservation afterwards; under the
+    /// old wiping reset this failed with near certainty.
+    #[test]
+    fn release_counter_is_conserved_under_contention() {
+        let budget = WorkerBudget::new(2);
+        let threads = 4;
+        let iterations = 2_000u64;
+        let acquired: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let budget = budget.clone();
+                    scope.spawn(move || {
+                        let mut acquired = 0u64;
+                        for _ in 0..iterations {
+                            if budget.try_acquire() {
+                                acquired += 1;
+                                budget.release();
+                            }
+                        }
+                        acquired
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        });
+        assert_eq!(budget.available(), 2, "all permits home");
+        assert_eq!(
+            budget.inner.released.load(Ordering::Relaxed),
+            acquired,
+            "every release must be recorded exactly once — none wiped by quiescence"
+        );
+        assert!(
+            budget.inner.quiesced.load(Ordering::Relaxed)
+                <= budget.inner.released.load(Ordering::Relaxed),
+            "the quiescence baseline can never run ahead of the release counter"
+        );
     }
 
     #[test]

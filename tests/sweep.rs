@@ -97,12 +97,32 @@ fn cached_sweep_skips_profiling_and_clustering_and_counts_hits() {
     assert_eq!(warm.counters().simulate_legs, 0, "warm re-sweep executes zero simulate legs");
     assert_eq!(warm.counters().warmup_collections, 0, "no uncached leg, no trace walk");
     assert_eq!(warm.counters().simulated_cache_hits, 3, "every leg served from cache");
+    // Same process, same cache: the warm re-sweep is served entirely by the
+    // memory tier — zero disk decodes.
     let stats = cache.stats();
-    assert_eq!((stats.profile_hits, stats.selection_hits), (1, 1));
-    assert_eq!(stats.simulated_hits, 3);
+    assert_eq!((stats.profile_memory_hits, stats.selection_memory_hits), (1, 1));
+    assert_eq!(stats.simulated_memory_hits, 3);
+    assert_eq!(stats.disk_hits(), 0, "write-through stores mean the disk tier is never read");
     // Counters differ by design (1 pass vs 0); the artifacts must not.
     assert_eq!(cold.selection(), warm.selection());
     assert_eq!(cold.legs(), warm.legs(), "cached artifacts reproduce the sweep bit for bit");
+
+    // A fresh cache handle (the "new process" view) decodes the same sweep
+    // from the disk tier instead.
+    let disk_cache = ArtifactCache::new(&dir);
+    let disk_warm = {
+        let mut sweep = Sweep::new(&w).with_cache(disk_cache.clone());
+        for (label, machine) in machine_matrix(2) {
+            sweep = sweep.add_config(label, machine);
+        }
+        sweep.run().unwrap()
+    };
+    assert_eq!(disk_warm.counters().simulate_legs, 0);
+    let stats = disk_cache.stats();
+    assert_eq!((stats.profile_hits, stats.selection_hits), (1, 1));
+    assert_eq!(stats.simulated_hits, 3);
+    assert_eq!(stats.memory_hits(), 0, "cold memory tier: everything decoded from disk");
+    assert_eq!(disk_warm.legs(), warm.legs(), "both tiers reproduce the sweep bit for bit");
 
     // A third sweep extending the matrix with a new design point is
     // incremental: only the new leg simulates.

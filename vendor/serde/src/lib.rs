@@ -344,6 +344,21 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Transparent like the real crate's `rc` feature: an `Arc<T>` encodes exactly
+// as a `T` (no sharing is preserved across a round trip — each deserialized
+// value gets a fresh allocation).
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self, out: &mut Serializer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(de: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(std::sync::Arc::new(T::deserialize(de)?))
+    }
+}
+
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn serialize(&self, out: &mut Serializer) {
         out.write_len(self.len());
