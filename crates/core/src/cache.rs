@@ -224,15 +224,31 @@ impl SimulatedCacheKey {
         sim_config: &SimConfig,
         warmup: WarmupKind,
     ) -> Self {
-        let mut hasher = FingerprintHasher::new();
-        hasher.write_bytes(&serde::to_vec(sim_config));
-        hasher.write_str(warmup.name());
         Self {
             workload_name: workload.name().to_string(),
             threads: workload.num_threads(),
             workload_fingerprint: workload.profile_fingerprint(),
             selection_fingerprint,
-            config_fingerprint: hasher.finish(),
+            config_fingerprint: sim_config_fingerprint(sim_config, warmup),
+        }
+    }
+
+    /// Assembles a key from fully precomputed components — the interned-key
+    /// path of [`Sweep`](crate::Sweep), which derives every component once
+    /// per sweep object instead of once per `run()`.
+    pub(crate) fn from_parts(
+        workload_name: String,
+        threads: usize,
+        workload_fingerprint: u64,
+        selection_fingerprint: u64,
+        config_fingerprint: u64,
+    ) -> Self {
+        Self {
+            workload_name,
+            threads,
+            workload_fingerprint,
+            selection_fingerprint,
+            config_fingerprint,
         }
     }
 
@@ -256,6 +272,15 @@ impl SimulatedCacheKey {
             self.config_fingerprint
         )
     }
+}
+
+/// The fingerprint of one `(SimConfig, WarmupKind)` pair — the machine
+/// component of a [`SimulatedCacheKey`].
+pub(crate) fn sim_config_fingerprint(sim_config: &SimConfig, warmup: WarmupKind) -> u64 {
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_bytes(&serde::to_vec(sim_config));
+    hasher.write_str(warmup.name());
+    hasher.finish()
 }
 
 fn sanitize(name: &str) -> String {
@@ -703,8 +728,31 @@ impl ArtifactCache {
         self.store_profile_arc(key, &Arc::new(profile.clone()))
     }
 
+    /// [`load`](Self::load) with hit/miss accounting — the sweep's logical
+    /// profile lookup (the sweep stores the computed profile itself, because
+    /// a fused cold pass produces it together with the warmup state).
+    pub(crate) fn probe_profile(
+        &self,
+        key: &ProfileCacheKey,
+    ) -> Result<Option<Arc<ApplicationProfile>>, Error> {
+        match self.lookup_profile(key)? {
+            Some((profile, true)) => {
+                self.stats.profile_memory_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(profile))
+            }
+            Some((profile, false)) => {
+                self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(profile))
+            }
+            None => {
+                self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+        }
+    }
+
     /// Write-through store of an already-shared profile (no deep copy).
-    fn store_profile_arc(
+    pub(crate) fn store_profile_arc(
         &self,
         key: &ProfileCacheKey,
         profile: &Arc<ApplicationProfile>,
@@ -771,8 +819,32 @@ impl ArtifactCache {
         self.store_selection_arc(key, &Arc::new(selection.clone()))
     }
 
+    /// [`load_selection`](Self::load_selection) with hit/miss accounting —
+    /// the sweep's logical selection lookup.  The selection key is derivable
+    /// without the profile, so a sweep whose selection is cached never
+    /// touches (or recomputes) the profile at all.
+    pub(crate) fn probe_selection(
+        &self,
+        key: &SelectionCacheKey,
+    ) -> Result<Option<Arc<BarrierPointSelection>>, Error> {
+        match self.lookup_selection(key)? {
+            Some((selection, true)) => {
+                self.stats.selection_memory_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(selection))
+            }
+            Some((selection, false)) => {
+                self.stats.selection_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(selection))
+            }
+            None => {
+                self.stats.selection_misses.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+        }
+    }
+
     /// Write-through store of an already-shared selection (no deep copy).
-    fn store_selection_arc(
+    pub(crate) fn store_selection_arc(
         &self,
         key: &SelectionCacheKey,
         selection: &Arc<BarrierPointSelection>,

@@ -26,10 +26,14 @@
 //! selection are machine-independent (Section III / Figure 6), so one
 //! [`Selected`] fans out to any number of [`Selected::simulate`] legs —
 //! and [`Sweep`] packages that fan-out: given N machine configurations it
-//! profiles once, clusters once, collects the MRU warmup once per workload
-//! (legs differing in LLC capacity share a single multi-capacity pass),
-//! and simulates the legs in parallel under one shared, work-stealing
-//! [`WorkerBudget`] ([`SweepReport`]).  An [`ArtifactCache`] keeps all
+//! walks each per-thread trace **once** (the fused cold pass,
+//! [`profile_and_collect_warmup`], feeds the signature profiler and the
+//! MRU warmup collector from one trace generation; legs differing in LLC
+//! capacity share it too, smaller capacities falling out by truncation),
+//! clusters once, and simulates the legs in parallel under one shared,
+//! work-stealing [`WorkerBudget`] ([`SweepReport`] — whose
+//! [`SweepCounters::trace_walks`] pins the single-walk economy).  An
+//! [`ArtifactCache`] keeps all
 //! three artifact kinds — profiles, selections *and* simulated legs — in
 //! two tiers: an in-process memory tier of decoded, `Arc`-shared artifacts
 //! (a hit is a pointer clone) in front of an on-disk tier of serialized
@@ -120,7 +124,10 @@ pub use cache::{
 };
 pub use error::Error;
 pub use pipeline::{BarrierPoint, BarrierPointOutcome};
-pub use profile::{profile_application, profile_application_with, ApplicationProfile};
+pub use profile::{
+    profile_and_collect_warmup, profile_application, profile_application_budgeted,
+    profile_application_with, ApplicationProfile,
+};
 pub use reconstruct::{reconstruct, reconstruct_with_mode, ReconstructedRun, ScalingMode};
 pub use select::{
     select_barrierpoints, BarrierPointInfo, BarrierPointSelection, SIGNIFICANCE_THRESHOLD,

@@ -1,8 +1,9 @@
 use crate::error::Error;
-use bp_exec::ExecutionPolicy;
+use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_signature::{
-    collect_application_signatures_with, RegionSignature, SignatureConfig, SignatureVector,
+    zip_thread_profiles, RegionSignature, SignatureConfig, SignatureVector, ThreadProfileObserver,
 };
+use bp_warmup::{MruSnapshotBank, MruThreadObserver};
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -97,15 +98,91 @@ pub fn profile_application_with<W: Workload + ?Sized>(
     workload: &W,
     policy: &ExecutionPolicy,
 ) -> Result<ApplicationProfile, Error> {
+    profile_application_budgeted(workload, policy, None)
+}
+
+/// [`profile_application_with`] with the thread-major fan-out optionally
+/// drawing helper threads from a shared [`WorkerBudget`] — how a
+/// design-space sweep keeps even a non-fused cold profiling pass (e.g.
+/// under [`Cold`](crate::WarmupKind::Cold) warmup) inside its overall
+/// worker cap.  Output is identical for every budget.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyWorkload`] if the workload has no regions.
+pub fn profile_application_budgeted<W: Workload + ?Sized>(
+    workload: &W,
+    policy: &ExecutionPolicy,
+    budget: Option<&WorkerBudget>,
+) -> Result<ApplicationProfile, Error> {
     if workload.num_regions() == 0 {
         return Err(Error::EmptyWorkload { workload: workload.name().to_string() });
     }
-    let signatures = collect_application_signatures_with(workload, policy);
+    let signatures =
+        bp_signature::collect_application_signatures_budgeted(workload, policy, budget);
     Ok(ApplicationProfile {
         workload_name: workload.name().to_string(),
         threads: workload.num_threads(),
         signatures,
     })
+}
+
+/// The fused cold pass: one walk of every per-thread trace produces **both**
+/// the [`ApplicationProfile`] and the raw MRU warmup state of every region
+/// boundary, at the largest capacity in `capacities`.
+///
+/// Each thread drives a [`ThreadProfileObserver`] and an
+/// [`MruThreadObserver`] through the trace-observer engine
+/// ([`bp_workload::drive`]), so the trace is *generated* exactly once per
+/// thread — where a cold pipeline used to walk it once for profiling and
+/// again for warmup collection.  Because the barrierpoint selection is not
+/// known until the profile is clustered, the MRU observers snapshot **every**
+/// region boundary; the returned [`MruSnapshotBank`] then assembles the
+/// payload of any boundary subset at any capacity up to the collection
+/// capacity, bit-identically to a dedicated collection
+/// ([`bp_warmup::collect_mru_warmup_multi`]).
+///
+/// The fan-out is thread-major under `policy`; with a [`WorkerBudget`], the
+/// walks draw helper threads from the shared pool (the same chunked claiming
+/// every other budgeted stage uses), so a concurrent sweep's drained legs
+/// can lend workers to a cold fused pass and vice versa.
+///
+/// Both artifacts are bit-identical to the separate passes
+/// ([`profile_application_with`] and the dedicated collectors) for every
+/// policy and budget.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyWorkload`] if the workload has no regions.
+pub fn profile_and_collect_warmup<W: Workload + ?Sized>(
+    workload: &W,
+    capacities: &[u64],
+    policy: &ExecutionPolicy,
+    budget: Option<&WorkerBudget>,
+) -> Result<(ApplicationProfile, MruSnapshotBank), Error> {
+    if workload.num_regions() == 0 {
+        return Err(Error::EmptyWorkload { workload: workload.name().to_string() });
+    }
+    let boundaries: Vec<usize> = (0..workload.num_regions()).collect();
+    let collection_capacity = capacities.iter().copied().max().unwrap_or(1).max(1);
+    let walk = |thread: usize| {
+        let mut profiler = ThreadProfileObserver::new(workload, thread);
+        let mut mru = MruThreadObserver::new(&boundaries, collection_capacity);
+        bp_workload::drive(workload, thread, &mut [&mut profiler, &mut mru]);
+        (profiler.into_profile(), mru)
+    };
+    let threads = workload.num_threads();
+    let walked = match budget {
+        Some(budget) => policy.execute_budgeted(threads, budget, walk),
+        None => policy.execute(threads, walk),
+    };
+    let (profiles, observers): (Vec<_>, Vec<_>) = walked.into_iter().unzip();
+    let profile = ApplicationProfile {
+        workload_name: workload.name().to_string(),
+        threads,
+        signatures: zip_thread_profiles(profiles),
+    };
+    Ok((profile, MruSnapshotBank::from_observers(observers)))
 }
 
 #[cfg(test)]
@@ -151,5 +228,39 @@ mod tests {
         let serial = profile_application_with(&w, &ExecutionPolicy::Serial).unwrap();
         let parallel = profile_application_with(&w, &ExecutionPolicy::parallel_with(4)).unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn budgeted_profiling_matches_unbudgeted() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(4).with_scale(0.02));
+        let policy = ExecutionPolicy::parallel_with(4);
+        let unbudgeted = profile_application_with(&w, &policy).unwrap();
+        let budget = WorkerBudget::new(2);
+        let budgeted = profile_application_budgeted(&w, &policy, Some(&budget)).unwrap();
+        assert_eq!(unbudgeted, budgeted);
+        assert_eq!(budget.available(), 2, "all permits returned");
+    }
+
+    #[test]
+    fn fused_pass_matches_the_separate_passes_bit_for_bit() {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(2).with_scale(0.05));
+        let budget = WorkerBudget::new(3);
+        for (policy, budget) in [
+            (ExecutionPolicy::Serial, None),
+            (ExecutionPolicy::parallel_with(2), None),
+            (ExecutionPolicy::parallel_with(2), Some(&budget)),
+        ] {
+            let (profile, bank) =
+                profile_and_collect_warmup(&w, &[256, 2048], &policy, budget).unwrap();
+            assert_eq!(profile, profile_application_with(&w, &policy).unwrap());
+            let targets = [0, 5, 20];
+            for capacity in [100u64, 256, 2048] {
+                assert_eq!(
+                    bank.assemble(&targets, capacity),
+                    bp_warmup::collect_mru_warmup(&w, &targets, capacity),
+                    "capacity {capacity}"
+                );
+            }
+        }
     }
 }

@@ -256,35 +256,61 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
         budget: Option<&WorkerBudget>,
         precollected_mru: Option<&std::collections::HashMap<usize, bp_warmup::MruWarmupData>>,
     ) -> Result<Simulated, Error> {
-        if workload.num_regions() != self.selection.num_regions() {
-            return Err(Error::RegionCountMismatch {
-                expected: self.selection.num_regions(),
-                actual: workload.num_regions(),
-            });
-        }
-        let warmup = self.pipeline.warmup();
-        let metrics = crate::simulate::simulate_barrierpoints_impl(
-            workload,
+        compute_leg(
             &self.selection,
+            self.pipeline.warmup(),
+            workload,
             sim_config,
-            warmup,
             policy,
             budget,
             precollected_mru,
-        )?;
-        let reconstruction = reconstruct(&self.selection, &metrics, sim_config.core.frequency_ghz)?;
-        Ok(Simulated {
-            workload_name: workload.name().to_string(),
-            sim_config: *sim_config,
-            warmup,
-            metrics,
-            reconstruction,
-        })
+        )
     }
 
     pub(crate) fn into_parts(self) -> (Arc<ApplicationProfile>, Arc<BarrierPointSelection>) {
         (self.profile, self.selection)
     }
+}
+
+/// The uncached compute path of one design-point leg, detached from the
+/// staged chain: simulate `selection`'s barrierpoints of `workload` on
+/// `sim_config` (optionally from a shared [`WorkerBudget`] and a
+/// precollected MRU warmup payload) and reconstruct the whole-application
+/// estimate.  [`Sweep`](crate::Sweep) drives this directly — it resolves the
+/// selection without materializing a [`Selected`] stage (a sweep whose
+/// selection is cached never needs the profile at all).
+pub(crate) fn compute_leg<V: Workload + ?Sized>(
+    selection: &BarrierPointSelection,
+    warmup: WarmupKind,
+    workload: &V,
+    sim_config: &SimConfig,
+    policy: &ExecutionPolicy,
+    budget: Option<&WorkerBudget>,
+    precollected_mru: Option<&std::collections::HashMap<usize, bp_warmup::MruWarmupData>>,
+) -> Result<Simulated, Error> {
+    if workload.num_regions() != selection.num_regions() {
+        return Err(Error::RegionCountMismatch {
+            expected: selection.num_regions(),
+            actual: workload.num_regions(),
+        });
+    }
+    let metrics = crate::simulate::simulate_barrierpoints_impl(
+        workload,
+        selection,
+        sim_config,
+        warmup,
+        policy,
+        budget,
+        precollected_mru,
+    )?;
+    let reconstruction = reconstruct(selection, &metrics, sim_config.core.frequency_ghz)?;
+    Ok(Simulated {
+        workload_name: workload.name().to_string(),
+        sim_config: *sim_config,
+        warmup,
+        metrics,
+        reconstruction,
+    })
 }
 
 /// One detailed-simulation leg: metrics of every simulated barrierpoint on

@@ -5,17 +5,24 @@
 //! barrierpoint selection serve *many* detailed simulations, and (Figure 6)
 //! a selection even transfers across core counts.  [`Sweep`] makes that
 //! economy structural: given one workload and N machine configurations, it
-//! runs the profiling stage **once**, the clustering stage **once**, the
-//! MRU warmup collection **once per workload instance** (legs differing in
-//! LLC capacity share a single multi-capacity pass), and fans the N
-//! simulate+reconstruct legs out through [`ExecutionPolicy`] with one
-//! shared [`WorkerBudget`] — workers that drain a small leg steal
-//! barrierpoint jobs from the big ones.  The result is a [`SweepReport`]
-//! keyed by configuration, carrying [`SweepCounters`] so callers (and
-//! tests) can verify each stage really ran at most that often — and, with
-//! an [`ArtifactCache`](crate::ArtifactCache) attached, **zero** times on
+//! walks each per-thread trace **once** — the fused cold pass
+//! ([`crate::profile_and_collect_warmup`]) feeds the signature profiler
+//! and the MRU warmup collector from one trace generation, and legs
+//! differing in LLC capacity share that same walk (collection at the
+//! largest capacity, truncation for the rest) — runs the clustering stage
+//! **once**, and fans the N simulate+reconstruct legs out through
+//! [`ExecutionPolicy`] with one shared [`WorkerBudget`] — workers that
+//! drain a small leg steal barrierpoint jobs from the big ones.  The
+//! result is a [`SweepReport`] keyed by configuration, carrying
+//! [`SweepCounters`] so callers (and tests) can verify each stage really
+//! ran at most that often ([`SweepCounters::trace_walks`] pins the
+//! single-walk economy) — and, with an
+//! [`ArtifactCache`](crate::ArtifactCache) attached, **zero** times on
 //! repeats: the simulated legs themselves are cached by selection content
-//! and machine configuration, so a warm re-sweep is pure disk loads.
+//! and machine configuration, the sweep resolves the selection *without
+//! the profile* (its key is configuration-derived), design points dedupe
+//! before the probes, and the cache keys themselves are interned on the
+//! sweep object — a warm re-sweep is pure memory-tier pointer clones.
 //!
 //! Cross-core-count legs ([`Sweep::add_point`]) take their own workload
 //! instance (the same benchmark rebuilt at another thread count — the
@@ -43,21 +50,21 @@
 //! # Ok::<(), barrierpoint::Error>(())
 //! ```
 
-use crate::cache::SimulatedCacheKey;
+use crate::cache::{sim_config_fingerprint, ProfileCacheKey, SelectionCacheKey, SimulatedCacheKey};
 use crate::error::Error;
 use crate::pipeline::BarrierPoint;
-use crate::select::BarrierPointSelection;
+use crate::select::{select_barrierpoints, BarrierPointSelection};
 use crate::simulate::WarmupKind;
 use crate::stages::Simulated;
 use bp_clustering::SimPointConfig;
 use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
-use bp_warmup::MruWarmupData;
+use bp_warmup::{MruSnapshotBank, MruWarmupData};
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One design point of a sweep: a label, a machine configuration, and
 /// (for cross-core-count legs) an optional workload override.
@@ -76,6 +83,38 @@ impl std::fmt::Debug for SweepPoint<'_> {
     }
 }
 
+/// Cache keys derivable from the builder configuration alone — everything
+/// except the selection-content fingerprint — interned on first
+/// [`Sweep::run`] so repeated runs of one sweep object never re-serialize a
+/// config or re-fingerprint a workload.
+#[derive(Debug)]
+struct StaticKeys {
+    profile_key: ProfileCacheKey,
+    selection_key: SelectionCacheKey,
+    points: Vec<PointKeyParts>,
+}
+
+/// The precomputed key components of one design point.
+#[derive(Debug)]
+struct PointKeyParts {
+    workload_name: String,
+    threads: usize,
+    /// Content fingerprint of the leg's workload (the base workload's for
+    /// plain [`Sweep::add_config`] points) — also the first half of the
+    /// warmup sharing key.
+    workload_fingerprint: u64,
+    /// Fingerprint of the `(SimConfig, WarmupKind)` pair.
+    config_fingerprint: u64,
+    /// The machine's LLC line capacity — the second half of the warmup
+    /// sharing key.
+    llc_capacity: u64,
+}
+
+/// Worst-case bytes of raw MRU snapshot state a fused cold pass may retain
+/// (`threads × regions × capacity × 16`); above this the sweep falls back to
+/// separate profiling and warmup passes rather than risk the memory.
+const FUSED_SNAPSHOT_BYTE_CAP: u64 = 512 << 20;
+
 /// A design-space sweep over one workload: profile once, select once, then
 /// simulate and reconstruct every configured design point.
 ///
@@ -87,34 +126,47 @@ pub struct Sweep<'a, W: Workload + ?Sized> {
     labels: Vec<String>,
     points: Vec<SweepPoint<'a>>,
     shared_budget: Option<WorkerBudget>,
+    static_keys: OnceLock<StaticKeys>,
+    simulated_keys: OnceLock<Vec<SimulatedCacheKey>>,
 }
 
 impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
     /// Starts a sweep over `workload` with the paper's default pipeline
     /// settings and no design points yet.
     pub fn new(workload: &'a W) -> Self {
-        Self {
-            base: BarrierPoint::new(workload),
-            labels: Vec::new(),
-            points: Vec::new(),
-            shared_budget: None,
-        }
+        Self::from_pipeline(BarrierPoint::new(workload))
     }
 
     /// Builds a sweep on top of an already configured pipeline builder.
     pub fn from_pipeline(pipeline: BarrierPoint<'a, W>) -> Self {
-        Self { base: pipeline, labels: Vec::new(), points: Vec::new(), shared_budget: None }
+        Self {
+            base: pipeline,
+            labels: Vec::new(),
+            points: Vec::new(),
+            shared_budget: None,
+            static_keys: OnceLock::new(),
+            simulated_keys: OnceLock::new(),
+        }
+    }
+
+    /// Drops interned cache keys; every builder step that changes what the
+    /// keys are derived from must call this.
+    fn invalidate_keys(&mut self) {
+        self.static_keys = OnceLock::new();
+        self.simulated_keys = OnceLock::new();
     }
 
     /// Selects which signatures to cluster on (Figure 5's variants).
     pub fn with_signature_config(mut self, config: SignatureConfig) -> Self {
         self.base = self.base.with_signature_config(config);
+        self.invalidate_keys();
         self
     }
 
     /// Overrides the SimPoint clustering parameters (Table II).
     pub fn with_simpoint_config(mut self, config: SimPointConfig) -> Self {
         self.base = self.base.with_simpoint_config(config);
+        self.invalidate_keys();
         self
     }
 
@@ -122,6 +174,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
     /// detailed simulation, on every leg.
     pub fn with_warmup(mut self, warmup: WarmupKind) -> Self {
         self.base = self.base.with_warmup(warmup);
+        self.invalidate_keys();
         self
     }
 
@@ -165,6 +218,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
     pub fn add_config(mut self, label: impl Into<String>, sim_config: SimConfig) -> Self {
         self.labels.push(label.into());
         self.points.push(SweepPoint { sim_config, workload: None });
+        self.invalidate_keys();
         self
     }
 
@@ -190,15 +244,27 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
     ) -> Self {
         self.labels.push(label.into());
         self.points.push(SweepPoint { sim_config, workload: Some(workload) });
+        self.invalidate_keys();
         self
     }
 
-    /// Runs the sweep: one profiling pass, one clustering pass, at most one
-    /// MRU warmup collection per workload instance (all LLC capacities in a
-    /// single pass), then every design-point leg that is not already in the
-    /// artifact cache — all through the cache when one is attached, making
-    /// repeated sweeps over overlapping configuration matrices fully
-    /// incremental (a warm re-sweep executes **zero** simulate legs).
+    /// Runs the sweep: at most one fused profiling+warmup trace walk per
+    /// thread, one clustering pass, at most one MRU warmup collection per
+    /// workload *content*, then every design-point leg that is not already
+    /// in the artifact cache — all through the cache when one is attached,
+    /// making repeated sweeps over overlapping configuration matrices fully
+    /// incremental (a warm re-sweep executes **zero** simulate legs and
+    /// **zero** trace walks).
+    ///
+    /// Cold runs use the fused single-pass trace engine: when both the
+    /// profile and the selection are cache-missing (or no cache is
+    /// attached) and the warmup is [`WarmupKind::MruReplay`], each thread's
+    /// trace is walked **once**, feeding the signature profiler and the MRU
+    /// collector together ([`crate::profile_and_collect_warmup`]) — the
+    /// [`SweepCounters::trace_walks`] counter proves it.  A cached
+    /// selection short-circuits further: the sweep then neither loads nor
+    /// recomputes the profile at all (the selection key is derivable from
+    /// the configuration alone).
     ///
     /// # Errors
     ///
@@ -215,107 +281,207 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             }
         }
 
-        let selected = self.base.clone().profile()?.select()?;
+        let workload = self.base.workload();
+        let warmup = self.base.warmup();
         let policy = *self.base.execution_policy();
         let budget =
             self.shared_budget.clone().unwrap_or_else(|| WorkerBudget::for_policy(&policy));
+        let statics = self.static_keys.get_or_init(|| self.build_static_keys());
+        let base_fp = statics.profile_key.fingerprint();
+        let base_threads = workload.num_threads();
 
-        // Every design point's simulated-leg content address, computed once:
-        // the probe, the duplicate-leg dedup and the store all key off it.
-        // The selection-content fingerprint (a serialization of the whole
-        // selection) is shared by every key, so derive it once per sweep.
-        let selection_fp = selected.selection().fingerprint();
-        let warmup = self.base.warmup();
-        let keys: Vec<_> = self
-            .points
-            .iter()
-            .map(|point| match point.workload {
-                Some(workload) => SimulatedCacheKey::with_selection_fingerprint(
-                    workload,
-                    selection_fp,
-                    &point.sim_config,
-                    warmup,
-                ),
-                None => SimulatedCacheKey::with_selection_fingerprint(
-                    self.base.workload(),
-                    selection_fp,
-                    &point.sim_config,
-                    warmup,
-                ),
-            })
-            .collect();
+        let mut profile_passes = 0;
+        let mut warmup_collections = 0;
+        let mut trace_walks = 0;
+        let mut fused_bank: Option<MruSnapshotBank> = None;
 
-        // Probe the simulated-leg cache *before* any warmup collection: a
-        // fully cached leg costs one memory-tier pointer clone (or one disk
-        // load) — no trace walk, no simulation.  Only the missing legs are
-        // paid for below.
-        let mut results: Vec<Option<Arc<Simulated>>> =
-            (0..self.points.len()).map(|_| None).collect();
-        let mut missing: Vec<usize> = Vec::new();
-        match self.base.cache() {
-            Some(cache) => {
-                for (i, key) in keys.iter().enumerate() {
-                    match cache.probe_simulated(key)? {
-                        Some(simulated) => results[i] = Some(simulated),
-                        None => missing.push(i),
+        // Resolve the selection — the only one-time artifact the report
+        // needs.  Its cache key is derivable from the configuration alone,
+        // so it is probed *first*: on a hit the profile is neither loaded
+        // nor recomputed.  Only a selection miss forces a profile, and a
+        // cold profile fuses the MRU warmup collection into its one trace
+        // walk per thread (the selection being unknown, the fused pass
+        // snapshots every region boundary and the needed targets are
+        // assembled after clustering).
+        let cached_selection = match self.base.cache() {
+            Some(cache) => cache.probe_selection(&statics.selection_key)?,
+            None => None,
+        };
+        let selection_was_cached = cached_selection.is_some();
+        let selection: Arc<BarrierPointSelection> = match cached_selection {
+            Some(selection) => selection,
+            None => {
+                let cached_profile = match self.base.cache() {
+                    Some(cache) => cache.probe_profile(&statics.profile_key)?,
+                    None => None,
+                };
+                let profile = match cached_profile {
+                    Some(profile) => profile,
+                    None => {
+                        profile_passes = 1;
+                        trace_walks += base_threads;
+                        let base_capacities = base_capacities(statics, base_fp);
+                        let fuse = warmup == WarmupKind::MruReplay
+                            && !base_capacities.is_empty()
+                            && fused_snapshot_bytes(
+                                base_threads,
+                                workload.num_regions(),
+                                &base_capacities,
+                            ) <= FUSED_SNAPSHOT_BYTE_CAP;
+                        let profile = if fuse {
+                            let (profile, bank) = crate::profile::profile_and_collect_warmup(
+                                workload,
+                                &base_capacities,
+                                &policy,
+                                Some(&budget),
+                            )?;
+                            warmup_collections += 1;
+                            fused_bank = Some(bank);
+                            Arc::new(profile)
+                        } else {
+                            Arc::new(crate::profile::profile_application_budgeted(
+                                workload,
+                                &policy,
+                                Some(&budget),
+                            )?)
+                        };
+                        if let Some(cache) = self.base.cache() {
+                            cache.store_profile_arc(&statics.profile_key, &profile)?;
+                        }
+                        profile
                     }
+                };
+                let selection = Arc::new(select_barrierpoints(
+                    &profile,
+                    self.base.signature_config(),
+                    self.base.simpoint_config(),
+                )?);
+                if let Some(cache) = self.base.cache() {
+                    cache.store_selection_arc(&statics.selection_key, &selection)?;
                 }
+                selection
             }
-            None => missing = (0..self.points.len()).collect(),
-        }
-        let simulated_cache_hits = self.points.len() - missing.len();
+        };
 
-        // Dedupe the missing legs by cache key: identical design points
-        // (same leg workload content, machine configuration and warmup)
-        // compute once and share the resulting artifact — with or without a
-        // cache attached.
+        // Every design point's simulated-leg content address.  The
+        // selection-content fingerprint (a serialization of the whole
+        // selection) and all other key components are interned on the sweep
+        // object: repeated runs reuse the finished keys outright.
+        let keys: &Vec<SimulatedCacheKey> = self.simulated_keys.get_or_init(|| {
+            let selection_fp = selection.fingerprint();
+            statics
+                .points
+                .iter()
+                .map(|parts| {
+                    SimulatedCacheKey::from_parts(
+                        parts.workload_name.clone(),
+                        parts.threads,
+                        parts.workload_fingerprint,
+                        selection_fp,
+                        parts.config_fingerprint,
+                    )
+                })
+                .collect()
+        });
+
+        // Dedupe design points by cache key *before* probing: identical
+        // points (same leg workload content, machine configuration and
+        // warmup) share one probe and one result, with or without a cache.
         let mut unique: Vec<(usize, Vec<usize>)> = Vec::new();
-        for &i in &missing {
+        for i in 0..self.points.len() {
             match unique.iter_mut().find(|&&mut (rep, _)| keys[rep] == keys[i]) {
                 Some((_, indices)) => indices.push(i),
                 None => unique.push((i, vec![i])),
             }
         }
 
-        // Collect the MRU warmup payloads the *distinct* missing legs need,
-        // in one streaming pass per workload content: legs that differ only
-        // in core parameters (clock, ROB, …) trivially share a payload, and
-        // legs that differ in LLC capacity share the same pass too — the
-        // collector runs at the largest requested capacity and every
-        // smaller capacity's payload falls out by truncation (the MRU
-        // list's prefix property).  Collection fans out thread-major under
-        // the sweep's policy.
+        // Probe the simulated-leg cache once per *distinct* leg, before any
+        // warmup collection: a fully cached leg costs one memory-tier
+        // pointer clone (or one disk load) — no trace walk, no simulation.
+        // Only the missing distinct legs are paid for below.
+        let mut results: Vec<Option<Arc<Simulated>>> =
+            (0..self.points.len()).map(|_| None).collect();
+        let mut missing: Vec<usize> = Vec::new(); // indices into `unique`
+        let mut simulated_cache_hits = 0; // design points served, duplicates included
+        match self.base.cache() {
+            Some(cache) => {
+                for (u, (rep, indices)) in unique.iter().enumerate() {
+                    match cache.probe_simulated(&keys[*rep])? {
+                        Some(simulated) => {
+                            simulated_cache_hits += indices.len();
+                            for &i in indices {
+                                results[i] = Some(simulated.clone());
+                            }
+                        }
+                        None => missing.push(u),
+                    }
+                }
+            }
+            None => missing = (0..unique.len()).collect(),
+        }
+
+        // Collect the MRU warmup payloads the missing distinct legs need —
+        // at most one streaming pass per workload *content*: legs that
+        // differ only in core parameters (clock, ROB, …) trivially share a
+        // payload, and legs that differ in LLC capacity share the same pass
+        // too (collection at the largest capacity, smaller capacities by
+        // truncation).  Legs content-identical to the base workload are
+        // served straight from the fused bank when the fused pass ran — no
+        // further walk at all.
         let mut warmup_payloads: Vec<((u64, u64), HashMap<usize, MruWarmupData>)> = Vec::new();
-        let mut warmup_collections = 0;
-        if self.base.warmup() == WarmupKind::MruReplay && !unique.is_empty() {
-            let regions = selected.selection().barrierpoint_regions();
+        if warmup == WarmupKind::MruReplay && !missing.is_empty() {
+            let regions = selection.barrierpoint_regions();
             let mut groups: Vec<(u64, Option<&dyn Workload>, Vec<u64>)> = Vec::new();
-            for &(rep, _) in &unique {
-                let point = &self.points[rep];
-                let (workload_fp, capacity) = self.warmup_sharing_key(point);
-                match groups.iter_mut().find(|(fp, _, _)| *fp == workload_fp) {
+            for &u in &missing {
+                let rep = unique[u].0;
+                let parts = &statics.points[rep];
+                match groups.iter_mut().find(|(fp, _, _)| *fp == parts.workload_fingerprint) {
                     Some((_, _, capacities)) => {
-                        if !capacities.contains(&capacity) {
-                            capacities.push(capacity);
+                        if !capacities.contains(&parts.llc_capacity) {
+                            capacities.push(parts.llc_capacity);
                         }
                     }
-                    None => groups.push((workload_fp, point.workload, vec![capacity])),
+                    None => groups.push((
+                        parts.workload_fingerprint,
+                        self.points[rep].workload,
+                        vec![parts.llc_capacity],
+                    )),
                 }
             }
             for (workload_fp, leg_workload, capacities) in groups {
+                if workload_fp == base_fp {
+                    if let Some(bank) = &fused_bank {
+                        for capacity in capacities {
+                            warmup_payloads
+                                .push(((workload_fp, capacity), bank.assemble(&regions, capacity)));
+                        }
+                        continue;
+                    }
+                }
+                // A dedicated collection pass, thread-major from the shared
+                // budget (a cold cross-core-count leg's collection borrows
+                // workers idled by drained legs, and vice versa).
                 let mut per_capacity = match leg_workload {
-                    Some(workload) => bp_warmup::collect_mru_warmup_multi(
-                        workload,
-                        &regions,
-                        &capacities,
-                        &policy,
-                    ),
-                    None => bp_warmup::collect_mru_warmup_multi(
-                        self.base.workload(),
-                        &regions,
-                        &capacities,
-                        &policy,
-                    ),
+                    Some(leg_workload) => {
+                        trace_walks += leg_workload.num_threads();
+                        bp_warmup::collect_mru_warmup_multi_budgeted(
+                            leg_workload,
+                            &regions,
+                            &capacities,
+                            &policy,
+                            Some(&budget),
+                        )
+                    }
+                    None => {
+                        trace_walks += base_threads;
+                        bp_warmup::collect_mru_warmup_multi_budgeted(
+                            workload,
+                            &regions,
+                            &capacities,
+                            &policy,
+                            Some(&budget),
+                        )
+                    }
                 };
                 warmup_collections += 1;
                 for capacity in capacities {
@@ -333,20 +499,26 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         // schedule (the execution-equivalence invariant: reassembly is by
         // index).
         let computed: Vec<Result<Simulated, Error>> =
-            policy.execute_budgeted(unique.len(), &budget, |j| {
-                let point = &self.points[unique[j].0];
-                let key = self.warmup_sharing_key(point);
-                let payload = warmup_payloads.iter().find(|(k, _)| *k == key).map(|(_, d)| d);
+            policy.execute_budgeted(missing.len(), &budget, |j| {
+                let rep = unique[missing[j]].0;
+                let point = &self.points[rep];
+                let parts = &statics.points[rep];
+                let sharing = (parts.workload_fingerprint, parts.llc_capacity);
+                let payload = warmup_payloads.iter().find(|(k, _)| *k == sharing).map(|(_, d)| d);
                 match point.workload {
-                    Some(workload) => selected.simulate_on_with(
-                        workload,
+                    Some(leg_workload) => crate::stages::compute_leg(
+                        &selection,
+                        warmup,
+                        leg_workload,
                         &point.sim_config,
                         &policy,
                         Some(&budget),
                         payload,
                     ),
-                    None => selected.simulate_on_with(
-                        self.base.workload(),
+                    None => crate::stages::compute_leg(
+                        &selection,
+                        warmup,
+                        workload,
                         &point.sim_config,
                         &policy,
                         Some(&budget),
@@ -354,8 +526,9 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                     ),
                 }
             });
-        for ((rep, indices), result) in unique.iter().zip(computed) {
+        for (&u, result) in missing.iter().zip(computed) {
             let simulated = Arc::new(result?);
+            let (rep, indices) = &unique[u];
             if let Some(cache) = self.base.cache() {
                 cache.store_simulated_arc(&keys[*rep], &simulated)?;
             }
@@ -365,11 +538,12 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         }
 
         let counters = SweepCounters {
-            profile_passes: usize::from(!selected.profile_was_cached()),
-            clustering_passes: usize::from(!selected.selection_was_cached()),
+            profile_passes,
+            clustering_passes: usize::from(!selection_was_cached),
             warmup_collections,
-            simulate_legs: unique.len(),
+            simulate_legs: missing.len(),
             simulated_cache_hits,
+            trace_walks,
         };
         let legs = self
             .labels
@@ -381,28 +555,70 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             })
             .collect();
 
-        Ok(SweepReport {
-            workload_name: self.base.workload().name().to_string(),
-            selection: selected.into_parts().1,
-            legs,
-            counters,
-        })
+        Ok(SweepReport { workload_name: workload.name().to_string(), selection, legs, counters })
     }
 
-    /// Key under which a design point may share an MRU warmup payload: the
-    /// workload's *content* fingerprint (equal fingerprints guarantee
-    /// bit-identical traces, so [`add_point`](Self::add_point) legs whose
-    /// workload is content-identical to the base — or to each other — share
-    /// one collection, regardless of which instance they reference) and the
-    /// machine's LLC line capacity.
-    fn warmup_sharing_key(&self, point: &SweepPoint<'a>) -> (u64, u64) {
-        let workload_fp = match point.workload {
-            Some(workload) => workload.profile_fingerprint(),
-            None => self.base.workload().profile_fingerprint(),
-        };
-        let capacity = point.sim_config.memory.llc_total_lines(point.sim_config.num_cores);
-        (workload_fp, capacity)
+    /// Derives the configuration-only key components; see [`StaticKeys`].
+    fn build_static_keys(&self) -> StaticKeys {
+        let base = self.base.workload();
+        let profile_key = ProfileCacheKey::for_workload(base);
+        let selection_key = SelectionCacheKey::for_workload(
+            base,
+            self.base.signature_config(),
+            self.base.simpoint_config(),
+        );
+        let warmup = self.base.warmup();
+        let points = self
+            .points
+            .iter()
+            .map(|point| {
+                let (workload_name, threads, workload_fingerprint) = match point.workload {
+                    Some(leg) => {
+                        (leg.name().to_string(), leg.num_threads(), leg.profile_fingerprint())
+                    }
+                    None => {
+                        (base.name().to_string(), base.num_threads(), profile_key.fingerprint())
+                    }
+                };
+                PointKeyParts {
+                    workload_name,
+                    threads,
+                    workload_fingerprint,
+                    config_fingerprint: sim_config_fingerprint(&point.sim_config, warmup),
+                    llc_capacity: point
+                        .sim_config
+                        .memory
+                        .llc_total_lines(point.sim_config.num_cores),
+                }
+            })
+            .collect();
+        StaticKeys { profile_key, selection_key, points }
     }
+}
+
+/// The distinct LLC line capacities of the design points whose workload is
+/// content-identical to the base — what a fused cold pass must cover.  It is
+/// computed *before* the leg probes (the selection fingerprint those probes
+/// need does not exist yet on a cold run), so a fused pass may cover a
+/// capacity whose legs all turn out cached; the bank assembly for it is
+/// simply never requested.
+fn base_capacities(statics: &StaticKeys, base_fp: u64) -> Vec<u64> {
+    let mut capacities: Vec<u64> = statics
+        .points
+        .iter()
+        .filter(|parts| parts.workload_fingerprint == base_fp)
+        .map(|parts| parts.llc_capacity)
+        .collect();
+    capacities.sort_unstable();
+    capacities.dedup();
+    capacities
+}
+
+/// Worst-case bytes of raw snapshot state a fused pass over `threads`
+/// threads and `regions` boundaries would retain at the largest capacity.
+fn fused_snapshot_bytes(threads: usize, regions: usize, capacities: &[u64]) -> u64 {
+    let capacity = capacities.iter().copied().max().unwrap_or(1).max(1);
+    (threads as u64).saturating_mul(regions as u64).saturating_mul(capacity).saturating_mul(16)
 }
 
 /// How many times each pipeline stage actually executed during a sweep.
@@ -431,8 +647,21 @@ pub struct SweepCounters {
     /// [`simulated_cache_hits`](Self::simulated_cache_hits).
     pub simulate_legs: usize,
     /// Design points whose simulated leg was served from the artifact
-    /// cache.
+    /// cache (duplicates of a cached leg included; the physical probe
+    /// happens once per distinct leg — see
+    /// [`CacheStats`](crate::CacheStats)).
     pub simulated_cache_hits: usize,
+    /// Per-thread trace walks executed: each workload thread whose
+    /// block-execution stream was generated, for any purpose.  (A dedicated
+    /// warmup-collection walk stops at the last barrierpoint boundary it
+    /// needs, so a counted walk may cover a prefix of the trace rather than
+    /// all of it; profiling walks always cover everything.)  The fused cold
+    /// pass makes this **equal to the thread count** for a cold
+    /// single-workload sweep (one walk feeds both the signature profiler
+    /// and the MRU collector; it used to be 2× — one per consumer), adds
+    /// the leg workload's thread count per dedicated warmup collection of a
+    /// cross-content leg, and is zero for a warm re-sweep.
+    pub trace_walks: usize,
 }
 
 /// One completed design-point leg of a sweep.
@@ -554,7 +783,8 @@ mod tests {
         let report =
             Sweep::new(&w).add_config("base", base).add_config("fast", fast).run().unwrap();
         // base and fast differ only in clock speed, so one warmup
-        // collection serves both legs.
+        // collection serves both legs — and the fused cold pass folds that
+        // collection into the profiling walk: one trace walk per thread.
         assert_eq!(
             report.counters(),
             SweepCounters {
@@ -563,6 +793,7 @@ mod tests {
                 warmup_collections: 1,
                 simulate_legs: 2,
                 simulated_cache_hits: 0,
+                trace_walks: 2,
             }
         );
         assert_eq!(report.legs().len(), 2);
@@ -601,17 +832,25 @@ mod tests {
         assert_eq!(report.counters().simulate_legs, 2, "two distinct legs compute");
         assert_eq!(report.legs()[0].simulated(), report.legs()[2].simulated());
 
-        // Cached cold run: the duplicate is still a single computation and a
-        // single store.
+        // Cached cold run: duplicates are deduplicated *before* the cache
+        // probe, so the pair costs one physical probe (one logical miss), a
+        // single computation and a single store.
         let dir = std::env::temp_dir().join(format!("bp-sweep-dedup-test-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let cache = ArtifactCache::new(&dir);
         let cached =
             Sweep::new(&w).with_cache(cache.clone()).add_configs([config, config]).run().unwrap();
         assert_eq!(cached.counters().simulate_legs, 1);
-        assert_eq!(cache.stats().simulated_misses, 2, "both probes logically missed");
+        assert_eq!(cache.stats().simulated_misses, 1, "duplicates share one probe");
         assert_eq!(cached.legs()[0].simulated(), cached.legs()[1].simulated());
         assert_eq!(cached.legs()[0].simulated(), report.legs()[0].simulated());
+
+        // And on the warm repeat the duplicate pair is still one probe but
+        // two served design points.
+        let warm =
+            Sweep::new(&w).with_cache(cache.clone()).add_configs([config, config]).run().unwrap();
+        assert_eq!(warm.counters().simulated_cache_hits, 2, "both points served");
+        assert_eq!(cache.stats().simulated_memory_hits, 1, "one physical probe for the pair");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -158,10 +158,31 @@ impl ApplicationProfiler {
     }
 }
 
-/// The innermost profiling loop shared by the region-major
-/// [`ApplicationProfiler`] and the thread-major streaming passes
-/// ([`crate::profile_thread`]): walks one `(region, thread)` trace, updating
-/// `tracker` and returning the trace's BBV, LDV and instruction count.
+/// Records one block execution into a region's in-progress signature
+/// components — the innermost profiling operation, shared by the
+/// region-major [`profile_region_thread`] walk and the thread-major
+/// streaming observer ([`crate::ThreadProfileObserver`]) so the two paths
+/// can never diverge.
+pub(crate) fn record_execution(
+    bbv: &mut Bbv,
+    ldv: &mut Ldv,
+    instructions: &mut u64,
+    tracker: &mut StackDistanceTracker,
+    exec: &bp_workload::BlockExecution,
+) {
+    bbv.record(exec.block, exec.instructions);
+    *instructions += u64::from(exec.instructions);
+    for access in &exec.accesses {
+        let distance = tracker.record(access.line());
+        ldv.record(distance);
+    }
+}
+
+/// The region-major inner profiling loop used by [`ApplicationProfiler`]:
+/// walks one `(region, thread)` trace, updating `tracker` and returning the
+/// trace's BBV, LDV and instruction count.  (The thread-major streaming
+/// path consumes the same per-execution operation, [`record_execution`],
+/// through the trace-observer engine instead.)
 pub(crate) fn profile_region_thread<W: Workload + ?Sized>(
     workload: &W,
     region: usize,
@@ -173,12 +194,7 @@ pub(crate) fn profile_region_thread<W: Workload + ?Sized>(
     let mut ldv = Ldv::new();
     let mut instr: u64 = 0;
     for exec in workload.region_trace(region, thread) {
-        bbv.record(exec.block, exec.instructions);
-        instr += u64::from(exec.instructions);
-        for access in &exec.accesses {
-            let distance = tracker.record(access.line());
-            ldv.record(distance);
-        }
+        record_execution(&mut bbv, &mut ldv, &mut instr, tracker, &exec);
     }
     (bbv, ldv, instr)
 }

@@ -31,6 +31,13 @@
 //! under [`bp_exec::ExecutionPolicy::Parallel`] while remaining bit-identical
 //! to serial (and to the historical region-major) profiling.
 //!
+//! The per-thread pass itself is an observer on `bp-workload`'s
+//! trace-observer engine: [`ThreadProfileObserver`] consumes the stream that
+//! [`bp_workload::drive`] generates, so it can share one trace walk with
+//! other observers (`bp-warmup`'s MRU collector in the fused cold pass)
+//! instead of forcing a dedicated generation.  [`profile_thread`] is the
+//! thin single-observer wrapper.
+//!
 //! # Example
 //!
 //! ```
@@ -63,6 +70,7 @@ pub use config::{LdvWeighting, SignatureConfig, SignatureKind};
 pub use ldv::{Ldv, LDV_BUCKETS};
 pub use stack_distance::StackDistanceTracker;
 pub use streaming::{
-    collect_application_signatures_with, profile_thread, zip_thread_profiles, ThreadProfile,
+    collect_application_signatures_budgeted, collect_application_signatures_with, profile_thread,
+    zip_thread_profiles, ThreadProfile, ThreadProfileObserver,
 };
 pub use vector::SignatureVector;

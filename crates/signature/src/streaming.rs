@@ -22,7 +22,7 @@ use crate::collector::RegionSignature;
 use crate::ldv::Ldv;
 use crate::stack_distance::StackDistanceTracker;
 use bp_exec::ExecutionPolicy;
-use bp_workload::Workload;
+use bp_workload::{BlockExecution, TraceObserver, Workload};
 
 /// The complete profile of one thread: per-region BBVs, LDVs and instruction
 /// counts, collected in a single streaming pass with continuous
@@ -56,31 +56,96 @@ impl ThreadProfile {
     }
 }
 
+/// [`TraceObserver`] that computes one thread's streaming profile — per-region
+/// BBVs, LDVs and instruction counts with continuous reuse-distance tracking —
+/// from a single walk of the thread's trace.
+///
+/// This is the profiling consumer of the trace-observer engine
+/// ([`bp_workload::drive`]): attached alone it reproduces the historical
+/// dedicated profiling pass bit for bit; attached next to other observers
+/// (e.g. `bp-warmup`'s MRU collector) it shares their one trace generation.
+#[derive(Debug)]
+pub struct ThreadProfileObserver {
+    thread: usize,
+    num_blocks: usize,
+    tracker: StackDistanceTracker,
+    bbvs: Vec<Bbv>,
+    ldvs: Vec<Ldv>,
+    instructions: Vec<u64>,
+    current_bbv: Bbv,
+    current_ldv: Ldv,
+    current_instructions: u64,
+}
+
+impl ThreadProfileObserver {
+    /// Creates the profiling observer for `thread` of `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= workload.num_threads()`.
+    pub fn new<W: Workload + ?Sized>(workload: &W, thread: usize) -> Self {
+        assert!(thread < workload.num_threads(), "thread {thread} out of range");
+        let num_blocks = workload.block_table().len();
+        let num_regions = workload.num_regions();
+        Self {
+            thread,
+            num_blocks,
+            tracker: StackDistanceTracker::new(),
+            bbvs: Vec::with_capacity(num_regions),
+            ldvs: Vec::with_capacity(num_regions),
+            instructions: Vec::with_capacity(num_regions),
+            current_bbv: Bbv::new(num_blocks),
+            current_ldv: Ldv::new(),
+            current_instructions: 0,
+        }
+    }
+
+    /// The completed per-thread profile (one entry per finished region).
+    pub fn into_profile(self) -> ThreadProfile {
+        ThreadProfile {
+            thread: self.thread,
+            bbvs: self.bbvs,
+            ldvs: self.ldvs,
+            instructions: self.instructions,
+        }
+    }
+}
+
+impl TraceObserver for ThreadProfileObserver {
+    fn enter_region(&mut self, _region: usize) {
+        self.current_bbv = Bbv::new(self.num_blocks);
+        self.current_ldv = Ldv::new();
+        self.current_instructions = 0;
+    }
+
+    fn observe(&mut self, _thread: usize, exec: &BlockExecution) {
+        crate::collector::record_execution(
+            &mut self.current_bbv,
+            &mut self.current_ldv,
+            &mut self.current_instructions,
+            &mut self.tracker,
+            exec,
+        );
+    }
+
+    fn finish_region(&mut self, _region: usize) {
+        self.bbvs.push(std::mem::replace(&mut self.current_bbv, Bbv::new(0)));
+        self.ldvs.push(std::mem::take(&mut self.current_ldv));
+        self.instructions.push(self.current_instructions);
+    }
+}
+
 /// Profiles one thread of `workload` over all regions in program order, with
 /// reuse distances tracked continuously across region boundaries (the same
 /// cold-start separation the region-major profiler provides; Section III-A2
 /// of the paper).
+///
+/// Thin wrapper over [`ThreadProfileObserver`] driven through
+/// [`bp_workload::drive`] — the thread's trace is generated exactly once.
 pub fn profile_thread<W: Workload + ?Sized>(workload: &W, thread: usize) -> ThreadProfile {
-    assert!(thread < workload.num_threads(), "thread {thread} out of range");
-    let num_blocks = workload.block_table().len();
-    let num_regions = workload.num_regions();
-    let mut tracker = StackDistanceTracker::new();
-    let mut bbvs = Vec::with_capacity(num_regions);
-    let mut ldvs = Vec::with_capacity(num_regions);
-    let mut instructions = Vec::with_capacity(num_regions);
-    for region in 0..num_regions {
-        let (bbv, ldv, instr) = crate::collector::profile_region_thread(
-            workload,
-            region,
-            thread,
-            &mut tracker,
-            num_blocks,
-        );
-        bbvs.push(bbv);
-        ldvs.push(ldv);
-        instructions.push(instr);
-    }
-    ThreadProfile { thread, bbvs, ldvs, instructions }
+    let mut observer = ThreadProfileObserver::new(workload, thread);
+    bp_workload::drive(workload, thread, &mut [&mut observer]);
+    observer.into_profile()
 }
 
 /// Zips per-thread streaming profiles back into one [`RegionSignature`] per
@@ -132,11 +197,28 @@ pub fn collect_application_signatures_with<W: Workload + ?Sized>(
     workload: &W,
     policy: &ExecutionPolicy,
 ) -> Vec<RegionSignature> {
+    collect_application_signatures_budgeted(workload, policy, None)
+}
+
+/// [`collect_application_signatures_with`] with the thread-major fan-out
+/// optionally drawing helper threads from a shared
+/// [`WorkerBudget`](bp_exec::WorkerBudget) instead of a private per-call
+/// pool — so a cold profiling pass inside a design-space sweep respects the
+/// sweep's overall worker cap.  Output is identical for every budget.
+pub fn collect_application_signatures_budgeted<W: Workload + ?Sized>(
+    workload: &W,
+    policy: &ExecutionPolicy,
+    budget: Option<&bp_exec::WorkerBudget>,
+) -> Vec<RegionSignature> {
     if workload.num_regions() == 0 {
         return Vec::new();
     }
-    let profiles =
-        policy.execute(workload.num_threads(), |thread| profile_thread(workload, thread));
+    let walk = |thread: usize| profile_thread(workload, thread);
+    let threads = workload.num_threads();
+    let profiles = match budget {
+        Some(budget) => policy.execute_budgeted(threads, budget, walk),
+        None => policy.execute(threads, walk),
+    };
     zip_thread_profiles(profiles)
 }
 

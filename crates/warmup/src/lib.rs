@@ -23,6 +23,18 @@
 //!   [`collect_mru_warmup_multi`] serves several LLC capacities from one
 //!   pass by truncating at the largest requested capacity).
 //!
+//! Collection rides `bp-workload`'s trace-observer engine:
+//! [`MruThreadObserver`] consumes one thread's stream from
+//! [`bp_workload::drive`], snapshotting raw recency state at any set of
+//! region boundaries, and [`MruSnapshotBank`] assembles those snapshots
+//! into [`MruWarmupData`] for any boundary subset at any capacity up to
+//! the collection capacity.  Driven alone the observer reproduces the
+//! dedicated pass (and stops the walk after its last boundary); driven
+//! next to `bp-signature`'s profiling observer it shares the single trace
+//! generation of a fused cold pass.  The collector's capacity-dependent
+//! dirty bit is tracked with a Fenwick tree over live sequence ranks, so
+//! the per-access depth query is `O(log n)`.
+//!
 //! # Example
 //!
 //! ```
@@ -48,7 +60,7 @@ mod strategy;
 
 pub use apply::apply_warmup;
 pub use mru::{
-    collect_mru_warmup, collect_mru_warmup_multi, collect_mru_warmup_with, MruCollector,
-    MruWarmupData,
+    collect_mru_warmup, collect_mru_warmup_multi, collect_mru_warmup_multi_budgeted,
+    collect_mru_warmup_with, MruCollector, MruSnapshotBank, MruThreadObserver, MruWarmupData,
 };
 pub use strategy::WarmupStrategy;

@@ -1,5 +1,5 @@
-use bp_exec::ExecutionPolicy;
-use bp_workload::Workload;
+use bp_exec::{ExecutionPolicy, WorkerBudget};
+use bp_workload::{BlockExecution, TraceObserver, Workload};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -54,6 +54,98 @@ struct LineState {
     dirty_depth: u64,
 }
 
+/// One thread's MRU recency state: the live residencies ordered by access
+/// sequence, per-line state, and a Fenwick tree of the live sequence ranks
+/// that answers the dirty-depth query ("how many distinct lines were touched
+/// since this line's own last access?") in `O(log n)` instead of the old
+/// `BTreeMap::range().count()` scan, which was `O(depth)` per re-read of a
+/// written line.
+#[derive(Debug, Clone, Default)]
+struct ThreadMruState {
+    /// Ordering sequence -> line, live residencies only (recency order).
+    by_seq: BTreeMap<u64, u64>,
+    /// Line -> recency state.
+    by_line: HashMap<u64, LineState>,
+    /// Fenwick tree over sequence numbers; `tree[s] == 1` iff sequence `s`
+    /// is live (present in `by_seq`).  1-based, power-of-two sized.
+    tree: Vec<u64>,
+    /// Next sequence number (per thread; renumbered by compaction).
+    next_seq: u64,
+}
+
+impl ThreadMruState {
+    fn tree_add(&mut self, mut idx: usize, delta: i64) {
+        while idx < self.tree.len() {
+            self.tree[idx] = (self.tree[idx] as i64 + delta) as u64;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    fn tree_prefix_sum(&self, mut idx: usize) -> u64 {
+        let mut sum = 0;
+        idx = idx.min(self.tree.len().saturating_sub(1));
+        while idx > 0 {
+            sum += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Live sequences strictly greater than `seq` — the recency depth of the
+    /// line whose current residency is `seq`.  Exactly what
+    /// `by_seq.range(seq + 1..).count()` used to compute, in `O(log n)`.
+    fn depth_of(&self, seq: u64) -> u64 {
+        self.by_seq.len() as u64 - self.tree_prefix_sum(seq as usize)
+    }
+
+    /// Marks `seq` live.  Must be called *after* inserting it into `by_seq`:
+    /// growing the tree rebuilds from the live set, which must already
+    /// include `seq`.
+    fn mark(&mut self, seq: u64) {
+        let idx = seq as usize;
+        if idx >= self.tree.len() {
+            self.rebuild_tree((idx + 1).next_power_of_two().max(64));
+        } else {
+            self.tree_add(idx, 1);
+        }
+    }
+
+    fn unmark(&mut self, seq: u64) {
+        self.tree_add(seq as usize, -1);
+    }
+
+    /// Rebuilds the Fenwick tree at `len` slots from the live set.  (A
+    /// Fenwick tree cannot simply be zero-extended: appended internal nodes
+    /// cover existing index ranges.)
+    fn rebuild_tree(&mut self, len: usize) {
+        self.tree.clear();
+        self.tree.resize(len, 0);
+        let live: Vec<u64> = self.by_seq.keys().copied().collect();
+        for seq in live {
+            self.tree_add(seq as usize, 1);
+        }
+    }
+
+    /// Renumbers the live sequences to `1..=n` (preserving order) once the
+    /// sequence space far outgrows the capacity-bounded live set, keeping
+    /// the Fenwick tree's size proportional to the collection capacity
+    /// rather than to the trace length.
+    fn maybe_compact(&mut self) {
+        if self.next_seq <= 4096 || self.next_seq < 8 * (self.by_seq.len() as u64 + 1) {
+            return;
+        }
+        let entries: Vec<u64> = self.by_seq.values().copied().collect();
+        self.by_seq.clear();
+        for (i, line) in entries.iter().enumerate() {
+            let seq = i as u64 + 1;
+            self.by_seq.insert(seq, *line);
+            self.by_line.get_mut(line).expect("live line has state").seq = seq;
+        }
+        self.next_seq = entries.len() as u64;
+        self.rebuild_tree((entries.len() + 2).next_power_of_two().max(64));
+    }
+}
+
 /// Streaming collector of per-core MRU unique-line state.
 ///
 /// Feed it the application's inter-barrier regions in program order; at any
@@ -71,12 +163,8 @@ struct LineState {
 /// `c` iff its dirty depth is below `c`.
 #[derive(Debug, Clone)]
 pub struct MruCollector {
-    /// Per thread: ordering sequence -> line.
-    by_seq: Vec<BTreeMap<u64, u64>>,
-    /// Per thread: line -> recency state.
-    by_line: Vec<HashMap<u64, LineState>>,
+    threads: Vec<ThreadMruState>,
     capacity_lines: u64,
-    next_seq: u64,
 }
 
 impl MruCollector {
@@ -85,10 +173,8 @@ impl MruCollector {
     /// capacity visible to a core).
     pub fn new(threads: usize, capacity_lines: u64) -> Self {
         Self {
-            by_seq: vec![BTreeMap::new(); threads],
-            by_line: vec![HashMap::new(); threads],
+            threads: vec![ThreadMruState::default(); threads],
             capacity_lines: capacity_lines.max(1),
-            next_seq: 0,
         }
     }
 
@@ -99,39 +185,42 @@ impl MruCollector {
 
     /// Records one access by `thread` to cache line `line`.
     pub fn record(&mut self, thread: usize, line: u64, is_write: bool) {
-        self.next_seq += 1;
-        let seq = self.next_seq;
+        let capacity = self.capacity_lines;
+        let state = &mut self.threads[thread];
+        state.maybe_compact();
+        state.next_seq += 1;
+        let seq = state.next_seq;
         let dirty_depth = if is_write {
             // A write is in-residency at every capacity that still holds the
             // line — and re-enters the line dirty where it was evicted.
             0
         } else {
-            match self.by_line[thread].get(&line) {
+            match state.by_line.get(&line) {
                 // Never written in this residency: stays clean everywhere.
                 // `u64::MAX` is absorbing, so the depth query is skipped.
-                Some(state) if state.dirty_depth == u64::MAX => u64::MAX,
+                Some(prev) if prev.dirty_depth == u64::MAX => u64::MAX,
                 // Read of a line written earlier in this residency: the
                 // dirty state survives at capacity `c` only if the line
                 // never sank to depth >= c since that write.  The current
                 // depth is the number of distinct lines touched since the
                 // line's own last access — all still resident, because this
                 // line is.
-                Some(state) => {
-                    let depth = self.by_seq[thread].range(state.seq + 1..).count() as u64;
-                    state.dirty_depth.max(depth)
-                }
+                Some(prev) => prev.dirty_depth.max(state.depth_of(prev.seq)),
                 // (Re-)entering the list through a read: clean everywhere.
                 None => u64::MAX,
             }
         };
-        if let Some(old) = self.by_line[thread].insert(line, LineState { seq, dirty_depth }) {
-            self.by_seq[thread].remove(&old.seq);
+        if let Some(old) = state.by_line.insert(line, LineState { seq, dirty_depth }) {
+            state.by_seq.remove(&old.seq);
+            state.unmark(old.seq);
         }
-        self.by_seq[thread].insert(seq, line);
-        if self.by_seq[thread].len() as u64 > self.capacity_lines {
-            if let Some((&oldest, &old_line)) = self.by_seq[thread].iter().next() {
-                self.by_seq[thread].remove(&oldest);
-                self.by_line[thread].remove(&old_line);
+        state.by_seq.insert(seq, line);
+        state.mark(seq);
+        if state.by_seq.len() as u64 > capacity {
+            if let Some((&oldest, &old_line)) = state.by_seq.iter().next() {
+                state.by_seq.remove(&oldest);
+                state.unmark(oldest);
+                state.by_line.remove(&old_line);
             }
         }
     }
@@ -161,41 +250,36 @@ impl MruCollector {
     /// truncation.
     pub fn snapshot_at(&self, capacity_lines: u64) -> MruWarmupData {
         let capacity = capacity_lines.max(1).min(self.capacity_lines);
-        let per_thread = self
-            .by_seq
-            .iter()
-            .zip(&self.by_line)
-            .map(|(seqs, lines)| Self::truncate_thread(seqs, lines, capacity))
-            .collect();
+        let per_thread =
+            self.threads.iter().map(|state| Self::truncate_thread(state, capacity)).collect();
         MruWarmupData { per_thread, capacity_lines: capacity }
     }
 
     /// The most recent `capacity` entries of one thread's recency list
     /// (least recent first), with the capacity-dependent dirty bit.
-    fn truncate_thread(
-        seqs: &BTreeMap<u64, u64>,
-        lines: &HashMap<u64, LineState>,
-        capacity: u64,
-    ) -> Vec<(u64, bool)> {
-        let skip = (seqs.len() as u64).saturating_sub(capacity) as usize;
-        seqs.iter()
+    fn truncate_thread(state: &ThreadMruState, capacity: u64) -> Vec<(u64, bool)> {
+        let skip = (state.by_seq.len() as u64).saturating_sub(capacity) as usize;
+        state
+            .by_seq
+            .iter()
             .skip(skip)
             .map(|(_, &line)| {
-                let dirty = lines.get(&line).is_some_and(|s| s.dirty_depth < capacity);
+                let dirty = state.by_line.get(&line).is_some_and(|s| s.dirty_depth < capacity);
                 (line, dirty)
             })
             .collect()
     }
 
     /// Raw per-thread recency state — `(line, dirty_depth)` least recent
-    /// first — from which [`collect_mru_warmup_multi`] derives every
-    /// requested capacity's payload after the parallel pass.
+    /// first — from which [`MruSnapshotBank`] derives every requested
+    /// capacity's payload after the streaming pass.
     fn raw_thread_state(&self, thread: usize) -> Vec<(u64, u64)> {
-        self.by_seq[thread]
+        let state = &self.threads[thread];
+        state
+            .by_seq
             .iter()
             .map(|(_, &line)| {
-                let depth =
-                    self.by_line[thread].get(&line).map_or(u64::MAX, |state| state.dirty_depth);
+                let depth = state.by_line.get(&line).map_or(u64::MAX, |s| s.dirty_depth);
                 (line, depth)
             })
             .collect()
@@ -207,6 +291,170 @@ impl MruCollector {
 fn truncate_raw(raw: &[(u64, u64)], capacity: u64) -> Vec<(u64, bool)> {
     let skip = (raw.len() as u64).saturating_sub(capacity) as usize;
     raw[skip..].iter().map(|&(line, depth)| (line, depth < capacity)).collect()
+}
+
+/// [`TraceObserver`] that collects one thread's MRU warmup state from a
+/// single walk of the thread's trace, snapshotting the raw recency list at
+/// each requested region boundary.
+///
+/// This is the warmup consumer of the trace-observer engine
+/// ([`bp_workload::drive`]): driven alone it reproduces the historical
+/// dedicated collection pass (and stops the walk after its last boundary);
+/// driven next to `bp-signature`'s profiling observer it shares the one
+/// trace generation of a fused cold pass.  Hand the finished observers of
+/// all threads to [`MruSnapshotBank::from_observers`] to assemble
+/// [`MruWarmupData`] for any target subset at any capacity up to the
+/// collection capacity.
+#[derive(Debug)]
+pub struct MruThreadObserver {
+    collector: MruCollector,
+    boundaries: Vec<usize>,
+    next: usize,
+    snapshots: Vec<Vec<(u64, u64)>>,
+}
+
+impl MruThreadObserver {
+    /// Creates an observer snapshotting at `boundaries` (deduplicated and
+    /// sorted internally; a boundary `r` snapshot reflects all accesses of
+    /// regions `0..r`), collecting at `collection_capacity` lines.
+    pub fn new(boundaries: &[usize], collection_capacity: u64) -> Self {
+        let mut boundaries = boundaries.to_vec();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        Self {
+            collector: MruCollector::new(1, collection_capacity),
+            snapshots: Vec::with_capacity(boundaries.len()),
+            boundaries,
+            next: 0,
+        }
+    }
+}
+
+impl TraceObserver for MruThreadObserver {
+    fn enter_region(&mut self, region: usize) {
+        if self.boundaries.get(self.next) == Some(&region) {
+            self.snapshots.push(self.collector.raw_thread_state(0));
+            self.next += 1;
+        }
+    }
+
+    fn observe(&mut self, _thread: usize, exec: &BlockExecution) {
+        // Once the last boundary is snapshotted, the tail of the trace can
+        // no longer influence any snapshot — ignore it (a fused walk keeps
+        // feeding the stream for the observers that still need it).
+        if self.next >= self.boundaries.len() {
+            return;
+        }
+        for access in &exec.accesses {
+            self.collector.record(0, access.line(), access.kind.is_write());
+        }
+    }
+
+    fn wants_more(&self) -> bool {
+        self.next < self.boundaries.len()
+    }
+}
+
+/// The raw multi-boundary MRU state of a whole application — one
+/// [`MruThreadObserver`] walk per thread — from which the warmup payload of
+/// *any* boundary subset at *any* capacity (up to the collection capacity)
+/// is assembled by truncation, without re-walking any trace.
+///
+/// This is what makes the fused cold pass possible: when a sweep must
+/// profile (so the barrierpoint selection is not known yet), the observers
+/// snapshot every region boundary during the one fused walk, and the sweep
+/// assembles exactly the selected boundaries afterwards.
+#[derive(Debug)]
+pub struct MruSnapshotBank {
+    boundaries: Vec<usize>,
+    collection_capacity: u64,
+    /// `[thread][boundary index] -> (line, dirty_depth)` least recent first.
+    per_thread: Vec<Vec<Vec<(u64, u64)>>>,
+}
+
+impl MruSnapshotBank {
+    /// Assembles the bank from the finished observers of threads `0..n`, in
+    /// thread order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observers` is empty or the observers disagree on
+    /// boundaries or collection capacity.
+    pub fn from_observers(observers: Vec<MruThreadObserver>) -> Self {
+        assert!(!observers.is_empty(), "at least one thread observer required");
+        let boundaries = observers[0].boundaries.clone();
+        let collection_capacity = observers[0].collector.capacity_lines();
+        for observer in &observers {
+            assert_eq!(observer.boundaries, boundaries, "observers disagree on boundaries");
+            assert_eq!(
+                observer.collector.capacity_lines(),
+                collection_capacity,
+                "observers disagree on collection capacity"
+            );
+        }
+        // Boundaries at or past the region count are never reached by the
+        // walk; every thread stops at the same region, so truncate uniformly
+        // to the snapshots actually taken.
+        let taken = observers.iter().map(|o| o.snapshots.len()).min().unwrap_or(0);
+        Self {
+            boundaries: boundaries[..taken].to_vec(),
+            collection_capacity,
+            per_thread: observers
+                .into_iter()
+                .map(|mut o| {
+                    o.snapshots.truncate(taken);
+                    o.snapshots
+                })
+                .collect(),
+        }
+    }
+
+    /// The boundaries actually snapshotted (sorted; requested boundaries at
+    /// or past the workload's region count are absent).
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// The capacity the bank was collected at — the upper bound for
+    /// [`assemble`](Self::assemble).
+    pub fn collection_capacity(&self) -> u64 {
+        self.collection_capacity
+    }
+
+    /// The warmup payload of every requested target present in the bank, at
+    /// `capacity` lines (clamped to `1..=collection_capacity`) — bit
+    /// identical to a dedicated collection at that capacity.
+    pub fn assemble(&self, targets: &[usize], capacity: u64) -> HashMap<usize, MruWarmupData> {
+        let capacity = capacity.max(1).min(self.collection_capacity);
+        let mut result = HashMap::with_capacity(targets.len());
+        for &target in targets {
+            let Ok(idx) = self.boundaries.binary_search(&target) else { continue };
+            result.entry(target).or_insert_with(|| MruWarmupData {
+                per_thread: self
+                    .per_thread
+                    .iter()
+                    .map(|snaps| truncate_raw(&snaps[idx], capacity))
+                    .collect(),
+                capacity_lines: capacity,
+            });
+        }
+        result
+    }
+
+    /// [`assemble`](Self::assemble) for several capacities at once, keyed by
+    /// the capacity values as given (duplicates collapse).
+    pub fn assemble_multi(
+        &self,
+        targets: &[usize],
+        capacities: &[u64],
+    ) -> HashMap<u64, HashMap<usize, MruWarmupData>> {
+        let mut result: HashMap<u64, HashMap<usize, MruWarmupData>> =
+            HashMap::with_capacity(capacities.len());
+        for &requested in capacities {
+            result.entry(requested).or_insert_with(|| self.assemble(targets, requested));
+        }
+        result
+    }
 }
 
 /// Collects MRU warmup data for each region in `targets` by streaming the
@@ -242,37 +490,6 @@ pub fn collect_mru_warmup<W: Workload + ?Sized>(
     result
 }
 
-/// Walks one thread's trace of regions `0..=last`, snapshotting the thread's
-/// raw MRU state (`(line, dirty_depth)`, least recent first) at every
-/// boundary in `wanted` (sorted, deduplicated), collecting at
-/// `collection_capacity`.
-///
-/// The returned snapshots are in `wanted` order; snapshot `i` reflects all of
-/// the thread's accesses in regions `0..wanted[i]`.
-fn collect_thread_snapshots<W: Workload + ?Sized>(
-    workload: &W,
-    thread: usize,
-    wanted: &[usize],
-    collection_capacity: u64,
-) -> Vec<Vec<(u64, u64)>> {
-    let mut collector = MruCollector::new(1, collection_capacity);
-    let mut snapshots = Vec::with_capacity(wanted.len());
-    let last = wanted.last().copied().unwrap_or(0);
-    for region in 0..=last.min(workload.num_regions().saturating_sub(1)) {
-        if wanted.binary_search(&region).is_ok() {
-            snapshots.push(collector.raw_thread_state(0));
-        }
-        if region < last {
-            for exec in workload.region_trace(region, thread) {
-                for access in &exec.accesses {
-                    collector.record(0, access.line(), access.kind.is_write());
-                }
-            }
-        }
-    }
-    snapshots
-}
-
 /// [`collect_mru_warmup`] restructured *thread-major* under an
 /// [`ExecutionPolicy`]: every thread's MRU state depends only on that
 /// thread's own accesses (the per-core recency lists never interact), so
@@ -302,7 +519,9 @@ pub fn collect_mru_warmup_with<W: Workload + ?Sized>(
 ///
 /// This is what makes a design-space sweep whose legs differ in LLC size pay
 /// for exactly **one** warmup collection.  The pass fans out thread-major
-/// under `policy`, like [`collect_mru_warmup_with`].
+/// under `policy`, each thread driving an [`MruThreadObserver`] through the
+/// trace-observer engine ([`bp_workload::drive`]) — the same observer a
+/// fused profile+warmup walk attaches next to the profiling observer.
 ///
 /// Returns one `target region -> warmup data` map per requested capacity,
 /// keyed by the capacity values as given (duplicates collapse).
@@ -312,43 +531,110 @@ pub fn collect_mru_warmup_multi<W: Workload + ?Sized>(
     capacities: &[u64],
     policy: &ExecutionPolicy,
 ) -> HashMap<u64, HashMap<usize, MruWarmupData>> {
+    collect_mru_warmup_multi_budgeted(workload, targets, capacities, policy, None)
+}
+
+/// [`collect_mru_warmup_multi`] with the thread-major fan-out optionally
+/// drawing helper threads from a shared [`WorkerBudget`] instead of a
+/// private per-call pool — how a design-space sweep lets a cold leg's
+/// collection borrow workers idled by drained sibling legs (and vice
+/// versa).  Output is identical for every budget.
+pub fn collect_mru_warmup_multi_budgeted<W: Workload + ?Sized>(
+    workload: &W,
+    targets: &[usize],
+    capacities: &[u64],
+    policy: &ExecutionPolicy,
+    budget: Option<&WorkerBudget>,
+) -> HashMap<u64, HashMap<usize, MruWarmupData>> {
     let mut wanted: Vec<usize> = targets.to_vec();
     wanted.sort_unstable();
     wanted.dedup();
     let collection_capacity = capacities.iter().copied().max().unwrap_or(1).max(1);
+    let walk = |thread: usize| {
+        let mut observer = MruThreadObserver::new(&wanted, collection_capacity);
+        bp_workload::drive(workload, thread, &mut [&mut observer]);
+        observer
+    };
     let threads = workload.num_threads();
-    let per_thread_snapshots = policy.execute(threads, |thread| {
-        collect_thread_snapshots(workload, thread, &wanted, collection_capacity)
-    });
-    let snapshots_per_thread = per_thread_snapshots.first().map_or(0, Vec::len);
-    let mut result: HashMap<u64, HashMap<usize, MruWarmupData>> =
-        HashMap::with_capacity(capacities.len());
-    for &requested in capacities {
-        if result.contains_key(&requested) {
-            continue;
-        }
-        let capacity = requested.max(1);
-        let per_capacity = wanted
-            .iter()
-            .take(snapshots_per_thread)
-            .enumerate()
-            .map(|(i, &target)| {
-                let per_thread = per_thread_snapshots
-                    .iter()
-                    .map(|snaps| truncate_raw(&snaps[i], capacity))
-                    .collect();
-                (target, MruWarmupData { per_thread, capacity_lines: capacity })
-            })
-            .collect();
-        result.insert(requested, per_capacity);
-    }
-    result
+    let observers = match budget {
+        Some(budget) => policy.execute_budgeted(threads, budget, walk),
+        None => policy.execute(threads, walk),
+    };
+    MruSnapshotBank::from_observers(observers).assemble_multi(&wanted, capacities)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use bp_workload::{Benchmark, WorkloadConfig};
+    use proptest::prelude::*;
+
+    /// The pre-Fenwick collector, kept verbatim as the oracle for the
+    /// order-statistic rewrite: the dirty-depth query was an `O(depth)`
+    /// `BTreeMap::range().count()` scan over the recency map.
+    #[derive(Debug, Clone)]
+    struct ReferenceCollector {
+        by_seq: Vec<BTreeMap<u64, u64>>,
+        by_line: Vec<HashMap<u64, LineState>>,
+        capacity_lines: u64,
+        next_seq: u64,
+    }
+
+    impl ReferenceCollector {
+        fn new(threads: usize, capacity_lines: u64) -> Self {
+            Self {
+                by_seq: vec![BTreeMap::new(); threads],
+                by_line: vec![HashMap::new(); threads],
+                capacity_lines: capacity_lines.max(1),
+                next_seq: 0,
+            }
+        }
+
+        fn record(&mut self, thread: usize, line: u64, is_write: bool) {
+            self.next_seq += 1;
+            let seq = self.next_seq;
+            let dirty_depth = if is_write {
+                0
+            } else {
+                match self.by_line[thread].get(&line) {
+                    Some(state) if state.dirty_depth == u64::MAX => u64::MAX,
+                    Some(state) => {
+                        let depth = self.by_seq[thread].range(state.seq + 1..).count() as u64;
+                        state.dirty_depth.max(depth)
+                    }
+                    None => u64::MAX,
+                }
+            };
+            if let Some(old) = self.by_line[thread].insert(line, LineState { seq, dirty_depth }) {
+                self.by_seq[thread].remove(&old.seq);
+            }
+            self.by_seq[thread].insert(seq, line);
+            if self.by_seq[thread].len() as u64 > self.capacity_lines {
+                if let Some((&oldest, &old_line)) = self.by_seq[thread].iter().next() {
+                    self.by_seq[thread].remove(&oldest);
+                    self.by_line[thread].remove(&old_line);
+                }
+            }
+        }
+
+        fn snapshot_at(&self, capacity_lines: u64) -> Vec<Vec<(u64, bool)>> {
+            let capacity = capacity_lines.max(1).min(self.capacity_lines);
+            self.by_seq
+                .iter()
+                .zip(&self.by_line)
+                .map(|(seqs, lines)| {
+                    let skip = (seqs.len() as u64).saturating_sub(capacity) as usize;
+                    seqs.iter()
+                        .skip(skip)
+                        .map(|(_, &line)| {
+                            let dirty = lines.get(&line).is_some_and(|s| s.dirty_depth < capacity);
+                            (line, dirty)
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+    }
 
     #[test]
     fn capacity_bound_is_enforced() {
@@ -402,6 +688,55 @@ mod tests {
         small.record(0, 0xb, false);
         small.record(0, 0xa, false);
         assert_eq!(small.snapshot().per_thread(), large.snapshot_at(1).per_thread());
+    }
+
+    #[test]
+    fn fenwick_query_matches_the_reference_scan_across_compaction() {
+        // A deterministic churn pattern long enough to trigger sequence
+        // compaction (threshold 4096) at a small capacity, with periodic
+        // re-reads of written lines so the depth query is exercised
+        // throughout.
+        let mut fast = MruCollector::new(1, 16);
+        let mut slow = ReferenceCollector::new(1, 16);
+        for i in 0..20_000u64 {
+            let line = (i * 7) % 48;
+            let write = i % 5 == 0;
+            fast.record(0, line, write);
+            slow.record(0, line, write);
+            if i % 1000 == 999 {
+                for capacity in [1, 3, 16, 64] {
+                    assert_eq!(
+                        fast.snapshot_at(capacity).per_thread(),
+                        &slow.snapshot_at(capacity)[..],
+                        "capacity {capacity} at access {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// The Fenwick-backed dirty-depth query must agree with the old
+        /// `range().count()` scan on arbitrary access streams, at every
+        /// snapshot capacity.
+        #[test]
+        fn fenwick_collector_matches_reference(
+            accesses in proptest::collection::vec((0u64..32, any::<bool>()), 1..600),
+            collection_capacity in 1u64..24,
+            probe_capacity in 1u64..32,
+        ) {
+            let mut fast = MruCollector::new(1, collection_capacity);
+            let mut slow = ReferenceCollector::new(1, collection_capacity);
+            for &(line, write) in &accesses {
+                fast.record(0, line, write);
+                slow.record(0, line, write);
+            }
+            prop_assert_eq!(
+                fast.snapshot_at(probe_capacity).per_thread(),
+                &slow.snapshot_at(probe_capacity)[..]
+            );
+            prop_assert_eq!(fast.snapshot().per_thread(), &slow.snapshot_at(u64::MAX)[..]);
+        }
     }
 
     #[test]
@@ -480,5 +815,33 @@ mod tests {
         assert_eq!(multi.len(), 2, "duplicates collapse, 0 clamps to 1");
         assert_eq!(multi[&0], collect_mru_warmup(&w, &[3], 0));
         assert_eq!(multi[&128], collect_mru_warmup(&w, &[3], 128));
+    }
+
+    #[test]
+    fn snapshot_bank_serves_any_boundary_subset() {
+        // A bank snapshotting *every* boundary (what a fused cold pass
+        // collects while the barrierpoint selection is still unknown) must
+        // reproduce the targeted collection bit for bit, for any subset of
+        // targets and any capacity up to the collection capacity.
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(2).with_scale(0.05));
+        let all: Vec<usize> = (0..w.num_regions()).collect();
+        let observers = (0..w.num_threads())
+            .map(|thread| {
+                let mut observer = MruThreadObserver::new(&all, 2048);
+                bp_workload::drive(&w, thread, &mut [&mut observer]);
+                observer
+            })
+            .collect();
+        let bank = MruSnapshotBank::from_observers(observers);
+        assert_eq!(bank.boundaries(), &all[..]);
+        assert_eq!(bank.collection_capacity(), 2048);
+        for targets in [vec![0], vec![3, 9], vec![1, 5, 17, 44]] {
+            for capacity in [64u64, 700, 2048] {
+                let direct = collect_mru_warmup(&w, &targets, capacity);
+                assert_eq!(bank.assemble(&targets, capacity), direct, "{targets:?}@{capacity}");
+            }
+        }
+        // Targets outside the bank are skipped, mirroring the collectors.
+        assert!(bank.assemble(&[999], 64).is_empty());
     }
 }

@@ -14,6 +14,13 @@
 //! build signatures (`bp-signature`), to drive timing simulation (`bp-sim`)
 //! and to collect warmup data (`bp-warmup`).
 //!
+//! Analyses attach to the stream through the **trace-observer engine**:
+//! implement [`TraceObserver`] and hand any number of observers to
+//! [`drive`], which generates one thread's full trace exactly once and fans
+//! every block execution out to all of them — this is how a cold pipeline
+//! profiles signatures and collects MRU warmup state from a *single* walk
+//! instead of one walk per consumer.
+//!
 //! The [`kernels`] module contains models of the benchmarks evaluated in the
 //! paper (NPB bt, cg, ft, is, lu, mg, sp and PARSEC bodytrack), matching their
 //! dynamic barrier counts (Figure 1 / Table III) and their qualitative phase
@@ -45,6 +52,7 @@
 mod access;
 mod block;
 pub mod kernels;
+mod observer;
 mod phase;
 mod region;
 mod synthetic;
@@ -53,6 +61,7 @@ mod workload;
 pub use access::{AccessKind, MemoryAccess, CACHE_LINE_BYTES};
 pub use block::{BasicBlock, BasicBlockId, BlockTable};
 pub use kernels::suite::Benchmark;
+pub use observer::{drive, TraceObserver};
 pub use phase::{AccessPattern, Phase, PhaseBlock, PhaseId, ScheduleEntry};
 pub use region::{BlockExecution, RegionTrace};
 pub use synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};

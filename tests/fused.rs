@@ -1,0 +1,148 @@
+//! Fused-vs-separate equivalence: the single-pass trace engine must be
+//! invisible in every artifact.
+//!
+//! A cold pipeline used to walk every per-thread trace at least twice — once
+//! for signature profiling, once for MRU warmup collection.
+//! `profile_and_collect_warmup` fuses both consumers onto one walk through
+//! the trace-observer engine; these tests pin that the fused pass is
+//! bit-identical to the historical separate passes across the whole kernel
+//! suite, every thread count the paper evaluates, and multiple LLC
+//! capacities — and that the same holds end to end through `Sweep`.
+
+use barrierpoint::{
+    profile_and_collect_warmup, profile_application_with, ExecutionPolicy, SimConfig, Sweep,
+    WorkerBudget,
+};
+use bp_warmup::collect_mru_warmup;
+use bp_workload::{Benchmark, SyntheticWorkloadBuilder, Workload, WorkloadConfig};
+use proptest::prelude::*;
+
+const CAPACITIES: [u64; 3] = [128, 1024, 4096];
+
+/// Region boundaries probed for warmup equivalence: first, an early one, a
+/// mid one, and the last (clamped to the region count).
+fn probe_targets(num_regions: usize) -> Vec<usize> {
+    let mut targets = vec![0, 1, num_regions / 2, num_regions.saturating_sub(1)];
+    targets.sort_unstable();
+    targets.dedup();
+    targets
+}
+
+#[test]
+fn fused_pass_is_bit_identical_across_the_whole_suite() {
+    for &bench in Benchmark::all() {
+        for threads in [1usize, 2, 4, 8] {
+            let w = bench.build(&WorkloadConfig::new(threads).with_scale(0.02));
+            let policy = ExecutionPolicy::parallel_with(threads);
+            let (profile, bank) =
+                profile_and_collect_warmup(&w, &CAPACITIES, &policy, None).unwrap();
+            let separate = profile_application_with(&w, &policy).unwrap();
+            assert_eq!(profile, separate, "{bench:?} at {threads} threads: profile differs");
+            let targets = probe_targets(w.num_regions());
+            for &capacity in &CAPACITIES {
+                let direct = collect_mru_warmup(&w, &targets, capacity);
+                assert_eq!(
+                    bank.assemble(&targets, capacity),
+                    direct,
+                    "{bench:?} at {threads} threads, capacity {capacity}: warmup differs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_pass_is_schedule_invariant() {
+    // Serial, parallel, and budgeted-parallel walks must agree exactly.
+    let w = Benchmark::NpbMg.build(&WorkloadConfig::new(4).with_scale(0.02));
+    let serial =
+        profile_and_collect_warmup(&w, &CAPACITIES, &ExecutionPolicy::Serial, None).unwrap();
+    let parallel =
+        profile_and_collect_warmup(&w, &CAPACITIES, &ExecutionPolicy::parallel_with(4), None)
+            .unwrap();
+    let budget = WorkerBudget::new(2);
+    let budgeted = profile_and_collect_warmup(
+        &w,
+        &CAPACITIES,
+        &ExecutionPolicy::parallel_with(4),
+        Some(&budget),
+    )
+    .unwrap();
+    assert_eq!(serial.0, parallel.0);
+    assert_eq!(serial.0, budgeted.0);
+    let targets = probe_targets(w.num_regions());
+    for &capacity in &CAPACITIES {
+        assert_eq!(serial.1.assemble(&targets, capacity), parallel.1.assemble(&targets, capacity));
+        assert_eq!(serial.1.assemble(&targets, capacity), budgeted.1.assemble(&targets, capacity));
+    }
+}
+
+#[test]
+fn fused_sweep_legs_match_monolithic_runs_across_thread_counts() {
+    // End to end: a cold (fused) sweep must reproduce the monolithic
+    // per-config pipeline bit for bit, at several thread counts.
+    for threads in [2usize, 4] {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(threads).with_scale(0.02));
+        let base = SimConfig::tiny(threads);
+        let mut small_llc = base;
+        small_llc.memory.l3.size_bytes /= 4;
+        let report = Sweep::new(&w)
+            .add_config("base", base)
+            .add_config("small-llc", small_llc)
+            .run()
+            .unwrap();
+        assert_eq!(report.counters().trace_walks, threads, "{threads} threads: fused cold walk");
+        for (label, machine) in [("base", base), ("small-llc", small_llc)] {
+            let monolithic =
+                barrierpoint::BarrierPoint::new(&w).with_sim_config(machine).run().unwrap();
+            let leg = report.get(label).unwrap();
+            assert_eq!(leg.simulated().metrics(), monolithic.barrierpoint_metrics(), "{label}");
+            assert_eq!(leg.reconstruction(), monolithic.reconstruction(), "{label}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random synthetic workloads (random phase structure, seeds, thread
+    /// counts) and random capacity sets: the fused pass must match the
+    /// separate passes on every artifact — the same style of proof that
+    /// pinned the PR 3 multi-capacity collector.
+    #[test]
+    fn fused_pass_matches_separate_passes_on_random_workloads(
+        threads_pow in 0u32..3,
+        regions in 2usize..14,
+        seed in any::<u32>(),
+        capacity_a in 16u64..512,
+        capacity_b in 16u64..4096,
+    ) {
+        let threads = 1usize << threads_pow;
+        let mut builder = SyntheticWorkloadBuilder::new(
+            "fused-prop",
+            WorkloadConfig::new(threads).with_seed(u64::from(seed)),
+        );
+        let phase = builder
+            .phase("p0", 48, true)
+            .pattern(bp_workload::AccessPattern::PrivateStream { bytes: 32 * 1024, stride: 64 })
+            .pattern(bp_workload::AccessPattern::SharedRandom {
+                id: 0,
+                bytes: 64 * 1024,
+                write_fraction: 0.3,
+            })
+            .block("work", 20, 4, 0)
+            .block("mix", 12, 2, 1)
+            .finish();
+        builder.schedule_repeat(phase, regions);
+        let w = builder.build();
+        let policy = ExecutionPolicy::parallel_with(threads);
+        let capacities = [capacity_a, capacity_b];
+        let (profile, bank) = profile_and_collect_warmup(&w, &capacities, &policy, None).unwrap();
+        prop_assert_eq!(&profile, &profile_application_with(&w, &policy).unwrap());
+        let targets = probe_targets(w.num_regions());
+        for &capacity in &capacities {
+            let direct = collect_mru_warmup(&w, &targets, capacity);
+            prop_assert_eq!(bank.assemble(&targets, capacity), direct);
+        }
+    }
+}

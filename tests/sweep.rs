@@ -37,6 +37,13 @@ fn sweep_runs_one_time_stages_once_for_three_configs() {
         "one multi-capacity MRU collection serves base, fast-clock AND the half-size-LLC \
          point (prefix truncation of the largest capacity)"
     );
+    assert_eq!(
+        counters.trace_walks,
+        w.num_threads(),
+        "the fused cold pass walks each per-thread trace exactly once, feeding the \
+         signature profiler and the MRU collector from one generation (was 2x threads \
+         with separate passes)"
+    );
     assert_eq!(counters.simulated_cache_hits, 0, "no cache attached");
     assert_eq!(report.legs().len(), 3);
 }
@@ -87,20 +94,29 @@ fn cached_sweep_skips_profiling_and_clustering_and_counts_hits() {
     assert_eq!(cold.counters().clustering_passes, 1);
     assert_eq!(cold.counters().simulate_legs, 3, "cold run simulates every leg");
     assert_eq!(cold.counters().simulated_cache_hits, 0);
+    assert_eq!(
+        cold.counters().trace_walks,
+        w.num_threads(),
+        "cold sweep: one fused walk per thread covers profiling and warmup"
+    );
     let stats = cache.stats();
     assert_eq!((stats.profile_misses, stats.selection_misses), (1, 1));
     assert_eq!(stats.simulated_misses, 3);
 
     let warm = run_sweep();
-    assert_eq!(warm.counters().profile_passes, 0, "profile served from cache");
+    assert_eq!(warm.counters().profile_passes, 0, "no profiling needed");
     assert_eq!(warm.counters().clustering_passes, 0, "selection served from cache");
     assert_eq!(warm.counters().simulate_legs, 0, "warm re-sweep executes zero simulate legs");
     assert_eq!(warm.counters().warmup_collections, 0, "no uncached leg, no trace walk");
+    assert_eq!(warm.counters().trace_walks, 0, "warm re-sweep generates zero traces");
     assert_eq!(warm.counters().simulated_cache_hits, 3, "every leg served from cache");
     // Same process, same cache: the warm re-sweep is served entirely by the
-    // memory tier — zero disk decodes.
+    // memory tier — zero disk decodes.  The selection key is derivable from
+    // the configuration alone, so the profile is not even *looked up* once
+    // the selection is cached.
     let stats = cache.stats();
-    assert_eq!((stats.profile_memory_hits, stats.selection_memory_hits), (1, 1));
+    assert_eq!((stats.profile_memory_hits, stats.selection_memory_hits), (0, 1));
+    assert_eq!(stats.profile_misses, 1, "the profile was only probed by the cold run");
     assert_eq!(stats.simulated_memory_hits, 3);
     assert_eq!(stats.disk_hits(), 0, "write-through stores mean the disk tier is never read");
     // Counters differ by design (1 pass vs 0); the artifacts must not.
@@ -119,13 +135,14 @@ fn cached_sweep_skips_profiling_and_clustering_and_counts_hits() {
     };
     assert_eq!(disk_warm.counters().simulate_legs, 0);
     let stats = disk_cache.stats();
-    assert_eq!((stats.profile_hits, stats.selection_hits), (1, 1));
+    assert_eq!((stats.profile_hits, stats.selection_hits), (0, 1), "profile never read");
     assert_eq!(stats.simulated_hits, 3);
     assert_eq!(stats.memory_hits(), 0, "cold memory tier: everything decoded from disk");
     assert_eq!(disk_warm.legs(), warm.legs(), "both tiers reproduce the sweep bit for bit");
 
     // A third sweep extending the matrix with a new design point is
-    // incremental: only the new leg simulates.
+    // incremental: only the new leg simulates, and only the warmup walk for
+    // that leg touches the traces (the profile stays untouched).
     let mut extended = Sweep::new(&w).with_cache(cache.clone());
     for (label, machine) in machine_matrix(2) {
         extended = extended.add_config(label, machine);
@@ -135,7 +152,50 @@ fn cached_sweep_skips_profiling_and_clustering_and_counts_hits() {
     let extended = extended.add_config("tiny-llc", tiny_llc).run().unwrap();
     assert_eq!(extended.counters().simulate_legs, 1, "only the new design point simulates");
     assert_eq!(extended.counters().simulated_cache_hits, 3);
+    assert_eq!(extended.counters().profile_passes, 0);
+    assert_eq!(
+        extended.counters().trace_walks,
+        w.num_threads(),
+        "matrix extension pays exactly one warmup collection walk per thread"
+    );
     assert_eq!(extended.legs()[..3], *cold.legs(), "old legs are reproduced bit for bit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cached_selection_makes_the_profile_unnecessary() {
+    // The selection cache key is derivable from the configuration alone, so
+    // a sweep whose selection is cached must not re-profile even when the
+    // profile artifact itself has been evicted — the pre-refactor flow
+    // re-walked every trace to rebuild an artifact the sweep never reads.
+    let dir = std::env::temp_dir().join(format!("bp-sweep-noprof-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let w = workload(2);
+    let run_sweep = |cache: &ArtifactCache| {
+        let mut sweep = Sweep::new(&w).with_cache(cache.clone());
+        for (label, machine) in machine_matrix(2) {
+            sweep = sweep.add_config(label, machine);
+        }
+        sweep.run().unwrap()
+    };
+    let cold = run_sweep(&ArtifactCache::new(&dir));
+
+    // Evict the profile behind the cache's back; keep selection and legs.
+    let mut removed = 0;
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        if entry.path().extension().is_some_and(|e| e == "bpprof") {
+            std::fs::remove_file(entry.path()).unwrap();
+            removed += 1;
+        }
+    }
+    assert_eq!(removed, 1, "exactly one profile entry existed");
+
+    let fresh = ArtifactCache::new(&dir); // cold memory tier, no profile on disk
+    let warm = run_sweep(&fresh);
+    assert_eq!(warm.counters().profile_passes, 0, "no re-profiling without a profile entry");
+    assert_eq!(warm.counters().trace_walks, 0);
+    assert_eq!(fresh.stats().profile_misses, 0, "the profile was never even probed");
+    assert_eq!(warm.legs(), cold.legs());
     std::fs::remove_dir_all(&dir).ok();
 }
 
