@@ -26,9 +26,9 @@
 //! one explicit sample loop (one untimed warmup + 5 timed runs), like the
 //! profiling bench.
 
-use barrierpoint::{ArtifactCache, BarrierPoint, ExecutionPolicy, Sweep, WorkerBudget};
+use barrierpoint::{ArtifactCache, BarrierPoint, ExecutionPolicy, SimConfig, Sweep, WorkerBudget};
 use bp_bench::{sweep_machine_variants, ExperimentConfig};
-use bp_workload::Benchmark;
+use bp_workload::{Benchmark, Workload, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::{Duration, Instant};
 
@@ -97,6 +97,17 @@ fn bench_sweep(_c: &mut Criterion) {
     let budget = WorkerBudget::for_policy(&policy);
     let warmup_collections = std::cell::Cell::new(0usize);
     let cold_trace_walks = std::cell::Cell::new(0usize);
+    let fused_snapshot_bytes = std::cell::Cell::new(0u64);
+    // The worst case the interval-sharing bank replaced: one raw
+    // (line, dirty_depth) entry per boundary per resident line, i.e.
+    // threads x regions x collection-capacity x 16 bytes.
+    let collection_capacity = variants
+        .iter()
+        .map(|(_, machine)| machine.memory.llc_total_lines(machine.num_cores))
+        .max()
+        .unwrap_or(1);
+    let raw_snapshot_worst_case =
+        cores as u64 * workload.num_regions() as u64 * collection_capacity * 16;
     let staged = median(&|| {
         let report = build_sweep(None).with_shared_budget(budget.clone()).run().unwrap();
         assert_eq!(report.counters().profile_passes, 1);
@@ -113,13 +124,69 @@ fn bench_sweep(_c: &mut Criterion) {
             cores,
             "fused cold sweep must walk each trace once"
         );
+        // CI smoke assertion: the fused pass was taken (a real snapshot
+        // bank was built) and interval sharing holds its size far below
+        // the per-boundary worst case that used to trip the byte cap.
+        assert!(
+            report.counters().fused_snapshot_bytes > 0,
+            "cold sweep must report the fused bank's actual snapshot bytes"
+        );
+        // The quick config pairs a tiny LLC with a working set that exceeds
+        // it, so the recency lists churn almost fully between boundaries —
+        // near the encoding's worst case.  Even there the bank must stay
+        // below half the raw-snapshot bound; the big win is asserted on the
+        // realistically-sized 32-thread sweep below.
+        assert!(
+            report.counters().fused_snapshot_bytes < raw_snapshot_worst_case / 2,
+            "interval sharing must stay below the per-boundary worst case \
+             ({} >= {raw_snapshot_worst_case} / 2)",
+            report.counters().fused_snapshot_bytes
+        );
         warmup_collections.set(report.counters().warmup_collections);
         cold_trace_walks.set(report.counters().trace_walks);
+        fused_snapshot_bytes.set(report.counters().fused_snapshot_bytes);
     });
     let warmup_collections = warmup_collections.get();
     let cold_trace_walks = cold_trace_walks.get();
+    let fused_snapshot_bytes = fused_snapshot_bytes.get();
     let steal_count = budget.steal_count();
     println!("sweep/staged_single_pass {staged:>45.2?}");
+
+    // Cold sweep at heavy oversubscription: 32 application threads on this
+    // host, two machine configs.  Exercises the interval bank where the
+    // per-boundary encoding hurt most (32 recency lists snapshotted at
+    // every boundary) and pins the fused-walk economy at scale.
+    let wide_workload = Benchmark::NpbCg.build(&WorkloadConfig::new(32).with_scale(0.02));
+    // The paper-scaled memory hierarchy: an LLC the per-region working set
+    // does NOT fully churn, i.e. the case where per-boundary snapshots paid
+    // `threads x regions x capacity` for state that barely changed — the
+    // sweeps the old 512 MiB byte cap used to push back onto two walks.
+    let wide_base = SimConfig::scaled(32);
+    let mut wide_small = wide_base;
+    wide_small.memory.l3.size_bytes /= 4;
+    let cold_32t = median(&|| {
+        let report = Sweep::new(&wide_workload)
+            .with_execution_policy(policy)
+            .add_config("base", wide_base)
+            .add_config("small-llc", wide_small)
+            .run()
+            .unwrap();
+        let counters = report.counters();
+        // CI smoke assertions: fused path taken, one walk per thread.
+        assert_eq!(counters.trace_walks, 32, "cold 32-thread sweep must walk each trace once");
+        assert_eq!(counters.warmup_collections, 1);
+        assert!(counters.fused_snapshot_bytes > 0, "32-thread sweep must take the fused path");
+        let worst = 32u64
+            * wide_workload.num_regions() as u64
+            * wide_base.memory.llc_total_lines(wide_base.num_cores)
+            * 16;
+        assert!(
+            counters.fused_snapshot_bytes < worst / 4,
+            "interval sharing must hold at 32 threads ({} >= {worst} / 4)",
+            counters.fused_snapshot_bytes
+        );
+    });
+    println!("sweep/cold_32_threads {cold_32t:>48.2?}");
 
     // Populate the disk tier once, then time the disk-tier warm case: a
     // fresh cache handle per run (cold memory, warm disk) — the "new
@@ -206,8 +273,10 @@ fn bench_sweep(_c: &mut Criterion) {
          \"policy\": \"{}\",\n  \
          \"monolithic_per_config_ns\": {},\n  \"sweep_ns\": {},\n  \"sweep_cached_ns\": {},\n  \
          \"sweep_memory_ns\": {},\n  \"sweep_memory_interned_ns\": {},\n  \
+         \"cold_32t_sweep_ns\": {},\n  \
          \"stage_profile_ns\": {},\n  \"stage_cluster_ns\": {},\n  \
          \"cold_trace_walks\": {cold_trace_walks},\n  \
+         \"fused_snapshot_bytes\": {fused_snapshot_bytes},\n  \
          \"warmup_collections\": {warmup_collections},\n  \
          \"steal_count\": {steal_count},\n  \
          \"simulated_cache_hits\": {simulated_cache_hits},\n  \
@@ -222,6 +291,7 @@ fn bench_sweep(_c: &mut Criterion) {
         cached.as_nanos(),
         memory_cached.as_nanos(),
         memory_interned.as_nanos(),
+        cold_32t.as_nanos(),
         profile_stage.as_nanos(),
         cluster_stage.as_nanos(),
         monolithic.as_secs_f64() / staged.as_secs_f64().max(1e-12),

@@ -380,78 +380,118 @@ struct MemoryEntry {
     last_used: u64,
 }
 
-/// The in-process tier: decoded artifacts behind one mutex, shared by every
-/// clone of an [`ArtifactCache`].  All operations are O(entries) at worst
-/// (eviction scans), which is negligible next to the decode work the tier
-/// exists to skip.
-#[derive(Debug, Default)]
+/// Number of lock shards in the memory tier.  A power of two so the shard
+/// pick is a mask; small enough that the (rare, byte-bounded-only) global
+/// eviction scan stays cheap.
+const MEMORY_SHARDS: usize = 16;
+
+/// Sentinel for an unbounded memory tier in the atomic `max_bytes` word.
+const MEMORY_UNBOUNDED: u64 = u64::MAX;
+
+/// The in-process tier: decoded artifacts sharded by key hash across
+/// [`MEMORY_SHARDS`] mutexes, shared by every clone of an
+/// [`ArtifactCache`].  The warm interned sweep path hits this tier several
+/// times per sub-microsecond run, so a lookup takes exactly one shard lock
+/// (plus two relaxed atomics) instead of the old tier-wide mutex that
+/// serialized every concurrent leg.  The LRU clock and byte accounting are
+/// tier-wide atomics, so eviction order is still global across shards.
+#[derive(Debug)]
 struct MemoryTier {
-    state: Mutex<MemoryState>,
+    shards: Vec<Mutex<HashMap<MemoryKey, MemoryEntry>>>,
+    /// Tier-wide LRU clock; entries stamp `last_used` from it on hit/insert.
+    tick: AtomicU64,
+    /// Sum of `bytes` over all shards' entries.
+    total_bytes: AtomicU64,
+    /// Byte bound ([`MEMORY_UNBOUNDED`] = no bound).
+    max_bytes: AtomicU64,
 }
 
-#[derive(Debug, Default)]
-struct MemoryState {
-    entries: HashMap<MemoryKey, MemoryEntry>,
-    total_bytes: u64,
-    tick: u64,
-    max_bytes: Option<u64>,
+impl Default for MemoryTier {
+    fn default() -> Self {
+        Self {
+            shards: (0..MEMORY_SHARDS).map(|_| Mutex::default()).collect(),
+            tick: AtomicU64::new(0),
+            total_bytes: AtomicU64::new(0),
+            max_bytes: AtomicU64::new(MEMORY_UNBOUNDED),
+        }
+    }
 }
 
 impl MemoryTier {
+    fn shard(&self, key: &MemoryKey) -> &Mutex<HashMap<MemoryKey, MemoryEntry>> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize & (MEMORY_SHARDS - 1)]
+    }
+
     /// Looks up `key`, marking the entry most recently used on a hit.
     fn get(&self, key: &MemoryKey) -> Option<MemoryArtifact> {
-        let mut state = self.state.lock().expect("memory tier lock");
-        state.tick += 1;
-        let tick = state.tick;
-        let entry = state.entries.get_mut(key)?;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shard(key).lock().expect("memory tier shard lock");
+        let entry = shard.get_mut(key)?;
         entry.last_used = tick;
         Some(entry.artifact.clone())
     }
 
     /// Inserts (or replaces) `key`, then enforces the byte bound by dropping
-    /// least-recently-used entries.  Unlike the disk tier, an entry that on
-    /// its own exceeds the bound is not retained — which also makes a bound
-    /// of `0` an exact "memory tier off" switch.
+    /// least-recently-used entries across all shards.  Unlike the disk tier,
+    /// an entry that on its own exceeds the bound is not retained — which
+    /// also makes a bound of `0` an exact "memory tier off" switch.
     fn insert(&self, key: MemoryKey, artifact: MemoryArtifact, bytes: u64, evictions: &AtomicU64) {
-        let mut state = self.state.lock().expect("memory tier lock");
-        state.tick += 1;
-        let tick = state.tick;
-        if state.max_bytes.is_some_and(|max_bytes| bytes > max_bytes) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let max_bytes = self.max_bytes.load(Ordering::Relaxed);
+        if bytes > max_bytes {
             // The entry alone exceeds the bound: it is never retained (and
             // must not flush everything else out first trying to make room).
             // Dropping any stale value under the key is not an eviction, and
             // neither is declining the insert.
-            if let Some(old) = state.entries.remove(&key) {
-                state.total_bytes -= old.bytes;
+            let mut shard = self.shard(&key).lock().expect("memory tier shard lock");
+            if let Some(old) = shard.remove(&key) {
+                self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
             }
             return;
         }
-        if let Some(old) =
-            state.entries.insert(key.clone(), MemoryEntry { artifact, bytes, last_used: tick })
         {
-            state.total_bytes -= old.bytes;
+            let mut shard = self.shard(&key).lock().expect("memory tier shard lock");
+            if let Some(old) =
+                shard.insert(key.clone(), MemoryEntry { artifact, bytes, last_used: tick })
+            {
+                self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+            }
         }
-        state.total_bytes += bytes;
-        let Some(max_bytes) = state.max_bytes else { return };
-        while state.total_bytes > max_bytes {
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if max_bytes == MEMORY_UNBOUNDED {
+            return;
+        }
+        while self.total_bytes.load(Ordering::Relaxed) > max_bytes {
             // A victim always exists here: the new entry fits the bound on
             // its own, so exceeding it requires at least one other entry.
-            let victim = state
-                .entries
-                .iter()
-                .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(k, _)| k.clone());
-            let Some(victim) = victim else { break };
-            if let Some(entry) = state.entries.remove(&victim) {
-                state.total_bytes -= entry.bytes;
+            // The scan takes one shard lock at a time; eviction order stays
+            // globally least-recently-used via the tier-wide clock.
+            let mut victim: Option<(usize, MemoryKey, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard = shard.lock().expect("memory tier shard lock");
+                for (k, entry) in shard.iter() {
+                    if *k == key {
+                        continue;
+                    }
+                    if victim.as_ref().is_none_or(|(_, _, used)| entry.last_used < *used) {
+                        victim = Some((i, k.clone(), entry.last_used));
+                    }
+                }
+            }
+            let Some((i, victim_key, _)) = victim else { break };
+            let mut shard = self.shards[i].lock().expect("memory tier shard lock");
+            if let Some(entry) = shard.remove(&victim_key) {
+                self.total_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
                 evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
     fn set_max_bytes(&self, max_bytes: Option<u64>) {
-        self.state.lock().expect("memory tier lock").max_bytes = max_bytes;
+        self.max_bytes.store(max_bytes.unwrap_or(MEMORY_UNBOUNDED), Ordering::Relaxed);
     }
 }
 

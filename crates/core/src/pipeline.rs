@@ -166,16 +166,65 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
     /// attached) and returns the [`Profiled`] stage, from which
     /// [`Profiled::select`] and [`Selected::simulate`] continue the chain.
     ///
+    /// A cold profile under [`WarmupKind::MruReplay`] joins the fused
+    /// economy: the one trace walk per thread also feeds an interval-sharing
+    /// MRU snapshot bank (collected at the effective machine's LLC
+    /// capacity), which [`Selected::simulate`] then serves warmup from —
+    /// no dedicated collection walk.  A cache-served profile skips the walk
+    /// entirely and carries no bank.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::EmptyWorkload`] for a workload with no regions and
     /// [`Error::ProfileCache`] for cache I/O failures.
     pub fn profile(self) -> Result<Profiled<'a, W>, Error> {
-        let (profile, was_cached) = match &self.cache {
-            Some(cache) => cache.load_or_profile(self.workload, &self.execution)?,
-            None => (Arc::new(profile_application_with(self.workload, &self.execution)?), false),
-        };
-        Ok(Profiled { pipeline: self, profile, was_cached })
+        let cache = self.cache.clone();
+        if let Some(cache) = &cache {
+            let key = crate::cache::ProfileCacheKey::for_workload(self.workload);
+            if let Some(profile) = cache.probe_profile(&key)? {
+                return Ok(Profiled {
+                    pipeline: self,
+                    profile,
+                    was_cached: true,
+                    warmup_bank: None,
+                });
+            }
+            let (profile, bank) = self.compute_profile()?;
+            cache.store_profile_arc(&key, &profile)?;
+            let profiled =
+                Profiled { pipeline: self, profile, was_cached: false, warmup_bank: None };
+            return Ok(match bank {
+                Some(bank) => profiled.with_warmup_bank(Arc::new(bank)),
+                None => profiled,
+            });
+        }
+        let (profile, bank) = self.compute_profile()?;
+        let profiled = Profiled { pipeline: self, profile, was_cached: false, warmup_bank: None };
+        Ok(match bank {
+            Some(bank) => profiled.with_warmup_bank(Arc::new(bank)),
+            None => profiled,
+        })
+    }
+
+    /// The cold profiling pass: fused with MRU warmup collection over every
+    /// region boundary when the configured warmup replays MRU state, a plain
+    /// signature pass otherwise.
+    fn compute_profile(
+        &self,
+    ) -> Result<(Arc<ApplicationProfile>, Option<bp_warmup::MruSnapshotBank>), Error> {
+        if self.warmup == WarmupKind::MruReplay {
+            let sim_config = self.effective_sim_config();
+            let capacity = sim_config.memory.llc_total_lines(sim_config.num_cores);
+            let (profile, bank) = crate::profile::profile_and_collect_warmup(
+                self.workload,
+                &[capacity],
+                &self.execution,
+                None,
+            )?;
+            Ok((Arc::new(profile), Some(bank)))
+        } else {
+            Ok((Arc::new(profile_application_with(self.workload, &self.execution)?), None))
+        }
     }
 
     /// Runs profiling and barrierpoint selection — shorthand for

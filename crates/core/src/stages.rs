@@ -30,6 +30,7 @@ use crate::select::{select_barrierpoints, BarrierPointSelection};
 use crate::simulate::{BarrierPointMetrics, WarmupKind};
 use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_sim::SimConfig;
+use bp_warmup::MruSnapshotBank;
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -48,12 +49,31 @@ pub struct Profiled<'a, W: Workload + ?Sized> {
     pub(crate) pipeline: BarrierPoint<'a, W>,
     pub(crate) profile: Arc<ApplicationProfile>,
     pub(crate) was_cached: bool,
+    pub(crate) warmup_bank: Option<Arc<MruSnapshotBank>>,
 }
 
 impl<'a, W: Workload + ?Sized> Profiled<'a, W> {
     /// The profiling artifact (serializable, machine-independent).
     pub fn profile(&self) -> &ApplicationProfile {
         &self.profile
+    }
+
+    /// Attaches an interval-sharing MRU snapshot bank collected from this
+    /// profile's workload, so downstream [`Selected::simulate`] legs serve
+    /// their warmup from it instead of running a dedicated collection walk.
+    ///
+    /// [`BarrierPoint::profile`](crate::BarrierPoint::profile) attaches the
+    /// bank of a cold fused pass automatically; this hook exists for callers
+    /// who ran [`profile_and_collect_warmup`](crate::profile_and_collect_warmup)
+    /// themselves.
+    pub fn with_warmup_bank(mut self, bank: Arc<MruSnapshotBank>) -> Self {
+        self.warmup_bank = Some(bank);
+        self
+    }
+
+    /// The attached MRU snapshot bank, if any.
+    pub fn warmup_bank(&self) -> Option<&Arc<MruSnapshotBank>> {
+        self.warmup_bank.as_ref()
     }
 
     /// Extracts the bare artifact, dropping the pipeline binding (cloning
@@ -103,6 +123,7 @@ impl<'a, W: Workload + ?Sized> Profiled<'a, W> {
             profile_was_cached: self.was_cached,
             selection,
             selection_was_cached,
+            warmup_bank: self.warmup_bank,
         })
     }
 }
@@ -118,6 +139,7 @@ pub struct Selected<'a, W: Workload + ?Sized> {
     profile_was_cached: bool,
     selection: Arc<BarrierPointSelection>,
     selection_was_cached: bool,
+    warmup_bank: Option<Arc<MruSnapshotBank>>,
 }
 
 impl<'a, W: Workload + ?Sized> Selected<'a, W> {
@@ -208,27 +230,54 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
                     self.pipeline.warmup(),
                 );
                 let (simulated, _was_cached) = cache.load_or_simulate(&key, || {
+                    let payload = self.fused_payload(workload, sim_config);
                     self.simulate_on_with(
                         workload,
                         sim_config,
                         self.pipeline.execution_policy(),
                         None,
-                        None,
+                        payload.as_ref(),
                     )
                     .map(Arc::new)
                 })?;
                 Ok(simulated)
             }
-            None => self
-                .simulate_on_with(
+            None => {
+                let payload = self.fused_payload(workload, sim_config);
+                self.simulate_on_with(
                     workload,
                     sim_config,
                     self.pipeline.execution_policy(),
                     None,
-                    None,
+                    payload.as_ref(),
                 )
-                .map(Arc::new),
+                .map(Arc::new)
+            }
         }
+    }
+
+    /// The warmup payload this leg can serve from the fused profiling walk's
+    /// snapshot bank, if the bank applies: MRU warmup, same workload content
+    /// the bank was collected from, and an LLC capacity within the bank's
+    /// collection capacity.  `None` means the leg collects its own warmup
+    /// (one dedicated walk per thread).
+    fn fused_payload<V: Workload + ?Sized>(
+        &self,
+        workload: &V,
+        sim_config: &SimConfig,
+    ) -> Option<std::collections::HashMap<usize, bp_warmup::MruWarmupData>> {
+        let bank = self.warmup_bank.as_deref()?;
+        if self.pipeline.warmup() != WarmupKind::MruReplay {
+            return None;
+        }
+        let capacity = sim_config.memory.llc_total_lines(sim_config.num_cores);
+        if capacity > bank.collection_capacity() {
+            return None;
+        }
+        if workload.profile_fingerprint() != self.pipeline.workload().profile_fingerprint() {
+            return None;
+        }
+        Some(bank.assemble(&self.selection.barrierpoint_regions(), capacity))
     }
 
     /// The cache key a [`simulate_on`](Self::simulate_on) leg would use.

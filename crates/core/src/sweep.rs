@@ -110,11 +110,6 @@ struct PointKeyParts {
     llc_capacity: u64,
 }
 
-/// Worst-case bytes of raw MRU snapshot state a fused cold pass may retain
-/// (`threads × regions × capacity × 16`); above this the sweep falls back to
-/// separate profiling and warmup passes rather than risk the memory.
-const FUSED_SNAPSHOT_BYTE_CAP: u64 = 512 << 20;
-
 /// A design-space sweep over one workload: profile once, select once, then
 /// simulate and reconstruct every configured design point.
 ///
@@ -321,13 +316,12 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                         profile_passes = 1;
                         trace_walks += base_threads;
                         let base_capacities = base_capacities(statics, base_fp);
-                        let fuse = warmup == WarmupKind::MruReplay
-                            && !base_capacities.is_empty()
-                            && fused_snapshot_bytes(
-                                base_threads,
-                                workload.num_regions(),
-                                &base_capacities,
-                            ) <= FUSED_SNAPSHOT_BYTE_CAP;
+                        // The interval-sharing snapshot bank scales with
+                        // eviction/write activity between boundaries, not
+                        // `threads × regions × capacity`, so the fused pass
+                        // no longer needs the old 512 MiB byte-cap fallback
+                        // onto two separate walks — fusing is unconditional.
+                        let fuse = warmup == WarmupKind::MruReplay && !base_capacities.is_empty();
                         let profile = if fuse {
                             let (profile, bank) = crate::profile::profile_and_collect_warmup(
                                 workload,
@@ -544,6 +538,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             simulate_legs: missing.len(),
             simulated_cache_hits,
             trace_walks,
+            fused_snapshot_bytes: fused_bank.as_ref().map_or(0, |bank| bank.snapshot_bytes()),
         };
         let legs = self
             .labels
@@ -614,13 +609,6 @@ fn base_capacities(statics: &StaticKeys, base_fp: u64) -> Vec<u64> {
     capacities
 }
 
-/// Worst-case bytes of raw snapshot state a fused pass over `threads`
-/// threads and `regions` boundaries would retain at the largest capacity.
-fn fused_snapshot_bytes(threads: usize, regions: usize, capacities: &[u64]) -> u64 {
-    let capacity = capacities.iter().copied().max().unwrap_or(1).max(1);
-    (threads as u64).saturating_mul(regions as u64).saturating_mul(capacity).saturating_mul(16)
-}
-
 /// How many times each pipeline stage actually executed during a sweep.
 ///
 /// With an [`ArtifactCache`](crate::ArtifactCache) attached, *every* stage
@@ -662,6 +650,13 @@ pub struct SweepCounters {
     /// the leg workload's thread count per dedicated warmup collection of a
     /// cross-content leg, and is zero for a warm re-sweep.
     pub trace_walks: usize,
+    /// Bytes of interval-encoded MRU snapshot state the fused cold pass
+    /// actually retained (zero when no fused pass ran).  The old
+    /// per-boundary bank retained `threads × regions × capacity × 16` bytes
+    /// worst case and fell back to two separate walks above a 512 MiB cap;
+    /// the interval bank scales with the eviction/write activity between
+    /// boundaries instead, so the cap — and the fallback walk — are gone.
+    pub fused_snapshot_bytes: u64,
 }
 
 /// One completed design-point leg of a sweep.
@@ -785,8 +780,9 @@ mod tests {
         // base and fast differ only in clock speed, so one warmup
         // collection serves both legs — and the fused cold pass folds that
         // collection into the profiling walk: one trace walk per thread.
+        let counters = report.counters();
         assert_eq!(
-            report.counters(),
+            counters,
             SweepCounters {
                 profile_passes: 1,
                 clustering_passes: 1,
@@ -794,8 +790,10 @@ mod tests {
                 simulate_legs: 2,
                 simulated_cache_hits: 0,
                 trace_walks: 2,
+                fused_snapshot_bytes: counters.fused_snapshot_bytes,
             }
         );
+        assert!(counters.fused_snapshot_bytes > 0, "fused pass reports its snapshot bytes");
         assert_eq!(report.legs().len(), 2);
         assert_eq!(report.workload_name(), "npb-is");
         assert!(report.predicted_speedup("base", "fast").unwrap() > 1.0);

@@ -55,33 +55,56 @@ pub struct WorkerBudget {
     inner: Arc<BudgetInner>,
 }
 
+/// Bit layout of [`BudgetInner::state`]: `epoch << 48 | releases << 16 |
+/// permits`.  Everything steal classification needs lives in one word, so a
+/// single CAS observes permits, the in-epoch release count, and the
+/// quiescence epoch *at the same instant* — there is no window in which a
+/// quiescence transition and a concurrent release can be observed in
+/// different orders by different threads (the linearizability gap the old
+/// two-counter baseline scheme merely narrowed).
+const PERMIT_BITS: u32 = 16;
+const RELEASE_BITS: u32 = 32;
+const PERMIT_MASK: u64 = (1 << PERMIT_BITS) - 1;
+const RELEASE_MASK: u64 = (1 << RELEASE_BITS) - 1;
+const RELEASE_SHIFT: u32 = PERMIT_BITS;
+const EPOCH_SHIFT: u32 = PERMIT_BITS + RELEASE_BITS;
+
 #[derive(Debug)]
 struct BudgetInner {
-    permits: AtomicUsize,
+    /// Packed `(epoch, releases-in-epoch, permits)` word — see the layout
+    /// constants above.  `permits` is the number of free helper permits;
+    /// `releases` counts [`WorkerBudget::release`] calls since the pool was
+    /// last quiescent (every permit home); `epoch` increments at each
+    /// quiescent instant, in the *same* CAS that returns the final permit
+    /// and zeroes the release count, so an acquire can classify itself as a
+    /// steal (`releases > 0`) from the very word its CAS succeeded against.
+    state: AtomicU64,
     total: usize,
-    /// Monotonic count of every [`WorkerBudget::release`] call.  Never reset:
-    /// quiescence is recorded as a *baseline* in [`quiesced`](Self::quiesced)
-    /// instead, so a release racing with another thread's quiescence check can
-    /// never be silently wiped (the lost-update bug the old `store(0)` reset
-    /// had, which undercounted [`WorkerBudget::steal_count`]).
+    /// Monotonic count of every [`WorkerBudget::release`] call, never reset.
+    /// Not used for steal classification (the packed word is); kept as an
+    /// independent conservation check — the stress tests assert it equals
+    /// the number of successful acquires once all permits are home.
     released: AtomicU64,
-    /// The value of [`released`](Self::released) at the most recent quiescent
-    /// instant (every permit home).  An acquire is a *steal* iff some release
-    /// happened after that instant, i.e. `released > quiesced`.
-    quiesced: AtomicU64,
     steals: AtomicU64,
+}
+
+fn pack(epoch: u64, releases: u64, permits: u64) -> u64 {
+    (epoch << EPOCH_SHIFT) | (releases << RELEASE_SHIFT) | permits
 }
 
 impl WorkerBudget {
     /// A budget with `permits` helper permits (total concurrency of a fan-out
     /// tree sharing this budget is `permits + 1`).
     pub fn new(permits: usize) -> Self {
+        assert!(
+            permits as u64 <= PERMIT_MASK,
+            "worker budget of {permits} permits exceeds the packed-word field"
+        );
         Self {
             inner: Arc::new(BudgetInner {
-                permits: AtomicUsize::new(permits),
+                state: AtomicU64::new(permits as u64),
                 total: permits,
                 released: AtomicU64::new(0),
-                quiesced: AtomicU64::new(0),
                 steals: AtomicU64::new(0),
             }),
         }
@@ -103,9 +126,9 @@ impl WorkerBudget {
 
     /// Takes one helper permit if any is available.
     pub fn try_acquire(&self) -> bool {
-        let mut current = self.inner.permits.load(Ordering::Relaxed);
-        while current > 0 {
-            match self.inner.permits.compare_exchange_weak(
+        let mut current = self.inner.state.load(Ordering::Relaxed);
+        while current & PERMIT_MASK > 0 {
+            match self.inner.state.compare_exchange_weak(
                 current,
                 current - 1,
                 Ordering::AcqRel,
@@ -118,11 +141,12 @@ impl WorkerBudget {
                     // migrating into a still-busy fan-out.  Ramp-up acquires
                     // from a quiescent (full) pool are not counted, even
                     // when the budget is reused across sequential fan-outs.
-                    // Approximate by nature (scheduling-dependent), exact
-                    // enough to show the sharing is happening.
-                    if self.inner.released.load(Ordering::Relaxed)
-                        > self.inner.quiesced.load(Ordering::Relaxed)
-                    {
+                    // The classification reads the in-epoch release count
+                    // from `current`, the exact word this CAS succeeded
+                    // against, so it is linearized with the acquire itself:
+                    // no interleaving of releases and quiescence transitions
+                    // on other threads can misclassify it.
+                    if (current >> RELEASE_SHIFT) & RELEASE_MASK > 0 {
                         self.inner.steals.fetch_add(1, Ordering::Relaxed);
                     }
                     return true;
@@ -135,26 +159,45 @@ impl WorkerBudget {
 
     /// Returns one helper permit to the pool.
     pub fn release(&self) {
-        let rel = self.inner.released.fetch_add(1, Ordering::Relaxed) + 1;
-        let now = self.inner.permits.fetch_add(1, Ordering::AcqRel) + 1;
-        if now == self.inner.total {
-            // The pool is quiescent again — every fan-out drained.  Later
-            // acquires are ordinary ramp-up, not migration.  Record the
-            // release counter *as of this release* as the new baseline: at
-            // the quiescent instant no other release can be mid-flight (a
-            // releasing thread still holds its permit, so `permits` could
-            // not have reached `total`), which makes `rel` exact — and
-            // `fetch_max` keeps a delayed quiescer from regressing a newer
-            // baseline.  Nothing is ever wiped, so a release concurrent
-            // with this check (the old `store(0)` lost-update) still counts
-            // toward the next steal decision.
-            self.inner.quiesced.fetch_max(rel, Ordering::Relaxed);
+        self.inner.released.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.inner.state.load(Ordering::Relaxed);
+        loop {
+            let permits = (current & PERMIT_MASK) + 1;
+            debug_assert!(permits as usize <= self.inner.total, "release without acquire");
+            let epoch = current >> EPOCH_SHIFT;
+            let next = if permits as usize == self.inner.total {
+                // This release makes the pool quiescent — every fan-out
+                // drained.  Later acquires are ordinary ramp-up, not
+                // migration, so the epoch bump and the release-count reset
+                // happen *in this same CAS*: a concurrent release can only
+                // land before it (and be cleared, correctly — its permit was
+                // re-acquired before quiescence or is the one coming home)
+                // or after it (and count toward the new epoch).  The old
+                // two-word scheme had a window between returning the last
+                // permit and recording the baseline; this has none.
+                pack(epoch.wrapping_add(1) & (u64::MAX >> EPOCH_SHIFT), 0, permits)
+            } else {
+                // Saturate rather than wrap: the count is only ever compared
+                // against zero, and wrapping to zero after 2^32 in-epoch
+                // releases would misclassify real steals as ramp-up.
+                let releases = ((current >> RELEASE_SHIFT) & RELEASE_MASK).min(RELEASE_MASK - 1);
+                pack(epoch, releases + 1, permits)
+            };
+            match self.inner.state.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
         }
     }
 
     /// Permits currently available.
     pub fn available(&self) -> usize {
-        self.inner.permits.load(Ordering::Relaxed)
+        (self.inner.state.load(Ordering::Relaxed) & PERMIT_MASK) as usize
     }
 
     /// How many helper threads were recruited from a *partially drained*
@@ -487,35 +530,31 @@ mod tests {
         budget.release();
     }
 
-    /// Regression test for the quiescence-reset race: the old reset
-    /// (`released.store(0)`) could wipe a release that another thread had
-    /// just recorded, so the permit that release handed off mid-flight was
-    /// not counted as a steal.  The fix records quiescence as a monotonic
-    /// *baseline* (`quiesced.fetch_max(rel)`, with `rel` captured at the
-    /// quiescing release itself), so no increment is ever lost.  This test
-    /// replays the exact interleaving through the budget's primitives: a
-    /// quiescing thread stalled between returning the last permit and
-    /// marking quiescence, while other threads acquire and release in the
-    /// window.
+    /// Regression test for the quiescence-reset race: two generations of
+    /// the budget got this wrong.  The first reset (`released.store(0)`)
+    /// could wipe a release another thread had just recorded; the baseline
+    /// fix (`quiesced.fetch_max`) never lost an increment but still read
+    /// two separate words in `try_acquire`, so a quiescence transition and
+    /// a concurrent release could be observed out of order.  Now permits,
+    /// the in-epoch release count, and the epoch live in one packed word:
+    /// the quiescing release zeroes the count in the same CAS that returns
+    /// the last permit, and an acquire classifies itself from the very word
+    /// its own CAS succeeded against.  Replaying the racy schedule's
+    /// logical order through the public API must classify the mid-flight
+    /// hand-off as a steal and the post-quiescence ramp-up as not one.
     #[test]
     fn quiescence_marking_never_wipes_a_concurrent_release() {
         let budget = WorkerBudget::new(2);
         assert!(budget.try_acquire()); // thread A holds the only outstanding permit
+        budget.release(); // A: pool quiescent — epoch bump + count reset, atomically
 
-        // A's release, interrupted mid-flight: counter increment and permit
-        // return done (pool momentarily quiescent), baseline not yet marked.
-        let rel = budget.inner.released.fetch_add(1, Ordering::Relaxed) + 1;
-        budget.inner.permits.fetch_add(1, Ordering::AcqRel);
-
-        // In A's stall window: B and C acquire, then B releases — B's permit
-        // is now up for grabs mid-flight while C still works.
+        // A fresh fan-out ramps up on the quiescent pool: not stealing.
         assert!(budget.try_acquire()); // B
         assert!(budget.try_acquire()); // C
-        budget.release(); // B: released increments past A's captured value
+        assert_eq!(budget.steal_count(), 0, "ramp-up after quiescence is not a steal");
 
-        // A resumes and marks quiescence.  The old code stored 0 here,
-        // wiping B's release.
-        budget.inner.quiesced.fetch_max(rel, Ordering::Relaxed);
+        // B drains and hands its permit off mid-flight while C still works.
+        budget.release(); // B
 
         // D picks up B's mid-flight permit while C still holds one: a
         // genuine steal, and it must be counted.
@@ -524,50 +563,71 @@ mod tests {
         assert_eq!(
             budget.steal_count(),
             steals_before + 1,
-            "a release concurrent with quiescence marking must still count toward steals"
+            "a mid-flight permit hand-off must count as a steal"
         );
         budget.release(); // C
         budget.release(); // D
     }
 
-    /// The release counter is monotonic — nothing the quiescence marking
-    /// does may lose an increment, under any interleaving.  Hammer the
-    /// budget from many threads (every release racing every other and the
-    /// quiescence path) and check exact conservation afterwards; under the
-    /// old wiping reset this failed with near certainty.
+    /// The release counter is monotonic — nothing the quiescence epoch
+    /// transition does may lose an increment, under any interleaving.
+    /// Hammer the budget from many threads over several rounds (every
+    /// release racing every other and the quiescence CAS) and check exact
+    /// conservation after each round; under the original wiping reset this
+    /// failed with near certainty.  Each round also checks the packed-word
+    /// invariants at quiescence: the in-epoch release count is zero once
+    /// every permit is home, so the next fan-out's first acquire is
+    /// ramp-up, never a steal.
     #[test]
     fn release_counter_is_conserved_under_contention() {
         let budget = WorkerBudget::new(2);
         let threads = 4;
-        let iterations = 2_000u64;
-        let acquired: u64 = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let budget = budget.clone();
-                    scope.spawn(move || {
-                        let mut acquired = 0u64;
-                        for _ in 0..iterations {
-                            if budget.try_acquire() {
-                                acquired += 1;
-                                budget.release();
+        let iterations = 1_000u64;
+        let mut total_acquired = 0u64;
+        for round in 0..3 {
+            let acquired: u64 = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let budget = budget.clone();
+                        scope.spawn(move || {
+                            let mut acquired = 0u64;
+                            for _ in 0..iterations {
+                                if budget.try_acquire() {
+                                    acquired += 1;
+                                    budget.release();
+                                }
                             }
-                        }
-                        acquired
+                            acquired
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-        });
-        assert_eq!(budget.available(), 2, "all permits home");
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+            });
+            total_acquired += acquired;
+            assert_eq!(budget.available(), 2, "all permits home after round {round}");
+            let state = budget.inner.state.load(Ordering::Relaxed);
+            assert_eq!(
+                (state >> RELEASE_SHIFT) & RELEASE_MASK,
+                0,
+                "the closing release of round {round} zeroed the in-epoch count"
+            );
+            // Steal classification linearizes with the quiescence CAS: an
+            // acquire from the fully quiescent pool is never a steal, no
+            // matter how contended the round was.
+            let steals = budget.steal_count();
+            assert!(budget.try_acquire());
+            assert_eq!(
+                budget.steal_count(),
+                steals,
+                "post-quiescence ramp-up acquire misclassified as a steal in round {round}"
+            );
+            budget.release();
+            total_acquired += 1;
+        }
         assert_eq!(
             budget.inner.released.load(Ordering::Relaxed),
-            acquired,
+            total_acquired,
             "every release must be recorded exactly once — none wiped by quiescence"
-        );
-        assert!(
-            budget.inner.quiesced.load(Ordering::Relaxed)
-                <= budget.inner.released.load(Ordering::Relaxed),
-            "the quiescence baseline can never run ahead of the release counter"
         );
     }
 

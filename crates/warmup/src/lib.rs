@@ -25,10 +25,20 @@
 //!
 //! Collection rides `bp-workload`'s trace-observer engine:
 //! [`MruThreadObserver`] consumes one thread's stream from
-//! [`bp_workload::drive`], snapshotting raw recency state at any set of
-//! region boundaries, and [`MruSnapshotBank`] assembles those snapshots
-//! into [`MruWarmupData`] for any boundary subset at any capacity up to
-//! the collection capacity.  Driven alone the observer reproduces the
+//! [`bp_workload::drive`] and records the recency state *by residency
+//! interval* — one record per cache line per span of consecutive
+//! boundaries over which that line sat untouched in the recency list,
+//! rather than a full raw snapshot at every boundary.  A line's recorded
+//! `(access order, dirty depth)` pair can only change at its own
+//! accesses, so one interval record reproduces the line's contribution to
+//! every boundary it covers; bank size therefore scales with the
+//! eviction/write *activity* between boundaries instead of
+//! `boundaries × capacity`.  [`MruSnapshotBank`] reconstructs any
+//! boundary's raw snapshot from the interval records and assembles
+//! [`MruWarmupData`] for any boundary subset at any capacity up to the
+//! collection capacity — bit-identical to [`PerBoundarySnapshotBank`],
+//! the retained per-boundary encoding that serves as the equivalence
+//! oracle in the test suite.  Driven alone the observer reproduces the
 //! dedicated pass (and stops the walk after its last boundary); driven
 //! next to `bp-signature`'s profiling observer it shares the single trace
 //! generation of a fused cold pass.  The collector's capacity-dependent
@@ -62,5 +72,6 @@ pub use apply::apply_warmup;
 pub use mru::{
     collect_mru_warmup, collect_mru_warmup_multi, collect_mru_warmup_multi_budgeted,
     collect_mru_warmup_with, MruCollector, MruSnapshotBank, MruThreadObserver, MruWarmupData,
+    PerBoundarySnapshotBank, PerBoundaryThreadObserver,
 };
 pub use strategy::WarmupStrategy;

@@ -1,7 +1,7 @@
 use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_workload::{BlockExecution, TraceObserver, Workload};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// The warmup payload of one barrierpoint: per core, the most recently used
 /// unique cache lines (least recent first) together with the most recent
@@ -51,6 +51,12 @@ impl MruWarmupData {
 #[derive(Debug, Clone, Copy)]
 struct LineState {
     seq: u64,
+    /// Monotonic per-thread access counter, assigned alongside `seq` but —
+    /// unlike `seq` — never renumbered by compaction.  Interval records
+    /// ([`MruThreadObserver`]) captured in different compaction epochs stay
+    /// comparable through it: among live lines, ordering by `tick` always
+    /// equals ordering by `seq`.
+    tick: u64,
     dirty_depth: u64,
 }
 
@@ -71,6 +77,9 @@ struct ThreadMruState {
     tree: Vec<u64>,
     /// Next sequence number (per thread; renumbered by compaction).
     next_seq: u64,
+    /// Next access tick (per thread; never renumbered — see
+    /// [`LineState::tick`]).
+    next_tick: u64,
 }
 
 impl ThreadMruState {
@@ -183,13 +192,18 @@ impl MruCollector {
         self.capacity_lines
     }
 
-    /// Records one access by `thread` to cache line `line`.
-    pub fn record(&mut self, thread: usize, line: u64, is_write: bool) {
+    /// Records one access by `thread` to cache line `line`, returning the
+    /// line this access evicted from the thread's recency list (if any) —
+    /// the signal interval-sharing snapshot consumers need to know a
+    /// residency ended.
+    pub fn record(&mut self, thread: usize, line: u64, is_write: bool) -> Option<u64> {
         let capacity = self.capacity_lines;
         let state = &mut self.threads[thread];
         state.maybe_compact();
         state.next_seq += 1;
+        state.next_tick += 1;
         let seq = state.next_seq;
+        let tick = state.next_tick;
         let dirty_depth = if is_write {
             // A write is in-residency at every capacity that still holds the
             // line — and re-enters the line dirty where it was evicted.
@@ -210,19 +224,22 @@ impl MruCollector {
                 None => u64::MAX,
             }
         };
-        if let Some(old) = state.by_line.insert(line, LineState { seq, dirty_depth }) {
+        if let Some(old) = state.by_line.insert(line, LineState { seq, tick, dirty_depth }) {
             state.by_seq.remove(&old.seq);
             state.unmark(old.seq);
         }
         state.by_seq.insert(seq, line);
         state.mark(seq);
+        let mut evicted = None;
         if state.by_seq.len() as u64 > capacity {
             if let Some((&oldest, &old_line)) = state.by_seq.iter().next() {
                 state.by_seq.remove(&oldest);
                 state.unmark(oldest);
                 state.by_line.remove(&old_line);
+                evicted = Some(old_line);
             }
         }
+        evicted
     }
 
     /// Walks every thread's trace of `region`, recording all its accesses.
@@ -271,8 +288,8 @@ impl MruCollector {
     }
 
     /// Raw per-thread recency state — `(line, dirty_depth)` least recent
-    /// first — from which [`MruSnapshotBank`] derives every requested
-    /// capacity's payload after the streaming pass.
+    /// first — from which [`PerBoundarySnapshotBank`] derives every
+    /// requested capacity's payload after the streaming pass.
     fn raw_thread_state(&self, thread: usize) -> Vec<(u64, u64)> {
         let state = &self.threads[thread];
         state
@@ -284,6 +301,13 @@ impl MruCollector {
             })
             .collect()
     }
+
+    /// The `(tick, dirty_depth)` of `line`'s current residency on `thread`,
+    /// or `None` if the line is not live — what an interval record captures
+    /// when a residency span opens at a boundary.
+    fn residency_state(&self, thread: usize, line: u64) -> Option<(u64, u64)> {
+        self.threads[thread].by_line.get(&line).map(|s| (s.tick, s.dirty_depth))
+    }
 }
 
 /// Derives one capacity's per-thread payload from a raw `(line, dirty_depth)`
@@ -293,27 +317,24 @@ fn truncate_raw(raw: &[(u64, u64)], capacity: u64) -> Vec<(u64, bool)> {
     raw[skip..].iter().map(|&(line, depth)| (line, depth < capacity)).collect()
 }
 
-/// [`TraceObserver`] that collects one thread's MRU warmup state from a
-/// single walk of the thread's trace, snapshotting the raw recency list at
-/// each requested region boundary.
+/// The historical per-boundary warmup observer, retained verbatim as the
+/// test oracle for the interval-sharing [`MruThreadObserver`]: it snapshots
+/// the *full* raw recency list at every requested boundary, so its bank
+/// grows as `boundaries × capacity` regardless of how little the cache
+/// contents change between boundaries.
 ///
-/// This is the warmup consumer of the trace-observer engine
-/// ([`bp_workload::drive`]): driven alone it reproduces the historical
-/// dedicated collection pass (and stops the walk after its last boundary);
-/// driven next to `bp-signature`'s profiling observer it shares the one
-/// trace generation of a fused cold pass.  Hand the finished observers of
-/// all threads to [`MruSnapshotBank::from_observers`] to assemble
-/// [`MruWarmupData`] for any target subset at any capacity up to the
-/// collection capacity.
+/// Production code uses [`MruThreadObserver`]; this observer exists so
+/// equivalence tests can pin the interval encoding against the simplest
+/// possible formulation on any workload, boundary subset, and capacity.
 #[derive(Debug)]
-pub struct MruThreadObserver {
+pub struct PerBoundaryThreadObserver {
     collector: MruCollector,
     boundaries: Vec<usize>,
     next: usize,
     snapshots: Vec<Vec<(u64, u64)>>,
 }
 
-impl MruThreadObserver {
+impl PerBoundaryThreadObserver {
     /// Creates an observer snapshotting at `boundaries` (deduplicated and
     /// sorted internally; a boundary `r` snapshot reflects all accesses of
     /// regions `0..r`), collecting at `collection_capacity` lines.
@@ -330,7 +351,7 @@ impl MruThreadObserver {
     }
 }
 
-impl TraceObserver for MruThreadObserver {
+impl TraceObserver for PerBoundaryThreadObserver {
     fn enter_region(&mut self, region: usize) {
         if self.boundaries.get(self.next) == Some(&region) {
             self.snapshots.push(self.collector.raw_thread_state(0));
@@ -355,24 +376,19 @@ impl TraceObserver for MruThreadObserver {
     }
 }
 
-/// The raw multi-boundary MRU state of a whole application — one
-/// [`MruThreadObserver`] walk per thread — from which the warmup payload of
-/// *any* boundary subset at *any* capacity (up to the collection capacity)
-/// is assembled by truncation, without re-walking any trace.
-///
-/// This is what makes the fused cold pass possible: when a sweep must
-/// profile (so the barrierpoint selection is not known yet), the observers
-/// snapshot every region boundary during the one fused walk, and the sweep
-/// assembles exactly the selected boundaries afterwards.
+/// The per-boundary raw-snapshot bank assembled from
+/// [`PerBoundaryThreadObserver`] walks — the test oracle for
+/// [`MruSnapshotBank`].  Same assembly semantics, `boundaries × capacity`
+/// memory footprint.
 #[derive(Debug)]
-pub struct MruSnapshotBank {
+pub struct PerBoundarySnapshotBank {
     boundaries: Vec<usize>,
     collection_capacity: u64,
     /// `[thread][boundary index] -> (line, dirty_depth)` least recent first.
     per_thread: Vec<Vec<Vec<(u64, u64)>>>,
 }
 
-impl MruSnapshotBank {
+impl PerBoundarySnapshotBank {
     /// Assembles the bank from the finished observers of threads `0..n`, in
     /// thread order.
     ///
@@ -380,7 +396,7 @@ impl MruSnapshotBank {
     ///
     /// Panics if `observers` is empty or the observers disagree on
     /// boundaries or collection capacity.
-    pub fn from_observers(observers: Vec<MruThreadObserver>) -> Self {
+    pub fn from_observers(observers: Vec<PerBoundaryThreadObserver>) -> Self {
         assert!(!observers.is_empty(), "at least one thread observer required");
         let boundaries = observers[0].boundaries.clone();
         let collection_capacity = observers[0].collector.capacity_lines();
@@ -454,6 +470,285 @@ impl MruSnapshotBank {
             result.entry(requested).or_insert_with(|| self.assemble(targets, requested));
         }
         result
+    }
+
+    /// Bytes held by the raw per-boundary snapshots — the worst case the
+    /// interval encoding is measured against.
+    pub fn snapshot_bytes(&self) -> u64 {
+        let entry = std::mem::size_of::<(u64, u64)>() as u64;
+        self.per_thread
+            .iter()
+            .map(|snaps| snaps.iter().map(|s| s.len() as u64 * entry).sum::<u64>())
+            .sum()
+    }
+}
+
+/// Sentinel `until` of an interval record whose residency span has not been
+/// closed by a later boundary yet.
+const OPEN: u32 = u32::MAX;
+
+/// One residency span of one cache line: the line entered the thread's
+/// recency list with access order `tick` and dirty depth `dirty_depth`
+/// before boundary `from`, and neither was re-accessed nor evicted before
+/// boundary `until` — so the *same* record reconstructs the line's recency
+/// rank and dirty state at every snapshotted boundary in `from..until`.
+#[derive(Debug, Clone, Copy)]
+struct IntervalRecord {
+    line: u64,
+    /// Access-order key ([`LineState::tick`]); sorting a boundary's covering
+    /// records by `tick` rebuilds the recency list least recent first.
+    tick: u64,
+    dirty_depth: u64,
+    /// First boundary index (into the bank's boundary list) the record
+    /// covers.
+    from: u32,
+    /// One past the last covered boundary index ([`OPEN`] while unclosed).
+    until: u32,
+}
+
+/// [`TraceObserver`] that collects one thread's MRU warmup state from a
+/// single walk of the thread's trace, encoding the recency list as
+/// *residency intervals* instead of per-boundary snapshots.
+///
+/// At each requested boundary the observer only touches the lines that were
+/// accessed or evicted since the previous boundary: their old interval
+/// records are closed and — for lines still resident — fresh records are
+/// opened with the current access order and dirty depth.  A line that sits
+/// untouched in the recency list across many boundaries is covered by one
+/// record for the whole span, so bank size scales with the eviction/write
+/// activity between boundaries rather than `boundaries × capacity`.
+///
+/// This is the warmup consumer of the trace-observer engine
+/// ([`bp_workload::drive`]): driven alone it reproduces the historical
+/// dedicated collection pass (and stops the walk after its last boundary);
+/// driven next to `bp-signature`'s profiling observer it shares the one
+/// trace generation of a fused cold pass.  Hand the finished observers of
+/// all threads to [`MruSnapshotBank::from_observers`] to assemble
+/// [`MruWarmupData`] for any target subset at any capacity up to the
+/// collection capacity — bit-identical to [`PerBoundaryThreadObserver`],
+/// which is retained as the oracle for exactly that claim.
+#[derive(Debug)]
+pub struct MruThreadObserver {
+    collector: MruCollector,
+    boundaries: Vec<usize>,
+    /// Boundaries snapshotted so far; doubles as the index the next
+    /// boundary's records will carry in `from`.
+    next: usize,
+    /// Lines accessed or evicted since the last snapshotted boundary — the
+    /// only lines whose interval records need closing/reopening there.
+    touched: HashSet<u64>,
+    /// Line -> index (into `intervals`) of its open record.
+    open: HashMap<u64, usize>,
+    intervals: Vec<IntervalRecord>,
+}
+
+impl MruThreadObserver {
+    /// Creates an observer snapshotting at `boundaries` (deduplicated and
+    /// sorted internally; a boundary `r` snapshot reflects all accesses of
+    /// regions `0..r`), collecting at `collection_capacity` lines.
+    pub fn new(boundaries: &[usize], collection_capacity: u64) -> Self {
+        let mut boundaries = boundaries.to_vec();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        assert!(boundaries.len() < OPEN as usize, "boundary count overflows interval index");
+        Self {
+            collector: MruCollector::new(1, collection_capacity),
+            boundaries,
+            next: 0,
+            touched: HashSet::new(),
+            open: HashMap::new(),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Closes every still-open record at this observer's own end and clamps
+    /// all records to the uniformly `taken` boundary count, yielding the
+    /// thread's finished interval list.
+    fn finish(mut self, taken: usize) -> Vec<IntervalRecord> {
+        let end = self.next as u32;
+        for (_, idx) in self.open.drain() {
+            self.intervals[idx].until = end;
+        }
+        let taken = taken as u32;
+        self.intervals.retain_mut(|record| {
+            record.until = record.until.min(taken);
+            record.from < record.until
+        });
+        self.intervals
+    }
+}
+
+impl TraceObserver for MruThreadObserver {
+    fn enter_region(&mut self, region: usize) {
+        if self.boundaries.get(self.next) != Some(&region) {
+            return;
+        }
+        let idx = self.next as u32;
+        // Deterministic record order regardless of hash-set iteration.
+        let mut touched: Vec<u64> = self.touched.drain().collect();
+        touched.sort_unstable();
+        for line in touched {
+            if let Some(open_idx) = self.open.remove(&line) {
+                self.intervals[open_idx].until = idx;
+            }
+            if let Some((tick, dirty_depth)) = self.collector.residency_state(0, line) {
+                self.open.insert(line, self.intervals.len());
+                self.intervals.push(IntervalRecord {
+                    line,
+                    tick,
+                    dirty_depth,
+                    from: idx,
+                    until: OPEN,
+                });
+            }
+        }
+        self.next += 1;
+    }
+
+    fn observe(&mut self, _thread: usize, exec: &BlockExecution) {
+        // Once the last boundary is snapshotted, the tail of the trace can
+        // no longer influence any snapshot — ignore it (a fused walk keeps
+        // feeding the stream for the observers that still need it).
+        if self.next >= self.boundaries.len() {
+            return;
+        }
+        for access in &exec.accesses {
+            let line = access.line();
+            self.touched.insert(line);
+            if let Some(evicted) = self.collector.record(0, line, access.kind.is_write()) {
+                self.touched.insert(evicted);
+            }
+        }
+    }
+
+    fn wants_more(&self) -> bool {
+        self.next < self.boundaries.len()
+    }
+}
+
+/// The interval-encoded multi-boundary MRU state of a whole application —
+/// one [`MruThreadObserver`] walk per thread — from which the warmup
+/// payload of *any* boundary subset at *any* capacity (up to the collection
+/// capacity) is assembled, without re-walking any trace.
+///
+/// This is what makes the fused cold pass affordable at scale: when a sweep
+/// must profile (so the barrierpoint selection is not known yet), the
+/// observers cover every region boundary during the one fused walk, yet the
+/// bank holds one record per *residency interval* — lines that stay
+/// resident and untouched across boundaries cost one record for the whole
+/// span — so even a 32-thread many-region collection stays far below the
+/// old `threads × regions × capacity` snapshot footprint that used to force
+/// a byte-cap fallback onto two separate walks.
+#[derive(Debug, Clone)]
+pub struct MruSnapshotBank {
+    boundaries: Vec<usize>,
+    collection_capacity: u64,
+    /// `[thread] -> interval records` (each covering `from..until` boundary
+    /// indices into `boundaries`).
+    per_thread: Vec<Vec<IntervalRecord>>,
+}
+
+impl MruSnapshotBank {
+    /// Assembles the bank from the finished observers of threads `0..n`, in
+    /// thread order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observers` is empty or the observers disagree on
+    /// boundaries or collection capacity.
+    pub fn from_observers(observers: Vec<MruThreadObserver>) -> Self {
+        assert!(!observers.is_empty(), "at least one thread observer required");
+        let boundaries = observers[0].boundaries.clone();
+        let collection_capacity = observers[0].collector.capacity_lines();
+        for observer in &observers {
+            assert_eq!(observer.boundaries, boundaries, "observers disagree on boundaries");
+            assert_eq!(
+                observer.collector.capacity_lines(),
+                collection_capacity,
+                "observers disagree on collection capacity"
+            );
+        }
+        // Boundaries at or past the region count are never reached by the
+        // walk; every thread stops at the same region, so truncate uniformly
+        // to the boundaries actually snapshotted.
+        let taken = observers.iter().map(|o| o.next).min().unwrap_or(0);
+        Self {
+            boundaries: boundaries[..taken].to_vec(),
+            collection_capacity,
+            per_thread: observers.into_iter().map(|o| o.finish(taken)).collect(),
+        }
+    }
+
+    /// The boundaries actually snapshotted (sorted; requested boundaries at
+    /// or past the workload's region count are absent).
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// The capacity the bank was collected at — the upper bound for
+    /// [`assemble`](Self::assemble).
+    pub fn collection_capacity(&self) -> u64 {
+        self.collection_capacity
+    }
+
+    /// Reconstructs one thread's raw `(line, dirty_depth)` recency list
+    /// (least recent first) at boundary index `idx`: the records covering
+    /// `idx`, in access order.
+    fn reconstruct_thread(&self, thread: usize, idx: u32) -> Vec<(u64, u64)> {
+        let mut covering: Vec<&IntervalRecord> = self.per_thread[thread]
+            .iter()
+            .filter(|record| record.from <= idx && idx < record.until)
+            .collect();
+        covering.sort_unstable_by_key(|record| record.tick);
+        covering.iter().map(|record| (record.line, record.dirty_depth)).collect()
+    }
+
+    /// The warmup payload of every requested target present in the bank, at
+    /// `capacity` lines (clamped to `1..=collection_capacity`) — bit
+    /// identical to a dedicated collection at that capacity.
+    pub fn assemble(&self, targets: &[usize], capacity: u64) -> HashMap<usize, MruWarmupData> {
+        let capacity = capacity.max(1).min(self.collection_capacity);
+        let mut result = HashMap::with_capacity(targets.len());
+        for &target in targets {
+            let Ok(idx) = self.boundaries.binary_search(&target) else { continue };
+            result.entry(target).or_insert_with(|| MruWarmupData {
+                per_thread: (0..self.per_thread.len())
+                    .map(|thread| {
+                        truncate_raw(&self.reconstruct_thread(thread, idx as u32), capacity)
+                    })
+                    .collect(),
+                capacity_lines: capacity,
+            });
+        }
+        result
+    }
+
+    /// [`assemble`](Self::assemble) for several capacities at once, keyed by
+    /// the capacity values as given (duplicates collapse).
+    pub fn assemble_multi(
+        &self,
+        targets: &[usize],
+        capacities: &[u64],
+    ) -> HashMap<u64, HashMap<usize, MruWarmupData>> {
+        let mut result: HashMap<u64, HashMap<usize, MruWarmupData>> =
+            HashMap::with_capacity(capacities.len());
+        for &requested in capacities {
+            result.entry(requested).or_insert_with(|| self.assemble(targets, requested));
+        }
+        result
+    }
+
+    /// Bytes held by the interval records — the *actual* snapshot cost of a
+    /// fused pass, reported in sweep counters where the old code compared a
+    /// `threads × regions × capacity` worst case against a byte cap.
+    pub fn snapshot_bytes(&self) -> u64 {
+        let record = std::mem::size_of::<IntervalRecord>() as u64;
+        self.per_thread.iter().map(|records| records.len() as u64 * record).sum()
+    }
+
+    /// Total interval records across all threads.
+    pub fn interval_records(&self) -> usize {
+        self.per_thread.iter().map(Vec::len).sum()
     }
 }
 
@@ -593,6 +888,7 @@ mod tests {
         fn record(&mut self, thread: usize, line: u64, is_write: bool) {
             self.next_seq += 1;
             let seq = self.next_seq;
+            let tick = seq;
             let dirty_depth = if is_write {
                 0
             } else {
@@ -605,7 +901,9 @@ mod tests {
                     None => u64::MAX,
                 }
             };
-            if let Some(old) = self.by_line[thread].insert(line, LineState { seq, dirty_depth }) {
+            if let Some(old) =
+                self.by_line[thread].insert(line, LineState { seq, tick, dirty_depth })
+            {
                 self.by_seq[thread].remove(&old.seq);
             }
             self.by_seq[thread].insert(seq, line);
@@ -843,5 +1141,116 @@ mod tests {
         }
         // Targets outside the bank are skipped, mirroring the collectors.
         assert!(bank.assemble(&[999], 64).is_empty());
+    }
+
+    /// Drives both bank flavours over every thread of `w` at the same
+    /// boundaries and collection capacity.
+    fn both_banks(
+        w: &impl bp_workload::Workload,
+        boundaries: &[usize],
+        capacity: u64,
+    ) -> (MruSnapshotBank, PerBoundarySnapshotBank) {
+        let interval = (0..w.num_threads())
+            .map(|thread| {
+                let mut observer = MruThreadObserver::new(boundaries, capacity);
+                bp_workload::drive(w, thread, &mut [&mut observer]);
+                observer
+            })
+            .collect();
+        let raw = (0..w.num_threads())
+            .map(|thread| {
+                let mut observer = PerBoundaryThreadObserver::new(boundaries, capacity);
+                bp_workload::drive(w, thread, &mut [&mut observer]);
+                observer
+            })
+            .collect();
+        (MruSnapshotBank::from_observers(interval), PerBoundarySnapshotBank::from_observers(raw))
+    }
+
+    #[test]
+    fn interval_bank_matches_the_per_boundary_oracle_on_every_boundary() {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(2).with_scale(0.05));
+        let all: Vec<usize> = (0..w.num_regions()).collect();
+        let (interval, oracle) = both_banks(&w, &all, 2048);
+        assert_eq!(interval.boundaries(), oracle.boundaries());
+        for capacity in [1u64, 64, 700, 2048, 4096] {
+            assert_eq!(
+                interval.assemble(&all, capacity),
+                oracle.assemble(&all, capacity),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_bank_is_smaller_than_the_per_boundary_oracle() {
+        // The whole point of the encoding: lines resident and untouched
+        // across boundaries cost one record for the span, not one entry per
+        // boundary.
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(2).with_scale(0.05));
+        let all: Vec<usize> = (0..w.num_regions()).collect();
+        let (interval, oracle) = both_banks(&w, &all, 2048);
+        assert!(
+            interval.snapshot_bytes() < oracle.snapshot_bytes(),
+            "interval {} >= raw {}",
+            interval.snapshot_bytes(),
+            oracle.snapshot_bytes()
+        );
+        assert!(interval.interval_records() > 0);
+    }
+
+    #[test]
+    fn interval_bank_handles_sparse_boundaries_and_truncation() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        // Sparse boundaries, one past the region count (never reached).
+        let boundaries = vec![0, 2, 5, w.num_regions() - 1, w.num_regions() + 10];
+        let (interval, oracle) = both_banks(&w, &boundaries, 512);
+        assert_eq!(interval.boundaries(), oracle.boundaries());
+        for capacity in [1u64, 16, 512] {
+            assert_eq!(
+                interval.assemble(&boundaries, capacity),
+                oracle.assemble(&boundaries, capacity),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Interval assembly must reproduce the per-boundary oracle for
+        /// arbitrary access streams, boundary placements, and capacities —
+        /// including streams that churn the list hard enough to trigger
+        /// sequence compaction inside a span.
+        #[test]
+        fn interval_bank_matches_oracle_on_random_streams(
+            accesses in proptest::collection::vec((0u64..48, any::<bool>()), 1..800),
+            collection_capacity in 1u64..24,
+            probe_capacity in 1u64..32,
+            stride in 1usize..40,
+        ) {
+            // Chop the stream into pseudo-regions of `stride` accesses and
+            // snapshot at every region boundary, by feeding both observers
+            // directly (no workload needed for this state machine).
+            let num_regions = accesses.len().div_ceil(stride);
+            let boundaries: Vec<usize> = (0..num_regions).collect();
+            let mut interval = MruThreadObserver::new(&boundaries, collection_capacity);
+            let mut raw = PerBoundaryThreadObserver::new(&boundaries, collection_capacity);
+            for (region, chunk) in accesses.chunks(stride).enumerate() {
+                interval.enter_region(region);
+                raw.enter_region(region);
+                for &(line, write) in chunk {
+                    interval.touched.insert(line);
+                    if let Some(evicted) = interval.collector.record(0, line, write) {
+                        interval.touched.insert(evicted);
+                    }
+                    raw.collector.record(0, line, write);
+                }
+            }
+            let interval_bank = MruSnapshotBank::from_observers(vec![interval]);
+            let raw_bank = PerBoundarySnapshotBank::from_observers(vec![raw]);
+            prop_assert_eq!(
+                interval_bank.assemble(&boundaries, probe_capacity),
+                raw_bank.assemble(&boundaries, probe_capacity)
+            );
+        }
     }
 }

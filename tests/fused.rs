@@ -13,7 +13,10 @@ use barrierpoint::{
     profile_and_collect_warmup, profile_application_with, ExecutionPolicy, SimConfig, Sweep,
     WorkerBudget,
 };
-use bp_warmup::collect_mru_warmup;
+use bp_warmup::{
+    collect_mru_warmup, MruSnapshotBank, MruThreadObserver, PerBoundarySnapshotBank,
+    PerBoundaryThreadObserver,
+};
 use bp_workload::{Benchmark, SyntheticWorkloadBuilder, Workload, WorkloadConfig};
 use proptest::prelude::*;
 
@@ -100,6 +103,183 @@ fn fused_sweep_legs_match_monolithic_runs_across_thread_counts() {
             assert_eq!(leg.reconstruction(), monolithic.reconstruction(), "{label}");
         }
     }
+}
+
+/// Builds both snapshot-bank encodings for the same workload and boundaries:
+/// the production interval-sharing bank and the retained per-boundary oracle.
+fn banks_for<W: Workload + ?Sized>(
+    w: &W,
+    boundaries: &[usize],
+    capacity: u64,
+) -> (MruSnapshotBank, PerBoundarySnapshotBank) {
+    let interval = (0..w.num_threads())
+        .map(|thread| {
+            let mut observer = MruThreadObserver::new(boundaries, capacity);
+            bp_workload::drive(w, thread, &mut [&mut observer]);
+            observer
+        })
+        .collect();
+    let raw = (0..w.num_threads())
+        .map(|thread| {
+            let mut observer = PerBoundaryThreadObserver::new(boundaries, capacity);
+            bp_workload::drive(w, thread, &mut [&mut observer]);
+            observer
+        })
+        .collect();
+    (MruSnapshotBank::from_observers(interval), PerBoundarySnapshotBank::from_observers(raw))
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn interval_bank_matches_the_oracle_across_the_suite_and_thread_counts() {
+    // The interval-sharing bank must be bit-identical to the per-boundary
+    // oracle on every kernel, at every thread count the paper evaluates
+    // (plus an over-subscribed 32), on a seeded pseudo-random boundary
+    // subset, at every capacity at or below the collection capacity.
+    const COLLECTION: u64 = 1024;
+    for &bench in Benchmark::all() {
+        for threads in [1usize, 2, 4, 8, 32] {
+            let scale = if threads >= 32 { 0.01 } else { 0.02 };
+            let w = bench.build(&WorkloadConfig::new(threads).with_scale(scale));
+            let mut boundaries = probe_targets(w.num_regions());
+            let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ ((threads as u64) << 8) ^ bench as u64;
+            for region in 0..w.num_regions() {
+                if xorshift(&mut state).is_multiple_of(3) {
+                    boundaries.push(region);
+                }
+            }
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            let (interval, oracle) = banks_for(&w, &boundaries, COLLECTION);
+            for capacity in [1u64, 64, COLLECTION] {
+                assert_eq!(
+                    interval.assemble(&boundaries, capacity),
+                    oracle.assemble(&boundaries, capacity),
+                    "{bench:?} at {threads} threads, capacity {capacity}: banks differ"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_bank_matches_the_oracle_on_an_eviction_heavy_workload() {
+    // Adversarial case for interval sharing: a private stream far larger
+    // than the collection capacity churns the entire recency list between
+    // every pair of adjacent boundaries, so almost no interval spans more
+    // than one boundary.  Correctness must hold even where the encoding's
+    // compression is weakest.
+    let capacity = 256u64;
+    let mut builder =
+        SyntheticWorkloadBuilder::new("evict-heavy", WorkloadConfig::new(4).with_seed(7));
+    let phase = builder
+        .phase("churn", 48, true)
+        // 1 MiB at 64-byte stride = 16384 distinct lines per block pass,
+        // 64x the 256-line collection capacity.
+        .pattern(bp_workload::AccessPattern::PrivateStream { bytes: 1 << 20, stride: 64 })
+        .pattern(bp_workload::AccessPattern::SharedRandom {
+            id: 0,
+            bytes: 1 << 20,
+            write_fraction: 0.5,
+        })
+        .block("stream", 16, 6, 0)
+        .block("scatter", 8, 4, 1)
+        .finish();
+    builder.schedule_repeat(phase, 10);
+    let w = builder.build();
+    let all: Vec<usize> = (0..w.num_regions()).collect();
+    let (interval, oracle) = banks_for(&w, &all, capacity);
+    for c in [1u64, 16, capacity] {
+        assert_eq!(
+            interval.assemble(&all, c),
+            oracle.assemble(&all, c),
+            "capacity {c}: banks differ under full churn"
+        );
+    }
+    // Full churn is the encoding's worst case: roughly one record per
+    // boundary per resident line, the same entry count the oracle pays.
+    assert!(interval.interval_records() > 0);
+    let oracle_entries = oracle.snapshot_bytes() / std::mem::size_of::<(u64, u64)>() as u64;
+    assert!(
+        interval.interval_records() as u64 <= oracle_entries + (capacity * w.num_threads() as u64),
+        "even fully churned, the interval bank stores at most one record per oracle entry \
+         (plus the still-open residencies at the final boundary)"
+    );
+}
+
+/// A [`Workload`] wrapper counting every `region_trace` materialisation, to
+/// pin the trace-generation economy of the staged API.
+struct CountingWorkload<W> {
+    inner: W,
+    trace_calls: std::sync::atomic::AtomicUsize,
+}
+
+impl<W: Workload> Workload for CountingWorkload<W> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+    fn num_regions(&self) -> usize {
+        self.inner.num_regions()
+    }
+    fn block_table(&self) -> &bp_workload::BlockTable {
+        self.inner.block_table()
+    }
+    fn region_trace(&self, region: usize, thread: usize) -> bp_workload::RegionTrace {
+        self.trace_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.region_trace(region, thread)
+    }
+    fn region_phase_name(&self, region: usize) -> &str {
+        self.inner.region_phase_name(region)
+    }
+    fn profile_fingerprint(&self) -> u64 {
+        self.inner.profile_fingerprint()
+    }
+}
+
+#[test]
+fn cold_staged_chain_generates_each_region_trace_exactly_once_per_thread() {
+    // A cold `profile()` fuses MRU warmup collection onto the profiling
+    // walk and hands the snapshot bank down the staged chain, so
+    // `Selected::simulate` must not launch the historical dedicated
+    // collection pass (a second full `threads x regions` trace walk).
+    let threads = 4;
+    let counting = CountingWorkload {
+        inner: Benchmark::NpbIs.build(&WorkloadConfig::new(threads).with_scale(0.02)),
+        trace_calls: std::sync::atomic::AtomicUsize::new(0),
+    };
+    let regions = counting.num_regions();
+    let machine = SimConfig::tiny(threads);
+    let selected = barrierpoint::BarrierPoint::new(&counting)
+        .with_sim_config(machine)
+        .profile()
+        .unwrap()
+        .select()
+        .unwrap();
+    let after_select = counting.trace_calls.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        after_select,
+        threads * regions,
+        "cold fused profile: one walk per thread, each touching every region once"
+    );
+    let simulated = selected.simulate(&machine).unwrap();
+    assert!(!simulated.metrics().is_empty());
+    let selected_regions = selected.selection().barrierpoint_regions().len();
+    let after_simulate = counting.trace_calls.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        after_simulate - after_select,
+        threads * selected_regions,
+        "simulate serves warmup from the fused bank: only the selected regions' own \
+         traces are regenerated, never a second full collection walk"
+    );
 }
 
 proptest! {
