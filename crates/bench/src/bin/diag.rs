@@ -1,6 +1,8 @@
 //! Accuracy probe used while tuning the reproduction (not part of the
 //! published experiment set; see the `reproduce` binary for those).
 
+#![forbid(unsafe_code)]
+
 use barrierpoint::evaluate::{estimate_from_full_run, prediction_error};
 use barrierpoint::BarrierPoint;
 use bp_sim::{Machine, SimConfig};

@@ -10,6 +10,8 @@
 //! `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `ablation`, `sweep`,
 //! `all`.
 
+#![forbid(unsafe_code)]
+
 use bp_bench::ExperimentConfig;
 use std::time::Instant;
 

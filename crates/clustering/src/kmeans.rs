@@ -102,12 +102,12 @@ pub fn weighted_kmeans(
         // Assignment step.
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
-            let (best, _) = centroids
+            let best = centroids
                 .iter()
                 .enumerate()
                 .map(|(c, centroid)| (c, squared_distance(p, centroid)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-                .expect("at least one centroid");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or(0, |(c, _)| c);
             if assignments[i] != best {
                 assignments[i] = best;
                 changed = true;

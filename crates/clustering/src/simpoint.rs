@@ -111,7 +111,12 @@ impl Clustering {
     /// The summary of the cluster containing `region`.
     pub fn cluster_of(&self, region: usize) -> &ClusterSummary {
         let c = self.assignments[region];
-        self.clusters.iter().find(|s| s.cluster == c).expect("cluster summary exists")
+        match self.clusters.iter().find(|s| s.cluster == c) {
+            Some(summary) => summary,
+            // Summaries are built from the assignment vector itself, so
+            // every assigned cluster id has one.
+            None => unreachable!("no summary for cluster {c}"),
+        }
     }
 }
 
@@ -158,8 +163,11 @@ pub fn cluster_regions(vectors: &[SignatureVector], config: &SimPointConfig) -> 
     let cutoff = worst_score + (best_score - worst_score) * config.bic_threshold;
     let chosen = runs.iter().find(|(_, s, _)| *s >= cutoff).map(|(k, _, _)| *k).unwrap_or(max_k);
     let bic_by_k: Vec<(usize, f64)> = runs.iter().map(|(k, s, _)| (*k, *s)).collect();
-    let (_, _, result) =
-        runs.into_iter().find(|(k, _, _)| *k == chosen).expect("chosen run exists");
+    let Some((_, _, result)) = runs.into_iter().find(|(k, _, _)| *k == chosen) else {
+        // `chosen` is either a run's own k or `max_k`, and every candidate
+        // k up to `max_k` has a run.
+        unreachable!("k={chosen} is not among the candidate runs")
+    };
 
     // Build cluster summaries: representative = member closest to the
     // centroid, ties broken towards the heaviest member.

@@ -50,21 +50,20 @@
 //! after every store.
 
 use crate::error::Error;
+use crate::memtier::MemoryTier;
 use crate::profile::{profile_application_with, ApplicationProfile};
 use crate::select::{select_barrierpoints, BarrierPointSelection};
 use crate::simulate::WarmupKind;
 use crate::stages::Simulated;
+use crate::sync::{Arc, AtomicU64, Ordering};
 use bp_clustering::SimPointConfig;
 use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
 use bp_workload::{FingerprintHasher, Workload};
-use std::collections::HashMap;
 use std::fs;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::SystemTime;
 
 /// Magic bytes at the start of every profile cache file.
@@ -353,6 +352,21 @@ struct StatCounters {
     memory_evictions: AtomicU64,
 }
 
+/// Counts one event on a statistics counter.
+fn bump(counter: &AtomicU64) {
+    // ordering: Relaxed — monotonic telemetry with no release obligation;
+    // `stats()` snapshots carry no ordering relationship to the counted
+    // events, and cross-thread counts are reconciled by the caller's own
+    // joins (e.g. a sweep reads stats only after its legs complete).
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshots a statistics counter.
+fn read(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed — see `bump`.
+    counter.load(Ordering::Relaxed)
+}
+
 /// Key space of the memory tier — the same content addresses as the disk
 /// tier, one variant per artifact kind so kinds can never alias.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -370,130 +384,16 @@ enum MemoryArtifact {
     Simulated(Arc<Simulated>),
 }
 
-#[derive(Debug)]
-struct MemoryEntry {
-    artifact: MemoryArtifact,
-    /// Serialized size of the artifact (what the disk entry occupies) — the
-    /// currency of the byte bound, so both tiers meter the same way.
-    bytes: u64,
-    /// LRU stamp: the tier-wide tick at the entry's last hit or insert.
-    last_used: u64,
-}
-
-/// Number of lock shards in the memory tier.  A power of two so the shard
-/// pick is a mask; small enough that the (rare, byte-bounded-only) global
-/// eviction scan stays cheap.
-const MEMORY_SHARDS: usize = 16;
-
-/// Sentinel for an unbounded memory tier in the atomic `max_bytes` word.
-const MEMORY_UNBOUNDED: u64 = u64::MAX;
-
-/// The in-process tier: decoded artifacts sharded by key hash across
-/// [`MEMORY_SHARDS`] mutexes, shared by every clone of an
-/// [`ArtifactCache`].  The warm interned sweep path hits this tier several
-/// times per sub-microsecond run, so a lookup takes exactly one shard lock
-/// (plus two relaxed atomics) instead of the old tier-wide mutex that
-/// serialized every concurrent leg.  The LRU clock and byte accounting are
-/// tier-wide atomics, so eviction order is still global across shards.
-#[derive(Debug)]
-struct MemoryTier {
-    shards: Vec<Mutex<HashMap<MemoryKey, MemoryEntry>>>,
-    /// Tier-wide LRU clock; entries stamp `last_used` from it on hit/insert.
-    tick: AtomicU64,
-    /// Sum of `bytes` over all shards' entries.
-    total_bytes: AtomicU64,
-    /// Byte bound ([`MEMORY_UNBOUNDED`] = no bound).
-    max_bytes: AtomicU64,
-}
-
-impl Default for MemoryTier {
-    fn default() -> Self {
-        Self {
-            shards: (0..MEMORY_SHARDS).map(|_| Mutex::default()).collect(),
-            tick: AtomicU64::new(0),
-            total_bytes: AtomicU64::new(0),
-            max_bytes: AtomicU64::new(MEMORY_UNBOUNDED),
-        }
-    }
-}
-
-impl MemoryTier {
-    fn shard(&self, key: &MemoryKey) -> &Mutex<HashMap<MemoryKey, MemoryEntry>> {
-        use std::hash::{Hash, Hasher};
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[hasher.finish() as usize & (MEMORY_SHARDS - 1)]
-    }
-
-    /// Looks up `key`, marking the entry most recently used on a hit.
-    fn get(&self, key: &MemoryKey) -> Option<MemoryArtifact> {
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut shard = self.shard(key).lock().expect("memory tier shard lock");
-        let entry = shard.get_mut(key)?;
-        entry.last_used = tick;
-        Some(entry.artifact.clone())
-    }
-
-    /// Inserts (or replaces) `key`, then enforces the byte bound by dropping
-    /// least-recently-used entries across all shards.  Unlike the disk tier,
-    /// an entry that on its own exceeds the bound is not retained — which
-    /// also makes a bound of `0` an exact "memory tier off" switch.
-    fn insert(&self, key: MemoryKey, artifact: MemoryArtifact, bytes: u64, evictions: &AtomicU64) {
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let max_bytes = self.max_bytes.load(Ordering::Relaxed);
-        if bytes > max_bytes {
-            // The entry alone exceeds the bound: it is never retained (and
-            // must not flush everything else out first trying to make room).
-            // Dropping any stale value under the key is not an eviction, and
-            // neither is declining the insert.
-            let mut shard = self.shard(&key).lock().expect("memory tier shard lock");
-            if let Some(old) = shard.remove(&key) {
-                self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
-            }
-            return;
-        }
-        {
-            let mut shard = self.shard(&key).lock().expect("memory tier shard lock");
-            if let Some(old) =
-                shard.insert(key.clone(), MemoryEntry { artifact, bytes, last_used: tick })
-            {
-                self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
-            }
-        }
-        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
-        if max_bytes == MEMORY_UNBOUNDED {
-            return;
-        }
-        while self.total_bytes.load(Ordering::Relaxed) > max_bytes {
-            // A victim always exists here: the new entry fits the bound on
-            // its own, so exceeding it requires at least one other entry.
-            // The scan takes one shard lock at a time; eviction order stays
-            // globally least-recently-used via the tier-wide clock.
-            let mut victim: Option<(usize, MemoryKey, u64)> = None;
-            for (i, shard) in self.shards.iter().enumerate() {
-                let shard = shard.lock().expect("memory tier shard lock");
-                for (k, entry) in shard.iter() {
-                    if *k == key {
-                        continue;
-                    }
-                    if victim.as_ref().is_none_or(|(_, _, used)| entry.last_used < *used) {
-                        victim = Some((i, k.clone(), entry.last_used));
-                    }
-                }
-            }
-            let Some((i, victim_key, _)) = victim else { break };
-            let mut shard = self.shards[i].lock().expect("memory tier shard lock");
-            if let Some(entry) = shard.remove(&victim_key) {
-                self.total_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
-                evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-
-    fn set_max_bytes(&self, max_bytes: Option<u64>) {
-        self.max_bytes.store(max_bytes.unwrap_or(MEMORY_UNBOUNDED), Ordering::Relaxed);
-    }
-}
+// The tier itself — shard locks, the global LRU clock, byte accounting, and
+// the cross-shard eviction scan — lives in [`crate::memtier`], where the
+// protocol is generic over key and value so the interleaving model checker
+// can drive it with small types.  The cache instantiates it with the
+// content-address keys and `Arc`-wrapped artifacts above; a lookup takes one
+// shard lock (plus two relaxed atomics) instead of a tier-wide mutex, while
+// eviction order stays globally least-recently-used via the tier-wide clock
+// (up to the documented stale-scan approximation, which can degrade the
+// eviction choice but never evicts an entry a concurrent lookup just
+// touched).
 
 /// A two-tier cache of pipeline artifacts — [`ApplicationProfile`]s,
 /// [`BarrierPointSelection`]s and [`Simulated`] legs — keyed by workload and
@@ -549,7 +449,7 @@ pub struct ArtifactCache {
     root: PathBuf,
     max_bytes: Option<u64>,
     stats: Arc<StatCounters>,
-    memory: Arc<MemoryTier>,
+    memory: Arc<MemoryTier<MemoryKey, MemoryArtifact>>,
 }
 
 /// The pre-redesign name of [`ArtifactCache`], kept for continuity: the
@@ -602,17 +502,17 @@ impl ArtifactCache {
     /// clone of this cache.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            profile_memory_hits: self.stats.profile_memory_hits.load(Ordering::Relaxed),
-            profile_hits: self.stats.profile_hits.load(Ordering::Relaxed),
-            profile_misses: self.stats.profile_misses.load(Ordering::Relaxed),
-            selection_memory_hits: self.stats.selection_memory_hits.load(Ordering::Relaxed),
-            selection_hits: self.stats.selection_hits.load(Ordering::Relaxed),
-            selection_misses: self.stats.selection_misses.load(Ordering::Relaxed),
-            simulated_memory_hits: self.stats.simulated_memory_hits.load(Ordering::Relaxed),
-            simulated_hits: self.stats.simulated_hits.load(Ordering::Relaxed),
-            simulated_misses: self.stats.simulated_misses.load(Ordering::Relaxed),
-            evictions: self.stats.evictions.load(Ordering::Relaxed),
-            memory_evictions: self.stats.memory_evictions.load(Ordering::Relaxed),
+            profile_memory_hits: read(&self.stats.profile_memory_hits),
+            profile_hits: read(&self.stats.profile_hits),
+            profile_misses: read(&self.stats.profile_misses),
+            selection_memory_hits: read(&self.stats.selection_memory_hits),
+            selection_hits: read(&self.stats.selection_hits),
+            selection_misses: read(&self.stats.selection_misses),
+            simulated_memory_hits: read(&self.stats.simulated_memory_hits),
+            simulated_hits: read(&self.stats.simulated_hits),
+            simulated_misses: read(&self.stats.simulated_misses),
+            evictions: read(&self.stats.evictions),
+            memory_evictions: read(&self.stats.memory_evictions),
         }
     }
 
@@ -666,6 +566,8 @@ impl ArtifactCache {
     fn write_entry(&self, path: &Path, bytes: &[u8]) -> Result<(), Error> {
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         fs::create_dir_all(&self.root).map_err(|e| self.io_error(&self.root, &e))?;
+        // ordering: Relaxed — the sequence only needs per-process
+        // uniqueness, which fetch_add's atomicity alone provides.
         let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
         fs::write(&tmp, bytes).map_err(|e| self.io_error(&tmp, &e))?;
@@ -714,7 +616,7 @@ impl ArtifactCache {
             }
             if fs::remove_file(&path).is_ok() {
                 total = total.saturating_sub(len);
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.evictions);
             }
         }
     }
@@ -777,15 +679,15 @@ impl ArtifactCache {
     ) -> Result<Option<Arc<ApplicationProfile>>, Error> {
         match self.lookup_profile(key)? {
             Some((profile, true)) => {
-                self.stats.profile_memory_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.profile_memory_hits);
                 Ok(Some(profile))
             }
             Some((profile, false)) => {
-                self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.profile_hits);
                 Ok(Some(profile))
             }
             None => {
-                self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.profile_misses);
                 Ok(None)
             }
         }
@@ -869,15 +771,15 @@ impl ArtifactCache {
     ) -> Result<Option<Arc<BarrierPointSelection>>, Error> {
         match self.lookup_selection(key)? {
             Some((selection, true)) => {
-                self.stats.selection_memory_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.selection_memory_hits);
                 Ok(Some(selection))
             }
             Some((selection, false)) => {
-                self.stats.selection_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.selection_hits);
                 Ok(Some(selection))
             }
             None => {
-                self.stats.selection_misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.selection_misses);
                 Ok(None)
             }
         }
@@ -916,15 +818,15 @@ impl ArtifactCache {
         let key = ProfileCacheKey::for_workload(workload);
         match self.lookup_profile(&key)? {
             Some((profile, true)) => {
-                self.stats.profile_memory_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.profile_memory_hits);
                 Ok((profile, true))
             }
             Some((profile, false)) => {
-                self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.profile_hits);
                 Ok((profile, true))
             }
             None => {
-                self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.profile_misses);
                 let profile = Arc::new(profile_application_with(workload, policy)?);
                 self.store_profile_arc(&key, &profile)?;
                 Ok((profile, false))
@@ -1009,15 +911,15 @@ impl ArtifactCache {
     ) -> Result<Option<Arc<Simulated>>, Error> {
         match self.lookup_simulated(key)? {
             Some((simulated, true)) => {
-                self.stats.simulated_memory_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.simulated_memory_hits);
                 Ok(Some(simulated))
             }
             Some((simulated, false)) => {
-                self.stats.simulated_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.simulated_hits);
                 Ok(Some(simulated))
             }
             None => {
-                self.stats.simulated_misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.simulated_misses);
                 Ok(None)
             }
         }
@@ -1066,15 +968,15 @@ impl ArtifactCache {
         let key = SelectionCacheKey::for_workload(workload, signature_config, simpoint_config);
         match self.lookup_selection(&key)? {
             Some((selection, true)) => {
-                self.stats.selection_memory_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.selection_memory_hits);
                 Ok((selection, true))
             }
             Some((selection, false)) => {
-                self.stats.selection_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.selection_hits);
                 Ok((selection, true))
             }
             None => {
-                self.stats.selection_misses.fetch_add(1, Ordering::Relaxed);
+                bump(&self.stats.selection_misses);
                 let selection =
                     Arc::new(select_barrierpoints(profile, signature_config, simpoint_config)?);
                 self.store_selection_arc(&key, &selection)?;

@@ -110,6 +110,7 @@
 mod cache;
 mod error;
 pub mod evaluate;
+pub mod memtier;
 mod pipeline;
 mod profile;
 mod reconstruct;
@@ -138,6 +139,10 @@ pub use sweep::{Sweep, SweepCounters, SweepLeg, SweepReport};
 
 // Re-export the substrate configuration types users need to drive the API.
 pub use bp_clustering::SimPointConfig;
+/// The synchronization abstraction this crate's concurrency code is written
+/// against (re-exported from `bp-exec`): `std::sync` types in production
+/// builds, `bp-verify`'s modeled types under the `model` feature.
+pub use bp_exec::sync;
 pub use bp_exec::{ExecutionPolicy, WorkerBudget};
 pub use bp_signature::{LdvWeighting, SignatureConfig, SignatureKind};
 pub use bp_sim::SimConfig;

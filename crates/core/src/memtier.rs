@@ -1,0 +1,392 @@
+//! A sharded, byte-bounded, globally-LRU in-process cache tier.
+//!
+//! This is the generic core of the [`ArtifactCache`](crate::ArtifactCache)
+//! memory tier, extracted so the concurrency protocol — shard locks, the
+//! tier-wide LRU clock, byte accounting, and the cross-shard eviction scan —
+//! can be exercised under the bounded interleaving model checker
+//! (`bp-verify`) with small key/value types.  It is written entirely against
+//! [`bp_exec::sync`]: production builds compile it down to plain `std::sync`
+//! primitives, while the workspace test build (the `model` feature) swaps in
+//! modeled atomics and mutexes.
+//!
+//! # Concurrency design
+//!
+//! * Entries are sharded by key hash across [`DEFAULT_SHARDS`] (or a caller
+//!   chosen number of) mutexes, so a lookup takes exactly one shard lock
+//!   plus two relaxed atomic operations instead of a tier-wide mutex.
+//! * The LRU clock (`tick`) and byte accounting (`total_bytes`) are
+//!   tier-wide atomics, so eviction order is global across shards and the
+//!   bound applies to the whole tier.
+//! * `total_bytes` is a conservation counter: each insert/replace/remove
+//!   applies a matching delta, some of them outside the shard lock.  It may
+//!   transiently disagree with the locked contents mid-operation, but at
+//!   quiescence it equals the exact sum of resident entry sizes — an
+//!   invariant pinned by a model test over every bounded interleaving
+//!   (`tests/verify.rs`).
+//!
+//! # The cross-shard eviction scan is an approximation
+//!
+//! Eviction walks the shards **one lock at a time** looking for the entry
+//! with the smallest `last_used` stamp; it never holds two shard locks at
+//! once (no lock-order hazard, no tier-wide pause).  Because earlier shards
+//! are unlocked while later shards are scanned, the scan's view is not an
+//! atomic snapshot: an entry may be *touched* (or inserted) after its shard
+//! was scanned.  Two guarantees make this safe:
+//!
+//! 1. **The victim is re-validated under its shard lock before removal.**
+//!    The remove only proceeds if the entry's `last_used` stamp still equals
+//!    the value the scan observed; a concurrent hit (which advances the
+//!    stamp) or a concurrent replace forces a rescan.  A concurrent lookup
+//!    that touched an entry can therefore never have that entry evicted out
+//!    from under it on the basis of the stale observation — pinned by a
+//!    model test whose deliberately broken twin
+//!    (`MemoryTier::insert_with_stale_scan`, `model`-only) removes
+//!    unconditionally and is caught by the checker.
+//! 2. **Staleness only degrades the eviction *choice*, never correctness.**
+//!    A racing insert into an already-scanned shard can at worst make the
+//!    scan pick the second-least-recently-used entry; the byte bound is
+//!    still enforced by the outer loop, which re-reads `total_bytes` each
+//!    round.
+//!
+//! The entry being inserted is exempt from its own scan, so an insert can
+//! never evict itself.
+
+use crate::sync::{AtomicU64, Mutex, Ordering};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Default number of lock shards.  A power of two so the shard pick is a
+/// mask; small enough that the (rare, byte-bounded-only) eviction scan
+/// stays cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Sentinel for an unbounded tier in the atomic `max_bytes` word.
+const UNBOUNDED: u64 = u64::MAX;
+
+/// One resident entry: the value plus its byte charge and LRU stamp.
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    /// Size charged against the byte bound (for the artifact cache: the
+    /// serialized entry size, so both tiers meter the same way).
+    bytes: u64,
+    /// LRU stamp: the tier-wide tick at the entry's last hit or insert.
+    last_used: u64,
+}
+
+/// A sharded in-process cache tier with a global LRU order and a byte
+/// bound.  Values are returned by clone, so `V` is typically an `Arc` (or a
+/// small enum of `Arc`s): a hit is a pointer clone.
+///
+/// See the [module docs](self) for the concurrency design.
+#[derive(Debug)]
+pub struct MemoryTier<K, V> {
+    shards: Vec<Mutex<HashMap<K, Entry<V>>>>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+    /// Tier-wide LRU clock; entries stamp `last_used` from it on hit/insert.
+    tick: AtomicU64,
+    /// Sum of `bytes` over all shards' entries (exact at quiescence; see
+    /// the module docs).
+    total_bytes: AtomicU64,
+    /// Byte bound (`UNBOUNDED` = no bound).
+    max_bytes: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for MemoryTier<K, V> {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> MemoryTier<K, V> {
+    /// An unbounded tier with `shards` lock shards (rounded up to a power
+    /// of two, minimum 1).  Model tests use a single shard to keep the
+    /// interleaving space small; production uses [`DEFAULT_SHARDS`].
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+            tick: AtomicU64::new(0),
+            total_bytes: AtomicU64::new(0),
+            max_bytes: AtomicU64::new(UNBOUNDED),
+        }
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        hasher.finish() as usize & self.mask
+    }
+
+    /// Looks up `key`, marking the entry most recently used on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        // ordering: Relaxed — the clock only needs per-entry monotonicity,
+        // and every `last_used` write it stamps happens under the entry's
+        // shard lock, which orders competing stamps of the same entry.
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shards[self.shard_index(key)].lock();
+        let entry = shard.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Whether `key` is resident, *without* touching its LRU stamp.  Meant
+    /// for tests and invariant checks; a real lookup should use
+    /// [`get`](Self::get).
+    pub fn contains(&self, key: &K) -> bool {
+        self.shards[self.shard_index(key)].lock().contains_key(key)
+    }
+
+    /// Inserts (or replaces) `key`, then enforces the byte bound by
+    /// dropping least-recently-used entries across all shards.  An entry
+    /// that on its own exceeds the bound is not retained (and must not
+    /// flush everything else out first trying to make room) — which also
+    /// makes a bound of `0` an exact "tier off" switch.  `evictions` is
+    /// bumped once per capacity eviction; replacing or declining under the
+    /// inserted key is not an eviction.
+    pub fn insert(&self, key: K, value: V, bytes: u64, evictions: &AtomicU64) {
+        self.insert_impl(key, value, bytes, evictions, true);
+    }
+
+    /// The deliberately broken twin of [`insert`](Self::insert): the
+    /// eviction scan's victim is removed **without** re-validating its
+    /// `last_used` stamp under the shard lock, recreating the stale-scan
+    /// race the re-validation exists to close.  A concurrent `get` that
+    /// touches the victim between the scan and the removal loses the entry
+    /// anyway.  Exists only so a model test can prove the checker catches
+    /// the race (`tests/verify.rs`); never called by production code.
+    #[cfg(feature = "model")]
+    pub fn insert_with_stale_scan(&self, key: K, value: V, bytes: u64, evictions: &AtomicU64) {
+        self.insert_impl(key, value, bytes, evictions, false);
+    }
+
+    fn insert_impl(&self, key: K, value: V, bytes: u64, evictions: &AtomicU64, recheck: bool) {
+        // ordering: Relaxed — see `get` for the clock.
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        // ordering: Relaxed — the bound is a standalone configuration word;
+        // a racing `set_max_bytes` makes either bound valid for this insert.
+        let max_bytes = self.max_bytes.load(Ordering::Relaxed);
+        if bytes > max_bytes {
+            // The entry alone exceeds the bound: it is never retained.
+            // Dropping any stale value under the key is not an eviction,
+            // and neither is declining the insert.
+            let mut shard = self.shards[self.shard_index(&key)].lock();
+            if let Some(old) = shard.remove(&key) {
+                // ordering: Relaxed — conservation counter; each delta is
+                // paired with exactly one map mutation (see module docs).
+                self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+            }
+            return;
+        }
+        {
+            let mut shard = self.shards[self.shard_index(&key)].lock();
+            if let Some(old) = shard.insert(key.clone(), Entry { value, bytes, last_used: tick }) {
+                // ordering: Relaxed — conservation counter (module docs).
+                self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+            }
+        }
+        // ordering: Relaxed — conservation counter (module docs).  Applied
+        // outside the shard lock: the transient under-count is harmless and
+        // the sum is exact at quiescence (model-checked).
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if max_bytes == UNBOUNDED {
+            return;
+        }
+        // ordering: Relaxed — the bound check re-reads the counter each
+        // round; eviction is already best-effort under concurrency and the
+        // loop converges once the deltas of racing inserts have landed.
+        while self.total_bytes.load(Ordering::Relaxed) > max_bytes {
+            // A victim always exists here: the new entry fits the bound on
+            // its own, so exceeding it requires at least one other entry.
+            // The scan takes one shard lock at a time; eviction order stays
+            // globally least-recently-used via the tier-wide clock (up to
+            // the approximation described in the module docs).
+            let mut victim: Option<(usize, K, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard = shard.lock();
+                for (k, entry) in shard.iter() {
+                    if *k == key {
+                        continue;
+                    }
+                    if victim.as_ref().is_none_or(|&(_, _, used)| entry.last_used < used) {
+                        victim = Some((i, k.clone(), entry.last_used));
+                    }
+                }
+            }
+            let Some((i, victim_key, seen_used)) = victim else { break };
+            let mut shard = self.shards[i].lock();
+            // Re-validate under the shard lock: the scan's observation is
+            // stale by construction (earlier shards were unlocked while
+            // later ones were scanned).  Evict only if the stamp is exactly
+            // the one the scan saw; a concurrent hit or replace advanced it
+            // and the entry has earned a reprieve — rescan instead.
+            let evict = match shard.get(&victim_key) {
+                Some(entry) => !recheck || entry.last_used == seen_used,
+                None => false,
+            };
+            if evict {
+                if let Some(entry) = shard.remove(&victim_key) {
+                    // ordering: Relaxed — conservation counter (module
+                    // docs); the paired map mutation is the remove above.
+                    self.total_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+                    // ordering: Relaxed — monotonic telemetry; readers
+                    // only snapshot it.
+                    evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Sets (or clears) the byte bound.  Applies to subsequent inserts;
+    /// resident entries above a lowered bound age out on the next insert.
+    pub fn set_max_bytes(&self, max_bytes: Option<u64>) {
+        // ordering: Relaxed — standalone configuration word (see
+        // `insert_impl`'s load).
+        self.max_bytes.store(max_bytes.unwrap_or(UNBOUNDED), Ordering::Relaxed);
+    }
+
+    /// The configured byte bound, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        // ordering: Relaxed — standalone configuration word.
+        match self.max_bytes.load(Ordering::Relaxed) {
+            UNBOUNDED => None,
+            bound => Some(bound),
+        }
+    }
+
+    /// The byte accounting counter.  Exact whenever no insert is mid-flight
+    /// (see the module docs); compare with
+    /// [`resident_bytes`](Self::resident_bytes).
+    pub fn total_bytes(&self) -> u64 {
+        // ordering: Relaxed — a monotonicity-free snapshot of a
+        // conservation counter; exactness at quiescence is what the model
+        // test pins.
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The exact sum of resident entry sizes, computed by walking every
+    /// shard under its lock.  At quiescence this equals
+    /// [`total_bytes`](Self::total_bytes).
+    pub fn resident_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().values().map(|e| e.bytes).sum::<u64>()).sum()
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evictions counter for tests.
+    fn ctr() -> AtomicU64 {
+        AtomicU64::new(0)
+    }
+
+    fn ctr_value(c: &AtomicU64) -> u64 {
+        // ordering: Relaxed — test-side snapshot.
+        c.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn get_returns_inserted_value_and_misses_absent_keys() {
+        let tier: MemoryTier<u32, u64> = MemoryTier::default();
+        let ev = ctr();
+        tier.insert(1, 10, 4, &ev);
+        assert_eq!(tier.get(&1), Some(10));
+        assert_eq!(tier.get(&2), None);
+        assert_eq!(tier.total_bytes(), 4);
+        assert_eq!(tier.resident_bytes(), 4);
+        assert_eq!(ctr_value(&ev), 0);
+    }
+
+    #[test]
+    fn replace_updates_value_and_accounting() {
+        let tier: MemoryTier<u32, u64> = MemoryTier::default();
+        let ev = ctr();
+        tier.insert(1, 10, 4, &ev);
+        tier.insert(1, 11, 9, &ev);
+        assert_eq!(tier.get(&1), Some(11));
+        assert_eq!(tier.total_bytes(), 9);
+        assert_eq!(tier.len(), 1);
+        assert_eq!(ctr_value(&ev), 0, "a replace is not an eviction");
+    }
+
+    #[test]
+    fn bound_evicts_globally_least_recently_used_first() {
+        let tier: MemoryTier<u32, u64> = MemoryTier::with_shards(4);
+        tier.set_max_bytes(Some(3));
+        let ev = ctr();
+        tier.insert(1, 10, 1, &ev);
+        tier.insert(2, 20, 1, &ev);
+        tier.insert(3, 30, 1, &ev);
+        // Touch 1 so 2 becomes the LRU entry, then overflow.
+        assert_eq!(tier.get(&1), Some(10));
+        tier.insert(4, 40, 1, &ev);
+        assert!(tier.contains(&1), "touched entry survives");
+        assert!(!tier.contains(&2), "LRU entry is the victim");
+        assert!(tier.contains(&3));
+        assert!(tier.contains(&4), "an insert never evicts itself");
+        assert_eq!(ctr_value(&ev), 1);
+        assert_eq!(tier.total_bytes(), 3);
+        assert_eq!(tier.resident_bytes(), 3);
+    }
+
+    #[test]
+    fn oversized_entry_is_declined_and_clears_stale_value() {
+        let tier: MemoryTier<u32, u64> = MemoryTier::default();
+        tier.set_max_bytes(Some(10));
+        let ev = ctr();
+        tier.insert(1, 10, 4, &ev);
+        // The replacement is too large: the key ends up absent entirely.
+        tier.insert(1, 11, 11, &ev);
+        assert!(!tier.contains(&1));
+        assert_eq!(tier.total_bytes(), 0);
+        assert_eq!(ctr_value(&ev), 0, "declining an insert is not an eviction");
+        // And nothing else was flushed trying to make room.
+        tier.insert(2, 20, 4, &ev);
+        tier.insert(3, 30, 99, &ev);
+        assert!(tier.contains(&2));
+        assert_eq!(ctr_value(&ev), 0);
+    }
+
+    #[test]
+    fn zero_bound_disables_the_tier() {
+        let tier: MemoryTier<u32, u64> = MemoryTier::default();
+        tier.set_max_bytes(Some(0));
+        let ev = ctr();
+        tier.insert(1, 10, 1, &ev);
+        assert_eq!(tier.get(&1), None);
+        assert_eq!(tier.total_bytes(), 0);
+        assert!(tier.is_empty());
+    }
+
+    #[test]
+    fn max_bytes_round_trips() {
+        let tier: MemoryTier<u32, u64> = MemoryTier::default();
+        assert_eq!(tier.max_bytes(), None);
+        tier.set_max_bytes(Some(7));
+        assert_eq!(tier.max_bytes(), Some(7));
+        tier.set_max_bytes(None);
+        assert_eq!(tier.max_bytes(), None);
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        let tier: MemoryTier<u32, u64> = MemoryTier::with_shards(3);
+        assert_eq!(tier.shards.len(), 4);
+        let tier: MemoryTier<u32, u64> = MemoryTier::with_shards(0);
+        assert_eq!(tier.shards.len(), 1);
+    }
+}

@@ -206,10 +206,12 @@ pub fn select_barrierpoints(
     let region_to_barrierpoint = (0..profile.num_regions())
         .map(|region| {
             let representative = clustering.cluster_of(region).representative;
-            barrierpoints
-                .iter()
-                .position(|bp| bp.region == representative)
-                .expect("every cluster has a barrierpoint")
+            match barrierpoints.iter().position(|bp| bp.region == representative) {
+                Some(index) => index,
+                // The barrierpoint list is built from the cluster
+                // representatives, so every representative is in it.
+                None => unreachable!("representative region {representative} has no barrierpoint"),
+            }
         })
         .collect();
 

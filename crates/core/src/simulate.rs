@@ -111,9 +111,12 @@ pub(crate) fn simulate_barrierpoints_impl<W: Workload + ?Sized>(
         let strategy = match warmup {
             WarmupKind::Cold => WarmupStrategy::Cold,
             WarmupKind::FunctionalReplay => WarmupStrategy::FunctionalReplay { region },
-            WarmupKind::MruReplay => WarmupStrategy::MruReplay(
-                mru_data.get(&region).cloned().expect("warmup collected for every barrierpoint"),
-            ),
+            WarmupKind::MruReplay => match mru_data.get(&region).cloned() {
+                Some(data) => WarmupStrategy::MruReplay(data),
+                // The warmup collection pass above covers exactly the
+                // barrierpoint regions being simulated here.
+                None => unreachable!("no warmup collected for barrierpoint region {region}"),
+            },
         };
         apply_warmup(machine.hierarchy_mut(), workload, &strategy);
         (region, machine.run_region(workload, region))

@@ -546,7 +546,12 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             .zip(results)
             .map(|(label, simulated)| SweepLeg {
                 label: label.clone(),
-                simulated: simulated.expect("every design point resolved"),
+                simulated: match simulated {
+                    Some(simulated) => simulated,
+                    // The resolve loop above fills every slot or returns
+                    // its error before reaching this point.
+                    None => unreachable!("design point {label:?} was never resolved"),
+                },
             })
             .collect();
 

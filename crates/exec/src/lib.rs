@@ -31,9 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sync;
+
+use crate::sync::{Arc, AtomicU64, AtomicUsize, Mutex, Ordering};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 use std::thread::Scope;
 
 /// A shared pool of helper-thread permits, used to bound the total number of
@@ -126,13 +127,20 @@ impl WorkerBudget {
 
     /// Takes one helper permit if any is available.
     pub fn try_acquire(&self) -> bool {
+        // ordering: Relaxed — this load only seeds the CAS loop; any stale
+        // value is caught (and refreshed) by the compare_exchange failure.
         let mut current = self.inner.state.load(Ordering::Relaxed);
         while current & PERMIT_MASK > 0 {
+            // ordering: AcqRel on success — the Acquire half pairs with the
+            // Release half of `release()`'s CAS so a stolen permit observes
+            // everything its releaser published; the Release half pairs with
+            // the next acquirer/releaser of this word.  Relaxed on failure —
+            // a failed CAS only restarts the loop with the observed word.
             match self.inner.state.compare_exchange_weak(
                 current,
                 current - 1,
                 Ordering::AcqRel,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // ordering: failure restarts the loop (see above)
             ) {
                 Ok(_) => {
                     // Telemetry: a permit acquired from a partially drained
@@ -146,6 +154,11 @@ impl WorkerBudget {
                     // against, so it is linearized with the acquire itself:
                     // no interleaving of releases and quiescence transitions
                     // on other threads can misclassify it.
+                    // ordering: Relaxed — `steals` is a monotonic telemetry
+                    // counter; readers only assert on it after joining the
+                    // worker threads (a stronger happens-before than any
+                    // ordering here could provide), and no other memory is
+                    // published through it.
                     if (current >> RELEASE_SHIFT) & RELEASE_MASK > 0 {
                         self.inner.steals.fetch_add(1, Ordering::Relaxed);
                     }
@@ -159,7 +172,14 @@ impl WorkerBudget {
 
     /// Returns one helper permit to the pool.
     pub fn release(&self) {
+        // ordering: Relaxed — `released` is the independent conservation
+        // counter (monotonic, never reset); it is compared against acquire
+        // counts only after every worker has been joined, so the join edge
+        // already orders it.  Incrementing it *before* the permit goes home
+        // keeps the invariant `released >= acquires classified against the
+        // new epoch` at every instant.
         self.inner.released.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — seed for the CAS loop, same as try_acquire.
         let mut current = self.inner.state.load(Ordering::Relaxed);
         loop {
             let permits = (current & PERMIT_MASK) + 1;
@@ -183,11 +203,16 @@ impl WorkerBudget {
                 let releases = ((current >> RELEASE_SHIFT) & RELEASE_MASK).min(RELEASE_MASK - 1);
                 pack(epoch, releases + 1, permits)
             };
+            // ordering: AcqRel on success — Release publishes the returning
+            // worker's writes to whichever thread re-acquires this permit;
+            // Acquire pairs with prior releases so the epoch/count fields
+            // this CAS builds on are the latest.  Relaxed on failure — the
+            // loop retries from the observed word.
             match self.inner.state.compare_exchange_weak(
                 current,
                 next,
                 Ordering::AcqRel,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // ordering: failure restarts the loop (see above)
             ) {
                 Ok(_) => return,
                 Err(observed) => current = observed,
@@ -197,7 +222,14 @@ impl WorkerBudget {
 
     /// Permits currently available.
     pub fn available(&self) -> usize {
-        (self.inner.state.load(Ordering::Relaxed) & PERMIT_MASK) as usize
+        // ordering: Acquire — strengthened from Relaxed as part of the
+        // telemetry-ordering audit: tests (and future daemon admission
+        // logic) assert "pool fully home ⇒ prior workers' effects visible".
+        // Acquire pairs with the Release half of `release()`'s CAS, so
+        // observing `permits == total` here also observes everything those
+        // releasing workers published.  Uncontended Acquire loads are free
+        // on x86 and near-free elsewhere; this is not a hot-path call.
+        (self.inner.state.load(Ordering::Acquire) & PERMIT_MASK) as usize
     }
 
     /// How many helper threads were recruited from a *partially drained*
@@ -206,7 +238,31 @@ impl WorkerBudget {
     /// home, e.g. the ramp-up of sequential fan-outs reusing one budget) do
     /// not count.  Purely scheduling telemetry: results never depend on it.
     pub fn steal_count(&self) -> u64 {
+        // ordering: Relaxed — audited and deliberately left Relaxed: the
+        // counter is monotonic and carries no payload; every caller that
+        // asserts an exact value first joins the worker threads, and a
+        // mid-flight read is only ever a progress snapshot where a slightly
+        // stale value is indistinguishable from reading a moment earlier.
         self.inner.steals.load(Ordering::Relaxed)
+    }
+
+    /// Monotonic count of every [`release`](Self::release) call across the
+    /// budget's lifetime (the conservation counter the stress and model
+    /// tests check against successful acquires at quiescence).
+    #[cfg(feature = "model")]
+    pub fn released_total(&self) -> u64 {
+        // ordering: Relaxed — same audit verdict as `steal_count`.
+        self.inner.released.load(Ordering::Relaxed)
+    }
+
+    /// The in-epoch release count of the packed permit word (model-checking
+    /// accessor: at quiescence this must be zero under every interleaving).
+    #[cfg(feature = "model")]
+    pub fn in_epoch_releases(&self) -> u64 {
+        // ordering: Acquire — pairs with the release CAS like `available`,
+        // so a reader that sees the quiescent word sees the whole epoch
+        // transition.
+        (self.inner.state.load(Ordering::Acquire) >> RELEASE_SHIFT) & RELEASE_MASK
     }
 }
 
@@ -233,6 +289,11 @@ where
 {
     let mut local: Vec<(usize, T)> = Vec::new();
     loop {
+        // ordering: Relaxed — the claim counter is pure work distribution:
+        // which worker claims which index is unobservable (results are
+        // reassembled by index), and the scope join at the end of
+        // `execute_budgeted` is the synchronization point for the results
+        // themselves.
         let start = shared.next.fetch_add(shared.chunk, Ordering::Relaxed);
         if start >= shared.jobs {
             break;
@@ -246,7 +307,7 @@ where
         }
     }
     if !local.is_empty() {
-        shared.collected.lock().expect("worker result lock").extend(local);
+        shared.collected.lock().extend(local);
     }
     if helper {
         shared.budget.release();
@@ -394,7 +455,7 @@ impl ExecutionPolicy {
             chunk: self.chunk_size(jobs),
         };
         std::thread::scope(|scope| worker_loop(scope, &shared, false));
-        let mut results = collected.into_inner().expect("worker result lock");
+        let mut results = collected.into_inner();
         results.sort_by_key(|&(index, _)| index);
         debug_assert_eq!(results.len(), jobs);
         results.into_iter().map(|(_, value)| value).collect()
@@ -405,6 +466,118 @@ impl Default for ExecutionPolicy {
     /// The default is parallel execution over all available CPUs.
     fn default() -> Self {
         ExecutionPolicy::parallel()
+    }
+}
+
+/// Deliberately broken protocol variants, compiled only under the `model`
+/// feature.  They exist to prove the model checker earns its keep: each one
+/// reintroduces a historical (or plausible) bug as a minimal delta against
+/// the real implementation, and a `#[should_panic]` model test pins that the
+/// bounded search finds the schedule that exposes it.  Nothing here is ever
+/// part of a production build.
+#[cfg(feature = "model")]
+pub mod model_fixtures {
+    use super::{pack, AtomicU64, Ordering, EPOCH_SHIFT, PERMIT_MASK, RELEASE_MASK, RELEASE_SHIFT};
+
+    /// A [`WorkerBudget`](super::WorkerBudget) whose quiescing release is
+    /// split across **two** CASes: the first returns the permit and counts
+    /// the release, the second bumps the epoch and zeroes the in-epoch
+    /// count.  This is exactly the narrowed-but-not-closed window the packed
+    /// single-CAS protocol was built to eliminate — between the two CASes
+    /// the pool is momentarily "quiescent with a non-zero release count",
+    /// so a concurrent acquire classifies a ramp-up as a steal.
+    ///
+    /// The invariant it breaks (and the model test checks): on a budget of
+    /// one permit every release quiesces, so `steal_count` must be zero
+    /// under *every* interleaving.
+    pub struct SplitQuiescenceBudget {
+        state: AtomicU64,
+        total: usize,
+        steals: AtomicU64,
+    }
+
+    impl SplitQuiescenceBudget {
+        /// A broken budget with `permits` helper permits.
+        pub fn new(permits: usize) -> Self {
+            assert!(permits as u64 <= PERMIT_MASK);
+            Self {
+                state: AtomicU64::new(permits as u64),
+                total: permits,
+                steals: AtomicU64::new(0),
+            }
+        }
+
+        /// Same acquire path (and steal classification) as the real budget.
+        pub fn try_acquire(&self) -> bool {
+            // ordering: Relaxed — CAS-loop seed, as in the real protocol.
+            let mut current = self.state.load(Ordering::Relaxed);
+            while current & PERMIT_MASK > 0 {
+                // ordering: AcqRel/Relaxed — as in the real protocol.
+                match self.state.compare_exchange_weak(
+                    current,
+                    current - 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        if (current >> RELEASE_SHIFT) & RELEASE_MASK > 0 {
+                            // ordering: Relaxed — telemetry, as in the real
+                            // protocol.
+                            self.steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return true;
+                    }
+                    Err(observed) => current = observed,
+                }
+            }
+            false
+        }
+
+        /// The broken release: permit return and epoch transition are two
+        /// separate CASes instead of one.
+        pub fn release(&self) {
+            // ordering: Relaxed — CAS-loop seed.
+            let mut current = self.state.load(Ordering::Relaxed);
+            let after = loop {
+                let permits = (current & PERMIT_MASK) + 1;
+                let epoch = current >> EPOCH_SHIFT;
+                let releases = ((current >> RELEASE_SHIFT) & RELEASE_MASK).min(RELEASE_MASK - 1);
+                // BUG (deliberate): the release count is incremented even on
+                // the quiescing release; the epoch bump + count reset happen
+                // in a *second* CAS below, leaving a window in between.
+                let next = pack(epoch, releases + 1, permits);
+                // ordering: AcqRel/Relaxed — as in the real protocol.
+                match self.state.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break next,
+                    Err(observed) => current = observed,
+                }
+            };
+            if (after & PERMIT_MASK) as usize == self.total {
+                let epoch = after >> EPOCH_SHIFT;
+                let quiesced =
+                    pack(epoch.wrapping_add(1) & (u64::MAX >> EPOCH_SHIFT), 0, after & PERMIT_MASK);
+                // ordering: AcqRel/Relaxed — the orderings are not the bug;
+                // the second CAS gives up if anything intervened, which is
+                // precisely how the misclassification window stays open.
+                let _ = self.state.compare_exchange(
+                    after,
+                    quiesced,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+
+        /// Steal telemetry, as in the real budget.
+        pub fn steal_count(&self) -> u64 {
+            // ordering: Relaxed — telemetry, as in the real protocol.
+            self.steals.load(Ordering::Relaxed)
+        }
     }
 }
 
@@ -582,7 +755,9 @@ mod tests {
     fn release_counter_is_conserved_under_contention() {
         let budget = WorkerBudget::new(2);
         let threads = 4;
-        let iterations = 1_000u64;
+        // Miri interprets every atomic op; keep the sanitizer run tractable
+        // while native runs keep the full hammering.
+        let iterations = if cfg!(miri) { 25 } else { 1_000u64 };
         let mut total_acquired = 0u64;
         for round in 0..3 {
             let acquired: u64 = std::thread::scope(|scope| {

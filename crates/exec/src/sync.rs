@@ -1,0 +1,64 @@
+//! The synchronization abstraction the concurrency core is written against.
+//!
+//! Without the `model` feature (every production build), the types here are
+//! the `std::sync` primitives — atomics re-exported directly, the mutex as a
+//! zero-cost `#[repr(transparent)]`-equivalent newtype whose only difference
+//! from `std::sync::Mutex` is a poison-transparent `lock()` that returns the
+//! guard directly.  With the `model` feature (enabled only by the workspace
+//! root's test build), they are `bp-verify`'s modeled types instead, so the
+//! same unmodified protocol code runs under the bounded interleaving model
+//! checker.
+//!
+//! Poison transparency is a deliberate policy, not a shortcut: every
+//! critical section in this workspace either leaves the guarded data valid
+//! at all times or repairs it on the panic path, so a poisoned lock carries
+//! no information beyond "some thread panicked" — which the panic itself
+//! already propagates through `std::thread::scope`.  Recovering the guard
+//! keeps the panic that surfaces to the user the *original* one instead of
+//! a cascade of `PoisonError` panics on every other worker.
+
+#[cfg(feature = "model")]
+pub use bp_verify::sync::{Arc, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering};
+
+#[cfg(not(feature = "model"))]
+mod fallback {
+    pub use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    pub use std::sync::Arc;
+
+    /// The production guard is `std`'s own guard, returned directly.
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    /// A `std::sync::Mutex` with a poison-transparent API (see the module
+    /// docs); compiles to the exact same code as using `std` directly plus
+    /// an inlined `unwrap_or_else` on the poison flag.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex guarding `value`.
+        pub const fn new(value: T) -> Self {
+            Self(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock, recovering the guard from a poisoned mutex.
+        #[inline]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Consumes the mutex, returning the guarded value.
+        #[inline]
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Returns a mutable reference to the guarded value.
+        #[inline]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+}
+
+#[cfg(not(feature = "model"))]
+pub use fallback::{Arc, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering};

@@ -130,12 +130,10 @@ impl Cache {
             return None;
         }
         // Evict LRU.
-        let victim_idx = self.sets[set]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.lru)
-            .map(|(i, _)| i)
-            .expect("non-empty set");
+        // `map_or(0, ..)` instead of an unwrap: associativity is at least 1,
+        // and way 0 is the correct victim for a hypothetical 1-way tie.
+        let victim_idx =
+            self.sets[set].iter().enumerate().min_by_key(|(_, w)| w.lru).map_or(0, |(i, _)| i);
         let victim = self.sets[set][victim_idx];
         self.sets[set][victim_idx] = Way { line, state, lru: tick };
         Some(EvictedLine { line: victim.line, dirty: victim.state == LineState::Modified })

@@ -175,9 +175,16 @@ pub fn zip_thread_profiles(profiles: Vec<ThreadProfile>) -> Vec<RegionSignature>
             let mut ldvs = Vec::with_capacity(per_thread.len());
             let mut instructions = Vec::with_capacity(per_thread.len());
             for (bbv_iter, ldv_iter, instr_iter) in per_thread.iter_mut() {
-                bbvs.push(bbv_iter.next().expect("region count verified"));
-                ldvs.push(ldv_iter.next().expect("region count verified"));
-                instructions.push(instr_iter.next().expect("region count verified"));
+                let (Some(bbv), Some(ldv), Some(instr)) =
+                    (bbv_iter.next(), ldv_iter.next(), instr_iter.next())
+                else {
+                    // Every per-thread iterator was verified to yield
+                    // exactly `num_regions` items.
+                    unreachable!("per-thread signature stream ended early")
+                };
+                bbvs.push(bbv);
+                ldvs.push(ldv);
+                instructions.push(instr);
             }
             RegionSignature::new(bbvs, ldvs, instructions)
         })

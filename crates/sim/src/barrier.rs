@@ -31,7 +31,8 @@ impl BarrierModel {
     ///
     /// Panics if `thread_cycles` is empty.
     pub fn region_cycles(&self, thread_cycles: &[u64]) -> u64 {
-        let slowest = *thread_cycles.iter().max().expect("at least one thread");
+        assert!(!thread_cycles.is_empty(), "region_cycles requires at least one thread");
+        let slowest = thread_cycles.iter().copied().max().unwrap_or(0);
         slowest + self.barrier_cycles(thread_cycles.len())
     }
 

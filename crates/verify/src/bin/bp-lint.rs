@@ -1,0 +1,33 @@
+//! `bp-lint` — repo lint for the BarrierPoint concurrency core.
+//!
+//! Usage: `bp-lint [ROOT]` (default: current directory, i.e. the workspace
+//! root when invoked as `cargo run -p bp-verify --bin bp-lint`).
+//!
+//! Exits non-zero when any finding is reported (`-D` semantics: every rule
+//! is deny-by-default; suppressions go through explicit
+//! `bp-lint: allow(<rule>)` comments in the source).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let findings = match bp_verify::lint::run(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("bp-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("bp-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    eprintln!("bp-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,840 @@
+//! The deterministic interleaving scheduler behind [`check`](crate::check).
+//!
+//! One *model run* explores the interleavings of a closure that creates its
+//! shared state from the modeled [`sync`](crate::sync) types and forks workers
+//! through [`thread::spawn`](crate::thread::spawn).  Each *execution* runs the
+//! closure once on real OS threads, but every modeled operation first yields
+//! to the scheduler, which grants exactly one thread the right to run at a
+//! time — so an execution is fully determined by the sequence of scheduling
+//! choices, and the driver can enumerate executions by depth-first search
+//! over those choices.
+//!
+//! The search is bounded three ways:
+//!
+//! * **preemption bounding** — choices that switch away from a still-runnable
+//!   thread count as preemptions; past the bound the current thread keeps
+//!   running.  Most real concurrency bugs manifest within two preemptions
+//!   (the CHESS observation), so a small bound explores the high-value
+//!   schedules first while keeping the space polynomial.
+//! * **state-hash pruning** (opt-in) — at a fresh decision point whose
+//!   observable state (modeled atomic values, mutex owners, each thread's
+//!   observation history) has been fully explored before with at least as
+//!   much preemption budget remaining, the subtree is not branched again.
+//!   Sound when every thread's behaviour is a deterministic function of the
+//!   values it observed through modeled operations — which holds for the
+//!   pure-atomic protocols this repo checks, but *not* in general when
+//!   mutex-protected data is written without being read; hence opt-in.
+//! * **execution/step budgets** — hard caps that turn runaway searches into
+//!   an incomplete [`Report`] rather than a hung test.
+//!
+//! A violation — a panicking assertion in the closure, a deadlock, or a step
+//! budget blow-up — aborts the execution (the remaining modeled threads
+//! unwind on a sentinel panic) and surfaces the schedule and an operation
+//! trace, so a failing model test prints the exact interleaving that broke
+//! the invariant.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+/// Locks `mutex`, transparently recovering from poisoning: the checker's own
+/// bookkeeping stays consistent even while an execution is unwinding.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Search bounds for one [`check_with`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelOptions {
+    /// Maximum number of preemptive context switches per execution (`None`
+    /// = unbounded, i.e. a full DFS over every interleaving).  Switching away
+    /// from a blocked or finished thread is never a preemption.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored executions; hitting it yields an incomplete
+    /// [`Report`] instead of running forever.
+    pub max_executions: u64,
+    /// Hard cap on scheduling decisions within a single execution; exceeding
+    /// it is reported as a livelock-style violation.
+    pub max_steps: usize,
+    /// Enables state-hash subtree pruning (see the module docs for the
+    /// soundness condition).
+    pub state_pruning: bool,
+}
+
+impl Default for ModelOptions {
+    /// Two preemptions, generous execution/step budgets, no pruning.
+    fn default() -> Self {
+        Self {
+            preemption_bound: Some(2),
+            max_executions: 500_000,
+            max_steps: 50_000,
+            state_pruning: false,
+        }
+    }
+}
+
+impl ModelOptions {
+    /// An unbounded full search (still capped by `max_executions`).
+    pub fn exhaustive() -> Self {
+        Self { preemption_bound: None, ..Self::default() }
+    }
+
+    /// Sets the preemption bound.
+    pub fn with_preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets the execution budget.
+    pub fn with_max_executions(mut self, max: u64) -> Self {
+        self.max_executions = max;
+        self
+    }
+
+    /// Enables or disables state-hash pruning.
+    pub fn with_state_pruning(mut self, enabled: bool) -> Self {
+        self.state_pruning = enabled;
+        self
+    }
+}
+
+/// Outcome of a completed (or budget-truncated) search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Number of executions explored.
+    pub executions: u64,
+    /// `true` when the bounded search space was exhausted; `false` when the
+    /// `max_executions` budget truncated it.
+    pub complete: bool,
+    /// Executions cut short by state-hash pruning.
+    pub pruned: u64,
+}
+
+/// What kind of property failure the checker observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A modeled thread panicked (a failed assertion in the closure).
+    Panic,
+    /// Every live thread was blocked.
+    Deadlock,
+    /// One execution exceeded [`ModelOptions::max_steps`].
+    StepBudget,
+}
+
+/// A property failure, with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The failure class.
+    pub kind: ViolationKind,
+    /// The modeled thread that failed (panicking thread; `None` for global
+    /// conditions such as deadlock).
+    pub thread: Option<usize>,
+    /// The panic message, if any.
+    pub message: String,
+    /// The scheduling choices (thread ids, one per decision) of the failing
+    /// execution.
+    pub schedule: Vec<usize>,
+    /// Human-readable operation trace of the failing execution.
+    pub trace: Vec<String>,
+    /// How many executions had been explored when the violation surfaced.
+    pub executions: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model violation ({:?}) after {} execution(s): {}",
+            self.kind, self.executions, self.message
+        )?;
+        writeln!(f, "schedule: {:?}", self.schedule)?;
+        writeln!(f, "trace ({} ops):", self.trace.len())?;
+        for (i, op) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:4}: {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sentinel panic payload used to unwind modeled threads of an aborted
+/// execution; never reported as a user-visible violation.
+pub(crate) struct ExecAbort;
+
+/// Creates the abort sentinel (for [`crate::thread`]'s spawn wrapper).
+pub(crate) fn exec_abort() -> ExecAbort {
+    ExecAbort
+}
+
+/// Panics with the abort sentinel, unwinding the calling modeled thread.
+fn abort_thread() -> ! {
+    std::panic::panic_any(ExecAbort)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context: which scheduler (if any) owns the current OS thread.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CONTEXT: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+    /// Set while a modeled thread runs, so the process panic hook can stay
+    /// quiet about expected model panics (violations and abort unwinding).
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The identity of a modeled thread: the controlling scheduler plus this
+/// thread's id within it.
+#[derive(Clone)]
+pub(crate) struct ThreadCtx {
+    pub(crate) control: Arc<Control>,
+    pub(crate) id: usize,
+}
+
+/// The scheduler owning the current OS thread, when inside a model run.
+pub(crate) fn current() -> Option<ThreadCtx> {
+    CONTEXT.with(|slot| slot.borrow().clone())
+}
+
+/// Binds the calling OS thread to a modeled thread identity and silences
+/// the panic hook for it (model panics are expected and reported through
+/// [`Violation`] instead).
+pub(crate) fn enter_modeled_thread(ctx: ThreadCtx) {
+    CONTEXT.with(|slot| *slot.borrow_mut() = Some(ctx));
+    SUPPRESS_PANIC_OUTPUT.with(|flag| flag.set(true));
+}
+
+/// Installs (once per process) a panic hook that silences panics raised on
+/// modeled threads; everything else is forwarded to the previous hook.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution scheduler state.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockOn {
+    ModelMutex(usize),
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Ready,
+    Blocked(BlockOn),
+    Finished,
+}
+
+struct ThreadSlot {
+    state: TState,
+    /// Rolling hash of every value this thread observed through modeled
+    /// operations — a fingerprint of its (deterministic) local state.
+    obs: u64,
+}
+
+/// One scheduling decision: the alternatives that were enabled and which one
+/// this execution took.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    pub(crate) choices: Vec<usize>,
+    pub(crate) index: usize,
+}
+
+struct Inner {
+    threads: Vec<ThreadSlot>,
+    /// The single thread currently granted the right to run (`None` once the
+    /// execution is over).
+    current: Option<usize>,
+    /// Choice prefix prescribed by the driver's DFS backtracking.
+    replay: Vec<usize>,
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    steps: usize,
+    /// Once set, every later decision keeps a single choice (the subtree was
+    /// pruned); the execution still runs to completion on its first path.
+    prune_rest: bool,
+    pruned: bool,
+    /// Mirror of every modeled atomic's current value (for state hashing).
+    atoms: Vec<u64>,
+    /// Owner of every modeled mutex.
+    mutexes: Vec<Option<usize>>,
+    violation: Option<Violation>,
+    aborted: bool,
+    trace: Vec<String>,
+    /// Registered-but-unfinished thread count; the execution is over when it
+    /// reaches zero.
+    live: usize,
+}
+
+/// Shared scheduler handle: one per execution, shared by the driver and every
+/// modeled thread.
+pub(crate) struct Control {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    opts: ModelOptions,
+    /// Cross-execution memo for state-hash pruning: hash → largest remaining
+    /// preemption budget it was explored with.
+    seen: Arc<Mutex<HashMap<u64, usize>>>,
+    /// Model-run generation stamp; modeled objects re-register when it
+    /// changes (see [`crate::sync`]).
+    pub(crate) generation: u64,
+}
+
+const TRACE_CAP: usize = 10_000;
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Order-sensitive hash accumulation.  A plain FNV-style xor-multiply is far
+/// too weak here — folding zeros degenerates to repeated multiplication and
+/// distinct scheduler states collide in practice, which silently (and
+/// unsoundly) prunes live subtrees.  The avalanche mixer makes accidental
+/// collisions a ~2^-64 event per comparison.
+fn fold(hash: u64, value: u64) -> u64 {
+    mix(hash ^ mix(value))
+}
+
+impl Control {
+    fn new(
+        opts: ModelOptions,
+        seen: Arc<Mutex<HashMap<u64, usize>>>,
+        replay: Vec<usize>,
+        generation: u64,
+    ) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                threads: Vec::new(),
+                current: Some(0),
+                replay,
+                decisions: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                prune_rest: false,
+                pruned: false,
+                atoms: Vec::new(),
+                mutexes: Vec::new(),
+                violation: None,
+                aborted: false,
+                trace: Vec::new(),
+                live: 0,
+            }),
+            cv: Condvar::new(),
+            opts,
+            seen,
+            generation,
+        }
+    }
+
+    /// Registers a new modeled thread, returning its id.  Called by the
+    /// driver (thread 0) or by a running thread's `spawn`.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = lock(&self.inner);
+        inner.threads.push(ThreadSlot { state: TState::Ready, obs: 0xcbf2_9ce4_8422_2325 });
+        inner.live += 1;
+        inner.threads.len() - 1
+    }
+
+    /// Registers a modeled atomic with its current value, returning its id.
+    pub(crate) fn register_atom(&self, value: u64) -> usize {
+        let mut inner = lock(&self.inner);
+        inner.atoms.push(value);
+        inner.atoms.len() - 1
+    }
+
+    /// Registers a modeled mutex, returning its id.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut inner = lock(&self.inner);
+        inner.mutexes.push(None);
+        inner.mutexes.len() - 1
+    }
+
+    fn push_trace(inner: &mut Inner, entry: String) {
+        if inner.trace.len() < TRACE_CAP {
+            inner.trace.push(entry);
+        }
+    }
+
+    fn record_violation(
+        &self,
+        inner: &mut Inner,
+        kind: ViolationKind,
+        me: Option<usize>,
+        msg: String,
+    ) {
+        if inner.violation.is_none() {
+            inner.violation = Some(Violation {
+                kind,
+                thread: me,
+                message: msg,
+                schedule: inner.decisions.iter().map(|d| d.choices[d.index]).collect(),
+                trace: inner.trace.clone(),
+                executions: 0, // filled in by the driver
+            });
+        }
+        inner.aborted = true;
+        self.cv.notify_all();
+    }
+
+    fn enabled(inner: &Inner) -> Vec<usize> {
+        inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TState::Ready)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn state_hash(inner: &Inner) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fold(h, inner.atoms.len() as u64);
+        for value in &inner.atoms {
+            h = fold(h, *value);
+        }
+        h = fold(h, inner.mutexes.len() as u64);
+        for owner in &inner.mutexes {
+            h = fold(h, owner.map_or(u64::MAX, |t| t as u64));
+        }
+        h = fold(h, inner.threads.len() as u64);
+        for t in &inner.threads {
+            h = fold(h, t.obs);
+            h = fold(
+                h,
+                match t.state {
+                    TState::Ready => 0,
+                    TState::Finished => 1,
+                    TState::Blocked(BlockOn::ModelMutex(m)) => 2 + ((m as u64) << 2),
+                    TState::Blocked(BlockOn::Join(j)) => 3 + ((j as u64) << 2),
+                },
+            );
+        }
+        h
+    }
+
+    /// The scheduling decision: picks the next thread to run.  `me_enabled`
+    /// is whether the deciding thread itself can continue (false when it is
+    /// blocking or finishing, in which case switching away is free).
+    fn pick(&self, inner: &mut Inner, me: usize, me_enabled: bool) {
+        inner.steps += 1;
+        if inner.steps > self.opts.max_steps {
+            self.record_violation(
+                inner,
+                ViolationKind::StepBudget,
+                Some(me),
+                format!("execution exceeded max_steps = {}", self.opts.max_steps),
+            );
+            return;
+        }
+        let enabled = Self::enabled(inner);
+        if enabled.is_empty() {
+            if inner.live == 0 {
+                inner.current = None; // execution complete
+            } else {
+                let blocked: Vec<usize> = inner
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.state, TState::Blocked(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                self.record_violation(
+                    inner,
+                    ViolationKind::Deadlock,
+                    None,
+                    format!("deadlock: threads {blocked:?} are all blocked"),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+
+        // Candidate order: the running thread first (the fewest-preemption
+        // continuation is explored first), then the others by id.  Once the
+        // preemption budget is spent, a still-runnable thread is never
+        // switched away from.
+        let mut choices: Vec<usize> = if me_enabled {
+            let budget_spent =
+                self.opts.preemption_bound.is_some_and(|bound| inner.preemptions >= bound);
+            if budget_spent {
+                vec![me]
+            } else {
+                let mut c = vec![me];
+                c.extend(enabled.iter().copied().filter(|&t| t != me));
+                c
+            }
+        } else {
+            enabled
+        };
+
+        let d = inner.decisions.len();
+        let chosen = if d < inner.replay.len() {
+            // Replaying the DFS prefix: determinism guarantees the enabled
+            // set is identical to when this prefix was first explored, and
+            // the driver keeps the authoritative sibling lists for replayed
+            // depths — only the chosen branch is recorded here.
+            let target = inner.replay[d];
+            assert!(
+                choices.contains(&target),
+                "bp-verify internal error: replay diverged at decision {d} \
+                 (wanted thread {target}, enabled {choices:?}); the closure \
+                 under check must be deterministic given its scheduling"
+            );
+            inner.decisions.push(Decision { choices: vec![target], index: 0 });
+            target
+        } else {
+            if inner.prune_rest {
+                choices.truncate(1);
+            } else if self.opts.state_pruning && choices.len() > 1 {
+                let hash = Self::state_hash(inner);
+                let remaining = self
+                    .opts
+                    .preemption_bound
+                    .map_or(usize::MAX, |bound| bound.saturating_sub(inner.preemptions));
+                let mut seen = lock(&self.seen);
+                match seen.get(&hash) {
+                    Some(&budget) if budget >= remaining => {
+                        choices.truncate(1);
+                        inner.prune_rest = true;
+                        inner.pruned = true;
+                    }
+                    _ => {
+                        seen.insert(hash, remaining);
+                    }
+                }
+            }
+            inner.decisions.push(Decision { choices, index: 0 });
+            inner.decisions[d].choices[0]
+        };
+
+        if me_enabled && chosen != me {
+            inner.preemptions += 1;
+        }
+        inner.current = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the scheduler grants `me` the right to run (or the
+    /// execution aborts, in which case the thread unwinds).
+    fn wait_for_turn<'a>(&'a self, mut inner: MutexGuard<'a, Inner>, me: usize) {
+        while inner.current != Some(me) {
+            if inner.aborted {
+                drop(inner);
+                abort_thread();
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The universal pre-operation yield point: trace, decide, and wait for
+    /// the turn to come back around.
+    pub(crate) fn op_yield(&self, me: usize, describe: impl FnOnce() -> String) {
+        let mut inner = lock(&self.inner);
+        if inner.aborted {
+            drop(inner);
+            abort_thread();
+        }
+        debug_assert_eq!(inner.current, Some(me), "op from a thread that was not granted the turn");
+        let entry = format!("T{me}: {}", describe());
+        Self::push_trace(&mut inner, entry);
+        self.pick(&mut inner, me, true);
+        if inner.aborted {
+            drop(inner);
+            abort_thread();
+        }
+        self.wait_for_turn(inner, me);
+    }
+
+    /// Records the value a modeled operation observed, and the operated-on
+    /// atomic's new value for state hashing.
+    pub(crate) fn record_op(&self, me: usize, atom: usize, observed: u64, new_value: u64) {
+        let mut inner = lock(&self.inner);
+        inner.threads[me].obs = fold(inner.threads[me].obs, observed);
+        inner.atoms[atom] = new_value;
+    }
+
+    /// Modeled mutex acquisition: one decision point, then block until free.
+    pub(crate) fn mutex_lock(&self, me: usize, id: usize) {
+        self.op_yield(me, || format!("lock(m{id})"));
+        loop {
+            let mut inner = lock(&self.inner);
+            if inner.aborted {
+                drop(inner);
+                abort_thread();
+            }
+            if inner.mutexes[id].is_none() {
+                inner.mutexes[id] = Some(me);
+                return;
+            }
+            inner.threads[me].state = TState::Blocked(BlockOn::ModelMutex(id));
+            Self::push_trace(&mut inner, format!("T{me}: blocked(m{id})"));
+            self.pick(&mut inner, me, false);
+            if inner.aborted {
+                drop(inner);
+                abort_thread();
+            }
+            self.wait_for_turn(inner, me);
+        }
+    }
+
+    /// Modeled mutex release.  `unwinding` is set when called from a guard
+    /// dropped during a panic: the lock state is repaired but no scheduling
+    /// decision is taken (the execution is aborting anyway).
+    pub(crate) fn mutex_unlock(&self, me: usize, id: usize, unwinding: bool) {
+        let mut inner = lock(&self.inner);
+        inner.mutexes[id] = None;
+        for slot in inner.threads.iter_mut() {
+            if slot.state == TState::Blocked(BlockOn::ModelMutex(id)) {
+                slot.state = TState::Ready;
+            }
+        }
+        if unwinding || inner.aborted {
+            self.cv.notify_all();
+            return;
+        }
+        Self::push_trace(&mut inner, format!("T{me}: unlock(m{id})"));
+        self.pick(&mut inner, me, true);
+        if inner.aborted {
+            drop(inner);
+            abort_thread();
+        }
+        self.wait_for_turn(inner, me);
+    }
+
+    /// Spawn is a decision point too: the child (already registered, Ready)
+    /// may be scheduled before the parent's next operation.
+    pub(crate) fn spawn_yield(&self, me: usize, child: usize) {
+        self.op_yield(me, || format!("spawn(T{child})"));
+    }
+
+    /// Blocks until `target` finishes.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.op_yield(me, || format!("join(T{target})"));
+        loop {
+            let mut inner = lock(&self.inner);
+            if inner.aborted {
+                drop(inner);
+                abort_thread();
+            }
+            if inner.threads[target].state == TState::Finished {
+                return;
+            }
+            inner.threads[me].state = TState::Blocked(BlockOn::Join(target));
+            self.pick(&mut inner, me, false);
+            if inner.aborted {
+                drop(inner);
+                abort_thread();
+            }
+            self.wait_for_turn(inner, me);
+        }
+    }
+
+    /// First action of a freshly spawned modeled thread: wait to be granted.
+    /// Returns `false` when the execution aborted before the thread ever ran
+    /// (its body must then be skipped).
+    pub(crate) fn thread_start_wait(&self, me: usize) -> bool {
+        let mut inner = lock(&self.inner);
+        while inner.current != Some(me) {
+            if inner.aborted {
+                return false;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        true
+    }
+
+    /// Last action of a modeled thread: mark finished, wake joiners, record a
+    /// genuine panic as a violation, and hand the turn onward.
+    pub(crate) fn thread_finished(&self, me: usize, panic_message: Option<String>) {
+        let mut inner = lock(&self.inner);
+        inner.threads[me].state = TState::Finished;
+        inner.live -= 1;
+        for slot in inner.threads.iter_mut() {
+            if slot.state == TState::Blocked(BlockOn::Join(me)) {
+                slot.state = TState::Ready;
+            }
+        }
+        if let Some(message) = panic_message {
+            Self::push_trace(&mut inner, format!("T{me}: panic: {message}"));
+            self.record_violation(&mut inner, ViolationKind::Panic, Some(me), message);
+            return;
+        }
+        Self::push_trace(&mut inner, format!("T{me}: finished"));
+        if inner.aborted {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick(&mut inner, me, false);
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload; `None` for
+/// the internal abort sentinel.
+pub(crate) fn panic_message_of(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    if payload.is::<ExecAbort>() {
+        return None;
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return Some((*s).to_string());
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return Some(s.clone());
+    }
+    Some("panic with non-string payload".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Driver: DFS over executions.
+// ---------------------------------------------------------------------------
+
+/// Process-wide model-run generation counter; lets modeled objects detect
+/// that they belong to an earlier run and must re-register (see
+/// [`crate::sync`]).
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+struct ExecutionOutcome {
+    decisions: Vec<Decision>,
+    violation: Option<Violation>,
+    pruned: bool,
+}
+
+fn run_one<F>(
+    opts: &ModelOptions,
+    seen: &Arc<Mutex<HashMap<u64, usize>>>,
+    replay: Vec<usize>,
+    generation: u64,
+    f: &Arc<F>,
+) -> ExecutionOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let control = Arc::new(Control::new(opts.clone(), seen.clone(), replay, generation));
+    let root = control.register_thread();
+    debug_assert_eq!(root, 0);
+    let thread_control = control.clone();
+    let body = f.clone();
+    let handle = std::thread::spawn(move || {
+        enter_modeled_thread(ThreadCtx { control: thread_control.clone(), id: 0 });
+        let result = catch_unwind(AssertUnwindSafe(|| body()));
+        let message = match result {
+            Ok(()) => None,
+            Err(payload) => panic_message_of(&*payload),
+        };
+        thread_control.thread_finished(0, message);
+    });
+
+    // Wait for every registered thread (including ones spawned mid-run) to
+    // finish; aborted threads count down too as they unwind.
+    {
+        let mut inner = lock(&control.inner);
+        while inner.live > 0 {
+            inner = control.cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    let _ = handle.join();
+
+    let inner = lock(&control.inner);
+    ExecutionOutcome {
+        decisions: inner.decisions.clone(),
+        violation: inner.violation.clone(),
+        pruned: inner.pruned,
+    }
+}
+
+/// Explores the interleavings of `f` under `opts`, returning the violation of
+/// the first failing schedule, or a [`Report`] when the bounded space is
+/// clean.
+///
+/// `f` runs once per execution and must create all of its modeled state
+/// afresh each time; threads forked through
+/// [`thread::spawn`](crate::thread::spawn) and operations on
+/// [`sync`](crate::sync) types are the units of interleaving.
+pub fn try_check_with<F>(opts: ModelOptions, f: F) -> Result<Report, Violation>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let f = Arc::new(f);
+    let seen = Arc::new(Mutex::new(HashMap::new()));
+    // ordering: Relaxed — the generation stamp only needs uniqueness, not
+    // ordering against any other memory; registrations compare it while
+    // holding the scheduler turn.
+    let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
+    // `stack` is the authoritative DFS frontier (it keeps the sibling lists
+    // exactly as first explored, including pruning truncations); each
+    // execution replays `stack[..replay_len]` and contributes the fresh
+    // decision suffix beyond it.
+    let mut stack: Vec<Decision> = Vec::new();
+    let mut replay_len = 0usize;
+    let mut executions = 0u64;
+    let mut pruned = 0u64;
+    loop {
+        executions += 1;
+        let replay: Vec<usize> = stack[..replay_len].iter().map(|d| d.choices[d.index]).collect();
+        let outcome = run_one(&opts, &seen, replay, generation, &f);
+        if let Some(mut violation) = outcome.violation {
+            violation.executions = executions;
+            return Err(violation);
+        }
+        if outcome.pruned {
+            pruned += 1;
+        }
+        stack.truncate(replay_len);
+        stack.extend(outcome.decisions.into_iter().skip(replay_len));
+        // Backtrack: drop fully explored suffix decisions, advance the
+        // deepest decision that still has an unexplored alternative.
+        loop {
+            match stack.last_mut() {
+                None => return Ok(Report { executions, complete: true, pruned }),
+                Some(last) if last.index + 1 < last.choices.len() => {
+                    last.index += 1;
+                    break;
+                }
+                Some(_) => {
+                    stack.pop();
+                }
+            }
+        }
+        if executions >= opts.max_executions {
+            return Ok(Report { executions, complete: false, pruned });
+        }
+        replay_len = stack.len();
+    }
+}
+
+/// [`try_check_with`] that panics (with the schedule and operation trace) on
+/// a violation — the form model tests use, so `#[should_panic]` pins
+/// failure-injection fixtures.
+pub fn check_with<F>(opts: ModelOptions, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match try_check_with(opts, f) {
+        Ok(report) => report,
+        Err(violation) => panic!("{violation}"),
+    }
+}
+
+/// [`check_with`] under [`ModelOptions::default`].
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    check_with(ModelOptions::default(), f)
+}

@@ -1,0 +1,321 @@
+//! Modeled drop-in replacements for the `std::sync` primitives the
+//! concurrency core uses.
+//!
+//! Each type checks a thread-local at every operation: inside a
+//! [`check`](crate::check) run the operation becomes a scheduler yield point
+//! (the interleaving decision happens *before* the operation executes, like
+//! loom), outside one it passes straight through to the underlying `std`
+//! primitive.  The runtime fallback is what lets code compiled with the
+//! `model` feature still run normally — the tier-1 test suite exercises both
+//! paths from a single build.
+//!
+//! Modeled objects register with the driving scheduler lazily, on first use
+//! inside an execution, and re-register when the model-run generation
+//! changes; creation can therefore stay `const` and an object may outlive
+//! (or predate) any number of model runs.
+//!
+//! The [`Mutex`] here is deliberately *poison-transparent*: `lock()` returns
+//! the guard directly, recovering the inner data if a previous holder
+//! panicked.  The concurrency core treats a poisoned lock as recoverable
+//! (all guarded state is repaired or discarded by the panicking path), and
+//! the checker itself needs lock state to stay consistent while it unwinds
+//! an aborted execution.
+
+use crate::scheduler::{current, ThreadCtx};
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::Arc;
+
+/// Lazily binds a modeled object to the scheduler of the current model run.
+///
+/// `slot_gen`/`slot_idx` cache the (generation, id) pair; both are only read
+/// and written while the owning thread holds the scheduler turn, so the
+/// accesses are serialized even though they come from different OS threads.
+struct Registration {
+    slot_gen: StdAtomicU64,
+    slot_idx: StdAtomicU64,
+}
+
+impl Registration {
+    const fn new() -> Self {
+        Self { slot_gen: StdAtomicU64::new(0), slot_idx: StdAtomicU64::new(0) }
+    }
+
+    fn ensure(&self, ctx: &ThreadCtx, register: impl FnOnce() -> usize) -> usize {
+        // ordering: Relaxed — all modeled threads are serialized by the
+        // scheduler turn token, and the scheduler's own mutex provides the
+        // happens-before edge between successive turn holders.
+        if self.slot_gen.load(Ordering::Relaxed) == ctx.control.generation {
+            return self.slot_idx.load(Ordering::Relaxed) as usize;
+        }
+        let idx = register();
+        self.slot_idx.store(idx as u64, Ordering::Relaxed);
+        self.slot_gen.store(ctx.control.generation, Ordering::Relaxed);
+        idx
+    }
+}
+
+macro_rules! modeled_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$meta])*
+        pub struct $name {
+            value: $std,
+            reg: Registration,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(value: $prim) -> Self {
+                Self { value: <$std>::new(value), reg: Registration::new() }
+            }
+
+            fn ensure(&self, ctx: &ThreadCtx) -> usize {
+                self.reg.ensure(ctx, || {
+                    // ordering: Relaxed — registration runs while holding
+                    // the scheduler turn; no concurrent access is possible.
+                    ctx.control.register_atom(self.value.load(Ordering::Relaxed) as u64)
+                })
+            }
+
+            /// Serialized modeled read-modify-write: yields to the
+            /// scheduler, applies `op` to the current value, records the
+            /// observation, and returns the previous value.
+            fn modeled(&self, ctx: &ThreadCtx, name: &str, op: impl FnOnce($prim) -> $prim) -> $prim {
+                let idx = self.ensure(ctx);
+                ctx.control.op_yield(ctx.id, || format!("{name}(a{idx})"));
+                // ordering: Relaxed — the scheduler serializes every modeled
+                // operation; the checker explores interleavings, it does not
+                // rely on hardware ordering between them.
+                let old = self.value.load(Ordering::Relaxed);
+                let new = op(old);
+                self.value.store(new, Ordering::Relaxed);
+                ctx.control.record_op(ctx.id, idx, old as u64, new as u64);
+                old
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> $prim {
+                match current() {
+                    Some(ctx) => self.modeled(&ctx, "load", |v| v),
+                    None => self.value.load(order),
+                }
+            }
+
+            /// Stores a value.
+            pub fn store(&self, value: $prim, order: Ordering) {
+                match current() {
+                    Some(ctx) => {
+                        self.modeled(&ctx, "store", |_| value);
+                    }
+                    None => self.value.store(value, order),
+                }
+            }
+
+            /// Adds to the value, returning the previous value.
+            pub fn fetch_add(&self, delta: $prim, order: Ordering) -> $prim {
+                match current() {
+                    Some(ctx) => self.modeled(&ctx, "fetch_add", |v| v.wrapping_add(delta)),
+                    None => self.value.fetch_add(delta, order),
+                }
+            }
+
+            /// Subtracts from the value, returning the previous value.
+            pub fn fetch_sub(&self, delta: $prim, order: Ordering) -> $prim {
+                match current() {
+                    Some(ctx) => self.modeled(&ctx, "fetch_sub", |v| v.wrapping_sub(delta)),
+                    None => self.value.fetch_sub(delta, order),
+                }
+            }
+
+            /// Swaps in a new value, returning the previous value.
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                match current() {
+                    Some(ctx) => self.modeled(&ctx, "swap", |_| value),
+                    None => self.value.swap(value, order),
+                }
+            }
+
+            /// Compare-and-exchange; `Ok(previous)` on success,
+            /// `Err(actual)` on failure.
+            pub fn compare_exchange(
+                &self,
+                expected: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match current() {
+                    Some(ctx) => {
+                        let old = self.modeled(&ctx, "compare_exchange", |v| {
+                            if v == expected {
+                                new
+                            } else {
+                                v
+                            }
+                        });
+                        if old == expected {
+                            Ok(old)
+                        } else {
+                            Err(old)
+                        }
+                    }
+                    None => self.value.compare_exchange(expected, new, success, failure),
+                }
+            }
+
+            /// Weak compare-and-exchange.  The modeled form never fails
+            /// spuriously — spurious failure followed by the protocol's
+            /// retry loop re-converges to the same decision point, so
+            /// modeling it would only duplicate schedules.
+            pub fn compare_exchange_weak(
+                &self,
+                expected: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match current() {
+                    Some(_) => self.compare_exchange(expected, new, success, failure),
+                    None => self.value.compare_exchange_weak(expected, new, success, failure),
+                }
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $prim {
+                self.value.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$prim>::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // ordering: Relaxed — debug formatting is a best-effort
+                // snapshot, not a synchronization point.
+                f.debug_tuple(stringify!($name)).field(&self.value.load(Ordering::Relaxed)).finish()
+            }
+        }
+    };
+}
+
+modeled_atomic!(
+    /// A modeled `std::sync::atomic::AtomicU64`: a scheduler decision point
+    /// inside a model run, a plain atomic outside one.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+
+modeled_atomic!(
+    /// A modeled `std::sync::atomic::AtomicUsize`: a scheduler decision
+    /// point inside a model run, a plain atomic outside one.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+/// A modeled `std::sync::Mutex`: `lock()` is a scheduler decision point
+/// inside a model run (with blocking and deadlock detection), a plain mutex
+/// acquisition outside one.  Poison-transparent — see the module docs.
+pub struct Mutex<T> {
+    data: std::sync::Mutex<T>,
+    reg: Registration,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex guarding `value`.
+    pub const fn new(value: T) -> Self {
+        Self { data: std::sync::Mutex::new(value), reg: Registration::new() }
+    }
+
+    /// Acquires the lock, returning the guard directly (poison-transparent).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let model = current().map(|ctx| {
+            let id = self.reg.ensure(&ctx, || ctx.control.register_mutex());
+            ctx.control.mutex_lock(ctx.id, id);
+            (ctx, id)
+        });
+        // The scheduler grants the modeled lock to one thread at a time, so
+        // inside a model run this underlying acquisition never contends.
+        let inner = self.data.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        MutexGuard { inner: Some(inner), model }
+    }
+
+    /// Consumes the mutex, returning the guarded value (poison-transparent).
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference to the guarded value
+    /// (poison-transparent); requires exclusive access, so no decision
+    /// point.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a scheduler decision point
+/// inside a model run.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(ThreadCtx, usize)>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn guard(&self) -> &std::sync::MutexGuard<'a, T> {
+        match &self.inner {
+            Some(guard) => guard,
+            None => unreachable!("mutex guard accessed after release"),
+        }
+    }
+
+    fn guard_mut(&mut self) -> &mut std::sync::MutexGuard<'a, T> {
+        match &mut self.inner {
+            Some(guard) => guard,
+            None => unreachable!("mutex guard accessed after release"),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard()
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard_mut()
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((ctx, id)) = self.model.take() {
+            // Release the underlying lock *before* telling the scheduler:
+            // the scheduler may immediately grant the modeled lock to
+            // another thread, which then acquires the underlying mutex.
+            self.inner = None;
+            ctx.control.mutex_unlock(ctx.id, id, std::thread::panicking());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Modeled thread spawn/join.
+//!
+//! Inside a [`check`](crate::check) run, [`spawn`] registers the child with
+//! the driving scheduler so its operations participate in the interleaving
+//! search (the spawn itself, and every join, are decision points).  Outside a
+//! run it is a plain `std::thread::spawn`.
+//!
+//! Only `'static` threads are modeled; the concurrency core's scoped
+//! fan-outs are exercised through model tests that share state via
+//! [`Arc`](crate::sync::Arc) instead.
+
+use crate::scheduler::{current, enter_modeled_thread, ThreadCtx};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle to a spawned (possibly modeled) thread.
+pub struct JoinHandle<T> {
+    real: std::thread::JoinHandle<T>,
+    model: Option<(ThreadCtx, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (`Err` carries
+    /// the panic payload, as with `std::thread::JoinHandle::join`).
+    ///
+    /// Inside a model run this is a scheduler decision point that blocks the
+    /// caller until the target thread's schedule completes.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((ctx, target)) = &self.model {
+            ctx.control.join_thread(ctx.id, *target);
+        }
+        self.real.join()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+/// Spawns a thread running `f`; modeled when called from inside a
+/// [`check`](crate::check) run, a plain `std::thread::spawn` otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        None => JoinHandle { real: std::thread::spawn(f), model: None },
+        Some(ctx) => {
+            let child = ctx.control.register_thread();
+            let child_ctx = ThreadCtx { control: ctx.control.clone(), id: child };
+            let real = std::thread::spawn(move || {
+                enter_modeled_thread(child_ctx.clone());
+                if !child_ctx.control.thread_start_wait(child) {
+                    // The execution aborted before this thread ever ran; it
+                    // still must count itself down so the driver can finish.
+                    child_ctx.control.thread_finished(child, None);
+                    std::panic::panic_any(crate::scheduler::exec_abort());
+                }
+                let result = catch_unwind(AssertUnwindSafe(f));
+                match result {
+                    Ok(value) => {
+                        child_ctx.control.thread_finished(child, None);
+                        value
+                    }
+                    Err(payload) => {
+                        child_ctx
+                            .control
+                            .thread_finished(child, crate::scheduler::panic_message_of(&*payload));
+                        std::panic::resume_unwind(payload)
+                    }
+                }
+            });
+            // The child is runnable from this point on: let the scheduler
+            // decide whether it or the parent runs next.
+            ctx.control.spawn_yield(ctx.id, child);
+            JoinHandle { real, model: Some((ctx, child)) }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Self-tests for the bp-verify model checker: the checker must find known
+//! bugs, must not flag known-correct protocols, and must enumerate the
+//! expected interleaving counts on textbook examples.
+
+use bp_verify::sync::{Arc, AtomicU64, Mutex, Ordering};
+use bp_verify::{check, check_with, thread, try_check_with, ModelOptions, ViolationKind};
+
+/// The classic lost update: two threads doing load-then-store. The checker
+/// must find the schedule where both loads happen before either store.
+#[test]
+fn finds_lost_update() {
+    let result = try_check_with(ModelOptions::default(), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::Relaxed);
+            c2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = counter.load(Ordering::Relaxed);
+        counter.store(v + 1, Ordering::Relaxed);
+        t.join().ok();
+        assert_eq!(counter.load(Ordering::Relaxed), 2, "lost update");
+    });
+    let violation = result.expect_err("the lost-update schedule must be found");
+    assert_eq!(violation.kind, ViolationKind::Panic);
+    assert!(violation.message.contains("lost update"), "message: {}", violation.message);
+}
+
+/// The fetch_add fix for the same race passes the full search.
+#[test]
+fn fetch_add_has_no_lost_update() {
+    let report = check(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        counter.fetch_add(1, Ordering::Relaxed);
+        t.join().ok();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.complete, "search should exhaust: {report:?}");
+    assert!(report.executions > 1, "must explore more than one interleaving");
+}
+
+/// CAS retry loops survive every interleaving.
+#[test]
+fn cas_increment_is_exhaustive_and_correct() {
+    let report = check_with(ModelOptions::exhaustive(), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = counter.clone();
+            handles.push(thread::spawn(move || loop {
+                let v = c.load(Ordering::Relaxed);
+                if c.compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Relaxed).is_ok() {
+                    break;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().ok();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.complete);
+}
+
+/// A mutex-protected read-modify-write never loses an update, and the
+/// modeled mutex actually serializes the critical sections.
+#[test]
+fn mutex_serializes_critical_sections() {
+    let report = check(|| {
+        let cell = Arc::new(Mutex::new(0u64));
+        let c2 = cell.clone();
+        let t = thread::spawn(move || {
+            let mut guard = c2.lock();
+            let v = *guard;
+            *guard = v + 1;
+        });
+        {
+            let mut guard = cell.lock();
+            let v = *guard;
+            *guard = v + 1;
+        }
+        t.join().ok();
+        assert_eq!(*cell.lock(), 2);
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1);
+}
+
+/// Classic ABBA deadlock: the checker must find the schedule where each
+/// thread holds one lock and wants the other.
+#[test]
+fn finds_abba_deadlock() {
+    let result = try_check_with(ModelOptions::default(), || {
+        let a = Arc::new(Mutex::new(0u64));
+        let b = Arc::new(Mutex::new(0u64));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop(_ga);
+        drop(_gb);
+        t.join().ok();
+    });
+    let violation = result.expect_err("the ABBA schedule must be found");
+    assert_eq!(violation.kind, ViolationKind::Deadlock);
+}
+
+/// Preemption bounding: with bound 0 no preemptive switch ever happens, so
+/// the racing schedule of the lost update is out of reach — but the bug is
+/// found again as soon as one preemption is allowed.
+#[test]
+fn preemption_bound_gates_the_racing_schedule() {
+    let body = || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::Relaxed);
+            c2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = counter.load(Ordering::Relaxed);
+        counter.store(v + 1, Ordering::Relaxed);
+        t.join().ok();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    };
+    let zero = try_check_with(ModelOptions::default().with_preemption_bound(Some(0)), body);
+    assert!(zero.is_ok(), "bound 0 cannot reach the race: {zero:?}");
+    let one = try_check_with(ModelOptions::default().with_preemption_bound(Some(1)), body);
+    assert!(one.is_err(), "bound 1 must reach the race");
+}
+
+/// Three threads of one op each: the full search visits all 3! = 6 orders
+/// (plus prefix work), and the schedule count is stable run to run.
+#[test]
+fn interleaving_enumeration_is_deterministic() {
+    let run = || {
+        check_with(ModelOptions::exhaustive(), || {
+            let x = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let x = x.clone();
+                    thread::spawn(move || {
+                        x.fetch_add(1 << (8 * i), Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().ok();
+            }
+            assert_eq!(x.load(Ordering::Relaxed), 0x0001_0101);
+        })
+    };
+    let a = run();
+    let b = run();
+    assert!(a.complete && b.complete);
+    assert_eq!(a.executions, b.executions, "search must be deterministic");
+    assert!(a.executions >= 6, "must cover at least the 3! commit orders, got {}", a.executions);
+}
+
+/// State-hash pruning only skips genuinely redundant subtrees: the lost
+/// update is still found, and the clean protocol still verifies, with
+/// pruning enabled.
+#[test]
+fn pruning_preserves_verdicts() {
+    let buggy = try_check_with(ModelOptions::exhaustive().with_state_pruning(true), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::Relaxed);
+            c2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = counter.load(Ordering::Relaxed);
+        counter.store(v + 1, Ordering::Relaxed);
+        t.join().ok();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    assert!(buggy.is_err(), "pruning must not hide the lost update");
+
+    let clean = check_with(ModelOptions::exhaustive().with_state_pruning(true), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        counter.fetch_add(1, Ordering::Relaxed);
+        t.join().ok();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    assert!(clean.complete);
+}
+
+/// The violation report carries an actionable schedule and trace.
+#[test]
+fn violation_report_is_actionable() {
+    let violation = try_check_with(ModelOptions::default(), || {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = flag.clone();
+        let t = thread::spawn(move || {
+            f2.store(1, Ordering::Release);
+        });
+        assert_eq!(flag.load(Ordering::Acquire), 1, "flag not yet set");
+        t.join().ok();
+    })
+    .expect_err("the schedule where the parent reads first must be found");
+    assert!(!violation.schedule.is_empty());
+    assert!(!violation.trace.is_empty());
+    let rendered = violation.to_string();
+    assert!(rendered.contains("schedule:"), "rendered: {rendered}");
+    assert!(rendered.contains("flag not yet set"), "rendered: {rendered}");
+}
+
+/// Outside a model run the same types are plain std primitives: real
+/// threads, real atomics, no scheduler.
+#[test]
+fn std_fallback_outside_check() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let lockbox = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let c = counter.clone();
+            let l = lockbox.clone();
+            thread::spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                l.lock().push(i);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().ok();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 4);
+    assert_eq!(lockbox.lock().len(), 4);
+}
+
+/// The execution budget truncates the search gracefully instead of hanging.
+#[test]
+fn execution_budget_truncates() {
+    let report = check_with(ModelOptions::exhaustive().with_max_executions(3), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let x = x.clone();
+                thread::spawn(move || {
+                    x.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().ok();
+        }
+    });
+    assert!(!report.complete);
+    assert_eq!(report.executions, 3);
+}

@@ -148,7 +148,11 @@ impl ThreadMruState {
         for (i, line) in entries.iter().enumerate() {
             let seq = i as u64 + 1;
             self.by_seq.insert(seq, *line);
-            self.by_line.get_mut(line).expect("live line has state").seq = seq;
+            match self.by_line.get_mut(line) {
+                Some(state) => state.seq = seq,
+                // `by_seq` and `by_line` always hold the same line set.
+                None => unreachable!("line {line:#x} in by_seq but not by_line"),
+            }
         }
         self.next_seq = entries.len() as u64;
         self.rebuild_tree((entries.len() + 2).next_power_of_two().max(64));

@@ -1,0 +1,266 @@
+//! Bounded interleaving model checks over the workspace's concurrency core.
+//!
+//! These tests drive the *real* protocol implementations — `WorkerBudget`'s
+//! packed permit word and the artifact cache's sharded memory tier — under
+//! `bp-verify`'s deterministic scheduler, which enumerates thread
+//! interleavings (DFS over preemption points).  The root package's test
+//! build enables the `model` cargo feature, so the `bp_exec::sync` seam the
+//! library crates are written against resolves to the modeled atomics and
+//! mutexes here, while `cargo build --release` still compiles to plain
+//! `std::sync` types.
+//!
+//! Each property comes in up to three flavors:
+//!
+//! * a tier-1 check on the smallest interesting configuration (runs in the
+//!   default `cargo test -q`),
+//! * a `#[should_panic]` twin driving a *deliberately broken* variant of the
+//!   protocol through the same schedule space, proving the checker actually
+//!   has the power to catch the bug class the real code must not have,
+//! * an `#[ignore]`d deeper search (more threads / higher preemption bound)
+//!   for CI's model job (`cargo test -q --test verify -- --include-ignored`).
+
+use barrierpoint::memtier::MemoryTier;
+use barrierpoint::sync::{Arc, AtomicU64, Ordering};
+use bp_exec::model_fixtures::SplitQuiescenceBudget;
+use bp_exec::WorkerBudget;
+use bp_verify::{check, check_with, thread, ModelOptions};
+
+/// Permit conservation: however two workers interleave their acquire/release
+/// cycles, once both are done every permit is home, the in-epoch release
+/// count has been reset by the quiescing CAS, and the monotonic release
+/// counter equals the number of successful acquires.
+#[test]
+fn worker_budget_conserves_permits() {
+    let report = check(|| {
+        let budget = WorkerBudget::new(1);
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let b = budget.clone();
+                thread::spawn(move || {
+                    if b.try_acquire() {
+                        b.release();
+                        1u64
+                    } else {
+                        0
+                    }
+                })
+            })
+            .collect();
+        let acquired: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(budget.available(), 1, "every permit must come home");
+        assert_eq!(budget.in_epoch_releases(), 0, "quiescence must reset the in-epoch count");
+        assert_eq!(budget.released_total(), acquired, "release count must match acquire count");
+    });
+    assert!(report.complete, "bounded search space must be exhausted");
+}
+
+/// Steal classification: on a budget of one permit every release quiesces
+/// (the permit coming home is always the last one), so no acquire can ever
+/// observe an in-epoch release and `steal_count` must be zero under *every*
+/// interleaving.  This is the linearizability property of the packed-word
+/// protocol: the epoch bump and the release-count reset are one CAS.
+#[test]
+fn single_permit_budget_never_classifies_a_steal() {
+    let report = check(|| {
+        let budget = WorkerBudget::new(1);
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let b = budget.clone();
+                thread::spawn(move || {
+                    if b.try_acquire() {
+                        b.release();
+                    }
+                })
+            })
+            .collect();
+        for handle in workers {
+            handle.join().unwrap();
+        }
+        assert_eq!(budget.steal_count(), 0, "ramp-up acquires must not count as steals");
+    });
+    assert!(report.complete, "bounded search space must be exhausted");
+}
+
+/// The broken twin: a release whose epoch bump + count reset happen in a
+/// *second* CAS (the narrowed-but-not-closed window of the old two-counter
+/// scheme).  Between the two CASes the pool is "quiescent with a non-zero
+/// release count", so a concurrent acquire misclassifies ramp-up as a steal
+/// — and the checker must find that schedule.
+#[test]
+#[should_panic(expected = "model violation")]
+fn split_quiescence_release_is_caught_by_the_checker() {
+    check(|| {
+        let budget = Arc::new(SplitQuiescenceBudget::new(1));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&budget);
+                thread::spawn(move || {
+                    if b.try_acquire() {
+                        b.release();
+                    }
+                })
+            })
+            .collect();
+        for handle in workers {
+            handle.join().unwrap();
+        }
+        assert_eq!(budget.steal_count(), 0, "ramp-up acquires must not count as steals");
+    });
+}
+
+/// Byte accounting: `total_bytes` is maintained by deltas, some applied
+/// outside the shard lock.  Whatever way two inserts (including a replace
+/// race on the same key) interleave, the counter must equal the exact
+/// locked sum once both are done.
+#[test]
+fn memtier_byte_accounting_is_exact_at_quiescence() {
+    let report = check(|| {
+        let tier: Arc<MemoryTier<u32, u64>> = Arc::new(MemoryTier::with_shards(1));
+        let evictions = Arc::new(AtomicU64::new(0));
+        let t1 = {
+            let (tier, ev) = (Arc::clone(&tier), Arc::clone(&evictions));
+            thread::spawn(move || tier.insert(1, 10, 3, &ev))
+        };
+        let t2 = {
+            let (tier, ev) = (Arc::clone(&tier), Arc::clone(&evictions));
+            thread::spawn(move || tier.insert(1, 20, 5, &ev))
+        };
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(tier.len(), 1, "a replace race must leave exactly one entry");
+        assert_eq!(
+            tier.total_bytes(),
+            tier.resident_bytes(),
+            "the conservation counter must be exact at quiescence"
+        );
+        assert_eq!(evictions.load(Ordering::Relaxed), 0, "replaces are not evictions");
+    });
+    assert!(report.complete, "bounded search space must be exhausted");
+}
+
+/// The eviction scan's stale-observation guard: a concurrent lookup that
+/// touches an entry between the scan and the removal must save that entry —
+/// the re-validation under the victim's shard lock sees the advanced stamp
+/// and rescans (evicting the genuinely least-recently-used entry instead).
+/// The staleness may degrade the eviction *choice*, never evict a
+/// just-touched entry.
+#[test]
+fn memtier_touched_entry_survives_concurrent_eviction() {
+    let report = check(|| {
+        let tier: Arc<MemoryTier<u32, u64>> = Arc::new(MemoryTier::with_shards(1));
+        let evictions = Arc::new(AtomicU64::new(0));
+        tier.set_max_bytes(Some(2));
+        // Entry 1 first, so it is the LRU candidate when entry 3 overflows
+        // the bound...
+        tier.insert(1, 10, 1, &evictions);
+        tier.insert(2, 20, 1, &evictions);
+        // ...while a concurrent lookup touches entry 1 mid-eviction.
+        let toucher = {
+            let tier = Arc::clone(&tier);
+            thread::spawn(move || tier.get(&1).is_some())
+        };
+        let inserter = {
+            let (tier, ev) = (Arc::clone(&tier), Arc::clone(&evictions));
+            thread::spawn(move || tier.insert(3, 30, 1, &ev))
+        };
+        let hit = toucher.join().unwrap();
+        inserter.join().unwrap();
+        if hit {
+            assert!(tier.contains(&1), "a just-touched entry must never be the victim");
+        }
+        assert_eq!(evictions.load(Ordering::Relaxed), 1, "exactly one entry is evicted");
+        assert_eq!(tier.total_bytes(), tier.resident_bytes());
+        assert_eq!(tier.total_bytes(), 2, "the bound holds at quiescence");
+    });
+    assert!(report.complete, "bounded search space must be exhausted");
+}
+
+/// The broken twin: an eviction that trusts the scan's stale observation and
+/// removes the victim without re-validating its stamp.  There is a schedule
+/// in which the lookup's touch lands between scan and removal and the entry
+/// is evicted anyway — the checker must find it.
+#[test]
+#[should_panic(expected = "model violation")]
+fn stale_scan_eviction_is_caught_by_the_checker() {
+    check(|| {
+        let tier: Arc<MemoryTier<u32, u64>> = Arc::new(MemoryTier::with_shards(1));
+        let evictions = Arc::new(AtomicU64::new(0));
+        tier.set_max_bytes(Some(2));
+        tier.insert(1, 10, 1, &evictions);
+        tier.insert(2, 20, 1, &evictions);
+        let toucher = {
+            let tier = Arc::clone(&tier);
+            thread::spawn(move || tier.get(&1).is_some())
+        };
+        let inserter = {
+            let (tier, ev) = (Arc::clone(&tier), Arc::clone(&evictions));
+            thread::spawn(move || tier.insert_with_stale_scan(3, 30, 1, &ev))
+        };
+        let hit = toucher.join().unwrap();
+        inserter.join().unwrap();
+        if hit {
+            assert!(tier.contains(&1), "a just-touched entry must never be the victim");
+        }
+    });
+}
+
+/// Deeper search for CI's model job: three workers contending for two
+/// permits, explored without pruning so the verdict covers the full
+/// bounded space (several thousand executions).
+#[test]
+#[ignore = "deep model search; run via the CI model job (--include-ignored)"]
+fn deep_worker_budget_three_workers_two_permits() {
+    let opts = ModelOptions::default().with_preemption_bound(Some(3));
+    let report = check_with(opts, || {
+        let budget = WorkerBudget::new(2);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let b = budget.clone();
+                thread::spawn(move || {
+                    if b.try_acquire() {
+                        b.release();
+                        1u64
+                    } else {
+                        0
+                    }
+                })
+            })
+            .collect();
+        let acquired: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(budget.available(), 2, "every permit must come home");
+        assert_eq!(budget.in_epoch_releases(), 0, "quiescence must reset the in-epoch count");
+        assert_eq!(budget.released_total(), acquired, "release count must match acquire count");
+    });
+    assert!(report.executions > 0);
+}
+
+/// Deeper memory-tier search for CI's model job: two shards, so the
+/// eviction scan genuinely walks multiple locks, with a lookup racing an
+/// evicting insert across them.
+#[test]
+#[ignore = "deep model search; run via the CI model job (--include-ignored)"]
+fn deep_memtier_eviction_across_two_shards() {
+    let opts = ModelOptions::default().with_preemption_bound(Some(3));
+    let report = check_with(opts, || {
+        let tier: Arc<MemoryTier<u32, u64>> = Arc::new(MemoryTier::with_shards(2));
+        let evictions = Arc::new(AtomicU64::new(0));
+        tier.set_max_bytes(Some(2));
+        tier.insert(1, 10, 1, &evictions);
+        tier.insert(2, 20, 1, &evictions);
+        let toucher = {
+            let tier = Arc::clone(&tier);
+            thread::spawn(move || tier.get(&1).is_some())
+        };
+        let inserter = {
+            let (tier, ev) = (Arc::clone(&tier), Arc::clone(&evictions));
+            thread::spawn(move || tier.insert(3, 30, 1, &ev))
+        };
+        let hit = toucher.join().unwrap();
+        inserter.join().unwrap();
+        if hit {
+            assert!(tier.contains(&1), "a just-touched entry must never be the victim");
+        }
+        assert_eq!(tier.total_bytes(), tier.resident_bytes());
+    });
+    assert!(report.executions > 0);
+}

@@ -9,6 +9,8 @@
 //! unit, tuple, or struct-like — cover every derived type in this workspace.
 //! Generics and serde attributes are intentionally not supported.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The parsed shape of the deriving item.
