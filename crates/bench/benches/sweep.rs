@@ -193,12 +193,25 @@ fn bench_sweep(_c: &mut Criterion) {
     // process" re-sweep, bound by entry decode.
     build_sweep(Some(ArtifactCache::new(&cache_dir))).run().unwrap();
     let simulated_cache_hits = std::cell::Cell::new(0usize);
+    let cache_health = std::cell::Cell::new([0u64; 4]);
     let cached = median(&|| {
         let cache = ArtifactCache::new(&cache_dir);
         let report = build_sweep(Some(cache.clone())).run().unwrap();
         let counters = report.counters();
         assert_eq!(counters.profile_passes, 0);
         assert_eq!(counters.clustering_passes, 0);
+        // CI smoke assertion: on a healthy filesystem the robustness
+        // machinery is invisible — nothing degrades, retries or contends.
+        assert_eq!(counters.degraded_loads, 0, "healthy disk must not degrade loads");
+        assert_eq!(counters.degraded_stores, 0, "healthy disk must not degrade stores");
+        assert_eq!(counters.io_retries, 0, "healthy disk must not retry");
+        assert_eq!(counters.lock_contended, 0, "single process must never contend");
+        cache_health.set([
+            counters.degraded_loads,
+            counters.degraded_stores,
+            counters.io_retries,
+            counters.lock_contended,
+        ]);
         // CI smoke assertion: a warm re-sweep is fully incremental — zero
         // simulate legs and zero warmup collections execute.
         assert_eq!(counters.simulate_legs, 0, "warm re-sweep must execute zero simulate legs");
@@ -212,6 +225,7 @@ fn bench_sweep(_c: &mut Criterion) {
         simulated_cache_hits.set(counters.simulated_cache_hits);
     });
     let simulated_cache_hits = simulated_cache_hits.get();
+    let [degraded_loads, degraded_stores, io_retries, lock_contended] = cache_health.get();
     println!("sweep/staged_cached_disk {cached:>45.2?}");
 
     // Memory tier: one cache handle re-used in-process — warm re-sweeps are
@@ -282,6 +296,10 @@ fn bench_sweep(_c: &mut Criterion) {
          \"simulated_cache_hits\": {simulated_cache_hits},\n  \
          \"memory_profile_hits\": {memory_profile_hits},\n  \
          \"memory_simulated_hits\": {memory_simulated_hits},\n  \
+         \"degraded_loads\": {degraded_loads},\n  \
+         \"degraded_stores\": {degraded_stores},\n  \
+         \"io_retries\": {io_retries},\n  \
+         \"lock_contended\": {lock_contended},\n  \
          \"sweep_speedup\": {:.3},\n  \"cached_speedup\": {:.3},\n  \
          \"memory_speedup\": {:.3},\n  \"interned_speedup\": {:.3}\n}}\n",
         variants.len(),

@@ -34,10 +34,11 @@
 //!   `(SimConfig, WarmupKind)` pair.
 //!
 //! Disk entries are self-validating: a magic number, a format version, and
-//! the full key are stored in the header, and any mismatch — version bump,
-//! fingerprint collision on the truncated file name, corrupt payload — is
-//! treated as a miss rather than an error (a later store self-heals the
-//! entry).  An entry is marked recently-used only *after* it decodes
+//! the full key are stored in the header, and every entry carries a trailing
+//! FNV-1a checksum of its bytes.  Any mismatch — version bump, fingerprint
+//! collision on the truncated file name, torn tail, a single flipped payload
+//! bit — is treated as a miss rather than an error (a later store self-heals
+//! the entry).  An entry is marked recently-used only *after* it decodes
 //! successfully, so corrupt or stale garbage can never be promoted over
 //! valid entries in the disk tier's LRU order.  Only genuine I/O failures
 //! surface as [`Error::ProfileCache`].
@@ -48,23 +49,55 @@
 //! [`ArtifactCache::with_max_bytes`], which evicts least-recently-used
 //! entries (by file modification time — successful loads touch entries)
 //! after every store.
+//!
+//! # Robustness (see `STORAGE.md`)
+//!
+//! Every disk operation flows through the [`Storage`] seam
+//! ([`ArtifactCache::with_storage`]), so the failure paths below are
+//! deterministically testable with [`crate::storage::FaultFs`]:
+//!
+//! * **Degrade to recompute** — the `load_or_*`/probe paths classify I/O
+//!   failures ([`classify_io_error`]): transient kinds are retried a
+//!   bounded number of times with capped backoff; persistent failures are
+//!   treated as a miss (load) or a skipped disk store (store), so a sweep
+//!   outlives a full disk or an unreadable entry.  Every artifact is
+//!   recomputable — losing the cache costs time, never correctness.  The
+//!   `degraded_loads`/`degraded_stores`/`retries` counters record it.  The
+//!   raw `load*`/`store*` API keeps strict [`Error::ProfileCache`] errors.
+//! * **Cross-process safety** — eviction and orphan-tmp cleanup run under
+//!   an advisory `.lock` file (create-exclusive, stale-holder takeover by
+//!   pid+timestamp), so two processes' scans cannot double-count or delete
+//!   each other's just-renamed entries, and a live writer's tmp file
+//!   cannot be reaped mid-store.  Contention skips the scan (deferring the
+//!   bound to a later store) and bumps `lock_contended`.
+//! * **Crash consistency** — entries become visible only by atomic rename
+//!   of a fully written tmp file and self-validate on load, so a reopened
+//!   cache serves either the bit-identical artifact or a clean miss, never
+//!   corruption (pinned by the kill-point torture suite,
+//!   `tests/storage_torture.rs`).
+//!
+//! Session counters can be persisted across restarts: a versioned,
+//! corrupt-tolerant `cache-state` file written by [`ArtifactCache::flush`]
+//! (and on drop of the last handle) and merged into
+//! [`ArtifactCache::lifetime_stats`] — a bad state file resets the lifetime
+//! view, it never errors.
 
-use crate::error::Error;
+use crate::error::{classify_io_error, Error, IoErrorClass};
 use crate::memtier::MemoryTier;
 use crate::profile::{profile_application_with, ApplicationProfile};
 use crate::select::{select_barrierpoints, BarrierPointSelection};
 use crate::simulate::WarmupKind;
 use crate::stages::Simulated;
-use crate::sync::{Arc, AtomicU64, Ordering};
+use crate::storage::{RealFs, Storage};
+use crate::sync::{Arc, AtomicU64, Mutex, Ordering};
 use bp_clustering::SimPointConfig;
 use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
 use bp_workload::{FingerprintHasher, Workload};
-use std::fs;
-use std::io::ErrorKind;
+use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Magic bytes at the start of every profile cache file.
 const PROFILE_MAGIC: &[u8; 4] = b"BPPF";
@@ -74,12 +107,63 @@ const SELECTION_MAGIC: &[u8; 4] = b"BPSL";
 const SIMULATED_MAGIC: &[u8; 4] = b"BPSM";
 /// Bump whenever the serialized layout of a cached artifact (or the entry
 /// header) changes; old entries then read as misses and are overwritten.
-const FORMAT_VERSION: u32 = 2;
+/// Version 3 added the trailing integrity checksum (see [`seal`]).
+const FORMAT_VERSION: u32 = 3;
 /// File extensions of the three artifact kinds (also the eviction scan
 /// filter).
 const PROFILE_EXT: &str = "bpprof";
 const SELECTION_EXT: &str = "bpsel";
 const SIMULATED_EXT: &str = "bpsim";
+
+/// Name of the persisted-statistics file inside the cache directory.  No
+/// artifact extension, so the eviction scan neither counts nor deletes it.
+const STATE_FILE: &str = "cache-state";
+/// Magic bytes at the start of the persisted-statistics file.
+const STATE_MAGIC: &[u8; 4] = b"BPST";
+/// Version of the persisted-statistics layout; a mismatch resets the
+/// lifetime view instead of erroring.  Version 2 added the trailing
+/// integrity checksum (see [`seal`]).
+const STATE_VERSION: u32 = 2;
+/// Name of the advisory lock file serializing eviction and orphan cleanup
+/// across processes.  Leading dot: `Path::extension` is `None`, so the scan
+/// ignores it.
+const LOCK_FILE: &str = ".lock";
+/// Maximum storage attempts per primitive operation (1 initial + retries)
+/// for transiently failing I/O.
+const MAX_IO_ATTEMPTS: u32 = 3;
+/// Base backoff between retries; doubles per retry (1ms, 2ms — bounded by
+/// `MAX_IO_ATTEMPTS`, so the total added latency is at most 3ms).
+const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Attempts to acquire the advisory lock before declaring contention and
+/// skipping the guarded scan.
+const LOCK_ATTEMPTS: u32 = 8;
+/// Sleep between lock acquisition attempts while the holder looks live.
+const LOCK_RETRY_SLEEP: Duration = Duration::from_millis(1);
+/// Default age after which a lock holder is presumed dead and taken over.
+const DEFAULT_LOCK_STALE_AFTER: Duration = Duration::from_secs(30);
+/// Minimum age before an orphaned tmp (or takeover leftover) is reaped by
+/// the lock-guarded cleanup.  The lock already excludes every writer that
+/// cooperates; the grace period protects the tmp files of a writer that
+/// proceeded *without* the lock (contention degraded it) from being reaped
+/// mid-store.
+const ORPHAN_GRACE: Duration = Duration::from_secs(5);
+
+/// Process-wide sequence for unique tmp/takeover file names: two threads of
+/// one process storing the same key must not share a tmp path, or the
+/// loser's rename fails on the path the winner already consumed.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Draws the next unique per-process file-name sequence number.
+fn next_seq() -> u64 {
+    // ordering: Relaxed — the sequence only needs per-process uniqueness,
+    // which fetch_add's atomicity alone provides.
+    TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Milliseconds since the UNIX epoch (0 if the clock predates it).
+fn epoch_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or_default()
+}
 
 /// The content address of one profile: everything the cache needs to locate
 /// and validate an entry.
@@ -323,7 +407,22 @@ pub struct CacheStats {
     /// Memory-tier entries dropped by its byte-bound LRU eviction (the disk
     /// copy survives, so a later lookup degrades to a disk hit, not a miss).
     pub memory_evictions: u64,
+    /// Lookups whose disk read failed persistently (after retries) and
+    /// degraded to a recompute instead of failing the caller.
+    pub degraded_loads: u64,
+    /// Stores whose disk write failed persistently (after retries) and were
+    /// skipped — the artifact stayed resident in the memory tier only.
+    pub degraded_stores: u64,
+    /// Transient I/O failures that were retried (one count per retry, not
+    /// per operation).
+    pub retries: u64,
+    /// Times the advisory lock could not be acquired and the guarded
+    /// eviction/cleanup scan was skipped for that store.
+    pub lock_contended: u64,
 }
+
+/// Number of `u64` counters in [`CacheStats`] (the persisted layout).
+const STATS_FIELDS: usize = 15;
 
 impl CacheStats {
     /// Total lookups served from the memory tier, over all artifact kinds.
@@ -334,6 +433,58 @@ impl CacheStats {
     /// Total lookups served from the disk tier, over all artifact kinds.
     pub fn disk_hits(&self) -> u64 {
         self.profile_hits + self.selection_hits + self.simulated_hits
+    }
+
+    /// The field-wise (saturating) sum of two snapshots — how a persisted
+    /// base merges with the current session's counters.
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        let mut merged = [0u64; STATS_FIELDS];
+        for ((out, a), b) in merged.iter_mut().zip(self.as_array()).zip(other.as_array()) {
+            *out = a.saturating_add(b);
+        }
+        CacheStats::from_array(merged)
+    }
+
+    /// The counters in their fixed persisted order.
+    fn as_array(&self) -> [u64; STATS_FIELDS] {
+        [
+            self.profile_memory_hits,
+            self.profile_hits,
+            self.profile_misses,
+            self.selection_memory_hits,
+            self.selection_hits,
+            self.selection_misses,
+            self.simulated_memory_hits,
+            self.simulated_hits,
+            self.simulated_misses,
+            self.evictions,
+            self.memory_evictions,
+            self.degraded_loads,
+            self.degraded_stores,
+            self.retries,
+            self.lock_contended,
+        ]
+    }
+
+    /// Rebuilds a snapshot from [`as_array`](Self::as_array)'s order.
+    fn from_array(values: [u64; STATS_FIELDS]) -> Self {
+        Self {
+            profile_memory_hits: values[0],
+            profile_hits: values[1],
+            profile_misses: values[2],
+            selection_memory_hits: values[3],
+            selection_hits: values[4],
+            selection_misses: values[5],
+            simulated_memory_hits: values[6],
+            simulated_hits: values[7],
+            simulated_misses: values[8],
+            evictions: values[9],
+            memory_evictions: values[10],
+            degraded_loads: values[11],
+            degraded_stores: values[12],
+            retries: values[13],
+            lock_contended: values[14],
+        }
     }
 }
 
@@ -350,6 +501,13 @@ struct StatCounters {
     simulated_misses: AtomicU64,
     evictions: AtomicU64,
     memory_evictions: AtomicU64,
+    degraded_loads: AtomicU64,
+    degraded_stores: AtomicU64,
+    retries: AtomicU64,
+    lock_contended: AtomicU64,
+    /// The persisted base loaded (lazily, once) from the `cache-state`
+    /// file; [`ArtifactCache::lifetime_stats`] adds the session counters.
+    persisted_base: Mutex<Option<CacheStats>>,
 }
 
 /// Counts one event on a statistics counter.
@@ -450,6 +608,8 @@ pub struct ArtifactCache {
     max_bytes: Option<u64>,
     stats: Arc<StatCounters>,
     memory: Arc<MemoryTier<MemoryKey, MemoryArtifact>>,
+    storage: Arc<dyn Storage>,
+    lock_stale_after: Duration,
 }
 
 /// The pre-redesign name of [`ArtifactCache`], kept for continuity: the
@@ -459,9 +619,33 @@ pub type ProfileCache = ArtifactCache;
 
 impl ArtifactCache {
     /// A cache rooted at `root` (created lazily on first store); both tiers
-    /// unbounded.
+    /// unbounded, backed by the real filesystem.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        Self { root: root.into(), max_bytes: None, stats: Arc::default(), memory: Arc::default() }
+        Self {
+            root: root.into(),
+            max_bytes: None,
+            stats: Arc::default(),
+            memory: Arc::default(),
+            storage: Arc::new(RealFs::new()),
+            lock_stale_after: DEFAULT_LOCK_STALE_AFTER,
+        }
+    }
+
+    /// Replaces the storage backend — [`RealFs::durable`] for
+    /// fsync-before-rename durability, or [`crate::storage::FaultFs`] in
+    /// tests to inject faults into every disk path of the cache.
+    pub fn with_storage(mut self, storage: Arc<dyn Storage>) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Overrides how old an advisory lock must be before a contender
+    /// presumes its holder dead and takes it over (default 30s).  Torture
+    /// tests shorten this so a simulated crash mid-store does not stall
+    /// the reopened cache.
+    pub fn with_lock_stale_after(mut self, stale_after: Duration) -> Self {
+        self.lock_stale_after = stale_after;
+        self
     }
 
     /// Bounds the cache's total on-disk size: after every store, entries are
@@ -513,6 +697,60 @@ impl ArtifactCache {
             simulated_misses: read(&self.stats.simulated_misses),
             evictions: read(&self.stats.evictions),
             memory_evictions: read(&self.stats.memory_evictions),
+            degraded_loads: read(&self.stats.degraded_loads),
+            degraded_stores: read(&self.stats.degraded_stores),
+            retries: read(&self.stats.retries),
+            lock_contended: read(&self.stats.lock_contended),
+        }
+    }
+
+    /// The lifetime view of the counters: the persisted base from the
+    /// directory's `cache-state` file (loaded lazily, once per cache; a
+    /// missing, corrupt, or stale-versioned file contributes zero — never
+    /// an error) merged with this cache's session counters
+    /// ([`stats`](Self::stats)).  Persist the merged view with
+    /// [`flush`](Self::flush); the last handle to drop flushes
+    /// automatically.
+    pub fn lifetime_stats(&self) -> CacheStats {
+        self.persisted_base().merged(&self.stats())
+    }
+
+    /// Loads (once) and caches the persisted statistics base.
+    fn persisted_base(&self) -> CacheStats {
+        let mut slot = self.stats.persisted_base.lock();
+        if let Some(base) = *slot {
+            return base;
+        }
+        let base = self
+            .storage
+            .read(&self.root.join(STATE_FILE))
+            .ok()
+            .and_then(|bytes| decode_state(&bytes))
+            .unwrap_or_default();
+        *slot = Some(base);
+        base
+    }
+
+    /// Persists the lifetime counters to the directory's `cache-state`
+    /// file, atomically (tmp + rename).  Best-effort by design: a cache
+    /// whose directory was removed must not resurrect it from a drop path,
+    /// so failures (including a missing root) are swallowed.
+    pub fn flush(&self) {
+        let total = self.lifetime_stats();
+        if total == CacheStats::default() {
+            return;
+        }
+        let state = self.root.join(STATE_FILE);
+        let tmp = state.with_extension(format!("tmp-{}-{}", std::process::id(), next_seq()));
+        match self.storage.write(&tmp, &encode_state(&total)) {
+            Ok(()) => {
+                if self.storage.rename(&tmp, &state).is_err() {
+                    let _ = self.storage.remove_file(&tmp);
+                }
+            }
+            Err(_) => {
+                let _ = self.storage.remove_file(&tmp);
+            }
         }
     }
 
@@ -528,19 +766,36 @@ impl ArtifactCache {
         self.root.join(key.file_name())
     }
 
-    fn io_error(&self, path: &Path, err: &std::io::Error) -> Error {
+    fn io_error(&self, path: &Path, err: &io::Error) -> Error {
         Error::ProfileCache { path: path.display().to_string(), message: err.to_string() }
     }
 
+    /// Runs a storage operation, retrying transient failures
+    /// ([`IoErrorClass::Transient`]) up to [`MAX_IO_ATTEMPTS`] total
+    /// attempts with doubling backoff.  The bound is deterministic — no
+    /// jitter — so fault-injected tests replay identically.
+    fn retrying<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        for attempt in 1..MAX_IO_ATTEMPTS {
+            match op() {
+                Err(e) if classify_io_error(e.kind()) == IoErrorClass::Transient => {
+                    bump(&self.stats.retries);
+                    std::thread::sleep(RETRY_BACKOFF_BASE * (1 << (attempt - 1)));
+                }
+                other => return other,
+            }
+        }
+        op()
+    }
+
     /// Reads an entry file's raw bytes.  Missing files return `Ok(None)`;
-    /// other I/O failures are errors.
+    /// other I/O failures (after transient retries) are errors.
     ///
     /// Deliberately does *not* touch the entry for LRU: a read alone proves
     /// nothing — the payload may be corrupt or stale-versioned, and marking
     /// it recently used would let garbage outlive valid entries under a size
     /// bound.  The `lookup_*` paths touch only after a successful decode.
     fn read_entry(&self, path: &Path) -> Result<Option<Vec<u8>>, Error> {
-        match fs::read(path) {
+        match self.retrying(|| self.storage.read(path)) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == ErrorKind::NotFound => Ok(None),
             Err(e) => Err(self.io_error(path, &e)),
@@ -551,60 +806,154 @@ impl ArtifactCache {
     /// filesystems without mtime updates degrade to FIFO.
     fn touch_entry(&self, path: &Path) {
         if self.max_bytes.is_some() {
-            if let Ok(file) = fs::OpenOptions::new().write(true).open(path) {
-                let _ = file.set_modified(SystemTime::now());
-            }
+            let _ = self.storage.set_mtime(path, SystemTime::now());
         }
     }
 
     /// Writes an entry through a temporary file and an atomic rename so that
-    /// concurrent readers never observe a torn entry, then enforces the size
-    /// bound.  The temporary name carries the process id *and* a process-wide
-    /// sequence number: two threads of one process storing the same key must
-    /// not share a tmp path, or the loser's rename fails on the path the
-    /// winner already consumed.
+    /// concurrent readers never observe a torn entry, then (under the
+    /// advisory lock, for size-bounded caches) cleans up orphans and
+    /// enforces the size bound.  The temporary name carries the process id
+    /// *and* a process-wide sequence number: two threads of one process
+    /// storing the same key must not share a tmp path, or the loser's
+    /// rename fails on the path the winner already consumed.
+    ///
+    /// On any failure the tmp file is deleted — a failed store must not
+    /// leak a torn or orphaned tmp for the cleanup scan to deal with.
     fn write_entry(&self, path: &Path, bytes: &[u8]) -> Result<(), Error> {
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        fs::create_dir_all(&self.root).map_err(|e| self.io_error(&self.root, &e))?;
-        // ordering: Relaxed — the sequence only needs per-process
-        // uniqueness, which fetch_add's atomicity alone provides.
-        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
-        fs::write(&tmp, bytes).map_err(|e| self.io_error(&tmp, &e))?;
-        fs::rename(&tmp, path).map_err(|e| self.io_error(path, &e))?;
-        self.evict_to_limit(path);
+        self.retrying(|| self.storage.create_dir_all(&self.root))
+            .map_err(|e| self.io_error(&self.root, &e))?;
+        let lock = if self.max_bytes.is_some() { self.try_lock() } else { None };
+        let tmp = path.with_extension(format!("tmp-{}-{}", std::process::id(), next_seq()));
+        if let Err(e) = self.retrying(|| self.storage.write(&tmp, bytes)) {
+            // A torn write can leave a partial tmp file behind.
+            let _ = self.storage.remove_file(&tmp);
+            return Err(self.io_error(&tmp, &e));
+        }
+        if let Err(e) = self.retrying(|| self.storage.rename(&tmp, path)) {
+            let _ = self.storage.remove_file(&tmp);
+            return Err(self.io_error(path, &e));
+        }
+        if lock.is_some() {
+            self.clean_and_evict(path);
+        }
+        drop(lock);
         Ok(())
     }
 
-    /// Evicts least-recently-used entries (oldest mtime first) until the
-    /// total size of all cache entries is within the bound.  `just_written`
-    /// is exempt so a store can never evict its own entry.  The scan also
-    /// deletes orphaned temporary files left behind by a crashed writer
-    /// (killed between write and rename), once they are clearly stale —
-    /// they are not valid entries, so they neither count toward the bound
-    /// nor toward the eviction statistics.
-    fn evict_to_limit(&self, just_written: &Path) {
-        let Some(max_bytes) = self.max_bytes else { return };
-        let Ok(entries) = fs::read_dir(&self.root) else { return };
-        let now = SystemTime::now();
-        let mut files: Vec<(SystemTime, u64, PathBuf)> = entries
-            .flatten()
-            .filter_map(|entry| {
-                let path = entry.path();
-                let ext = path.extension()?.to_str()?;
-                let meta = entry.metadata().ok()?;
-                let mtime = meta.modified().ok()?;
-                if ext != PROFILE_EXT && ext != SELECTION_EXT && ext != SIMULATED_EXT {
-                    // An old enough tmp file cannot belong to a live write.
-                    let age = now.duration_since(mtime).unwrap_or_default();
-                    if ext.starts_with("tmp-") && age.as_secs() >= 60 {
-                        let _ = fs::remove_file(&path);
+    /// [`write_entry`](Self::write_entry) on the degrade-to-recompute
+    /// paths: a persistent failure skips the disk store (the memory tier
+    /// still retains the artifact for this process) and records it, instead
+    /// of failing the pipeline over a cache that is only an optimization.
+    fn write_entry_degraded(&self, path: &Path, bytes: &[u8]) {
+        if self.write_entry(path, bytes).is_err() {
+            bump(&self.stats.degraded_stores);
+        }
+    }
+
+    /// Tries to acquire the directory's advisory lock: create-exclusive
+    /// `.lock` file carrying `pid` and a millisecond timestamp.  A lock
+    /// older than [`Self::with_lock_stale_after`]'s bound is presumed
+    /// abandoned (crashed holder) and taken over; takeover claims the stale
+    /// file by *renaming* it to a unique name first, so two contenders can
+    /// never both win the same stale lock.  Returns `None` (and counts the
+    /// contention) if the lock stays held for [`LOCK_ATTEMPTS`] rounds.
+    fn try_lock(&self) -> Option<DirLock<'_>> {
+        let lock_path = self.root.join(LOCK_FILE);
+        let body = format!("pid {} ts-ms {}\n", std::process::id(), epoch_ms());
+        for _ in 0..LOCK_ATTEMPTS {
+            match self.storage.create_new(&lock_path, body.as_bytes()) {
+                Ok(()) => return Some(DirLock { cache: self }),
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    if self.lock_is_stale(&lock_path) {
+                        self.reap_stale_lock(&lock_path);
+                        // Retry the create immediately — no sleep.
+                    } else {
+                        std::thread::sleep(LOCK_RETRY_SLEEP);
                     }
-                    return None;
                 }
-                Some((mtime, meta.len(), path))
-            })
-            .collect();
+                // Anything else (root vanished, injected fault): no lock.
+                Err(_) => break,
+            }
+        }
+        bump(&self.stats.lock_contended);
+        None
+    }
+
+    /// Whether the lock file's holder looks dead.  Prefers the timestamp
+    /// embedded in the lock body; an unreadable or unparseable body (e.g.
+    /// the holder died between creating the file and writing it) falls back
+    /// to the file's mtime.  Unknowable states read as "live": a held lock
+    /// must never be reaped on a hunch.
+    fn lock_is_stale(&self, lock_path: &Path) -> bool {
+        let stale_ms = self.lock_stale_after.as_millis() as u64;
+        match self.storage.read(lock_path) {
+            Ok(bytes) => match parse_lock_ts_ms(&bytes) {
+                Some(ts) => epoch_ms().saturating_sub(ts) > stale_ms,
+                None => self
+                    .storage
+                    .read_dir(&self.root)
+                    .ok()
+                    .and_then(|entries| entries.into_iter().find(|e| e.path == *lock_path))
+                    .is_some_and(|e| {
+                        e.modified.elapsed().unwrap_or_default() > self.lock_stale_after
+                    }),
+            },
+            // Unreadable (often: released between create_new and here).
+            Err(_) => false,
+        }
+    }
+
+    /// Claims and removes a stale lock.  The rename is the claim: only one
+    /// contender's rename of the stale file can succeed, so a racing pair
+    /// cannot both proceed to hold the next lock generation.  (There is a
+    /// small window between the staleness check and the rename in which the
+    /// real holder could release and a new one appear; the harm is bounded
+    /// to two concurrent *scans*, which degrade byte accounting, never
+    /// entry integrity — see STORAGE.md.)
+    fn reap_stale_lock(&self, lock_path: &Path) {
+        let reap =
+            self.root.join(format!("{LOCK_FILE}-reap-{}-{}", std::process::id(), next_seq()));
+        if self.storage.rename(lock_path, &reap).is_ok() {
+            let _ = self.storage.remove_file(&reap);
+        }
+    }
+
+    /// Removes orphaned tmp files and enforces the size bound by deleting
+    /// least-recently-used entries (oldest mtime first).  **Caller must
+    /// hold the advisory lock**: the lock is what makes concurrent scans
+    /// from two processes safe — without it they could double-count totals
+    /// and delete each other's just-renamed entries.  `just_written` is
+    /// exempt so a store can never evict its own entry.
+    ///
+    /// Orphan cleanup reaps tmp files (crashed writers, killed between
+    /// write and rename) and takeover leftovers once they are older than
+    /// [`ORPHAN_GRACE`] — long enough that a degraded writer operating
+    /// without the lock has renamed or deleted its own tmp.  Orphans are
+    /// not valid entries: they count toward neither the bound nor the
+    /// eviction statistics.
+    fn clean_and_evict(&self, just_written: &Path) {
+        let Some(max_bytes) = self.max_bytes else { return };
+        let Ok(entries) = self.storage.read_dir(&self.root) else { return };
+        let now = SystemTime::now();
+        let mut files: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        for entry in entries {
+            let ext = entry.path.extension().and_then(|e| e.to_str());
+            match ext {
+                Some(PROFILE_EXT | SELECTION_EXT | SIMULATED_EXT) => {
+                    files.push((entry.modified, entry.len, entry.path));
+                }
+                _ => {
+                    let name = entry.path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+                    let orphan = ext.is_some_and(|e| e.starts_with("tmp-"))
+                        || name.starts_with(concat!(".lock", "-reap-"));
+                    let age = now.duration_since(entry.modified).unwrap_or_default();
+                    if orphan && age >= ORPHAN_GRACE {
+                        let _ = self.storage.remove_file(&entry.path);
+                    }
+                }
+            }
+        }
         let mut total: u64 = files.iter().map(|&(_, len, _)| len).sum();
         files.sort_by_key(|&(mtime, _, _)| mtime);
         for (_, len, path) in files {
@@ -614,7 +963,7 @@ impl ArtifactCache {
             if path == just_written {
                 continue;
             }
-            if fs::remove_file(&path).is_ok() {
+            if self.storage.remove_file(&path).is_ok() {
                 total = total.saturating_sub(len);
                 bump(&self.stats.evictions);
             }
@@ -661,23 +1010,53 @@ impl ArtifactCache {
     }
 
     /// Persists `profile` under `key` in both tiers, creating the cache
-    /// directory if needed.
+    /// directory if needed.  Unlike the `load_or_*` paths, the raw store
+    /// API does not degrade: the caller asked for persistence and learns
+    /// when it did not happen.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ProfileCache`] on I/O failure.
+    /// Returns [`Error::ProfileCache`] on I/O failure (after bounded
+    /// transient retries).
     pub fn store(&self, key: &ProfileCacheKey, profile: &ApplicationProfile) -> Result<(), Error> {
-        self.store_profile_arc(key, &Arc::new(profile.clone()))
+        let profile = Arc::new(profile.clone());
+        let bytes = encode_profile(key, &profile);
+        self.write_entry(&self.profile_path(key), &bytes)?;
+        self.memory.insert(
+            MemoryKey::Profile(key.clone()),
+            MemoryArtifact::Profile(profile),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(())
+    }
+
+    /// [`lookup_profile`](Self::lookup_profile) on the degrade-to-recompute
+    /// paths: a persistent read failure is demoted to a miss (the profile
+    /// will be recomputed) and recorded, instead of failing the pipeline.
+    fn lookup_profile_degraded(
+        &self,
+        key: &ProfileCacheKey,
+    ) -> Option<(Arc<ApplicationProfile>, bool)> {
+        match self.lookup_profile(key) {
+            Ok(found) => found,
+            Err(_) => {
+                bump(&self.stats.degraded_loads);
+                None
+            }
+        }
     }
 
     /// [`load`](Self::load) with hit/miss accounting — the sweep's logical
     /// profile lookup (the sweep stores the computed profile itself, because
     /// a fused cold pass produces it together with the warmup state).
+    /// Degrades I/O failures to misses; the `Result` carries only future
+    /// error sources.
     pub(crate) fn probe_profile(
         &self,
         key: &ProfileCacheKey,
     ) -> Result<Option<Arc<ApplicationProfile>>, Error> {
-        match self.lookup_profile(key)? {
+        match self.lookup_profile_degraded(key) {
             Some((profile, true)) => {
                 bump(&self.stats.profile_memory_hits);
                 Ok(Some(profile))
@@ -694,13 +1073,16 @@ impl ArtifactCache {
     }
 
     /// Write-through store of an already-shared profile (no deep copy).
+    /// Disk failures degrade (see [`write_entry_degraded`]
+    /// (Self::write_entry_degraded)); the memory tier is populated either
+    /// way.
     pub(crate) fn store_profile_arc(
         &self,
         key: &ProfileCacheKey,
         profile: &Arc<ApplicationProfile>,
     ) -> Result<(), Error> {
         let bytes = encode_profile(key, profile);
-        self.write_entry(&self.profile_path(key), &bytes)?;
+        self.write_entry_degraded(&self.profile_path(key), &bytes);
         self.memory.insert(
             MemoryKey::Profile(key.clone()),
             MemoryArtifact::Profile(profile.clone()),
@@ -748,28 +1130,56 @@ impl ArtifactCache {
         Ok(self.lookup_selection(key)?.map(|(selection, _)| selection))
     }
 
-    /// Persists `selection` under `key` in both tiers.
+    /// Persists `selection` under `key` in both tiers.  Does not degrade;
+    /// see [`store`](Self::store).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ProfileCache`] on I/O failure.
+    /// Returns [`Error::ProfileCache`] on I/O failure (after bounded
+    /// transient retries).
     pub fn store_selection(
         &self,
         key: &SelectionCacheKey,
         selection: &BarrierPointSelection,
     ) -> Result<(), Error> {
-        self.store_selection_arc(key, &Arc::new(selection.clone()))
+        let selection = Arc::new(selection.clone());
+        let bytes = encode_selection(key, &selection);
+        self.write_entry(&self.selection_path(key), &bytes)?;
+        self.memory.insert(
+            MemoryKey::Selection(key.clone()),
+            MemoryArtifact::Selection(selection),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(())
+    }
+
+    /// [`lookup_selection`](Self::lookup_selection) on the
+    /// degrade-to-recompute paths; see
+    /// [`lookup_profile_degraded`](Self::lookup_profile_degraded).
+    fn lookup_selection_degraded(
+        &self,
+        key: &SelectionCacheKey,
+    ) -> Option<(Arc<BarrierPointSelection>, bool)> {
+        match self.lookup_selection(key) {
+            Ok(found) => found,
+            Err(_) => {
+                bump(&self.stats.degraded_loads);
+                None
+            }
+        }
     }
 
     /// [`load_selection`](Self::load_selection) with hit/miss accounting —
     /// the sweep's logical selection lookup.  The selection key is derivable
     /// without the profile, so a sweep whose selection is cached never
-    /// touches (or recomputes) the profile at all.
+    /// touches (or recomputes) the profile at all.  Degrades I/O failures
+    /// to misses.
     pub(crate) fn probe_selection(
         &self,
         key: &SelectionCacheKey,
     ) -> Result<Option<Arc<BarrierPointSelection>>, Error> {
-        match self.lookup_selection(key)? {
+        match self.lookup_selection_degraded(key) {
             Some((selection, true)) => {
                 bump(&self.stats.selection_memory_hits);
                 Ok(Some(selection))
@@ -786,13 +1196,14 @@ impl ArtifactCache {
     }
 
     /// Write-through store of an already-shared selection (no deep copy).
+    /// Disk failures degrade; the memory tier is populated either way.
     pub(crate) fn store_selection_arc(
         &self,
         key: &SelectionCacheKey,
         selection: &Arc<BarrierPointSelection>,
     ) -> Result<(), Error> {
         let bytes = encode_selection(key, selection);
-        self.write_entry(&self.selection_path(key), &bytes)?;
+        self.write_entry_degraded(&self.selection_path(key), &bytes);
         self.memory.insert(
             MemoryKey::Selection(key.clone()),
             MemoryArtifact::Selection(selection.clone()),
@@ -806,17 +1217,21 @@ impl ArtifactCache {
     /// and populating the cache on a miss.  The boolean is `true` when the
     /// profile came from the cache.
     ///
+    /// Cache I/O failures degrade to recomputation (recorded in
+    /// [`CacheStats::degraded_loads`]/[`CacheStats::degraded_stores`])
+    /// rather than failing the pipeline; use the raw
+    /// [`load`](Self::load)/[`store`](Self::store) API to observe them.
+    ///
     /// # Errors
     ///
-    /// Propagates profiling errors ([`Error::EmptyWorkload`]) and cache I/O
-    /// errors.
+    /// Propagates profiling errors ([`Error::EmptyWorkload`]).
     pub fn load_or_profile<W: Workload + ?Sized>(
         &self,
         workload: &W,
         policy: &ExecutionPolicy,
     ) -> Result<(Arc<ApplicationProfile>, bool), Error> {
         let key = ProfileCacheKey::for_workload(workload);
-        match self.lookup_profile(&key)? {
+        match self.lookup_profile_degraded(&key) {
             Some((profile, true)) => {
                 bump(&self.stats.profile_memory_hits);
                 Ok((profile, true))
@@ -870,27 +1285,40 @@ impl ArtifactCache {
         Ok(self.lookup_simulated(key)?.map(|(simulated, _)| simulated))
     }
 
-    /// Persists `simulated` under `key` in both tiers.
+    /// Persists `simulated` under `key` in both tiers.  Does not degrade;
+    /// see [`store`](Self::store).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ProfileCache`] on I/O failure.
+    /// Returns [`Error::ProfileCache`] on I/O failure (after bounded
+    /// transient retries).
     pub fn store_simulated(
         &self,
         key: &SimulatedCacheKey,
         simulated: &Simulated,
     ) -> Result<(), Error> {
-        self.store_simulated_arc(key, &Arc::new(simulated.clone()))
+        let simulated = Arc::new(simulated.clone());
+        let bytes = encode_simulated(key, &simulated);
+        self.write_entry(&self.simulated_path(key), &bytes)?;
+        self.memory.insert(
+            MemoryKey::Simulated(key.clone()),
+            MemoryArtifact::Simulated(simulated),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(())
     }
 
-    /// Write-through store of an already-shared simulated leg (no deep copy).
+    /// Write-through store of an already-shared simulated leg (no deep
+    /// copy).  Disk failures degrade; the memory tier is populated either
+    /// way.
     pub(crate) fn store_simulated_arc(
         &self,
         key: &SimulatedCacheKey,
         simulated: &Arc<Simulated>,
     ) -> Result<(), Error> {
         let bytes = encode_simulated(key, simulated);
-        self.write_entry(&self.simulated_path(key), &bytes)?;
+        self.write_entry_degraded(&self.simulated_path(key), &bytes);
         self.memory.insert(
             MemoryKey::Simulated(key.clone()),
             MemoryArtifact::Simulated(simulated.clone()),
@@ -900,16 +1328,30 @@ impl ArtifactCache {
         Ok(())
     }
 
+    /// [`lookup_simulated`](Self::lookup_simulated) on the
+    /// degrade-to-recompute paths; see
+    /// [`lookup_profile_degraded`](Self::lookup_profile_degraded).
+    fn lookup_simulated_degraded(&self, key: &SimulatedCacheKey) -> Option<(Arc<Simulated>, bool)> {
+        match self.lookup_simulated(key) {
+            Ok(found) => found,
+            Err(_) => {
+                bump(&self.stats.degraded_loads);
+                None
+            }
+        }
+    }
+
     /// [`load_simulated`](Self::load_simulated) with per-tier hit/miss
     /// accounting: every *logical* simulated-leg lookup goes through here
     /// exactly once (the sweep probes legs up front so it can skip the
     /// warmup collection of fully cached legs; the staged API probes through
-    /// [`load_or_simulate`](Self::load_or_simulate)).
+    /// [`load_or_simulate`](Self::load_or_simulate)).  Degrades I/O
+    /// failures to misses.
     pub(crate) fn probe_simulated(
         &self,
         key: &SimulatedCacheKey,
     ) -> Result<Option<Arc<Simulated>>, Error> {
-        match self.lookup_simulated(key)? {
+        match self.lookup_simulated_degraded(key) {
             Some((simulated, true)) => {
                 bump(&self.stats.simulated_memory_hits);
                 Ok(Some(simulated))
@@ -928,11 +1370,12 @@ impl ArtifactCache {
     /// Returns the cached simulated leg under `key`, running `simulate` and
     /// populating both tiers on a miss.  The boolean is `true` when the leg
     /// came from the cache — the detailed simulation (and its warmup
-    /// collection) was skipped entirely.
+    /// collection) was skipped entirely.  Cache I/O failures degrade to
+    /// recomputation; see [`load_or_profile`](Self::load_or_profile).
     ///
     /// # Errors
     ///
-    /// Propagates `simulate`'s error and cache I/O errors.
+    /// Propagates `simulate`'s error.
     pub fn load_or_simulate<F>(
         &self,
         key: &SimulatedCacheKey,
@@ -953,11 +1396,12 @@ impl ArtifactCache {
     /// `workload`) under `(signature_config, simpoint_config)`, clustering
     /// and populating the cache on a miss.  The boolean is `true` when the
     /// selection came from the cache — clustering was skipped entirely.
+    /// Cache I/O failures degrade to recomputation; see
+    /// [`load_or_profile`](Self::load_or_profile).
     ///
     /// # Errors
     ///
-    /// Propagates selection errors ([`Error::EmptyWorkload`]) and cache I/O
-    /// errors.
+    /// Propagates selection errors ([`Error::EmptyWorkload`]).
     pub fn load_or_select<W: Workload + ?Sized>(
         &self,
         profile: &ApplicationProfile,
@@ -966,7 +1410,7 @@ impl ArtifactCache {
         simpoint_config: &SimPointConfig,
     ) -> Result<(Arc<BarrierPointSelection>, bool), Error> {
         let key = SelectionCacheKey::for_workload(workload, signature_config, simpoint_config);
-        match self.lookup_selection(&key)? {
+        match self.lookup_selection_degraded(&key) {
             Some((selection, true)) => {
                 bump(&self.stats.selection_memory_hits);
                 Ok((selection, true))
@@ -986,6 +1430,100 @@ impl ArtifactCache {
     }
 }
 
+impl Drop for ArtifactCache {
+    /// The last handle over a directory persists the lifetime statistics.
+    /// Clones share `stats`, so any earlier drop is a no-op and the flush
+    /// happens exactly once per shared-counter group.
+    fn drop(&mut self) {
+        if Arc::strong_count(&self.stats) == 1 {
+            self.flush();
+        }
+    }
+}
+
+/// The held advisory lock: releases (deletes) the `.lock` file on drop.
+/// Release is best-effort — an undeletable lock file is exactly the crashed
+/// holder case, which the staleness takeover already covers.
+struct DirLock<'a> {
+    cache: &'a ArtifactCache,
+}
+
+impl Drop for DirLock<'_> {
+    fn drop(&mut self) {
+        let _ = self.cache.storage.remove_file(&self.cache.root.join(LOCK_FILE));
+    }
+}
+
+/// Extracts the `ts-ms <millis>` field from an advisory lock body.  Returns
+/// `None` for torn, empty, or foreign-format bodies (the caller falls back
+/// to the file mtime).
+fn parse_lock_ts_ms(bytes: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut tokens = text.split_whitespace();
+    while let Some(token) = tokens.next() {
+        if token == "ts-ms" {
+            return tokens.next()?.parse().ok();
+        }
+    }
+    None
+}
+
+/// Seals an encoded entry with a trailing FNV-1a checksum of everything
+/// before it.  Magic, version, and key echo catch truncation and foreign
+/// files; the checksum is what catches *payload* damage — a bit flip in the
+/// metrics region of an otherwise well-formed entry would decode cleanly
+/// and be served as truth without it.  FNV-1a because it is fixed forever
+/// (see [`FingerprintHasher`]); this is an integrity check against storage
+/// rot, not an adversarial MAC.
+fn seal(mut bytes: Vec<u8>) -> Vec<u8> {
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_bytes(&bytes);
+    bytes.extend_from_slice(&hasher.finish().to_le_bytes());
+    bytes
+}
+
+/// Verifies and strips [`seal`]'s trailing checksum; `None` on any mismatch
+/// (including entries too short to carry one).
+fn verify_seal(bytes: &[u8]) -> Option<&[u8]> {
+    let (payload, tail) = bytes.split_at(bytes.len().checked_sub(8)?);
+    let mut hasher = FingerprintHasher::new();
+    hasher.write_bytes(payload);
+    (hasher.finish().to_le_bytes() == tail).then_some(payload)
+}
+
+/// Encodes the persisted-statistics file: magic, version, then the counters
+/// in [`CacheStats::as_array`] order, sealed with a checksum.
+fn encode_state(stats: &CacheStats) -> Vec<u8> {
+    let mut out = serde::Serializer::new();
+    out.write_bytes(STATE_MAGIC);
+    out.write_u32(STATE_VERSION);
+    for value in stats.as_array() {
+        out.write_u64(value);
+    }
+    seal(out.into_bytes())
+}
+
+/// Decodes a persisted-statistics file.  Anything unexpected — wrong magic,
+/// other version, torn or trailing bytes — returns `None`, which the caller
+/// treats as a zero base: statistics reset, they never fail the cache.
+fn decode_state(bytes: &[u8]) -> Option<CacheStats> {
+    let mut de = serde::Deserializer::new(verify_seal(bytes)?);
+    if de.read_bytes(STATE_MAGIC.len()).ok()? != STATE_MAGIC {
+        return None;
+    }
+    if de.read_u32().ok()? != STATE_VERSION {
+        return None;
+    }
+    let mut values = [0u64; STATS_FIELDS];
+    for value in &mut values {
+        *value = de.read_u64().ok()?;
+    }
+    if de.remaining() != 0 {
+        return None;
+    }
+    Some(CacheStats::from_array(values))
+}
+
 fn encode_profile(key: &ProfileCacheKey, profile: &ApplicationProfile) -> Vec<u8> {
     let mut out = serde::Serializer::new();
     out.write_bytes(PROFILE_MAGIC);
@@ -994,13 +1532,13 @@ fn encode_profile(key: &ProfileCacheKey, profile: &ApplicationProfile) -> Vec<u8
     out.write_u64(key.threads as u64);
     out.write_u64(key.fingerprint);
     serde::Serialize::serialize(profile, &mut out);
-    out.into_bytes()
+    seal(out.into_bytes())
 }
 
 /// Decodes a profile entry, returning `None` for anything that does not match
 /// `key` exactly (wrong magic/version/key, torn or trailing bytes).
 fn decode_profile(bytes: &[u8], key: &ProfileCacheKey) -> Option<ApplicationProfile> {
-    let mut de = serde::Deserializer::new(bytes);
+    let mut de = serde::Deserializer::new(verify_seal(bytes)?);
     if de.read_bytes(PROFILE_MAGIC.len()).ok()? != PROFILE_MAGIC {
         return None;
     }
@@ -1032,12 +1570,12 @@ fn encode_selection(key: &SelectionCacheKey, selection: &BarrierPointSelection) 
     out.write_u64(key.profile_fingerprint);
     out.write_u64(key.config_fingerprint);
     serde::Serialize::serialize(selection, &mut out);
-    out.into_bytes()
+    seal(out.into_bytes())
 }
 
 /// Decodes a selection entry; `None` on any mismatch, as for profiles.
 fn decode_selection(bytes: &[u8], key: &SelectionCacheKey) -> Option<BarrierPointSelection> {
-    let mut de = serde::Deserializer::new(bytes);
+    let mut de = serde::Deserializer::new(verify_seal(bytes)?);
     if de.read_bytes(SELECTION_MAGIC.len()).ok()? != SELECTION_MAGIC {
         return None;
     }
@@ -1073,12 +1611,12 @@ fn encode_simulated(key: &SimulatedCacheKey, simulated: &Simulated) -> Vec<u8> {
     out.write_u64(key.selection_fingerprint);
     out.write_u64(key.config_fingerprint);
     serde::Serialize::serialize(simulated, &mut out);
-    out.into_bytes()
+    seal(out.into_bytes())
 }
 
 /// Decodes a simulated-leg entry; `None` on any mismatch, as for profiles.
 fn decode_simulated(bytes: &[u8], key: &SimulatedCacheKey) -> Option<Simulated> {
-    let mut de = serde::Deserializer::new(bytes);
+    let mut de = serde::Deserializer::new(verify_seal(bytes)?);
     if de.read_bytes(SIMULATED_MAGIC.len()).ok()? != SIMULATED_MAGIC {
         return None;
     }
@@ -1111,6 +1649,9 @@ fn decode_simulated(bytes: &[u8], key: &SimulatedCacheKey) -> Option<Simulated> 
 mod tests {
     use super::*;
     use crate::profile::profile_application;
+    use crate::storage::{Fault, FaultFs, FaultOp};
+    // bp-lint: allow(std-fs) — tests exercise the real filesystem directly.
+    use std::fs;
     use std::time::Duration;
 
     use bp_workload::{Benchmark, WorkloadConfig};
@@ -1731,5 +2272,247 @@ mod tests {
         );
         assert_eq!(clone.stats().profile_memory_hits, 1, "stats shared too");
         fs::remove_dir_all(cache.root()).ok();
+    }
+
+    /// A fault-injected cache over a fresh directory; the [`FaultFs`]
+    /// handle programs the plan.
+    fn faulty_cache(tag: &str) -> (ArtifactCache, Arc<FaultFs>) {
+        let dir = std::env::temp_dir()
+            .join(format!("bp-artifact-cache-fault-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        let faults = Arc::new(FaultFs::new());
+        (ArtifactCache::new(dir).with_storage(faults.clone()), faults)
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_and_recover() {
+        let (cache, faults) = faulty_cache("retry");
+        let w = workload(0.02);
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+
+        // EINTR twice on the entry read; the bounded retry absorbs both.
+        let reopened = ArtifactCache::new(cache.root()).with_storage(faults.clone());
+        faults.inject(
+            Fault::fail(FaultOp::Read, ErrorKind::Interrupted).on_path(PROFILE_EXT).times(2),
+        );
+        let (_, cached) = reopened.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached, "transient faults within the retry bound stay invisible");
+        assert_eq!(reopened.stats().retries, 2);
+        assert_eq!(reopened.stats().degraded_loads, 0);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn enospc_store_degrades_to_memory_tier_and_clean_reopen_miss() {
+        let (cache, faults) = faulty_cache("enospc");
+        let w = workload(0.02);
+        faults.inject(Fault::fail(FaultOp::Write, ErrorKind::StorageFull));
+
+        // The store fails persistently; the pipeline must not.
+        let (profile, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached);
+        assert_eq!(cache.stats().degraded_stores, 1);
+        assert_eq!(cache.stats().retries, 0, "ENOSPC is persistent — never retried");
+
+        // This process still serves the artifact from the memory tier…
+        let (again, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached);
+        assert!(Arc::ptr_eq(&profile, &again));
+
+        // …and a fresh process sees a clean miss, never a torn entry.
+        let reopened = ArtifactCache::new(cache.root());
+        let (_, cached) = reopened.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached, "nothing was persisted, so the reopen recomputes");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn persistent_read_fault_degrades_to_recompute_and_heals() {
+        let (cache, faults) = faulty_cache("read-degrade");
+        let w = workload(0.02);
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+
+        let reopened = ArtifactCache::new(cache.root()).with_storage(faults.clone());
+        faults.inject(Fault::fail(FaultOp::Read, ErrorKind::PermissionDenied).on_path(PROFILE_EXT));
+        let (_, cached) = reopened.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached, "an unreadable entry is a miss, not an error");
+        assert_eq!(reopened.stats().degraded_loads, 1);
+        assert_eq!(reopened.stats().profile_misses, 1);
+
+        // The recompute re-stored the entry; an unfaulted handle hits disk.
+        let healed = ArtifactCache::new(cache.root());
+        let (_, cached) = healed.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached, "the degraded miss healed the entry on disk");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    /// Regression for the historical leak: a failed rename must delete its
+    /// tmp file, not orphan it for a later cleanup scan.
+    #[test]
+    fn failed_rename_deletes_the_tmp_file() {
+        let (cache, faults) = faulty_cache("rename-cleanup");
+        let w = workload(0.02);
+        faults.inject(Fault::fail(FaultOp::Rename, ErrorKind::PermissionDenied).on_path("tmp-"));
+
+        let (_, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached);
+        assert_eq!(cache.stats().degraded_stores, 1);
+        let leftovers: Vec<String> = fs::read_dir(cache.root())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains("tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must not leak: {leftovers:?}");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn held_lock_skips_the_guarded_scan_but_not_the_store() {
+        let cache = temp_cache("lock-contended").with_max_bytes(1);
+        let w = workload(0.02);
+        fs::create_dir_all(cache.root()).unwrap();
+        // A live holder: fresh timestamp, never released during the test.
+        fs::write(cache.root().join(LOCK_FILE), format!("pid {} ts-ms {}\n", u32::MAX, epoch_ms()))
+            .unwrap();
+
+        let (_, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached);
+        assert_eq!(cache.stats().lock_contended, 1);
+        assert_eq!(cache.stats().evictions, 0, "the guarded eviction scan was skipped");
+        let key = ProfileCacheKey::for_workload(&w);
+        assert!(cache.profile_path(&key).exists(), "the store itself must still land");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn stale_lock_is_taken_over_and_released() {
+        let cache = temp_cache("lock-stale")
+            .with_max_bytes(u64::MAX)
+            .with_lock_stale_after(Duration::from_millis(10));
+        let w = workload(0.02);
+        fs::create_dir_all(cache.root()).unwrap();
+        // A holder that died long ago (epoch timestamp zero).
+        fs::write(cache.root().join(LOCK_FILE), "pid 1 ts-ms 0\n").unwrap();
+
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert_eq!(cache.stats().lock_contended, 0, "a stale lock must be taken over");
+        assert!(!cache.root().join(LOCK_FILE).exists(), "released after the store");
+        assert!(
+            !fs::read_dir(cache.root())
+                .unwrap()
+                .any(|e| { e.unwrap().file_name().to_string_lossy().starts_with(LOCK_FILE) }),
+            "no takeover leftovers either"
+        );
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn persisted_stats_merge_across_reopen() {
+        let cache = temp_cache("state-persist");
+        let w = workload(0.02);
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert_eq!(cache.lifetime_stats(), cache.stats(), "no base before the first flush");
+        cache.flush();
+
+        let reopened = reopen(&cache);
+        let (_, cached) = reopened.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(cached);
+        assert_eq!(reopened.stats().profile_misses, 0, "session view: this run never missed");
+        let lifetime = reopened.lifetime_stats();
+        assert_eq!(lifetime.profile_misses, 1, "lifetime view: the first run's miss persists");
+        assert_eq!(lifetime.profile_hits, 1, "merged with this session's disk hit");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_state_file_resets_stats_never_errors() {
+        let cache = temp_cache("state-corrupt");
+        let w = workload(0.02);
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        cache.flush();
+        fs::write(cache.root().join(STATE_FILE), b"not a state file").unwrap();
+
+        let reopened = reopen(&cache);
+        reopened.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert_eq!(
+            reopened.lifetime_stats(),
+            reopened.stats(),
+            "a corrupt base contributes zero, silently"
+        );
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn state_codec_round_trips_and_rejects_foreign_bytes() {
+        let stats = CacheStats {
+            profile_hits: 7,
+            degraded_stores: 2,
+            lock_contended: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(decode_state(&encode_state(&stats)), Some(stats));
+
+        assert_eq!(decode_state(b""), None, "empty");
+        assert_eq!(decode_state(b"BPSTjunk"), None, "torn after magic");
+        let mut trailing = encode_state(&stats);
+        trailing.push(0);
+        assert_eq!(decode_state(&trailing), None, "trailing bytes");
+
+        let mut wrong_version = serde::Serializer::new();
+        wrong_version.write_bytes(STATE_MAGIC);
+        wrong_version.write_u32(STATE_VERSION + 1);
+        for _ in 0..STATS_FIELDS {
+            wrong_version.write_u64(0);
+        }
+        assert_eq!(
+            decode_state(&seal(wrong_version.into_bytes())),
+            None,
+            "future version (validly sealed, so the version check is what rejects it)"
+        );
+    }
+
+    /// The seal catches what header validation cannot: any single bit flip
+    /// anywhere in an entry — header, payload, or the checksum itself —
+    /// must read as a miss, never decode to wrong data.
+    #[test]
+    fn any_single_bit_flip_in_an_entry_is_rejected() {
+        let stats = CacheStats { profile_hits: 3, ..CacheStats::default() };
+        let encoded = encode_state(&stats);
+        for byte in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut flipped = encoded.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_eq!(
+                    decode_state(&flipped),
+                    None,
+                    "flip of bit {bit} in byte {byte} must not decode"
+                );
+            }
+        }
+
+        let w = workload(0.02);
+        let key = ProfileCacheKey::for_workload(&w);
+        let profile = profile_application(&w).unwrap();
+        let encoded = encode_profile(&key, &profile);
+        // Sampling every 97th bit keeps the profile sweep fast while still
+        // covering header, payload, and checksum regions.
+        for bit_index in (0..encoded.len() * 8).step_by(97) {
+            let mut flipped = encoded.clone();
+            flipped[bit_index / 8] ^= 1 << (bit_index % 8);
+            assert!(
+                decode_profile(&flipped, &key).is_none(),
+                "flip of bit {bit_index} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn lock_timestamps_parse_leniently() {
+        assert_eq!(parse_lock_ts_ms(b"pid 42 ts-ms 1234\n"), Some(1234));
+        assert_eq!(parse_lock_ts_ms(b"ts-ms 0"), Some(0));
+        assert_eq!(parse_lock_ts_ms(b"pid 42\n"), None, "missing field");
+        assert_eq!(parse_lock_ts_ms(b"pid 42 ts-ms\n"), None, "truncated");
+        assert_eq!(parse_lock_ts_ms(b"ts-ms twelve"), None, "non-numeric");
+        assert_eq!(parse_lock_ts_ms(&[0xff, 0xfe]), None, "not UTF-8");
     }
 }

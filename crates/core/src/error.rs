@@ -1,5 +1,41 @@
 use std::error::Error as StdError;
 use std::fmt;
+use std::io;
+
+/// How the artifact cache should react to an I/O failure.
+///
+/// The taxonomy drives the cache's degrade-to-recompute policy (see
+/// `STORAGE.md`): transient failures are retried a bounded number of times
+/// with capped backoff; persistent failures are treated as a cache miss on
+/// the load path (the artifact is recomputed) and as a skipped store on the
+/// store path (the sweep stays alive, the counter records the degradation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoErrorClass {
+    /// The operation may succeed if retried promptly (EINTR-style signal
+    /// interruptions, momentary contention, timeouts).
+    Transient,
+    /// Retrying promptly will not help (disk full, permissions, corrupt
+    /// media, missing directories).
+    Persistent,
+}
+
+/// Classifies an I/O error kind for the cache's retry policy.
+///
+/// The transient set is deliberately small — only kinds where an immediate
+/// retry has a real chance: `Interrupted` (EINTR), `WouldBlock`,
+/// `TimedOut`, and `ResourceBusy`.  Everything else — `StorageFull`,
+/// `PermissionDenied`, `NotFound`, unknown kinds — is persistent: retrying
+/// a full disk in a tight loop only delays the recompute that will actually
+/// make progress.
+pub fn classify_io_error(kind: io::ErrorKind) -> IoErrorClass {
+    match kind {
+        io::ErrorKind::Interrupted
+        | io::ErrorKind::WouldBlock
+        | io::ErrorKind::TimedOut
+        | io::ErrorKind::ResourceBusy => IoErrorClass::Transient,
+        _ => IoErrorClass::Persistent,
+    }
+}
 
 /// Errors reported by the BarrierPoint pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +142,27 @@ mod tests {
         assert!(e.to_string().contains("32 cores"));
         let e = Error::MissingBarrierPointMetrics { region: 7 };
         assert!(e.to_string().contains("region 7"));
+    }
+
+    #[test]
+    fn transient_kinds_are_exactly_the_retryable_set() {
+        for kind in [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::ResourceBusy,
+        ] {
+            assert_eq!(classify_io_error(kind), IoErrorClass::Transient, "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::StorageFull,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::NotFound,
+            io::ErrorKind::InvalidData,
+            io::ErrorKind::Other,
+        ] {
+            assert_eq!(classify_io_error(kind), IoErrorClass::Persistent, "{kind:?}");
+        }
     }
 
     #[test]

@@ -118,12 +118,13 @@ pub mod report;
 mod select;
 mod simulate;
 mod stages;
+pub mod storage;
 mod sweep;
 
 pub use cache::{
     ArtifactCache, CacheStats, ProfileCache, ProfileCacheKey, SelectionCacheKey, SimulatedCacheKey,
 };
-pub use error::Error;
+pub use error::{classify_io_error, Error, IoErrorClass};
 pub use pipeline::{BarrierPoint, BarrierPointOutcome};
 pub use profile::{
     profile_and_collect_warmup, profile_application, profile_application_budgeted,
@@ -135,6 +136,7 @@ pub use select::{
 };
 pub use simulate::{simulate_barrierpoints, BarrierPointMetrics, WarmupKind};
 pub use stages::{Profiled, Selected, Simulated};
+pub use storage::{DirEntryInfo, Fault, FaultFs, FaultOp, RealFs, Storage};
 pub use sweep::{Sweep, SweepCounters, SweepLeg, SweepReport};
 
 // Re-export the substrate configuration types users need to drive the API.

@@ -147,8 +147,12 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoryTier<K, V> {
     /// makes a bound of `0` an exact "tier off" switch.  `evictions` is
     /// bumped once per capacity eviction; replacing or declining under the
     /// inserted key is not an eviction.
-    pub fn insert(&self, key: K, value: V, bytes: u64, evictions: &AtomicU64) {
-        self.insert_impl(key, value, bytes, evictions, true);
+    ///
+    /// Returns whether the entry was retained: `false` means the insert was
+    /// declined (the entry alone exceeds the bound), so a caller whose disk
+    /// store also failed knows the artifact is resident in *neither* tier.
+    pub fn insert(&self, key: K, value: V, bytes: u64, evictions: &AtomicU64) -> bool {
+        self.insert_impl(key, value, bytes, evictions, true)
     }
 
     /// The deliberately broken twin of [`insert`](Self::insert): the
@@ -159,11 +163,24 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoryTier<K, V> {
     /// anyway.  Exists only so a model test can prove the checker catches
     /// the race (`tests/verify.rs`); never called by production code.
     #[cfg(feature = "model")]
-    pub fn insert_with_stale_scan(&self, key: K, value: V, bytes: u64, evictions: &AtomicU64) {
-        self.insert_impl(key, value, bytes, evictions, false);
+    pub fn insert_with_stale_scan(
+        &self,
+        key: K,
+        value: V,
+        bytes: u64,
+        evictions: &AtomicU64,
+    ) -> bool {
+        self.insert_impl(key, value, bytes, evictions, false)
     }
 
-    fn insert_impl(&self, key: K, value: V, bytes: u64, evictions: &AtomicU64, recheck: bool) {
+    fn insert_impl(
+        &self,
+        key: K,
+        value: V,
+        bytes: u64,
+        evictions: &AtomicU64,
+        recheck: bool,
+    ) -> bool {
         // ordering: Relaxed — see `get` for the clock.
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         // ordering: Relaxed — the bound is a standalone configuration word;
@@ -179,7 +196,7 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoryTier<K, V> {
                 // paired with exactly one map mutation (see module docs).
                 self.total_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
             }
-            return;
+            return false;
         }
         {
             let mut shard = self.shards[self.shard_index(&key)].lock();
@@ -193,7 +210,7 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoryTier<K, V> {
         // the sum is exact at quiescence (model-checked).
         self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         if max_bytes == UNBOUNDED {
-            return;
+            return true;
         }
         // ordering: Relaxed — the bound check re-reads the counter each
         // round; eviction is already best-effort under concurrency and the
@@ -238,6 +255,7 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoryTier<K, V> {
                 }
             }
         }
+        true
     }
 
     /// Sets (or clears) the byte bound.  Applies to subsequent inserts;
@@ -303,7 +321,7 @@ mod tests {
     fn get_returns_inserted_value_and_misses_absent_keys() {
         let tier: MemoryTier<u32, u64> = MemoryTier::default();
         let ev = ctr();
-        tier.insert(1, 10, 4, &ev);
+        assert!(tier.insert(1, 10, 4, &ev), "a fitting insert is retained");
         assert_eq!(tier.get(&1), Some(10));
         assert_eq!(tier.get(&2), None);
         assert_eq!(tier.total_bytes(), 4);
@@ -349,8 +367,9 @@ mod tests {
         tier.set_max_bytes(Some(10));
         let ev = ctr();
         tier.insert(1, 10, 4, &ev);
-        // The replacement is too large: the key ends up absent entirely.
-        tier.insert(1, 11, 11, &ev);
+        // The replacement is too large: the key ends up absent entirely,
+        // and the caller is told the entry was declined.
+        assert!(!tier.insert(1, 11, 11, &ev), "an oversized insert reports decline");
         assert!(!tier.contains(&1));
         assert_eq!(tier.total_bytes(), 0);
         assert_eq!(ctr_value(&ev), 0, "declining an insert is not an eviction");
@@ -366,7 +385,7 @@ mod tests {
         let tier: MemoryTier<u32, u64> = MemoryTier::default();
         tier.set_max_bytes(Some(0));
         let ev = ctr();
-        tier.insert(1, 10, 1, &ev);
+        assert!(!tier.insert(1, 10, 1, &ev), "a disabled tier declines every insert");
         assert_eq!(tier.get(&1), None);
         assert_eq!(tier.total_bytes(), 0);
         assert!(tier.is_empty());

@@ -100,8 +100,9 @@ impl<'a, W: Workload + ?Sized> Profiled<'a, W> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::EmptyWorkload`] if the profile has no regions, and
-    /// [`Error::ProfileCache`] for cache I/O failures.
+    /// Returns [`Error::EmptyWorkload`] if the profile has no regions.
+    /// Cache I/O failures degrade to recomputation (see
+    /// [`CacheStats`](crate::CacheStats)) rather than failing the stage.
     pub fn select(self) -> Result<Selected<'a, W>, Error> {
         let signature_config = *self.pipeline.signature_config();
         let simpoint_config = *self.pipeline.simpoint_config();
@@ -199,8 +200,10 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
     /// # Errors
     ///
     /// Returns [`Error::ThreadCountMismatch`] if `sim_config.num_cores`
-    /// differs from the workload's thread count, and propagates simulation,
-    /// reconstruction and cache I/O errors.
+    /// differs from the workload's thread count, and propagates simulation
+    /// and reconstruction errors.  Cache I/O failures degrade to
+    /// recomputation (see [`CacheStats`](crate::CacheStats)) rather than
+    /// failing the leg.
     pub fn simulate(&self, sim_config: &SimConfig) -> Result<Arc<Simulated>, Error> {
         self.simulate_on(self.pipeline.workload(), sim_config)
     }
@@ -215,7 +218,8 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
     /// Returns [`Error::RegionCountMismatch`] if `workload` does not have the
     /// same region count as the selection, [`Error::ThreadCountMismatch`] if
     /// `sim_config.num_cores` differs from `workload`'s thread count, and
-    /// propagates simulation, reconstruction and cache I/O errors.
+    /// propagates simulation and reconstruction errors (cache I/O failures
+    /// degrade to recomputation).
     pub fn simulate_on<V: Workload + ?Sized>(
         &self,
         workload: &V,

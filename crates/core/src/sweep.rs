@@ -290,6 +290,12 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         let mut trace_walks = 0;
         let mut fused_bank: Option<MruSnapshotBank> = None;
 
+        // Cache-health counters are reported as the delta over this run.
+        // The underlying `CacheStats` are shared across every user of the
+        // cache, so a concurrent pipeline's degradations can leak into the
+        // delta — the counters are a health report, not an audit trail.
+        let stats_before = self.base.cache().map(crate::ArtifactCache::stats);
+
         // Resolve the selection — the only one-time artifact the report
         // needs.  Its cache key is derivable from the configuration alone,
         // so it is probed *first*: on a hit the profile is neither loaded
@@ -531,6 +537,18 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             }
         }
 
+        let health = match (&stats_before, self.base.cache()) {
+            (Some(before), Some(cache)) => {
+                let after = cache.stats();
+                [
+                    after.degraded_loads.saturating_sub(before.degraded_loads),
+                    after.degraded_stores.saturating_sub(before.degraded_stores),
+                    after.retries.saturating_sub(before.retries),
+                    after.lock_contended.saturating_sub(before.lock_contended),
+                ]
+            }
+            _ => [0; 4],
+        };
         let counters = SweepCounters {
             profile_passes,
             clustering_passes: usize::from(!selection_was_cached),
@@ -539,6 +557,10 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             simulated_cache_hits,
             trace_walks,
             fused_snapshot_bytes: fused_bank.as_ref().map_or(0, |bank| bank.snapshot_bytes()),
+            degraded_loads: health[0],
+            degraded_stores: health[1],
+            io_retries: health[2],
+            lock_contended: health[3],
         };
         let legs = self
             .labels
@@ -662,6 +684,21 @@ pub struct SweepCounters {
     /// the interval bank scales with the eviction/write activity between
     /// boundaries instead, so the cap — and the fallback walk — are gone.
     pub fused_snapshot_bytes: u64,
+    /// Cache loads during this run that failed persistently and degraded
+    /// to a recompute ([`CacheStats::degraded_loads`](crate::CacheStats)
+    /// delta).  Zero on a healthy filesystem.
+    pub degraded_loads: u64,
+    /// Cache stores during this run that failed persistently and were
+    /// skipped — the artifacts stayed memory-tier-only for this process
+    /// ([`CacheStats::degraded_stores`](crate::CacheStats) delta).
+    pub degraded_stores: u64,
+    /// Transient cache I/O failures absorbed by the bounded retry during
+    /// this run ([`CacheStats::retries`](crate::CacheStats) delta).
+    pub io_retries: u64,
+    /// Stores during this run that skipped the lock-guarded
+    /// eviction/cleanup scan because the advisory lock stayed contended
+    /// ([`CacheStats::lock_contended`](crate::CacheStats) delta).
+    pub lock_contended: u64,
 }
 
 /// One completed design-point leg of a sweep.
@@ -796,6 +833,10 @@ mod tests {
                 simulated_cache_hits: 0,
                 trace_walks: 2,
                 fused_snapshot_bytes: counters.fused_snapshot_bytes,
+                degraded_loads: 0,
+                degraded_stores: 0,
+                io_retries: 0,
+                lock_contended: 0,
             }
         );
         assert!(counters.fused_snapshot_bytes > 0, "fused pass reports its snapshot bytes");
@@ -897,6 +938,40 @@ mod tests {
         assert_eq!(warm.counters().profile_passes, 0);
         assert_eq!(warm.counters().clustering_passes, 0);
         assert_eq!(cold.legs(), warm.legs());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A cache on a full disk (every write fails with ENOSPC) must not
+    /// change sweep results: the sweep completes bit-identical to a
+    /// cache-disabled run and the health counters record the degradation.
+    #[test]
+    fn enospc_cache_sweep_is_bit_identical_to_cache_disabled() {
+        use crate::storage::{Fault, FaultFs, FaultOp};
+        let dir = std::env::temp_dir().join(format!("bp-sweep-enospc-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let w = workload(2);
+        let base = SimConfig::scaled(2);
+        let mut fast = base;
+        fast.core.frequency_ghz *= 1.5;
+
+        let plain = Sweep::new(&w).add_config("base", base).add_config("fast", fast).run().unwrap();
+
+        let faults = FaultFs::new();
+        faults.inject(Fault::fail(FaultOp::Write, std::io::ErrorKind::StorageFull));
+        let cache = ArtifactCache::new(&dir).with_storage(Arc::new(faults));
+        let degraded = Sweep::new(&w)
+            .with_cache(cache)
+            .add_config("base", base)
+            .add_config("fast", fast)
+            .run()
+            .unwrap();
+
+        assert_eq!(plain.legs(), degraded.legs(), "degradation must be invisible in results");
+        assert!(
+            degraded.counters().degraded_stores >= 1,
+            "the health counters must record the skipped stores"
+        );
+        assert_eq!(degraded.counters().degraded_loads, 0, "nothing on disk to fail reading");
         std::fs::remove_dir_all(&dir).ok();
     }
 

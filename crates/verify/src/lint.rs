@@ -1,7 +1,7 @@
 //! Source-scanning lint rules for the concurrency core (the `bp-lint`
 //! binary is a thin wrapper over [`run`]).
 //!
-//! Four rules, all line-based over the repo's own sources — no external
+//! Five rules, all line-based over the repo's own sources — no external
 //! parser, so the lint works in the offline vendored build:
 //!
 //! * [`Rule::OrderingJustification`] — every `Ordering::` argument in the
@@ -19,6 +19,10 @@
 //! * [`Rule::NoStdSync`] — modules ported to the modeled `sync` abstraction
 //!   must not import `std::sync` primitives directly (the abstraction
 //!   modules themselves are the single permitted seam).
+//! * [`Rule::NoStdFs`] — `crates/core/src/cache.rs` must perform all disk
+//!   I/O through the `Storage` seam (`crates/core/src/storage.rs`), never
+//!   via `std::fs` directly: a direct call would bypass fault injection
+//!   and silently escape the crash-consistency torture suite.
 //!
 //! A finding can be suppressed with a `bp-lint: allow(<rule>)` comment on
 //! the same line or the line above; every suppression is expected to carry
@@ -35,6 +39,8 @@ const PAT_UNWRAP: &str = concat!(".unw", "rap()");
 const PAT_EXPECT: &str = concat!(".exp", "ect(");
 const PAT_ORDERING: &str = concat!("Ordering", "::");
 const PAT_STD_SYNC: &str = concat!("std::", "sync::");
+const PAT_STD_FS: &str = concat!("std::", "fs");
+const PAT_FS_CALL: &str = concat!("fs", "::");
 const PAT_FORBID: &str = concat!("#![forbid(", "unsafe_code)]");
 const PAT_JUSTIFY: &str = concat!("ordering", ":");
 
@@ -49,6 +55,8 @@ pub enum Rule {
     ForbidUnsafe,
     /// Direct `std::sync` use in a module ported to the sync abstraction.
     NoStdSync,
+    /// Direct `std::fs` use in the cache, bypassing the `Storage` seam.
+    NoStdFs,
 }
 
 impl Rule {
@@ -59,6 +67,7 @@ impl Rule {
             Rule::NoUnwrap => "unwrap",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::NoStdSync => "std-sync",
+            Rule::NoStdFs => "std-fs",
         }
     }
 }
@@ -234,6 +243,13 @@ fn in_std_sync_scope(rel: &str) -> bool {
         && rel != "crates/exec/src/sync.rs"
 }
 
+/// The file whose disk I/O must flow through the `Storage` seam: the
+/// cache implementation.  The seam itself (`storage.rs`) is the single
+/// place `std::fs` may be named.
+fn in_std_fs_scope(rel: &str) -> bool {
+    rel == "crates/core/src/cache.rs"
+}
+
 /// Crate roots that must carry `#![forbid(unsafe_code)]`.
 fn is_crate_root(rel: &str) -> bool {
     rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || rel.contains("src/bin/")
@@ -274,7 +290,8 @@ pub fn lint_file(rel: &str, content: &str, findings: &mut Vec<Finding>) {
     let check_ordering = in_ordering_scope(rel);
     let check_unwrap = in_unwrap_scope(rel);
     let check_std_sync = in_std_sync_scope(rel);
-    if !(check_ordering || check_unwrap || check_std_sync) {
+    let check_std_fs = in_std_fs_scope(rel);
+    if !(check_ordering || check_unwrap || check_std_sync || check_std_fs) {
         return;
     }
 
@@ -323,6 +340,22 @@ pub fn lint_file(rel: &str, content: &str, findings: &mut Vec<Finding>) {
                 rule: Rule::NoStdSync,
                 message: format!(
                     "direct {PAT_STD_SYNC} use in a module ported to the sync abstraction"
+                ),
+            });
+        }
+
+        if check_std_fs
+            && !in_test
+            && (code.contains(PAT_STD_FS) || code.contains(PAT_FS_CALL))
+            && !allowed(&lines, idx, Rule::NoStdFs)
+        {
+            findings.push(Finding {
+                file: PathBuf::from(rel),
+                line: lineno,
+                rule: Rule::NoStdFs,
+                message: format!(
+                    "direct {PAT_STD_FS} access bypasses the Storage seam \
+                     (and with it fault injection) — go through `self.storage`"
                 ),
             });
         }
@@ -447,5 +480,46 @@ mod tests {
         let src = format!("// mentions {} in prose only\nfn f() {{}}\n", PAT_UNWRAP);
         let findings = lint_str("crates/core/src/select.rs", &src);
         assert!(!findings.iter().any(|f| f.rule == Rule::NoUnwrap));
+    }
+
+    #[test]
+    fn std_fs_in_cache_is_flagged() {
+        for src in [
+            format!("use {};\n", PAT_STD_FS),
+            format!("fn f() {{ {}read(p); }}\n", PAT_FS_CALL),
+            format!("fn f() {{ {}::remove_file(p); }}\n", PAT_STD_FS),
+        ] {
+            let findings = lint_str("crates/core/src/cache.rs", &src);
+            assert!(findings.iter().any(|f| f.rule == Rule::NoStdFs), "must flag: {src}");
+        }
+    }
+
+    #[test]
+    fn std_fs_rule_is_scoped_to_the_cache() {
+        let src = format!("use {};\nfn f() {{ {}read(p); }}\n", PAT_STD_FS, PAT_FS_CALL);
+        // The seam itself and unrelated modules may touch the filesystem.
+        for rel in ["crates/core/src/storage.rs", "crates/warmup/src/mru.rs"] {
+            let findings = lint_str(rel, &src);
+            assert!(!findings.iter().any(|f| f.rule == Rule::NoStdFs), "must not flag {rel}");
+        }
+    }
+
+    #[test]
+    fn std_fs_in_cache_tests_and_allows_pass() {
+        let in_test =
+            format!("#[cfg(test)]\nmod tests {{\n    fn f() {{ {}read(p); }}\n}}\n", PAT_FS_CALL);
+        let findings = lint_str("crates/core/src/cache.rs", &in_test);
+        assert!(!findings.iter().any(|f| f.rule == Rule::NoStdFs));
+
+        let escaped = format!(
+            "fn f() {{\n    // bp-lint: allow(std-fs) — seam bootstrap\n    {}read(p);\n}}\n",
+            PAT_FS_CALL
+        );
+        let findings = lint_str("crates/core/src/cache.rs", &escaped);
+        assert!(!findings.iter().any(|f| f.rule == Rule::NoStdFs));
+
+        let comment_only = format!("/// prose about {} goes here\nfn f() {{}}\n", PAT_STD_FS);
+        let findings = lint_str("crates/core/src/cache.rs", &comment_only);
+        assert!(!findings.iter().any(|f| f.rule == Rule::NoStdFs));
     }
 }

@@ -83,6 +83,27 @@ fn seeded_fixture_tree_produces_exactly_the_expected_findings() {
          \n\
          pub struct NotAMutex(pub Mutex<u64>);\n",
     );
+    write(
+        &root,
+        "crates/core/src/cache.rs",
+        "use std::fs;\n\
+         \n\
+         pub fn direct(p: &std::path::Path) -> Vec<u8> {\n\
+         \x20   fs::read(p).unwrap_or_default()\n\
+         }\n\
+         \n\
+         pub fn escaped(p: &std::path::Path) {\n\
+         \x20   // bp-lint: allow(std-fs) — fixture escape.\n\
+         \x20   fs::remove_file(p).ok();\n\
+         }\n\
+         \n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn scratch() {\n\
+         \x20       std::fs::remove_dir_all(\"x\").ok();\n\
+         \x20   }\n\
+         }\n",
+    );
     let findings = run(&root).unwrap();
     let mut got = rules_by_file(&findings);
     got.sort();
@@ -91,6 +112,8 @@ fn seeded_fixture_tree_produces_exactly_the_expected_findings() {
         ("crates/foo/src/lib.rs".to_string(), 3, Rule::NoUnwrap.name()),
         ("crates/exec/src/lib.rs".to_string(), 2, Rule::NoStdSync.name()),
         ("crates/exec/src/lib.rs".to_string(), 6, Rule::OrderingJustification.name()),
+        ("crates/core/src/cache.rs".to_string(), 1, Rule::NoStdFs.name()),
+        ("crates/core/src/cache.rs".to_string(), 4, Rule::NoStdFs.name()),
     ];
     expected.sort();
     assert_eq!(got, expected, "full findings: {findings:#?}");
