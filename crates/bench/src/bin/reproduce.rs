@@ -8,7 +8,7 @@
 //!
 //! Supported experiment names: `table1`, `table2`, `table3`, `fig1`, `fig3`,
 //! `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `ablation`, `sweep`,
-//! `all`.
+//! `selection`, `all`.
 
 #![forbid(unsafe_code)]
 
@@ -19,7 +19,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--quick] <experiment>...\n\
          experiments: table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation \
-         sweep all"
+         sweep selection all"
     );
     std::process::exit(2);
 }
@@ -39,8 +39,20 @@ fn main() {
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "table1", "table2", "fig1", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "fig8",
-            "fig9", "ablation", "sweep",
+            "table1",
+            "table2",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table3",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ablation",
+            "sweep",
+            "selection",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -71,6 +83,7 @@ fn main() {
             "fig9" => bp_bench::fig9_speedups(&config),
             "ablation" => bp_bench::ablation_scaling(&config),
             "sweep" => bp_bench::sweep_design_space(&config),
+            "selection" => bp_bench::selection_strategies(&config).0,
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage();

@@ -21,8 +21,10 @@ use barrierpoint::evaluate::{
 use barrierpoint::report;
 use barrierpoint::{
     profile_application, reconstruct, reconstruct_with_mode, select_barrierpoints,
-    simulate_barrierpoints, ApplicationProfile, ArtifactCache, BarrierPoint, BarrierPointSelection,
-    ExecutionPolicy, ScalingMode, SignatureConfig, SimConfig, SimPointConfig, Sweep, WarmupKind,
+    select_barrierpoints_with, simulate_barrierpoints, ApplicationProfile, ArtifactCache,
+    BarrierPoint, BarrierPointSelection, ExecutionPolicy, ScalingMode, SelectionSpec,
+    SelectionStrategy, SignatureConfig, SimConfig, SimPointConfig, SimPointStrategy, Sweep,
+    TwoPhaseStratified, TwoPhaseStratifiedConfig, WarmupKind,
 };
 use bp_sim::{Machine, RunMetrics};
 use bp_workload::{Benchmark, SyntheticWorkload, Workload, WorkloadConfig};
@@ -154,9 +156,16 @@ use `SimConfig::table1` for the paper's full-size capacities.)\n",
     out
 }
 
-/// Table II: SimPoint parameters.
+/// Table II, generalized per strategy: the paper's SimPoint parameter table
+/// followed by the equivalent parameter listing of every other selection
+/// backend the harness sweeps.
 pub fn table2_simpoint() -> String {
-    report::table2(&SimPointConfig::paper())
+    let mut out = report::table2_strategy(&SelectionSpec::SimPoint(SimPointConfig::paper()));
+    out.push('\n');
+    out.push_str(&report::table2_strategy(&SelectionSpec::TwoPhaseStratified(
+        TwoPhaseStratifiedConfig::default(),
+    )));
+    out
 }
 
 /// Figure 3: per-region aggregate IPC of the full run, the reconstructed IPC
@@ -480,6 +489,117 @@ pub fn sweep_design_space(config: &ExperimentConfig) -> String {
     out
 }
 
+/// The region budgets swept by the [`selection_strategies`] experiment: each
+/// strategy is held to the same budget (`maxK` for SimPoint, the sample
+/// budget for the stratified backend) so accuracy is compared at equal cost
+/// ceilings.
+pub const SELECTION_BUDGETS: [usize; 5] = [1, 2, 5, 10, 20];
+
+/// One row of the accuracy-vs-cost harness: one selection strategy evaluated
+/// on one benchmark at one region budget.
+#[derive(Debug, Clone)]
+pub struct StrategyAccuracyRow {
+    /// Selection strategy name.
+    pub strategy: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Region budget the strategy was held to.
+    pub budget: usize,
+    /// Number of barrierpoints the strategy actually selected.
+    pub barrierpoints: usize,
+    /// Detailed-simulation cost of the selection, in instructions.
+    pub simulated_instructions: u64,
+    /// Absolute aggregate-IPC error versus the full run, in percent.
+    pub ipc_percent_error: f64,
+    /// Absolute runtime error versus the full run, in percent.
+    pub runtime_percent_error: f64,
+}
+
+/// Accuracy-vs-cost comparison of the selection backends: for every
+/// benchmark and every [`SELECTION_BUDGETS`] entry, run both the paper's
+/// SimPoint pipeline and the two-phase stratified strategy against the same
+/// profile, and report each selection's IPC / runtime error next to the
+/// detailed-simulation instruction budget it demands.
+pub fn selection_strategies(config: &ExperimentConfig) -> (String, Vec<StrategyAccuracyRow>) {
+    let mut rows = Vec::new();
+    for &bench in Benchmark::all() {
+        let run = prepare(config, bench, config.cores_small);
+        let ground_ipc = run.ground.aggregate_ipc();
+        for &budget in &SELECTION_BUDGETS {
+            let strategies: [Box<dyn SelectionStrategy>; 2] = [
+                Box::new(SimPointStrategy::new(SimPointConfig::paper().with_max_k(budget))),
+                Box::new(TwoPhaseStratified::with_budget(budget)),
+            ];
+            for strategy in &strategies {
+                let selection = select_barrierpoints_with(
+                    &run.profile,
+                    &SignatureConfig::combined(),
+                    strategy.as_ref(),
+                )
+                .expect("selection succeeds");
+                let estimate = estimate_from_full_run(&selection, &run.ground).expect("estimate");
+                let err = prediction_error(&run.ground, &estimate);
+                let ipc_percent_error =
+                    ((estimate.aggregate_ipc() - ground_ipc) / ground_ipc).abs() * 100.0;
+                rows.push(StrategyAccuracyRow {
+                    strategy: strategy.name().to_string(),
+                    benchmark: bench.name().to_string(),
+                    budget,
+                    barrierpoints: selection.num_barrierpoints(),
+                    simulated_instructions: selection.sampled_instructions(),
+                    ipc_percent_error,
+                    runtime_percent_error: err.runtime_percent_error.abs(),
+                });
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Selection strategies: accuracy vs simulated-instruction budget ({} cores)",
+        config.cores_small
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:<10} {:>6} {:>4} {:>14} {:>10} {:>14}",
+        "strategy", "benchmark", "budget", "bps", "sim. instrs", "IPC err %", "runtime err %"
+    );
+    for row in &rows {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:<10} {:>6} {:>4} {:>14} {:>10.2} {:>14.2}",
+            row.strategy,
+            row.benchmark,
+            row.budget,
+            row.barrierpoints,
+            row.simulated_instructions,
+            row.ipc_percent_error,
+            row.runtime_percent_error,
+        );
+    }
+    let mut names: Vec<&str> = Vec::new();
+    for row in &rows {
+        if !names.contains(&row.strategy.as_str()) {
+            names.push(&row.strategy);
+        }
+    }
+    for name in names {
+        let of_strategy: Vec<&StrategyAccuracyRow> =
+            rows.iter().filter(|r| r.strategy == name).collect();
+        let avg_ipc = mean(&of_strategy.iter().map(|r| r.ipc_percent_error).collect::<Vec<_>>());
+        let avg_runtime =
+            mean(&of_strategy.iter().map(|r| r.runtime_percent_error).collect::<Vec<_>>());
+        let avg_instr = of_strategy.iter().map(|r| r.simulated_instructions).sum::<u64>()
+            / of_strategy.len() as u64;
+        let _ = writeln!(
+            out,
+            "  average {:<24} IPC err {:>6.2}%  runtime err {:>6.2}%  {:>12} instrs/selection",
+            name, avg_ipc, avg_runtime, avg_instr
+        );
+    }
+    (out, rows)
+}
+
 /// Ablation (Section VI-A): reconstruction with and without instruction-count
 /// scaling of the multipliers.
 pub fn ablation_scaling(config: &ExperimentConfig) -> String {
@@ -541,6 +661,20 @@ mod tests {
         assert!(text.contains("npb-cg"));
         assert!(text.contains("fast-clock"));
         assert!(text.contains("1 profile pass(es), 1 clustering pass(es), 3 simulation leg(s)"));
+    }
+
+    #[test]
+    fn selection_strategies_covers_both_backends_at_every_budget() {
+        let config = ExperimentConfig::quick();
+        let (text, rows) = selection_strategies(&config);
+        assert_eq!(rows.len(), Benchmark::all().len() * SELECTION_BUDGETS.len() * 2);
+        assert!(text.contains("simpoint"));
+        assert!(text.contains("two-phase-stratified"));
+        for row in &rows {
+            assert!(row.barrierpoints >= 1);
+            assert!(row.simulated_instructions > 0);
+            assert!(row.ipc_percent_error.is_finite());
+        }
     }
 
     #[test]

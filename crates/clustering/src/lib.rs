@@ -1,30 +1,48 @@
-//! SimPoint-style clustering for the BarrierPoint reproduction.
+//! Barrierpoint selection for the BarrierPoint reproduction: pluggable
+//! strategies behind one seam, with the paper's SimPoint pipeline as the
+//! default backend.
 //!
-//! BarrierPoint reuses the SimPoint 3.2 infrastructure to find representative
-//! inter-barrier regions (Section III-B and Table II of the paper):
+//! # The selection seam
 //!
-//! 1. signature vectors are normalized,
-//! 2. their dimensionality is reduced by seeded **random linear projection**
-//!    to 15 dimensions ([`RandomProjection`]),
-//! 3. **weighted k-means** (weights = per-region aggregate instruction
-//!    counts) is run for every candidate cluster count up to `maxK = 20`
-//!    ([`weighted_kmeans`]),
-//! 4. the **Bayesian Information Criterion** selects the final clustering
-//!    ([`bic_score`]), and
-//! 5. one representative region per cluster — the *barrierpoint* — is chosen
-//!    together with its instruction-count *multiplier*
-//!    ([`cluster_regions`] / [`Clustering`]).
+//! Everything above this crate — selection assembly, cache keys, design-space
+//! sweeps, reports — is written against [`SelectionStrategy`]: a backend
+//! takes the per-region [`SignatureVector`](bp_signature::SignatureVector)s
+//! plus a [`SelectionContext`] and
+//! returns a [`Clustering`] (one representative region per cluster with its
+//! reconstruction multiplier).  A strategy's cacheable identity is its
+//! [`SelectionSpec`], whose serialized bytes double as the strategy
+//! fingerprint in persistent cache keys.
 //!
-//! This crate is the from-scratch substitute for the SimPoint binary the
-//! paper invokes; its defaults mirror Table II.
+//! Two backends ship here:
+//!
+//! * [`SimPointStrategy`] — the paper's selection (Section III-B and
+//!   Table II), and the default everywhere: signature vectors are
+//!   normalized, reduced by seeded **random linear projection** to 15
+//!   dimensions ([`RandomProjection`]), **weighted k-means** runs for every
+//!   candidate cluster count up to `maxK = 20` ([`weighted_kmeans`]), the
+//!   **Bayesian Information Criterion** picks the final clustering
+//!   ([`bic_score`]), and one representative per cluster is chosen with its
+//!   instruction-count multiplier ([`cluster_regions`]).  This is the
+//!   from-scratch substitute for the SimPoint 3.2 binary the paper invokes;
+//!   its defaults mirror Table II ([`SimPointConfig`]).
+//! * [`TwoPhaseStratified`] — a cheap deterministic alternative (after
+//!   NVIDIA's two-phase stratified CPU-sampling methodology): phase 1
+//!   buckets regions by quantized coarse signature features, phase 2 spreads
+//!   a fixed representative budget across the strata in proportion to their
+//!   instruction weight ([`TwoPhaseStratifiedConfig`]).  Its selection cost
+//!   is linear in regions × dimensions — no k-means sweep — which makes it
+//!   the budget-axis counterpoint in the accuracy-vs-cost harness.
 //!
 //! # Example
 //!
 //! ```
-//! use bp_clustering::{cluster_regions, SimPointConfig};
+//! use bp_clustering::{
+//!     SelectionContext, SelectionStrategy, SimPointConfig, SimPointStrategy,
+//!     TwoPhaseStratified,
+//! };
 //! use bp_signature::SignatureVector;
 //!
-//! // Six regions of two behaviours, clustered into at most two barrierpoints.
+//! // Six regions of two behaviours.
 //! let vectors = vec![
 //!     SignatureVector::new(vec![1.0, 0.0], 100),
 //!     SignatureVector::new(vec![0.0, 1.0], 80),
@@ -33,10 +51,20 @@
 //!     SignatureVector::new(vec![1.0, 0.0], 100),
 //!     SignatureVector::new(vec![0.0, 1.0], 80),
 //! ];
-//! let clustering = cluster_regions(&vectors, &SimPointConfig::default().with_max_k(2));
+//! let ctx = SelectionContext { threads: 1, total_instructions: 540 };
+//!
+//! // The default SimPoint backend, capped at two clusters…
+//! let simpoint = SimPointStrategy::new(SimPointConfig::default().with_max_k(2));
+//! let clustering = simpoint.select(&vectors, &ctx);
 //! assert_eq!(clustering.num_clusters(), 2);
 //! assert_eq!(clustering.assignment(0), clustering.assignment(2));
 //! assert_ne!(clustering.assignment(0), clustering.assignment(1));
+//!
+//! // …and the stratified backend under the same trait: same two behaviours
+//! // found, without any k-means sweep.
+//! let stratified = TwoPhaseStratified::with_budget(2);
+//! assert_eq!(stratified.select(&vectors, &ctx).num_clusters(), 2);
+//! assert_ne!(simpoint.fingerprint(), stratified.fingerprint());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,8 +74,13 @@ mod bic;
 mod kmeans;
 mod projection;
 mod simpoint;
+mod strategy;
 
 pub use bic::bic_score;
 pub use kmeans::{weighted_kmeans, KMeansResult};
 pub use projection::RandomProjection;
 pub use simpoint::{cluster_regions, ClusterSummary, Clustering, SimPointConfig};
+pub use strategy::{
+    SelectionContext, SelectionSpec, SelectionStrategy, SimPointStrategy, TwoPhaseStratified,
+    TwoPhaseStratifiedConfig,
+};

@@ -78,6 +78,18 @@ pub struct Clustering {
 }
 
 impl Clustering {
+    /// Assembles a clustering from raw parts — the constructor used by
+    /// non-SimPoint [`SelectionStrategy`](crate::SelectionStrategy) backends.
+    /// `bic_by_k` stays empty: no BIC sweep happened.
+    ///
+    /// Invariants expected (and relied upon downstream): every assignment
+    /// names an existing cluster whose `members` list contains the region,
+    /// and cluster ids equal their position in `clusters`.
+    pub fn from_parts(assignments: Vec<usize>, clusters: Vec<ClusterSummary>) -> Self {
+        let chosen_k = clusters.len();
+        Self { assignments, clusters, chosen_k, bic_by_k: Vec::new() }
+    }
+
     /// Cluster index of region `region`.
     pub fn assignment(&self, region: usize) -> usize {
         self.assignments[region]

@@ -27,8 +27,12 @@
 //!   address over everything that determines the traces: name, thread count,
 //!   seed, scale, phase structure).
 //! * **Selections** are keyed by the same fingerprint *plus* a fingerprint of
-//!   the [`SignatureConfig`] and [`SimPointConfig`] that produced them, so a
-//!   changed clustering parameter can never alias a cached selection.
+//!   the [`SignatureConfig`] and the selection strategy
+//!   ([`SelectionStrategy::fingerprint_bytes`]) that produced them, so a
+//!   changed clustering parameter — of any backend — can never alias a
+//!   cached selection.  The default SimPoint strategy's bytes equal the
+//!   serialized `SimPointConfig` the key hashed historically, keeping warm
+//!   caches valid across the strategy seam.
 //! * **Simulated legs** are keyed by the leg workload's fingerprint, the
 //!   selection *content* fingerprint, and a fingerprint of the
 //!   `(SimConfig, WarmupKind)` pair.
@@ -85,12 +89,12 @@
 use crate::error::{classify_io_error, Error, IoErrorClass};
 use crate::memtier::MemoryTier;
 use crate::profile::{profile_application_with, ApplicationProfile};
-use crate::select::{select_barrierpoints, BarrierPointSelection};
+use crate::select::{select_barrierpoints_with, BarrierPointSelection};
 use crate::simulate::WarmupKind;
 use crate::stages::Simulated;
 use crate::storage::{RealFs, Storage};
 use crate::sync::{Arc, AtomicU64, Mutex, Ordering};
-use bp_clustering::SimPointConfig;
+use bp_clustering::SelectionStrategy;
 use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
@@ -207,8 +211,8 @@ impl ProfileCacheKey {
 }
 
 /// The content address of one barrierpoint selection: the profile's identity
-/// plus a fingerprint of the configuration pair that derived the selection
-/// from it.
+/// plus a fingerprint of the `(SignatureConfig, SelectionStrategy)` pair
+/// that derived the selection from it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SelectionCacheKey {
     workload_name: String,
@@ -219,15 +223,22 @@ pub struct SelectionCacheKey {
 
 impl SelectionCacheKey {
     /// Computes the key for selecting barrierpoints from `profile_key`'s
-    /// profile under `(signature_config, simpoint_config)`.
+    /// profile under `(signature_config, strategy)`.
+    ///
+    /// The configuration fingerprint hashes the serialized signature config
+    /// followed by the strategy's identity bytes
+    /// ([`SelectionStrategy::fingerprint_bytes`]).  For the default SimPoint
+    /// strategy those bytes are exactly the serialized `SimPointConfig`, so
+    /// the fingerprint — and with it the entry's file name — is unchanged
+    /// from the pre-seam `(SignatureConfig, SimPointConfig)` derivation.
     pub fn new(
         profile_key: &ProfileCacheKey,
         signature_config: &SignatureConfig,
-        simpoint_config: &SimPointConfig,
+        strategy: &dyn SelectionStrategy,
     ) -> Self {
         let mut hasher = FingerprintHasher::new();
         hasher.write_bytes(&serde::to_vec(signature_config));
-        hasher.write_bytes(&serde::to_vec(simpoint_config));
+        hasher.write_bytes(&strategy.fingerprint_bytes());
         Self {
             workload_name: profile_key.workload_name.clone(),
             threads: profile_key.threads,
@@ -236,14 +247,13 @@ impl SelectionCacheKey {
         }
     }
 
-    /// Computes the key for `workload` under `(signature_config,
-    /// simpoint_config)`.
+    /// Computes the key for `workload` under `(signature_config, strategy)`.
     pub fn for_workload<W: Workload + ?Sized>(
         workload: &W,
         signature_config: &SignatureConfig,
-        simpoint_config: &SimPointConfig,
+        strategy: &dyn SelectionStrategy,
     ) -> Self {
-        Self::new(&ProfileCacheKey::for_workload(workload), signature_config, simpoint_config)
+        Self::new(&ProfileCacheKey::for_workload(workload), signature_config, strategy)
     }
 
     /// The fingerprint of the profile the selection derives from.
@@ -251,7 +261,7 @@ impl SelectionCacheKey {
         self.profile_fingerprint
     }
 
-    /// The fingerprint of the `(SignatureConfig, SimPointConfig)` pair.
+    /// The fingerprint of the `(SignatureConfig, SelectionStrategy)` pair.
     pub fn config_fingerprint(&self) -> u64 {
         self.config_fingerprint
     }
@@ -559,13 +569,15 @@ enum MemoryArtifact {
 /// front of a directory of serialized entries.
 ///
 /// ```
-/// use barrierpoint::{ArtifactCache, ExecutionPolicy, SignatureConfig, SimPointConfig};
+/// use barrierpoint::{ArtifactCache, ExecutionPolicy, SignatureConfig};
+/// use bp_clustering::{SimPointConfig, SimPointStrategy};
 /// use bp_workload::{Benchmark, WorkloadConfig};
 ///
 /// let dir = std::env::temp_dir().join(format!("bp-artifact-cache-doc-{}", std::process::id()));
 /// # std::fs::remove_dir_all(&dir).ok();
 /// let cache = ArtifactCache::new(&dir);
 /// let workload = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+/// let strategy = SimPointStrategy::new(SimPointConfig::paper());
 ///
 /// let (profile, was_cached) =
 ///     cache.load_or_profile(&workload, &ExecutionPolicy::parallel())?;
@@ -574,7 +586,7 @@ enum MemoryArtifact {
 ///     &profile,
 ///     &workload,
 ///     &SignatureConfig::combined(),
-///     &SimPointConfig::paper(),
+///     &strategy,
 /// )?;
 /// assert!(!was_cached);
 ///
@@ -586,7 +598,7 @@ enum MemoryArtifact {
 ///     &profile,
 ///     &workload,
 ///     &SignatureConfig::combined(),
-///     &SimPointConfig::paper(),
+///     &strategy,
 /// )?;
 /// assert!(was_cached);
 /// assert_eq!(selection, again);
@@ -1393,10 +1405,10 @@ impl ArtifactCache {
     }
 
     /// Returns the cached barrierpoint selection of `profile` (profiled from
-    /// `workload`) under `(signature_config, simpoint_config)`, clustering
-    /// and populating the cache on a miss.  The boolean is `true` when the
-    /// selection came from the cache — clustering was skipped entirely.
-    /// Cache I/O failures degrade to recomputation; see
+    /// `workload`) under `(signature_config, strategy)`, running the
+    /// strategy and populating the cache on a miss.  The boolean is `true`
+    /// when the selection came from the cache — the selection strategy was
+    /// skipped entirely.  Cache I/O failures degrade to recomputation; see
     /// [`load_or_profile`](Self::load_or_profile).
     ///
     /// # Errors
@@ -1407,9 +1419,9 @@ impl ArtifactCache {
         profile: &ApplicationProfile,
         workload: &W,
         signature_config: &SignatureConfig,
-        simpoint_config: &SimPointConfig,
+        strategy: &dyn SelectionStrategy,
     ) -> Result<(Arc<BarrierPointSelection>, bool), Error> {
-        let key = SelectionCacheKey::for_workload(workload, signature_config, simpoint_config);
+        let key = SelectionCacheKey::for_workload(workload, signature_config, strategy);
         match self.lookup_selection_degraded(&key) {
             Some((selection, true)) => {
                 bump(&self.stats.selection_memory_hits);
@@ -1422,7 +1434,7 @@ impl ArtifactCache {
             None => {
                 bump(&self.stats.selection_misses);
                 let selection =
-                    Arc::new(select_barrierpoints(profile, signature_config, simpoint_config)?);
+                    Arc::new(select_barrierpoints_with(profile, signature_config, strategy)?);
                 self.store_selection_arc(&key, &selection)?;
                 Ok((selection, false))
             }
@@ -1649,7 +1661,9 @@ fn decode_simulated(bytes: &[u8], key: &SimulatedCacheKey) -> Option<Simulated> 
 mod tests {
     use super::*;
     use crate::profile::profile_application;
+    use crate::select::select_barrierpoints;
     use crate::storage::{Fault, FaultFs, FaultOp};
+    use bp_clustering::{SimPointConfig, SimPointStrategy};
     // bp-lint: allow(std-fs) — tests exercise the real filesystem directly.
     use std::fs;
     use std::time::Duration;
@@ -1671,6 +1685,91 @@ mod tests {
 
     fn workload(scale: f64) -> impl Workload {
         Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(scale))
+    }
+
+    /// Golden pin for the strategy seam: selections and cache keys produced
+    /// by the default SimPoint strategy must stay byte-identical to the
+    /// pre-seam `(SignatureConfig, SimPointConfig)` key derivation, so warm
+    /// caches built before the refactor keep serving hits afterwards.  All
+    /// constants were captured on the pre-seam implementation.
+    /// One golden case: benchmark, threads, config, profile fingerprint,
+    /// config fingerprint, selection fingerprint, serialized length,
+    /// barrierpoint count.
+    type GoldenCase = (Benchmark, usize, SimPointConfig, u64, u64, u64, usize, usize);
+
+    #[test]
+    fn default_strategy_fingerprints_match_pre_seam_golden_values() {
+        let cases: [GoldenCase; 4] = [
+            (
+                Benchmark::NpbIs,
+                2,
+                SimPointConfig::paper(),
+                0xd6c3_71d7_a206_94b0,
+                0x8540_85e3_3a45_6c6e,
+                0xbb96_3799_b9cb_c17d,
+                710,
+                11,
+            ),
+            (
+                Benchmark::NpbIs,
+                2,
+                SimPointConfig::paper().with_max_k(3),
+                0xd6c3_71d7_a206_94b0,
+                0xb578_ef22_2964_1d15,
+                0x4574_02bd_5926_0ae5,
+                390,
+                3,
+            ),
+            (
+                Benchmark::NpbCg,
+                4,
+                SimPointConfig::paper(),
+                0xd8b3_96d5_7d3b_6d2b,
+                0x8540_85e3_3a45_6c6e,
+                0x392c_ef1e_d5ee_b461,
+                1350,
+                13,
+            ),
+            (
+                Benchmark::NpbCg,
+                4,
+                SimPointConfig::paper().with_max_k(3),
+                0xd8b3_96d5_7d3b_6d2b,
+                0xb578_ef22_2964_1d15,
+                0x511e_c982_bc5a_61a9,
+                950,
+                3,
+            ),
+        ];
+        for (bench, threads, sp, profile_fp, config_fp, selection_fp, bytes, nbp) in cases {
+            let w = bench.build(&WorkloadConfig::new(threads).with_scale(0.02));
+            let sig = SignatureConfig::combined();
+            let key = SelectionCacheKey::for_workload(&w, &sig, &SimPointStrategy::new(sp));
+            assert_eq!(key.profile_fingerprint(), profile_fp, "{threads}t profile fingerprint");
+            assert_eq!(key.config_fingerprint(), config_fp, "{threads}t config fingerprint");
+
+            let profile = profile_application(&w).unwrap();
+            let selection = select_barrierpoints(&profile, &sig, &sp).unwrap();
+            assert_eq!(selection.num_barrierpoints(), nbp, "{threads}t barrierpoint count");
+            assert_eq!(serde::to_vec(&selection).len(), bytes, "{threads}t selection encoding");
+            assert_eq!(selection.fingerprint(), selection_fp, "{threads}t selection fingerprint");
+
+            let sim_key = SimulatedCacheKey::new(
+                &w,
+                &selection,
+                &SimConfig::scaled(threads),
+                WarmupKind::MruReplay,
+            );
+            assert_eq!(sim_key.selection_fingerprint(), selection_fp, "{threads}t sim key");
+        }
+        assert_eq!(
+            sim_config_fingerprint(&SimConfig::scaled(2), WarmupKind::MruReplay),
+            0xc0a9_50fc_b523_25b5,
+        );
+        assert_eq!(
+            sim_config_fingerprint(&SimConfig::scaled(4), WarmupKind::MruReplay),
+            0x33c5_f23c_b151_f327,
+        );
     }
 
     #[test]
@@ -1763,7 +1862,7 @@ mod tests {
         let w = workload(0.02);
         let profile = profile_application(&w).unwrap();
         let sig = SignatureConfig::combined();
-        let sp = SimPointConfig::paper();
+        let sp = SimPointStrategy::new(SimPointConfig::paper());
 
         let (first, cached) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
         assert!(!cached);
@@ -1787,9 +1886,9 @@ mod tests {
         let w = workload(0.02);
         let profile = profile_application(&w).unwrap();
         let sig = SignatureConfig::combined();
-        let paper = SimPointConfig::paper();
-        let reseeded = SimPointConfig::paper().with_seed(0xfeed);
-        let small_k = SimPointConfig::paper().with_max_k(3);
+        let paper = SimPointStrategy::new(SimPointConfig::paper());
+        let reseeded = SimPointStrategy::new(SimPointConfig::paper().with_seed(0xfeed));
+        let small_k = SimPointStrategy::new(SimPointConfig::paper().with_max_k(3));
 
         let paper_key = SelectionCacheKey::for_workload(&w, &sig, &paper);
         for other in [&reseeded, &small_k] {
@@ -1814,7 +1913,7 @@ mod tests {
         let w = workload(0.02);
         let profile = profile_application(&w).unwrap();
         let sig = SignatureConfig::combined();
-        let sp = SimPointConfig::paper();
+        let sp = SimPointStrategy::new(SimPointConfig::paper());
         let key = SelectionCacheKey::for_workload(&w, &sig, &sp);
         let (selection, _) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
 
@@ -1846,7 +1945,7 @@ mod tests {
         let profile_key = ProfileCacheKey::for_workload(&w);
         let sig = SignatureConfig::combined();
         let sp = SimPointConfig::paper();
-        let selection_key = SelectionCacheKey::for_workload(&w, &sig, &sp);
+        let selection_key = SelectionCacheKey::for_workload(&w, &sig, &SimPointStrategy::new(sp));
 
         // With a 1-byte budget, storing the selection after the profile must
         // evict the (older) profile but keep the entry just written.
@@ -1892,7 +1991,12 @@ mod tests {
         let w = workload(0.02);
         let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
         let (_, _) = cache
-            .load_or_select(&profile, &w, &SignatureConfig::combined(), &SimPointConfig::paper())
+            .load_or_select(
+                &profile,
+                &w,
+                &SignatureConfig::combined(),
+                &SimPointStrategy::new(SimPointConfig::paper()),
+            )
             .unwrap();
         let (_, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
         assert!(cached);
@@ -2045,7 +2149,7 @@ mod tests {
                 &p_small,
                 &w_small,
                 &SignatureConfig::combined(),
-                &SimPointConfig::paper(),
+                &SimPointStrategy::new(SimPointConfig::paper()),
             )
             .unwrap();
         let _ = sel;
@@ -2082,7 +2186,8 @@ mod tests {
         let sig = SignatureConfig::combined();
         let sp = SimPointConfig::paper();
         let selection = select_barrierpoints(&p_valid, &sig, &sp).unwrap();
-        let selection_key = SelectionCacheKey::for_workload(&w_valid, &sig, &sp);
+        let selection_key =
+            SelectionCacheKey::for_workload(&w_valid, &sig, &SimPointStrategy::new(sp));
         setup.store_selection(&selection_key, &selection).unwrap();
         let path_selection = setup.selection_path(&selection_key);
         let size_selection = fs::metadata(&path_selection).unwrap().len();
@@ -2113,7 +2218,7 @@ mod tests {
         let cache = temp_cache("mem-accounting");
         let w = workload(0.02);
         let sig = SignatureConfig::combined();
-        let sp = SimPointConfig::paper();
+        let sp = SimPointStrategy::new(SimPointConfig::paper());
         let sim_config = SimConfig::scaled(2);
 
         let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
@@ -2142,7 +2247,7 @@ mod tests {
         let cache = temp_cache("mem-bit-identity");
         let w = workload(0.02);
         let sig = SignatureConfig::combined();
-        let sp = SimPointConfig::paper();
+        let sp = SimPointStrategy::new(SimPointConfig::paper());
         let (profile, _) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
         let (selection, _) = cache.load_or_select(&profile, &w, &sig, &sp).unwrap();
 
@@ -2196,7 +2301,7 @@ mod tests {
     fn oversized_memory_entries_do_not_flush_the_tier() {
         let w = workload(0.02);
         let sig = SignatureConfig::combined();
-        let sp = SimPointConfig::paper();
+        let sp = SimPointStrategy::new(SimPointConfig::paper());
         let sizing = temp_cache("mem-oversize-sizing");
         let (profile, _) = sizing.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
         sizing.load_or_select(&profile, &w, &sig, &sp).unwrap();

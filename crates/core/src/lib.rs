@@ -12,10 +12,14 @@
 //!    models from `bp-workload`).  Profiling is *thread-major*: each
 //!    workload thread's full trace streams on its own OS thread under the
 //!    pipeline's [`ExecutionPolicy`], bit-identical to serial profiling.
-//! 2. **Select** ([`Profiled::select`] → [`Selected`]) — cluster the regions
-//!    SimPoint-style and pick one representative region per cluster, the
-//!    *barrierpoint*, with its instruction-count multiplier
-//!    ([`BarrierPointSelection`]; clustering from `bp-clustering`).
+//! 2. **Select** ([`Profiled::select`] → [`Selected`]) — pick one
+//!    representative region per behaviour cluster, the *barrierpoint*, with
+//!    its instruction-count multiplier ([`BarrierPointSelection`]).  The
+//!    backend is pluggable ([`SelectionStrategy`] from `bp-clustering`,
+//!    default [`SimPointStrategy`] — the paper's SimPoint pipeline;
+//!    [`TwoPhaseStratified`] is the cheap stratified alternative), and a
+//!    strategy's fingerprint keys its selections in the cache and in sweep
+//!    deduplication.
 //! 3. **Simulate** ([`Selected::simulate`] → [`Simulated`]) — run only the
 //!    barrierpoints in detailed simulation on one machine configuration,
 //!    after MRU-replay warmup (or any other [`WarmupKind`]), and
@@ -132,15 +136,19 @@ pub use profile::{
 };
 pub use reconstruct::{reconstruct, reconstruct_with_mode, ReconstructedRun, ScalingMode};
 pub use select::{
-    select_barrierpoints, BarrierPointInfo, BarrierPointSelection, SIGNIFICANCE_THRESHOLD,
+    select_barrierpoints, select_barrierpoints_with, BarrierPointInfo, BarrierPointSelection,
+    SIGNIFICANCE_THRESHOLD,
 };
 pub use simulate::{simulate_barrierpoints, BarrierPointMetrics, WarmupKind};
 pub use stages::{Profiled, Selected, Simulated};
 pub use storage::{DirEntryInfo, Fault, FaultFs, FaultOp, RealFs, Storage};
-pub use sweep::{Sweep, SweepCounters, SweepLeg, SweepReport};
+pub use sweep::{Sweep, SweepCounters, SweepLeg, SweepReport, SweepSelection};
 
 // Re-export the substrate configuration types users need to drive the API.
-pub use bp_clustering::SimPointConfig;
+pub use bp_clustering::{
+    SelectionContext, SelectionSpec, SelectionStrategy, SimPointConfig, SimPointStrategy,
+    TwoPhaseStratified, TwoPhaseStratifiedConfig,
+};
 /// The synchronization abstraction this crate's concurrency code is written
 /// against (re-exported from `bp-exec`): `std::sync` types in production
 /// builds, `bp-verify`'s modeled types under the `model` feature.

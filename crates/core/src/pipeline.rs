@@ -5,7 +5,7 @@ use crate::reconstruct::ReconstructedRun;
 use crate::select::BarrierPointSelection;
 use crate::simulate::{BarrierPointMetrics, WarmupKind};
 use crate::stages::{Profiled, Selected, Simulated};
-use bp_clustering::SimPointConfig;
+use bp_clustering::{SelectionStrategy, SimPointConfig, SimPointStrategy};
 use bp_exec::ExecutionPolicy;
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
@@ -35,7 +35,7 @@ use std::sync::Arc;
 pub struct BarrierPoint<'a, W: Workload + ?Sized> {
     workload: &'a W,
     signature_config: SignatureConfig,
-    simpoint_config: SimPointConfig,
+    strategy: Arc<dyn SelectionStrategy>,
     sim_config: Option<SimConfig>,
     warmup: WarmupKind,
     execution: ExecutionPolicy,
@@ -49,7 +49,7 @@ impl<W: Workload + ?Sized> Clone for BarrierPoint<'_, W> {
         Self {
             workload: self.workload,
             signature_config: self.signature_config,
-            simpoint_config: self.simpoint_config,
+            strategy: Arc::clone(&self.strategy),
             sim_config: self.sim_config,
             warmup: self.warmup,
             execution: self.execution,
@@ -64,7 +64,7 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
         Self {
             workload,
             signature_config: SignatureConfig::combined(),
-            simpoint_config: SimPointConfig::paper(),
+            strategy: Arc::new(SimPointStrategy::new(SimPointConfig::paper())),
             sim_config: None,
             warmup: WarmupKind::MruReplay,
             execution: ExecutionPolicy::parallel(),
@@ -79,8 +79,20 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
     }
 
     /// Overrides the SimPoint clustering parameters (Table II).
-    pub fn with_simpoint_config(mut self, config: SimPointConfig) -> Self {
-        self.simpoint_config = config;
+    ///
+    /// Shorthand for [`with_selection_strategy`](Self::with_selection_strategy)
+    /// with a [`SimPointStrategy`] — prefer that method when the backend
+    /// itself should vary, not just the default backend's parameters.
+    pub fn with_simpoint_config(self, config: SimPointConfig) -> Self {
+        self.with_selection_strategy(Arc::new(SimPointStrategy::new(config)))
+    }
+
+    /// Replaces the barrierpoint selection backend (the default is
+    /// [`SimPointStrategy`] with Table II parameters).  The strategy's
+    /// [`fingerprint`](SelectionStrategy::fingerprint) keys the selection in
+    /// an attached [`ArtifactCache`] and in [`crate::Sweep`] deduplication.
+    pub fn with_selection_strategy(mut self, strategy: Arc<dyn SelectionStrategy>) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -115,7 +127,7 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
     /// Attaches a persistent [`ArtifactCache`]: [`profile`](Self::profile)
     /// reuses an on-disk profile for this workload when one exists, and
     /// [`Profiled::select`] likewise reuses a cached selection for the
-    /// configured `(SignatureConfig, SimPointConfig)` pair.  Both artifacts
+    /// configured `(SignatureConfig, SelectionStrategy)` pair.  Both artifacts
     /// are microarchitecture-independent, so one cached pair serves every
     /// machine configuration in a design-space sweep.
     pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
@@ -138,9 +150,9 @@ impl<'a, W: Workload + ?Sized> BarrierPoint<'a, W> {
         &self.signature_config
     }
 
-    /// The configured SimPoint clustering parameters.
-    pub fn simpoint_config(&self) -> &SimPointConfig {
-        &self.simpoint_config
+    /// The configured barrierpoint selection backend.
+    pub fn selection_strategy(&self) -> &Arc<dyn SelectionStrategy> {
+        &self.strategy
     }
 
     /// The configured warmup technique.

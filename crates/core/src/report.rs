@@ -7,7 +7,7 @@
 use crate::evaluate::PredictionError;
 use crate::select::BarrierPointSelection;
 use crate::sweep::SweepReport;
-use bp_clustering::SimPointConfig;
+use bp_clustering::{SelectionSpec, SimPointConfig};
 use bp_sim::SimConfig;
 use std::fmt::Write as _;
 
@@ -63,15 +63,25 @@ pub fn table1(config: &SimConfig) -> String {
     out
 }
 
-/// Renders Table II (SimPoint parameters).
+/// Renders Table II (SimPoint parameters) — shorthand for
+/// [`table2_strategy`] with the default SimPoint backend's spec.
 pub fn table2(config: &SimPointConfig) -> String {
+    table2_strategy(&SelectionSpec::SimPoint(*config))
+}
+
+/// Renders a Table II-style parameter listing for any selection strategy:
+/// the paper's Table II for the default SimPoint backend, the analogous
+/// parameter table for every other [`SelectionSpec`].
+pub fn table2_strategy(spec: &SelectionSpec) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table II: SimPoint parameters");
-    let _ = writeln!(out, "  -dim (projected dimensions)   {}", config.projected_dimensions);
-    let _ = writeln!(out, "  -maxK (maximum clusters)      {}", config.max_k);
-    let _ = writeln!(out, "  -fixedLength                  off (variable-length regions)");
-    let _ = writeln!(out, "  -coveragePct                  1 (100%)");
-    let _ = writeln!(out, "  BIC threshold                 {}", config.bic_threshold);
+    let _ = writeln!(out, "Table II: {} selection parameters", spec.name());
+    for (name, value) in spec.parameters() {
+        let _ = writeln!(out, "  {name:<29} {value}");
+    }
+    if matches!(spec, SelectionSpec::SimPoint(_)) {
+        let _ = writeln!(out, "  -fixedLength                  off (variable-length regions)");
+        let _ = writeln!(out, "  -coveragePct                  1 (100%)");
+    }
     out
 }
 
@@ -145,6 +155,16 @@ pub fn sweep_table(report: &SweepReport) -> String {
         counters.clustering_passes,
         counters.simulate_legs,
     );
+    if report.selections().len() > 1 {
+        for entry in report.selections() {
+            let _ = writeln!(
+                out,
+                "  strategy {:<22} {} barrierpoints",
+                entry.label(),
+                entry.selection().num_barrierpoints(),
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "  {:<18} {:>5} {:>10} {:>14} {:>10} {:>10}",

@@ -1,6 +1,8 @@
 use crate::error::Error;
 use crate::profile::ApplicationProfile;
-use bp_clustering::{cluster_regions, SimPointConfig};
+use bp_clustering::{
+    SelectionContext, SelectionSpec, SelectionStrategy, SimPointConfig, SimPointStrategy,
+};
 use bp_signature::SignatureConfig;
 use serde::{Deserialize, Serialize};
 
@@ -44,7 +46,11 @@ pub struct BarrierPointSelection {
     region_to_barrierpoint: Vec<usize>,
     region_instructions: Vec<u64>,
     signature_config: SignatureConfig,
-    simpoint_config: SimPointConfig,
+    // Serialized last, like the SimPointConfig field it generalizes; the
+    // SimPoint variant of SelectionSpec encodes byte-identically to a bare
+    // SimPointConfig, so default-strategy artifacts (and the fingerprints
+    // derived from them) are unchanged from before the strategy seam.
+    spec: SelectionSpec,
 }
 
 impl BarrierPointSelection {
@@ -114,9 +120,21 @@ impl BarrierPointSelection {
         &self.signature_config
     }
 
-    /// Clustering configuration used for the selection.
-    pub fn simpoint_config(&self) -> &SimPointConfig {
-        &self.simpoint_config
+    /// The identity of the selection strategy that produced this selection.
+    pub fn selection_spec(&self) -> &SelectionSpec {
+        &self.spec
+    }
+
+    /// Short name of the selection strategy (for labels and reports).
+    pub fn strategy_name(&self) -> &'static str {
+        self.spec.name()
+    }
+
+    /// SimPoint clustering parameters, when the selection was produced by
+    /// the default SimPoint backend; `None` for other strategies (use
+    /// [`selection_spec`](Self::selection_spec) instead).
+    pub fn simpoint_config(&self) -> Option<&SimPointConfig> {
+        self.spec.simpoint_config()
     }
 
     /// Serial simulation speedup: the reduction in aggregate instruction
@@ -173,7 +191,9 @@ impl BarrierPointSelection {
     }
 }
 
-/// Clusters the profiled regions and selects barrierpoints plus multipliers.
+/// Clusters the profiled regions with the default SimPoint strategy and
+/// selects barrierpoints plus multipliers — a thin wrapper over
+/// [`select_barrierpoints_with`] kept for the common case.
 ///
 /// # Errors
 ///
@@ -183,11 +203,32 @@ pub fn select_barrierpoints(
     signature_config: &SignatureConfig,
     simpoint_config: &SimPointConfig,
 ) -> Result<BarrierPointSelection, Error> {
+    select_barrierpoints_with(profile, signature_config, &SimPointStrategy::new(*simpoint_config))
+}
+
+/// Selects barrierpoints from `profile` with an arbitrary
+/// [`SelectionStrategy`]: assembles the per-region signature vectors under
+/// `signature_config`, lets the strategy cluster them, and packages the
+/// result (representatives, multipliers, region mapping, strategy identity)
+/// as a [`BarrierPointSelection`].
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyWorkload`] if the profile has no regions.
+pub fn select_barrierpoints_with(
+    profile: &ApplicationProfile,
+    signature_config: &SignatureConfig,
+    strategy: &dyn SelectionStrategy,
+) -> Result<BarrierPointSelection, Error> {
     if profile.num_regions() == 0 {
         return Err(Error::EmptyWorkload { workload: profile.workload_name().to_string() });
     }
     let vectors = profile.assemble_vectors(signature_config);
-    let clustering = cluster_regions(&vectors, simpoint_config);
+    let ctx = SelectionContext {
+        threads: profile.threads(),
+        total_instructions: profile.all_region_instructions().iter().sum(),
+    };
+    let clustering = strategy.select(&vectors, &ctx);
 
     let mut barrierpoints: Vec<BarrierPointInfo> = clustering
         .clusters()
@@ -222,7 +263,7 @@ pub fn select_barrierpoints(
         region_to_barrierpoint,
         region_instructions: profile.all_region_instructions(),
         signature_config: *signature_config,
-        simpoint_config: *simpoint_config,
+        spec: strategy.spec(),
     })
 }
 

@@ -26,7 +26,7 @@ use crate::error::Error;
 use crate::pipeline::BarrierPoint;
 use crate::profile::ApplicationProfile;
 use crate::reconstruct::{reconstruct, ReconstructedRun};
-use crate::select::{select_barrierpoints, BarrierPointSelection};
+use crate::select::{select_barrierpoints_with, BarrierPointSelection};
 use crate::simulate::{BarrierPointMetrics, WarmupKind};
 use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_sim::SimConfig;
@@ -94,9 +94,9 @@ impl<'a, W: Workload + ?Sized> Profiled<'a, W> {
     }
 
     /// Clusters the profiled regions and selects barrierpoints under the
-    /// pipeline's signature and SimPoint configuration, consulting the
-    /// selection cache when an [`ArtifactCache`](crate::ArtifactCache) is
-    /// attached.
+    /// pipeline's signature configuration and selection strategy, consulting
+    /// the selection cache when an [`ArtifactCache`](crate::ArtifactCache)
+    /// is attached.
     ///
     /// # Errors
     ///
@@ -105,16 +105,20 @@ impl<'a, W: Workload + ?Sized> Profiled<'a, W> {
     /// [`CacheStats`](crate::CacheStats)) rather than failing the stage.
     pub fn select(self) -> Result<Selected<'a, W>, Error> {
         let signature_config = *self.pipeline.signature_config();
-        let simpoint_config = *self.pipeline.simpoint_config();
+        let strategy = Arc::clone(self.pipeline.selection_strategy());
         let (selection, selection_was_cached) = match self.pipeline.cache() {
             Some(cache) => cache.load_or_select(
                 &self.profile,
                 self.pipeline.workload(),
                 &signature_config,
-                &simpoint_config,
+                strategy.as_ref(),
             )?,
             None => (
-                Arc::new(select_barrierpoints(&self.profile, &signature_config, &simpoint_config)?),
+                Arc::new(select_barrierpoints_with(
+                    &self.profile,
+                    &signature_config,
+                    strategy.as_ref(),
+                )?),
                 false,
             ),
         };
@@ -181,7 +185,7 @@ impl<'a, W: Workload + ?Sized> Selected<'a, W> {
         SelectionCacheKey::for_workload(
             self.pipeline.workload(),
             self.pipeline.signature_config(),
-            self.pipeline.simpoint_config(),
+            self.pipeline.selection_strategy().as_ref(),
         )
     }
 

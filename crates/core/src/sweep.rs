@@ -29,6 +29,14 @@
 //! barrier count is thread-count invariant), which makes the paper's
 //! Figure 6 cross-validation and Figure 8 scaling one-call scenarios.
 //!
+//! Selection strategies are a sweep axis too ([`Sweep::add_strategy`]):
+//! the grid becomes strategies × machine configurations, still over **one**
+//! profile and one fused warmup walk — each strategy's selection is resolved
+//! (or cache-served) from the shared profile, dedicated warmup collections
+//! cover the *union* of every strategy's barrierpoints, and legs whose
+//! strategies happen to pick identical barrierpoints dedupe by content
+//! exactly like duplicate machine configurations do.
+//!
 //! ```
 //! use barrierpoint::Sweep;
 //! use bp_sim::SimConfig;
@@ -53,10 +61,10 @@
 use crate::cache::{sim_config_fingerprint, ProfileCacheKey, SelectionCacheKey, SimulatedCacheKey};
 use crate::error::Error;
 use crate::pipeline::BarrierPoint;
-use crate::select::{select_barrierpoints, BarrierPointSelection};
+use crate::select::{select_barrierpoints_with, BarrierPointSelection};
 use crate::simulate::WarmupKind;
 use crate::stages::Simulated;
-use bp_clustering::SimPointConfig;
+use bp_clustering::{SelectionStrategy, SimPointConfig};
 use bp_exec::{ExecutionPolicy, WorkerBudget};
 use bp_signature::SignatureConfig;
 use bp_sim::SimConfig;
@@ -90,7 +98,8 @@ impl std::fmt::Debug for SweepPoint<'_> {
 #[derive(Debug)]
 struct StaticKeys {
     profile_key: ProfileCacheKey,
-    selection_key: SelectionCacheKey,
+    /// One selection key per effective strategy, in strategy order.
+    selection_keys: Vec<SelectionCacheKey>,
     points: Vec<PointKeyParts>,
 }
 
@@ -113,13 +122,16 @@ struct PointKeyParts {
 /// A design-space sweep over one workload: profile once, select once, then
 /// simulate and reconstruct every configured design point.
 ///
-/// Configuration mirrors [`BarrierPoint`]; the same signature, SimPoint,
+/// Configuration mirrors [`BarrierPoint`]; the same signature, selection,
 /// warmup, execution-policy and cache knobs apply to every leg.
 #[derive(Debug)]
 pub struct Sweep<'a, W: Workload + ?Sized> {
     base: BarrierPoint<'a, W>,
     labels: Vec<String>,
     points: Vec<SweepPoint<'a>>,
+    /// Strategy-axis variants; empty means one unlabelled axis entry — the
+    /// base pipeline's strategy — and unprefixed leg labels.
+    strategies: Vec<(String, Arc<dyn SelectionStrategy>)>,
     shared_budget: Option<WorkerBudget>,
     static_keys: OnceLock<StaticKeys>,
     simulated_keys: OnceLock<Vec<SimulatedCacheKey>>,
@@ -138,6 +150,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             base: pipeline,
             labels: Vec::new(),
             points: Vec::new(),
+            strategies: Vec::new(),
             shared_budget: None,
             static_keys: OnceLock::new(),
             simulated_keys: OnceLock::new(),
@@ -159,8 +172,43 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
     }
 
     /// Overrides the SimPoint clustering parameters (Table II).
+    ///
+    /// Shorthand for [`with_selection_strategy`](Self::with_selection_strategy)
+    /// with a [`bp_clustering::SimPointStrategy`] — prefer that method when
+    /// the backend itself should vary, not just the default backend's
+    /// parameters.
     pub fn with_simpoint_config(mut self, config: SimPointConfig) -> Self {
         self.base = self.base.with_simpoint_config(config);
+        self.invalidate_keys();
+        self
+    }
+
+    /// Replaces the barrierpoint selection backend every leg selects under
+    /// (the default is the paper's SimPoint pipeline).  To sweep *over*
+    /// strategies instead, see [`add_strategy`](Self::add_strategy).
+    pub fn with_selection_strategy(mut self, strategy: Arc<dyn SelectionStrategy>) -> Self {
+        self.base = self.base.with_selection_strategy(strategy);
+        self.invalidate_keys();
+        self
+    }
+
+    /// Adds a selection-strategy variant to the sweep's strategy axis.  The
+    /// design-point grid becomes strategies × machine configurations: every
+    /// added machine configuration is simulated once per strategy, the legs
+    /// labelled `"{strategy}/{point}"`.  All strategies select from the
+    /// sweep's **one** shared profile (and one fused warmup walk), their
+    /// selections cached independently under each strategy's fingerprint,
+    /// and legs whose selections coincide dedupe by content like any other
+    /// duplicate design point.  Strategy labels must be unique.
+    ///
+    /// When no strategy was added, the sweep runs the base pipeline's single
+    /// strategy and leg labels stay unprefixed.
+    pub fn add_strategy(
+        mut self,
+        label: impl Into<String>,
+        strategy: Arc<dyn SelectionStrategy>,
+    ) -> Self {
+        self.strategies.push((label.into(), strategy));
         self.invalidate_keys();
         self
     }
@@ -244,8 +292,9 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
     }
 
     /// Runs the sweep: at most one fused profiling+warmup trace walk per
-    /// thread, one clustering pass, at most one MRU warmup collection per
-    /// workload *content*, then every design-point leg that is not already
+    /// thread, one clustering pass per strategy-axis entry (all from the
+    /// one shared profile), at most one MRU warmup collection per workload
+    /// *content*, then every design-point leg that is not already
     /// in the artifact cache — all through the cache when one is attached,
     /// making repeated sweeps over overlapping configuration matrices fully
     /// incremental (a warm re-sweep executes **zero** simulate legs and
@@ -275,6 +324,11 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                 return Err(Error::DuplicateSweepLabel { label: label.clone() });
             }
         }
+        for (i, (label, _)) in self.strategies.iter().enumerate() {
+            if self.strategies[..i].iter().any(|(seen, _)| seen == label) {
+                return Err(Error::DuplicateSweepLabel { label: label.clone() });
+            }
+        }
 
         let workload = self.base.workload();
         let warmup = self.base.warmup();
@@ -296,99 +350,119 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         // delta — the counters are a health report, not an audit trail.
         let stats_before = self.base.cache().map(crate::ArtifactCache::stats);
 
-        // Resolve the selection — the only one-time artifact the report
-        // needs.  Its cache key is derivable from the configuration alone,
-        // so it is probed *first*: on a hit the profile is neither loaded
-        // nor recomputed.  Only a selection miss forces a profile, and a
+        // Resolve every strategy-axis entry's selection — the only one-time
+        // artifacts the report needs.  Each cache key is derivable from the
+        // configuration alone, so all entries are probed *first*: when
+        // every probe hits, the profile is neither loaded nor recomputed.
+        // Only a selection miss forces the (one, shared) profile, and a
         // cold profile fuses the MRU warmup collection into its one trace
-        // walk per thread (the selection being unknown, the fused pass
+        // walk per thread (the selections being unknown, the fused pass
         // snapshots every region boundary and the needed targets are
         // assembled after clustering).
-        let cached_selection = match self.base.cache() {
-            Some(cache) => cache.probe_selection(&statics.selection_key)?,
-            None => None,
-        };
-        let selection_was_cached = cached_selection.is_some();
-        let selection: Arc<BarrierPointSelection> = match cached_selection {
-            Some(selection) => selection,
-            None => {
-                let cached_profile = match self.base.cache() {
-                    Some(cache) => cache.probe_profile(&statics.profile_key)?,
-                    None => None,
-                };
-                let profile = match cached_profile {
-                    Some(profile) => profile,
-                    None => {
-                        profile_passes = 1;
-                        trace_walks += base_threads;
-                        let base_capacities = base_capacities(statics, base_fp);
-                        // The interval-sharing snapshot bank scales with
-                        // eviction/write activity between boundaries, not
-                        // `threads × regions × capacity`, so the fused pass
-                        // no longer needs the old 512 MiB byte-cap fallback
-                        // onto two separate walks — fusing is unconditional.
-                        let fuse = warmup == WarmupKind::MruReplay && !base_capacities.is_empty();
-                        let profile = if fuse {
-                            let (profile, bank) = crate::profile::profile_and_collect_warmup(
-                                workload,
-                                &base_capacities,
-                                &policy,
-                                Some(&budget),
-                            )?;
-                            warmup_collections += 1;
-                            fused_bank = Some(bank);
-                            Arc::new(profile)
-                        } else {
-                            Arc::new(crate::profile::profile_application_budgeted(
-                                workload,
-                                &policy,
-                                Some(&budget),
-                            )?)
-                        };
-                        if let Some(cache) = self.base.cache() {
-                            cache.store_profile_arc(&statics.profile_key, &profile)?;
-                        }
-                        profile
-                    }
-                };
-                let selection = Arc::new(select_barrierpoints(
-                    &profile,
-                    self.base.signature_config(),
-                    self.base.simpoint_config(),
-                )?);
-                if let Some(cache) = self.base.cache() {
-                    cache.store_selection_arc(&statics.selection_key, &selection)?;
-                }
-                selection
+        let strategies = self.effective_strategies();
+        let mut selections: Vec<Option<Arc<BarrierPointSelection>>> = vec![None; strategies.len()];
+        if let Some(cache) = self.base.cache() {
+            for (slot, key) in selections.iter_mut().zip(&statics.selection_keys) {
+                *slot = cache.probe_selection(key)?;
             }
-        };
+        }
+        let mut clustering_passes = 0;
+        if selections.iter().any(Option::is_none) {
+            let cached_profile = match self.base.cache() {
+                Some(cache) => cache.probe_profile(&statics.profile_key)?,
+                None => None,
+            };
+            let profile = match cached_profile {
+                Some(profile) => profile,
+                None => {
+                    profile_passes = 1;
+                    trace_walks += base_threads;
+                    let base_capacities = base_capacities(statics, base_fp);
+                    // The interval-sharing snapshot bank scales with
+                    // eviction/write activity between boundaries, not
+                    // `threads × regions × capacity`, so the fused pass
+                    // no longer needs the old 512 MiB byte-cap fallback
+                    // onto two separate walks — fusing is unconditional.
+                    let fuse = warmup == WarmupKind::MruReplay && !base_capacities.is_empty();
+                    let profile = if fuse {
+                        let (profile, bank) = crate::profile::profile_and_collect_warmup(
+                            workload,
+                            &base_capacities,
+                            &policy,
+                            Some(&budget),
+                        )?;
+                        warmup_collections += 1;
+                        fused_bank = Some(bank);
+                        Arc::new(profile)
+                    } else {
+                        Arc::new(crate::profile::profile_application_budgeted(
+                            workload,
+                            &policy,
+                            Some(&budget),
+                        )?)
+                    };
+                    if let Some(cache) = self.base.cache() {
+                        cache.store_profile_arc(&statics.profile_key, &profile)?;
+                    }
+                    profile
+                }
+            };
+            for (s, slot) in selections.iter_mut().enumerate() {
+                if slot.is_none() {
+                    let selection = Arc::new(select_barrierpoints_with(
+                        &profile,
+                        self.base.signature_config(),
+                        strategies[s].1.as_ref(),
+                    )?);
+                    clustering_passes += 1;
+                    if let Some(cache) = self.base.cache() {
+                        cache.store_selection_arc(&statics.selection_keys[s], &selection)?;
+                    }
+                    *slot = Some(selection);
+                }
+            }
+        }
+        let selections: Vec<Arc<BarrierPointSelection>> = selections
+            .into_iter()
+            .map(|slot| match slot {
+                Some(selection) => selection,
+                // The resolve loop above fills every slot or returns its
+                // error before reaching this point.
+                None => unreachable!("a strategy's selection was never resolved"),
+            })
+            .collect();
 
-        // Every design point's simulated-leg content address.  The
-        // selection-content fingerprint (a serialization of the whole
-        // selection) and all other key components are interned on the sweep
-        // object: repeated runs reuse the finished keys outright.
+        // Every grid cell's simulated-leg content address, strategy-major
+        // (cell `s * num_points + p`).  The selection-content fingerprints
+        // (serializations of the whole selections) and all other key
+        // components are interned on the sweep object: repeated runs reuse
+        // the finished keys outright.
+        let num_points = self.points.len();
         let keys: &Vec<SimulatedCacheKey> = self.simulated_keys.get_or_init(|| {
-            let selection_fp = selection.fingerprint();
-            statics
-                .points
+            selections
                 .iter()
-                .map(|parts| {
-                    SimulatedCacheKey::from_parts(
-                        parts.workload_name.clone(),
-                        parts.threads,
-                        parts.workload_fingerprint,
-                        selection_fp,
-                        parts.config_fingerprint,
-                    )
+                .flat_map(|selection| {
+                    let selection_fp = selection.fingerprint();
+                    statics.points.iter().map(move |parts| {
+                        SimulatedCacheKey::from_parts(
+                            parts.workload_name.clone(),
+                            parts.threads,
+                            parts.workload_fingerprint,
+                            selection_fp,
+                            parts.config_fingerprint,
+                        )
+                    })
                 })
                 .collect()
         });
 
-        // Dedupe design points by cache key *before* probing: identical
-        // points (same leg workload content, machine configuration and
-        // warmup) share one probe and one result, with or without a cache.
+        // Dedupe grid cells by cache key *before* probing: identical legs
+        // (same leg workload content, selection content, machine
+        // configuration and warmup — including two strategies that picked
+        // the same barrierpoints) share one probe and one result, with or
+        // without a cache.
         let mut unique: Vec<(usize, Vec<usize>)> = Vec::new();
-        for i in 0..self.points.len() {
+        for i in 0..keys.len() {
             match unique.iter_mut().find(|&&mut (rep, _)| keys[rep] == keys[i]) {
                 Some((_, indices)) => indices.push(i),
                 None => unique.push((i, vec![i])),
@@ -399,8 +473,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         // warmup collection: a fully cached leg costs one memory-tier
         // pointer clone (or one disk load) — no trace walk, no simulation.
         // Only the missing distinct legs are paid for below.
-        let mut results: Vec<Option<Arc<Simulated>>> =
-            (0..self.points.len()).map(|_| None).collect();
+        let mut results: Vec<Option<Arc<Simulated>>> = (0..keys.len()).map(|_| None).collect();
         let mut missing: Vec<usize> = Vec::new(); // indices into `unique`
         let mut simulated_cache_hits = 0; // design points served, duplicates included
         match self.base.cache() {
@@ -430,11 +503,17 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         // further walk at all.
         let mut warmup_payloads: Vec<((u64, u64), HashMap<usize, MruWarmupData>)> = Vec::new();
         if warmup == WarmupKind::MruReplay && !missing.is_empty() {
-            let regions = selection.barrierpoint_regions();
+            // One collection covers the *union* of every strategy's
+            // barrierpoints: payloads are keyed by region index, so each
+            // leg reads exactly its own selection's subset.
+            let mut regions: Vec<usize> =
+                selections.iter().flat_map(|selection| selection.barrierpoint_regions()).collect();
+            regions.sort_unstable();
+            regions.dedup();
             let mut groups: Vec<(u64, Option<&dyn Workload>, Vec<u64>)> = Vec::new();
             for &u in &missing {
                 let rep = unique[u].0;
-                let parts = &statics.points[rep];
+                let parts = &statics.points[rep % num_points];
                 match groups.iter_mut().find(|(fp, _, _)| *fp == parts.workload_fingerprint) {
                     Some((_, _, capacities)) => {
                         if !capacities.contains(&parts.llc_capacity) {
@@ -443,7 +522,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                     }
                     None => groups.push((
                         parts.workload_fingerprint,
-                        self.points[rep].workload,
+                        self.points[rep % num_points].workload,
                         vec![parts.llc_capacity],
                     )),
                 }
@@ -501,13 +580,14 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         let computed: Vec<Result<Simulated, Error>> =
             policy.execute_budgeted(missing.len(), &budget, |j| {
                 let rep = unique[missing[j]].0;
-                let point = &self.points[rep];
-                let parts = &statics.points[rep];
+                let point = &self.points[rep % num_points];
+                let parts = &statics.points[rep % num_points];
+                let selection = &selections[rep / num_points];
                 let sharing = (parts.workload_fingerprint, parts.llc_capacity);
                 let payload = warmup_payloads.iter().find(|(k, _)| *k == sharing).map(|(_, d)| d);
                 match point.workload {
                     Some(leg_workload) => crate::stages::compute_leg(
-                        &selection,
+                        selection,
                         warmup,
                         leg_workload,
                         &point.sim_config,
@@ -516,7 +596,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                         payload,
                     ),
                     None => crate::stages::compute_leg(
-                        &selection,
+                        selection,
                         warmup,
                         workload,
                         &point.sim_config,
@@ -551,7 +631,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         };
         let counters = SweepCounters {
             profile_passes,
-            clustering_passes: usize::from(!selection_was_cached),
+            clustering_passes,
             warmup_collections,
             simulate_legs: missing.len(),
             simulated_cache_hits,
@@ -562,33 +642,67 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             io_retries: health[2],
             lock_contended: health[3],
         };
-        let legs = self
-            .labels
-            .iter()
-            .zip(results)
-            .map(|(label, simulated)| SweepLeg {
-                label: label.clone(),
+        // Leg labels: the point label alone for a single-strategy sweep,
+        // `"{strategy}/{point}"` across an explicit strategy axis.
+        let prefixed = !self.strategies.is_empty();
+        let mut legs = Vec::with_capacity(results.len());
+        for (i, simulated) in results.into_iter().enumerate() {
+            let point_label = &self.labels[i % num_points];
+            let label = if prefixed {
+                format!("{}/{}", strategies[i / num_points].0, point_label)
+            } else {
+                point_label.clone()
+            };
+            legs.push(SweepLeg {
+                label,
                 simulated: match simulated {
                     Some(simulated) => simulated,
                     // The resolve loop above fills every slot or returns
                     // its error before reaching this point.
-                    None => unreachable!("design point {label:?} was never resolved"),
+                    None => unreachable!("design point {i} was never resolved"),
                 },
-            })
-            .collect();
+            });
+        }
 
-        Ok(SweepReport { workload_name: workload.name().to_string(), selection, legs, counters })
+        let selections = strategies
+            .into_iter()
+            .zip(selections)
+            .map(|((label, _), selection)| SweepSelection { label, selection })
+            .collect();
+        Ok(SweepReport { workload_name: workload.name().to_string(), selections, legs, counters })
+    }
+
+    /// The strategy axis [`run`](Self::run) iterates: the
+    /// [`add_strategy`](Self::add_strategy) variants in insertion order, or
+    /// the base pipeline's strategy labelled by its own name when none were
+    /// added.
+    fn effective_strategies(&self) -> Vec<(String, Arc<dyn SelectionStrategy>)> {
+        if self.strategies.is_empty() {
+            let strategy = Arc::clone(self.base.selection_strategy());
+            vec![(strategy.name().to_string(), strategy)]
+        } else {
+            self.strategies
+                .iter()
+                .map(|(label, strategy)| (label.clone(), Arc::clone(strategy)))
+                .collect()
+        }
     }
 
     /// Derives the configuration-only key components; see [`StaticKeys`].
     fn build_static_keys(&self) -> StaticKeys {
         let base = self.base.workload();
         let profile_key = ProfileCacheKey::for_workload(base);
-        let selection_key = SelectionCacheKey::for_workload(
-            base,
-            self.base.signature_config(),
-            self.base.simpoint_config(),
-        );
+        let selection_keys = self
+            .effective_strategies()
+            .iter()
+            .map(|(_, strategy)| {
+                SelectionCacheKey::for_workload(
+                    base,
+                    self.base.signature_config(),
+                    strategy.as_ref(),
+                )
+            })
+            .collect();
         let warmup = self.base.warmup();
         let points = self
             .points
@@ -614,7 +728,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                 }
             })
             .collect();
-        StaticKeys { profile_key, selection_key, points }
+        StaticKeys { profile_key, selection_keys, points }
     }
 }
 
@@ -644,9 +758,12 @@ fn base_capacities(statics: &StaticKeys, base_fp: u64) -> Vec<u64> {
 /// once per design point) and every leg simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepCounters {
-    /// Profiling passes executed (0 on a cache hit, else 1).
+    /// Profiling passes executed (0 on a cache hit, else 1 — never more,
+    /// regardless of how many strategy-axis entries selected from it).
     pub profile_passes: usize,
-    /// Clustering passes executed (0 on a cache hit, else 1).
+    /// Clustering passes executed: one per strategy-axis entry whose
+    /// selection was not cache-served (0 on a fully warm sweep, 1 for a
+    /// cold single-strategy sweep).
     pub clustering_passes: usize,
     /// MRU warmup collection passes executed: one per distinct workload
     /// *content* (by [`Workload::profile_fingerprint`]) with at least one
@@ -734,14 +851,35 @@ impl SweepLeg {
     }
 }
 
-/// Everything produced by one [`Sweep::run`]: the shared selection, every
-/// design-point leg keyed by label, and the stage-execution counters.
+/// One strategy-axis entry's resolved selection in a [`SweepReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSelection {
+    label: String,
+    selection: Arc<BarrierPointSelection>,
+}
+
+impl SweepSelection {
+    /// The strategy-axis label ([`Sweep::add_strategy`]'s label, or the
+    /// base strategy's name for a sweep without an explicit axis).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The selection this strategy produced.
+    pub fn selection(&self) -> &BarrierPointSelection {
+        &self.selection
+    }
+}
+
+/// Everything produced by one [`Sweep::run`]: each strategy's shared
+/// selection, every design-point leg keyed by label, and the
+/// stage-execution counters.
 ///
 /// A pure data artifact — serializable like the stage artifacts it contains.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
     workload_name: String,
-    selection: Arc<BarrierPointSelection>,
+    selections: Vec<SweepSelection>,
     legs: Vec<SweepLeg>,
     counters: SweepCounters,
 }
@@ -752,9 +890,21 @@ impl SweepReport {
         &self.workload_name
     }
 
-    /// The single barrierpoint selection shared by every leg.
+    /// The barrierpoint selection shared by every leg of the first (or
+    /// only) strategy-axis entry.
     pub fn selection(&self) -> &BarrierPointSelection {
-        &self.selection
+        &self.selections[0].selection
+    }
+
+    /// Every strategy-axis entry's selection, in axis order (a single
+    /// entry when no strategy variants were added).
+    pub fn selections(&self) -> &[SweepSelection] {
+        &self.selections
+    }
+
+    /// The selection of the strategy-axis entry labelled `label`, if any.
+    pub fn selection_for(&self, label: &str) -> Option<&BarrierPointSelection> {
+        self.selections.iter().find(|s| s.label == label).map(|s| &*s.selection)
     }
 
     /// All legs, in the order their design points were added.
@@ -989,6 +1139,102 @@ mod tests {
         assert_eq!(report.counters().clustering_passes, 1);
         assert_eq!(report.get("4c").unwrap().sim_config().num_cores, 4);
         assert!(report.get("4c").unwrap().reconstruction().execution_time_seconds() > 0.0);
+    }
+
+    /// The ISSUE pin: a cold sweep over two selection strategies shares one
+    /// profile and one fused warmup collection — `trace_walks` equals the
+    /// thread count, exactly as for a single-strategy sweep.
+    #[test]
+    fn strategy_axis_shares_one_profile_and_one_walk() {
+        use bp_clustering::{SimPointStrategy, TwoPhaseStratified};
+        let w = workload(2);
+        let report = Sweep::new(&w)
+            .add_config("base", SimConfig::scaled(2))
+            .add_strategy("simpoint", Arc::new(SimPointStrategy::new(SimPointConfig::paper())))
+            .add_strategy("stratified", Arc::new(TwoPhaseStratified::with_budget(4)))
+            .run()
+            .unwrap();
+        let counters = report.counters();
+        assert_eq!(counters.profile_passes, 1, "one profile serves both strategies");
+        assert_eq!(counters.trace_walks, 2, "cold two-strategy sweep walks each thread once");
+        assert_eq!(counters.clustering_passes, 2, "one clustering pass per strategy");
+        assert_eq!(counters.warmup_collections, 1, "one fused collection covers the union");
+        assert_eq!(report.legs().len(), 2);
+        assert!(report.get("simpoint/base").is_some());
+        assert!(report.get("stratified/base").is_some());
+        assert_eq!(report.selections().len(), 2);
+        assert_eq!(report.selections()[0].label(), "simpoint");
+        assert_eq!(
+            report.selection_for("simpoint").unwrap().num_barrierpoints(),
+            report.selection().num_barrierpoints(),
+            "selection() is the first axis entry's selection"
+        );
+        assert!(report.selection_for("stratified").unwrap().num_barrierpoints() <= 4);
+        assert!(report.selection_for("missing").is_none());
+    }
+
+    /// A warm strategy sweep is fully incremental: both selections and both
+    /// legs come from the cache — zero profile passes, zero clustering
+    /// passes, zero trace walks.
+    #[test]
+    fn warm_strategy_sweep_executes_zero_walks() {
+        use bp_clustering::{SimPointStrategy, TwoPhaseStratified};
+        let dir = std::env::temp_dir()
+            .join(format!("bp-sweep-strategy-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let w = workload(2);
+        let cache = ArtifactCache::new(&dir);
+        let sweep = || {
+            Sweep::new(&w)
+                .with_cache(cache.clone())
+                .add_config("base", SimConfig::scaled(2))
+                .add_strategy("simpoint", Arc::new(SimPointStrategy::new(SimPointConfig::paper())))
+                .add_strategy("stratified", Arc::new(TwoPhaseStratified::with_budget(4)))
+        };
+        let cold = sweep().run().unwrap();
+        assert_eq!(cold.counters().clustering_passes, 2);
+        let warm = sweep().run().unwrap();
+        assert_eq!(warm.counters().profile_passes, 0);
+        assert_eq!(warm.counters().clustering_passes, 0);
+        assert_eq!(warm.counters().trace_walks, 0);
+        assert_eq!(warm.counters().simulate_legs, 0);
+        assert_eq!(warm.counters().simulated_cache_hits, 2);
+        assert_eq!(cold.legs(), warm.legs());
+        assert_eq!(cold.selections(), warm.selections());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Strategy variants dedupe by selection *content* exactly like
+    /// duplicate machine configurations: two axis entries that pick the
+    /// same barrierpoints share one simulated leg.
+    #[test]
+    fn identical_strategy_variants_dedupe_their_legs() {
+        use bp_clustering::SimPointStrategy;
+        let w = workload(2);
+        let report = Sweep::new(&w)
+            .add_config("base", SimConfig::scaled(2))
+            .add_strategy("a", Arc::new(SimPointStrategy::new(SimPointConfig::paper())))
+            .add_strategy("b", Arc::new(SimPointStrategy::new(SimPointConfig::paper())))
+            .run()
+            .unwrap();
+        assert_eq!(report.counters().simulate_legs, 1, "identical selections share one leg");
+        assert_eq!(
+            report.get("a/base").unwrap().simulated(),
+            report.get("b/base").unwrap().simulated()
+        );
+    }
+
+    #[test]
+    fn duplicate_strategy_labels_are_rejected() {
+        use bp_clustering::{SimPointStrategy, TwoPhaseStratified};
+        let w = workload(2);
+        let err = Sweep::new(&w)
+            .add_config("base", SimConfig::scaled(2))
+            .add_strategy("s", Arc::new(SimPointStrategy::new(SimPointConfig::paper())))
+            .add_strategy("s", Arc::new(TwoPhaseStratified::with_budget(4)))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateSweepLabel { ref label } if label == "s"));
     }
 
     #[test]

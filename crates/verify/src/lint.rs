@@ -1,7 +1,7 @@
 //! Source-scanning lint rules for the concurrency core (the `bp-lint`
 //! binary is a thin wrapper over [`run`]).
 //!
-//! Five rules, all line-based over the repo's own sources — no external
+//! Six rules, all line-based over the repo's own sources — no external
 //! parser, so the lint works in the offline vendored build:
 //!
 //! * [`Rule::OrderingJustification`] — every `Ordering::` argument in the
@@ -23,6 +23,11 @@
 //!   I/O through the `Storage` seam (`crates/core/src/storage.rs`), never
 //!   via `std::fs` directly: a direct call would bypass fault injection
 //!   and silently escape the crash-consistency torture suite.
+//! * [`Rule::SimPointInCacheKeys`] — `crates/core/src/cache.rs` must not
+//!   name `SimPointConfig` in code outside `#[cfg(test)]`: cache keys are
+//!   derived from the `SelectionStrategy` seam (`fingerprint_bytes()`), and
+//!   naming the concrete config in key derivation would silently re-couple
+//!   the cache to one strategy and break every other backend's keys.
 //!
 //! A finding can be suppressed with a `bp-lint: allow(<rule>)` comment on
 //! the same line or the line above; every suppression is expected to carry
@@ -43,6 +48,7 @@ const PAT_STD_FS: &str = concat!("std::", "fs");
 const PAT_FS_CALL: &str = concat!("fs", "::");
 const PAT_FORBID: &str = concat!("#![forbid(", "unsafe_code)]");
 const PAT_JUSTIFY: &str = concat!("ordering", ":");
+const PAT_SIMPOINT_CFG: &str = concat!("SimPoint", "Config");
 
 /// Which lint rule a finding belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,6 +63,9 @@ pub enum Rule {
     NoStdSync,
     /// Direct `std::fs` use in the cache, bypassing the `Storage` seam.
     NoStdFs,
+    /// `SimPointConfig` named in the cache outside tests, re-coupling key
+    /// derivation to one concrete strategy instead of the strategy seam.
+    SimPointInCacheKeys,
 }
 
 impl Rule {
@@ -68,6 +77,7 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::NoStdSync => "std-sync",
             Rule::NoStdFs => "std-fs",
+            Rule::SimPointInCacheKeys => "simpoint-in-cache",
         }
     }
 }
@@ -250,6 +260,13 @@ fn in_std_fs_scope(rel: &str) -> bool {
     rel == "crates/core/src/cache.rs"
 }
 
+/// The file whose cache-key derivation must stay strategy-agnostic: the
+/// cache implementation keys on `SelectionStrategy::fingerprint_bytes()`
+/// and must never name the concrete `SimPointConfig` outside tests.
+fn in_simpoint_key_scope(rel: &str) -> bool {
+    rel == "crates/core/src/cache.rs"
+}
+
 /// Crate roots that must carry `#![forbid(unsafe_code)]`.
 fn is_crate_root(rel: &str) -> bool {
     rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || rel.contains("src/bin/")
@@ -291,7 +308,8 @@ pub fn lint_file(rel: &str, content: &str, findings: &mut Vec<Finding>) {
     let check_unwrap = in_unwrap_scope(rel);
     let check_std_sync = in_std_sync_scope(rel);
     let check_std_fs = in_std_fs_scope(rel);
-    if !(check_ordering || check_unwrap || check_std_sync || check_std_fs) {
+    let check_simpoint = in_simpoint_key_scope(rel);
+    if !(check_ordering || check_unwrap || check_std_sync || check_std_fs || check_simpoint) {
         return;
     }
 
@@ -356,6 +374,22 @@ pub fn lint_file(rel: &str, content: &str, findings: &mut Vec<Finding>) {
                 message: format!(
                     "direct {PAT_STD_FS} access bypasses the Storage seam \
                      (and with it fault injection) — go through `self.storage`"
+                ),
+            });
+        }
+
+        if check_simpoint
+            && !in_test
+            && code.contains(PAT_SIMPOINT_CFG)
+            && !allowed(&lines, idx, Rule::SimPointInCacheKeys)
+        {
+            findings.push(Finding {
+                file: PathBuf::from(rel),
+                line: lineno,
+                rule: Rule::SimPointInCacheKeys,
+                message: format!(
+                    "{PAT_SIMPOINT_CFG} named in cache code outside tests — key derivation \
+                     must stay on the SelectionStrategy seam (fingerprint_bytes())"
                 ),
             });
         }
@@ -502,6 +536,44 @@ mod tests {
             let findings = lint_str(rel, &src);
             assert!(!findings.iter().any(|f| f.rule == Rule::NoStdFs), "must not flag {rel}");
         }
+    }
+
+    #[test]
+    fn simpoint_config_in_cache_code_is_flagged() {
+        let src = format!("fn key(config: &{}) -> u64 {{ 0 }}\n", PAT_SIMPOINT_CFG);
+        let findings = lint_str("crates/core/src/cache.rs", &src);
+        assert!(findings.iter().any(|f| f.rule == Rule::SimPointInCacheKeys));
+        // Other modules may name the concrete config freely.
+        for rel in ["crates/core/src/select.rs", "crates/clustering/src/simpoint.rs"] {
+            let findings = lint_str(rel, &src);
+            assert!(
+                !findings.iter().any(|f| f.rule == Rule::SimPointInCacheKeys),
+                "must not flag {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn simpoint_config_in_cache_tests_comments_and_allows_pass() {
+        let in_test = format!(
+            "#[cfg(test)]\nmod tests {{\n    use bp_clustering::{};\n}}\n",
+            PAT_SIMPOINT_CFG
+        );
+        let findings = lint_str("crates/core/src/cache.rs", &in_test);
+        assert!(!findings.iter().any(|f| f.rule == Rule::SimPointInCacheKeys));
+
+        let comment_only =
+            format!("/// For SimPoint those bytes are the serialized {}.\n", PAT_SIMPOINT_CFG);
+        let findings = lint_str("crates/core/src/cache.rs", &comment_only);
+        assert!(!findings.iter().any(|f| f.rule == Rule::SimPointInCacheKeys));
+
+        let escaped = format!(
+            "fn f() {{\n    // bp-lint: allow(simpoint-in-cache) — migration shim\n    \
+             let _ = {}::paper();\n}}\n",
+            PAT_SIMPOINT_CFG
+        );
+        let findings = lint_str("crates/core/src/cache.rs", &escaped);
+        assert!(!findings.iter().any(|f| f.rule == Rule::SimPointInCacheKeys));
     }
 
     #[test]
