@@ -218,6 +218,7 @@ fn bench_sweep(_c: &mut Criterion) {
         assert_eq!(counters.warmup_collections, 0, "warm re-sweep must not walk any trace");
         assert_eq!(counters.simulated_cache_hits, 3);
         assert_eq!(counters.trace_walks, 0, "warm re-sweep must not generate any trace");
+        assert_eq!(counters.segment_walks, 0, "warm re-sweep must run zero segment jobs");
         let stats = cache.stats();
         assert_eq!(stats.memory_hits(), 0, "fresh handles must decode from disk");
         // The profile is never read: a cached selection makes it unnecessary.
@@ -278,6 +279,82 @@ fn bench_sweep(_c: &mut Criterion) {
         "interned warm re-sweep ({memory_interned:?}) should beat per-run key derivation \
          ({memory_cached:?})"
     );
+
+    // Segment parallelism: the cold sweep above stored region-segment
+    // checkpoints as a side product of its fused walk.  A later re-profile
+    // (say, at a new clustering or signature configuration) restores them
+    // and fans `threads × segments` jobs across the worker budget instead
+    // of walking each thread's trace sequentially end to end.  Timed here
+    // as the raw profiling re-walk, sequential vs segmented, with a
+    // bit-identity assertion.
+    let ckpt_key = barrierpoint::CheckpointCacheKey::for_workload(&workload);
+    let checkpoints = memory_cache
+        .load_checkpoint(&ckpt_key)
+        .unwrap()
+        .expect("the cold sweep must have stored segment checkpoints");
+    let segment_walks_per_reprofile = checkpoints.segment_jobs();
+    let sequential_profile =
+        barrierpoint::profile_application_budgeted(&workload, &policy, None).unwrap();
+    let segmented_profile =
+        barrierpoint::profile_application_segmented(&workload, &checkpoints, &policy, None)
+            .unwrap();
+    // CI smoke assertion: segmented walks are bit-identical to sequential.
+    assert_eq!(
+        segmented_profile, sequential_profile,
+        "segmented re-profile must be bit-identical to the sequential walk"
+    );
+    let sequential_reprofile = median(&|| {
+        barrierpoint::profile_application_budgeted(&workload, &policy, None).unwrap();
+    });
+    let segmented_reprofile = median(&|| {
+        barrierpoint::profile_application_segmented(&workload, &checkpoints, &policy, None)
+            .unwrap();
+    });
+    println!("sweep/sequential_reprofile {sequential_reprofile:>43.2?}");
+    println!("sweep/segmented_reprofile {segmented_reprofile:>44.2?}");
+
+    // And through the sweep itself: invalidate the profile and change the
+    // clustering config so both the selection and the profile miss — the
+    // checkpoint hit must carry the whole re-profile, with zero sequential
+    // walks and a report bit-identical to an uncached sequential sweep.
+    memory_cache.invalidate_profile(&barrierpoint::ProfileCacheKey::for_workload(&workload));
+    let reclustered = barrierpoint::SimPointConfig::paper().with_max_k(3);
+    let segmented_report = {
+        let mut sweep = Sweep::new(&workload)
+            .with_execution_policy(policy)
+            .with_simpoint_config(reclustered)
+            .with_cache(memory_cache.clone());
+        for (label, machine) in &variants {
+            sweep = sweep.add_config(*label, *machine);
+        }
+        sweep.run().unwrap()
+    };
+    let segmented_counters = segmented_report.counters();
+    // CI smoke assertions: the segmented re-profile path really engaged.
+    assert_eq!(segmented_counters.profile_passes, 1, "the re-profile must recompute");
+    assert_eq!(segmented_counters.trace_walks, 0, "re-profile must not walk sequentially");
+    assert!(
+        segmented_counters.segment_walks > cores,
+        "segmented re-profile must fan out more jobs ({}) than threads ({cores})",
+        segmented_counters.segment_walks
+    );
+    assert!(segmented_counters.checkpoint_hits > 0, "segments must resume from checkpoints");
+    let sequential_report = {
+        let mut sweep =
+            Sweep::new(&workload).with_execution_policy(policy).with_simpoint_config(reclustered);
+        for (label, machine) in &variants {
+            sweep = sweep.add_config(*label, *machine);
+        }
+        sweep.run().unwrap()
+    };
+    assert_eq!(
+        segmented_report.legs(),
+        sequential_report.legs(),
+        "segmented sweep report must be bit-identical to the sequential sweep"
+    );
+    assert_eq!(segmented_report.selections(), sequential_report.selections());
+    let segment_walks = segmented_counters.segment_walks;
+    let checkpoint_hits = segmented_counters.checkpoint_hits;
     std::fs::remove_dir_all(&cache_dir).ok();
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -292,6 +369,12 @@ fn bench_sweep(_c: &mut Criterion) {
          \"cold_trace_walks\": {cold_trace_walks},\n  \
          \"fused_snapshot_bytes\": {fused_snapshot_bytes},\n  \
          \"warmup_collections\": {warmup_collections},\n  \
+         \"sequential_reprofile_ns\": {},\n  \
+         \"segmented_reprofile_ns\": {},\n  \
+         \"segment_speedup\": {:.3},\n  \
+         \"segment_walks_per_reprofile\": {segment_walks_per_reprofile},\n  \
+         \"segment_walks\": {segment_walks},\n  \
+         \"checkpoint_hits\": {checkpoint_hits},\n  \
          \"steal_count\": {steal_count},\n  \
          \"simulated_cache_hits\": {simulated_cache_hits},\n  \
          \"memory_profile_hits\": {memory_profile_hits},\n  \
@@ -312,6 +395,9 @@ fn bench_sweep(_c: &mut Criterion) {
         cold_32t.as_nanos(),
         profile_stage.as_nanos(),
         cluster_stage.as_nanos(),
+        sequential_reprofile.as_nanos(),
+        segmented_reprofile.as_nanos(),
+        sequential_reprofile.as_secs_f64() / segmented_reprofile.as_secs_f64().max(1e-12),
         monolithic.as_secs_f64() / staged.as_secs_f64().max(1e-12),
         monolithic.as_secs_f64() / cached.as_secs_f64().max(1e-12),
         monolithic.as_secs_f64() / memory_cached.as_secs_f64().max(1e-12),

@@ -89,6 +89,7 @@
 use crate::error::{classify_io_error, Error, IoErrorClass};
 use crate::memtier::MemoryTier;
 use crate::profile::{profile_application_with, ApplicationProfile};
+use crate::segment::WorkloadCheckpoints;
 use crate::select::{select_barrierpoints_with, BarrierPointSelection};
 use crate::simulate::WarmupKind;
 use crate::stages::Simulated;
@@ -109,15 +110,19 @@ const PROFILE_MAGIC: &[u8; 4] = b"BPPF";
 const SELECTION_MAGIC: &[u8; 4] = b"BPSL";
 /// Magic bytes at the start of every simulated-leg cache file.
 const SIMULATED_MAGIC: &[u8; 4] = b"BPSM";
+/// Magic bytes at the start of every region-segment checkpoint cache file.
+const CHECKPOINT_MAGIC: &[u8; 4] = b"BPCK";
 /// Bump whenever the serialized layout of a cached artifact (or the entry
 /// header) changes; old entries then read as misses and are overwritten.
 /// Version 3 added the trailing integrity checksum (see [`seal`]).
-const FORMAT_VERSION: u32 = 3;
-/// File extensions of the three artifact kinds (also the eviction scan
+/// Version 4 added the region-segment checkpoint (`ckpt`) artifact kind.
+const FORMAT_VERSION: u32 = 4;
+/// File extensions of the four artifact kinds (also the eviction scan
 /// filter).
 const PROFILE_EXT: &str = "bpprof";
 const SELECTION_EXT: &str = "bpsel";
 const SIMULATED_EXT: &str = "bpsim";
+const CHECKPOINT_EXT: &str = "bpckpt";
 
 /// Name of the persisted-statistics file inside the cache directory.  No
 /// artifact extension, so the eviction scan neither counts nor deletes it.
@@ -126,8 +131,9 @@ const STATE_FILE: &str = "cache-state";
 const STATE_MAGIC: &[u8; 4] = b"BPST";
 /// Version of the persisted-statistics layout; a mismatch resets the
 /// lifetime view instead of erroring.  Version 2 added the trailing
-/// integrity checksum (see [`seal`]).
-const STATE_VERSION: u32 = 2;
+/// integrity checksum (see [`seal`]); version 3 added the checkpoint-kind
+/// counters.
+const STATE_VERSION: u32 = 3;
 /// Name of the advisory lock file serializing eviction and orphan cleanup
 /// across processes.  Leading dot: `Path::extension` is `None`, so the scan
 /// ignores it.
@@ -203,6 +209,51 @@ impl ProfileCacheKey {
     fn file_name(&self) -> String {
         format!(
             "{}-{}t-{:016x}.{PROFILE_EXT}",
+            sanitize(&self.workload_name),
+            self.threads,
+            self.fingerprint
+        )
+    }
+}
+
+/// The content address of one workload's region-segment checkpoints
+/// ([`WorkloadCheckpoints`]): the same identity as a profile — workload
+/// name, thread count, content fingerprint — under its own extension, so
+/// one checkpoint set exists per workload content.  Configuration knobs
+/// (signature config, strategy) are deliberately *not* part of the key:
+/// checkpoints capture observer state along the trace, which depends only
+/// on the trace itself, so one cold walk's checkpoints serve every later
+/// re-walk of that workload regardless of why it re-walks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CheckpointCacheKey {
+    workload_name: String,
+    threads: usize,
+    fingerprint: u64,
+}
+
+impl CheckpointCacheKey {
+    /// Computes the key for `workload`.
+    pub fn for_workload<W: Workload + ?Sized>(workload: &W) -> Self {
+        Self {
+            workload_name: workload.name().to_string(),
+            threads: workload.num_threads(),
+            fingerprint: workload.profile_fingerprint(),
+        }
+    }
+
+    /// The workload name component.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// The content fingerprint component.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn file_name(&self) -> String {
+        format!(
+            "{}-{}t-{:016x}.{CHECKPOINT_EXT}",
             sanitize(&self.workload_name),
             self.threads,
             self.fingerprint
@@ -412,6 +463,14 @@ pub struct CacheStats {
     /// Simulated-leg lookups that had to simulate (including corrupt
     /// entries).
     pub simulated_misses: u64,
+    /// Region-segment checkpoint lookups served from the in-process memory
+    /// tier.
+    pub checkpoint_memory_hits: u64,
+    /// Region-segment checkpoint lookups that were served from disk.
+    pub checkpoint_hits: u64,
+    /// Region-segment checkpoint lookups that missed (including corrupt
+    /// entries) — the next cold walk re-emits them.
+    pub checkpoint_misses: u64,
     /// Disk entries deleted by LRU eviction.
     pub evictions: u64,
     /// Memory-tier entries dropped by its byte-bound LRU eviction (the disk
@@ -432,17 +491,20 @@ pub struct CacheStats {
 }
 
 /// Number of `u64` counters in [`CacheStats`] (the persisted layout).
-const STATS_FIELDS: usize = 15;
+const STATS_FIELDS: usize = 18;
 
 impl CacheStats {
     /// Total lookups served from the memory tier, over all artifact kinds.
     pub fn memory_hits(&self) -> u64 {
-        self.profile_memory_hits + self.selection_memory_hits + self.simulated_memory_hits
+        self.profile_memory_hits
+            + self.selection_memory_hits
+            + self.simulated_memory_hits
+            + self.checkpoint_memory_hits
     }
 
     /// Total lookups served from the disk tier, over all artifact kinds.
     pub fn disk_hits(&self) -> u64 {
-        self.profile_hits + self.selection_hits + self.simulated_hits
+        self.profile_hits + self.selection_hits + self.simulated_hits + self.checkpoint_hits
     }
 
     /// The field-wise (saturating) sum of two snapshots — how a persisted
@@ -467,6 +529,9 @@ impl CacheStats {
             self.simulated_memory_hits,
             self.simulated_hits,
             self.simulated_misses,
+            self.checkpoint_memory_hits,
+            self.checkpoint_hits,
+            self.checkpoint_misses,
             self.evictions,
             self.memory_evictions,
             self.degraded_loads,
@@ -488,12 +553,15 @@ impl CacheStats {
             simulated_memory_hits: values[6],
             simulated_hits: values[7],
             simulated_misses: values[8],
-            evictions: values[9],
-            memory_evictions: values[10],
-            degraded_loads: values[11],
-            degraded_stores: values[12],
-            retries: values[13],
-            lock_contended: values[14],
+            checkpoint_memory_hits: values[9],
+            checkpoint_hits: values[10],
+            checkpoint_misses: values[11],
+            evictions: values[12],
+            memory_evictions: values[13],
+            degraded_loads: values[14],
+            degraded_stores: values[15],
+            retries: values[16],
+            lock_contended: values[17],
         }
     }
 }
@@ -509,6 +577,9 @@ struct StatCounters {
     simulated_memory_hits: AtomicU64,
     simulated_hits: AtomicU64,
     simulated_misses: AtomicU64,
+    checkpoint_memory_hits: AtomicU64,
+    checkpoint_hits: AtomicU64,
+    checkpoint_misses: AtomicU64,
     evictions: AtomicU64,
     memory_evictions: AtomicU64,
     degraded_loads: AtomicU64,
@@ -542,6 +613,7 @@ enum MemoryKey {
     Profile(ProfileCacheKey),
     Selection(SelectionCacheKey),
     Simulated(SimulatedCacheKey),
+    Checkpoint(CheckpointCacheKey),
 }
 
 /// A decoded artifact held by the memory tier.  Cloning is a pointer clone.
@@ -550,6 +622,7 @@ enum MemoryArtifact {
     Profile(Arc<ApplicationProfile>),
     Selection(Arc<BarrierPointSelection>),
     Simulated(Arc<Simulated>),
+    Checkpoint(Arc<WorkloadCheckpoints>),
 }
 
 // The tier itself — shard locks, the global LRU clock, byte accounting, and
@@ -707,6 +780,9 @@ impl ArtifactCache {
             simulated_memory_hits: read(&self.stats.simulated_memory_hits),
             simulated_hits: read(&self.stats.simulated_hits),
             simulated_misses: read(&self.stats.simulated_misses),
+            checkpoint_memory_hits: read(&self.stats.checkpoint_memory_hits),
+            checkpoint_hits: read(&self.stats.checkpoint_hits),
+            checkpoint_misses: read(&self.stats.checkpoint_misses),
             evictions: read(&self.stats.evictions),
             memory_evictions: read(&self.stats.memory_evictions),
             degraded_loads: read(&self.stats.degraded_loads),
@@ -775,6 +851,10 @@ impl ArtifactCache {
     }
 
     fn simulated_path(&self, key: &SimulatedCacheKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    fn checkpoint_path(&self, key: &CheckpointCacheKey) -> PathBuf {
         self.root.join(key.file_name())
     }
 
@@ -952,7 +1032,7 @@ impl ArtifactCache {
         for entry in entries {
             let ext = entry.path.extension().and_then(|e| e.to_str());
             match ext {
-                Some(PROFILE_EXT | SELECTION_EXT | SIMULATED_EXT) => {
+                Some(PROFILE_EXT | SELECTION_EXT | SIMULATED_EXT | CHECKPOINT_EXT) => {
                     files.push((entry.modified, entry.len, entry.path));
                 }
                 _ => {
@@ -1259,6 +1339,143 @@ impl ArtifactCache {
                 Ok((profile, false))
             }
         }
+    }
+
+    /// Drops the profile stored under `key` from **both** tiers, so the
+    /// next lookup recomputes (or re-walks) it.  Returns whether any tier
+    /// held the entry.  A disk removal failure other than the entry not
+    /// existing is swallowed — invalidation is best-effort, exactly like
+    /// eviction — but the memory tier drop always happens, so in-process
+    /// lookups can never resurrect the invalidated artifact.
+    ///
+    /// The segment-parallelism bench uses this to force a re-profile that
+    /// exercises the checkpoint path; the checkpoints themselves are keyed
+    /// separately and survive.
+    pub fn invalidate_profile(&self, key: &ProfileCacheKey) -> bool {
+        let in_memory = self.memory.remove(&MemoryKey::Profile(key.clone()));
+        let on_disk = self.storage.remove_file(&self.profile_path(key)).is_ok();
+        in_memory || on_disk
+    }
+
+    /// Tiered checkpoint lookup; see [`lookup_profile`](Self::lookup_profile).
+    fn lookup_checkpoint(
+        &self,
+        key: &CheckpointCacheKey,
+    ) -> Result<Option<(Arc<WorkloadCheckpoints>, bool)>, Error> {
+        if let Some(MemoryArtifact::Checkpoint(checkpoints)) =
+            self.memory.get(&MemoryKey::Checkpoint(key.clone()))
+        {
+            return Ok(Some((checkpoints, true)));
+        }
+        let path = self.checkpoint_path(key);
+        let Some(bytes) = self.read_entry(&path)? else { return Ok(None) };
+        let Some(checkpoints) = decode_checkpoint(&bytes, key) else { return Ok(None) };
+        self.touch_entry(&path);
+        let checkpoints = Arc::new(checkpoints);
+        self.memory.insert(
+            MemoryKey::Checkpoint(key.clone()),
+            MemoryArtifact::Checkpoint(checkpoints.clone()),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(Some((checkpoints, false)))
+    }
+
+    /// Looks up the region-segment checkpoints stored under `key`, in
+    /// either tier; `Ok(None)` on any miss (stale version, corrupt payload,
+    /// wrong key).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProfileCache`] for I/O failures other than the entry
+    /// not existing.
+    pub fn load_checkpoint(
+        &self,
+        key: &CheckpointCacheKey,
+    ) -> Result<Option<Arc<WorkloadCheckpoints>>, Error> {
+        Ok(self.lookup_checkpoint(key)?.map(|(checkpoints, _)| checkpoints))
+    }
+
+    /// Persists `checkpoints` under `key` in both tiers.  Does not degrade;
+    /// see [`store`](Self::store).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProfileCache`] on I/O failure (after bounded
+    /// transient retries).
+    pub fn store_checkpoint(
+        &self,
+        key: &CheckpointCacheKey,
+        checkpoints: &WorkloadCheckpoints,
+    ) -> Result<(), Error> {
+        let checkpoints = Arc::new(checkpoints.clone());
+        let bytes = encode_checkpoint(key, &checkpoints);
+        self.write_entry(&self.checkpoint_path(key), &bytes)?;
+        self.memory.insert(
+            MemoryKey::Checkpoint(key.clone()),
+            MemoryArtifact::Checkpoint(checkpoints),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(())
+    }
+
+    /// [`lookup_checkpoint`](Self::lookup_checkpoint) on the
+    /// degrade-to-recompute paths; see
+    /// [`lookup_profile_degraded`](Self::lookup_profile_degraded).
+    fn lookup_checkpoint_degraded(
+        &self,
+        key: &CheckpointCacheKey,
+    ) -> Option<(Arc<WorkloadCheckpoints>, bool)> {
+        match self.lookup_checkpoint(key) {
+            Ok(found) => found,
+            Err(_) => {
+                bump(&self.stats.degraded_loads);
+                None
+            }
+        }
+    }
+
+    /// [`load_checkpoint`](Self::load_checkpoint) with hit/miss accounting
+    /// — the sweep's logical checkpoint lookup on a profile or warmup
+    /// re-walk.  Degrades I/O failures to misses: checkpoints are purely an
+    /// accelerator, a miss only costs the sequential walk.
+    pub(crate) fn probe_checkpoint(
+        &self,
+        key: &CheckpointCacheKey,
+    ) -> Result<Option<Arc<WorkloadCheckpoints>>, Error> {
+        match self.lookup_checkpoint_degraded(key) {
+            Some((checkpoints, true)) => {
+                bump(&self.stats.checkpoint_memory_hits);
+                Ok(Some(checkpoints))
+            }
+            Some((checkpoints, false)) => {
+                bump(&self.stats.checkpoint_hits);
+                Ok(Some(checkpoints))
+            }
+            None => {
+                bump(&self.stats.checkpoint_misses);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Write-through store of already-shared checkpoints (no deep copy).
+    /// Disk failures degrade; the memory tier is populated either way.
+    pub(crate) fn store_checkpoint_arc(
+        &self,
+        key: &CheckpointCacheKey,
+        checkpoints: &Arc<WorkloadCheckpoints>,
+    ) -> Result<(), Error> {
+        let bytes = encode_checkpoint(key, checkpoints);
+        self.write_entry_degraded(&self.checkpoint_path(key), &bytes);
+        self.memory.insert(
+            MemoryKey::Checkpoint(key.clone()),
+            MemoryArtifact::Checkpoint(checkpoints.clone()),
+            bytes.len() as u64,
+            &self.stats.memory_evictions,
+        );
+        Ok(())
     }
 
     /// Tiered simulated-leg lookup; see
@@ -1655,6 +1872,42 @@ fn decode_simulated(bytes: &[u8], key: &SimulatedCacheKey) -> Option<Simulated> 
         return None;
     }
     Some(simulated)
+}
+
+fn encode_checkpoint(key: &CheckpointCacheKey, checkpoints: &WorkloadCheckpoints) -> Vec<u8> {
+    let mut out = serde::Serializer::new();
+    out.write_bytes(CHECKPOINT_MAGIC);
+    out.write_u32(FORMAT_VERSION);
+    out.write_str(&key.workload_name);
+    out.write_u64(key.threads as u64);
+    out.write_u64(key.fingerprint);
+    serde::Serialize::serialize(checkpoints, &mut out);
+    seal(out.into_bytes())
+}
+
+/// Decodes a checkpoint entry; `None` on any mismatch, as for profiles.
+fn decode_checkpoint(bytes: &[u8], key: &CheckpointCacheKey) -> Option<WorkloadCheckpoints> {
+    let mut de = serde::Deserializer::new(verify_seal(bytes)?);
+    if de.read_bytes(CHECKPOINT_MAGIC.len()).ok()? != CHECKPOINT_MAGIC {
+        return None;
+    }
+    if de.read_u32().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    if de.read_string().ok()? != key.workload_name {
+        return None;
+    }
+    if de.read_u64().ok()? != key.threads as u64 {
+        return None;
+    }
+    if de.read_u64().ok()? != key.fingerprint {
+        return None;
+    }
+    let checkpoints: WorkloadCheckpoints = serde::Deserialize::deserialize(&mut de).ok()?;
+    if de.remaining() != 0 {
+        return None;
+    }
+    Some(checkpoints)
 }
 
 #[cfg(test)]
@@ -2619,5 +2872,185 @@ mod tests {
         assert_eq!(parse_lock_ts_ms(b"pid 42 ts-ms\n"), None, "truncated");
         assert_eq!(parse_lock_ts_ms(b"ts-ms twelve"), None, "non-numeric");
         assert_eq!(parse_lock_ts_ms(&[0xff, 0xfe]), None, "not UTF-8");
+    }
+
+    /// Builds a real checkpoint set for `w` (4 segments, capacity 256).
+    fn checkpoints_for(w: &impl Workload) -> WorkloadCheckpoints {
+        let (_, _, ckpts) = crate::segment::profile_and_collect_warmup_checkpointed(
+            w,
+            &[256],
+            &ExecutionPolicy::Serial,
+            None,
+            4,
+        )
+        .unwrap();
+        ckpts
+    }
+
+    #[test]
+    fn checkpoint_miss_then_hit_round_trips_both_tiers_and_accounts() {
+        let cache = temp_cache("ckpt-roundtrip");
+        let w = workload(0.02);
+        let key = CheckpointCacheKey::for_workload(&w);
+
+        assert_eq!(cache.probe_checkpoint(&key).unwrap(), None);
+        assert_eq!(cache.stats().checkpoint_misses, 1);
+
+        let ckpts = checkpoints_for(&w);
+        cache.store_checkpoint(&key, &ckpts).unwrap();
+        // Same handle: the store wrote through to the memory tier.
+        let hit = cache.probe_checkpoint(&key).unwrap().expect("stored entry must hit");
+        assert_eq!(*hit, ckpts);
+        assert_eq!(cache.stats().checkpoint_memory_hits, 1);
+        assert_eq!(cache.stats().checkpoint_hits, 0);
+
+        // A reopened handle decodes the identical artifact from disk.
+        let reopened = reopen(&cache);
+        let disk = reopened.probe_checkpoint(&key).unwrap().expect("disk tier must serve");
+        assert_eq!(*disk, ckpts);
+        assert_eq!(reopened.stats().checkpoint_hits, 1);
+        assert_eq!(reopened.stats().checkpoint_memory_hits, 0);
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn checkpoint_key_is_config_independent_but_content_addressed() {
+        let small = workload(0.02);
+        let large = workload(0.05);
+        let key_small = CheckpointCacheKey::for_workload(&small);
+        let key_large = CheckpointCacheKey::for_workload(&large);
+        assert_ne!(key_small, key_large, "distinct content must not alias");
+        assert_ne!(key_small.file_name(), key_large.file_name());
+        assert!(key_small.file_name().ends_with(CHECKPOINT_EXT));
+        // Same identity fields as the profile key: config knobs play no part.
+        let profile_key = ProfileCacheKey::for_workload(&small);
+        assert_eq!(key_small.workload_name(), profile_key.workload_name());
+        assert_eq!(key_small.fingerprint(), profile_key.fingerprint());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_entries_self_heal_as_misses() {
+        let cache = temp_cache("ckpt-corrupt");
+        let w = workload(0.02);
+        let key = CheckpointCacheKey::for_workload(&w);
+        let ckpts = checkpoints_for(&w);
+        cache.store_checkpoint(&key, &ckpts).unwrap();
+        let path = cache.checkpoint_path(&key);
+        let pristine = fs::read(&path).unwrap();
+
+        // Truncation, a payload bit flip plus trailing garbage, and a stale
+        // format version must all read as misses from a cold-memory handle.
+        fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+        assert_eq!(reopen(&cache).load_checkpoint(&key).unwrap(), None, "truncated");
+
+        let mut flipped = pristine.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xff;
+        flipped.push(0);
+        fs::write(&path, &flipped).unwrap();
+        assert_eq!(reopen(&cache).load_checkpoint(&key).unwrap(), None, "bit flip + garbage");
+
+        let mut stale = pristine.clone();
+        stale[4] = stale[4].wrapping_add(1); // bump the stored version
+        fs::write(&path, &stale).unwrap();
+        let reopened = reopen(&cache);
+        assert_eq!(reopened.load_checkpoint(&key).unwrap(), None, "stale version");
+
+        // A re-store heals the entry for cold handles.
+        reopened.store_checkpoint(&key, &ckpts).unwrap();
+        assert_eq!(reopen(&reopened).load_checkpoint(&key).unwrap().as_deref(), Some(&ckpts));
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    /// Regression: the LRU eviction scan and the orphan cleanup must treat
+    /// the `ckpt` kind as a first-class citizen — evictable by newer stores,
+    /// able to evict older entries, its tmp orphans reaped.
+    #[test]
+    fn checkpoint_entries_participate_in_lru_eviction_and_orphan_cleanup() {
+        // Memory tier off: this test pins the *disk* tier's LRU behavior.
+        let cache = temp_cache("ckpt-evict").with_max_bytes(1).with_memory_max_bytes(0);
+        let w = workload(0.02);
+        let profile = profile_application(&w).unwrap();
+        let profile_key = ProfileCacheKey::for_workload(&w);
+        let ckpt_key = CheckpointCacheKey::for_workload(&w);
+        let ckpts = checkpoints_for(&w);
+
+        // Storing the checkpoints with a 1-byte budget must evict the older
+        // profile but keep the entry just written.
+        cache.store(&profile_key, &profile).unwrap();
+        std::thread::sleep(Duration::from_millis(20)); // distinct mtimes
+        cache.store_checkpoint(&ckpt_key, &ckpts).unwrap();
+        assert_eq!(cache.load(&profile_key).unwrap(), None, "older profile evicted");
+        assert_eq!(cache.load_checkpoint(&ckpt_key).unwrap().as_deref(), Some(&ckpts));
+        assert!(cache.stats().evictions >= 1);
+
+        // And a newer profile store evicts the checkpoint entry in turn.
+        std::thread::sleep(Duration::from_millis(20));
+        cache.store(&profile_key, &profile).unwrap();
+        assert_eq!(cache.load_checkpoint(&ckpt_key).unwrap(), None, "ckpt evicted by LRU");
+
+        // Orphan cleanup: a stale bpckpt tmp file is reaped by the next
+        // store's scan, a fresh one survives.
+        let orphan = cache.root().join(format!("x.{CHECKPOINT_EXT}.tmp-99999"));
+        fs::write(&orphan, b"torn").unwrap();
+        let old = SystemTime::now() - Duration::from_secs(120);
+        fs::OpenOptions::new().write(true).open(&orphan).unwrap().set_modified(old).unwrap();
+        let live = cache.root().join(format!("y.{CHECKPOINT_EXT}.tmp-88888"));
+        fs::write(&live, b"in-flight").unwrap();
+        cache.store_checkpoint(&ckpt_key, &ckpts).unwrap();
+        assert!(!orphan.exists(), "stale ckpt tmp orphan must be reaped");
+        assert!(live.exists(), "fresh ckpt tmp files must survive");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn invalidate_profile_drops_both_tiers_but_leaves_checkpoints() {
+        let cache = temp_cache("ckpt-invalidate");
+        let w = workload(0.02);
+        let profile_key = ProfileCacheKey::for_workload(&w);
+        let ckpt_key = CheckpointCacheKey::for_workload(&w);
+        cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        cache.store_checkpoint(&ckpt_key, &checkpoints_for(&w)).unwrap();
+
+        assert!(cache.invalidate_profile(&profile_key), "entry existed");
+        let (_, cached) = cache.load_or_profile(&w, &ExecutionPolicy::Serial).unwrap();
+        assert!(!cached, "both tiers dropped: the next load recomputes");
+        assert!(
+            cache.load_checkpoint(&ckpt_key).unwrap().is_some(),
+            "checkpoints are keyed separately and must survive"
+        );
+        // Idempotent on the now re-stored entry, and false once truly gone.
+        assert!(cache.invalidate_profile(&profile_key));
+        assert!(!cache.invalidate_profile(&profile_key), "nothing left to drop");
+        fs::remove_dir_all(cache.root()).ok();
+    }
+
+    #[test]
+    fn checkpoint_io_failures_degrade_to_misses_never_errors() {
+        let (cache, faults) = faulty_cache("ckpt-degrade");
+        let w = workload(0.02);
+        let key = CheckpointCacheKey::for_workload(&w);
+        let ckpts = checkpoints_for(&w);
+        cache.store_checkpoint(&key, &ckpts).unwrap();
+
+        let reopened = ArtifactCache::new(cache.root()).with_storage(faults.clone());
+        faults.inject(
+            Fault::fail(FaultOp::Read, ErrorKind::PermissionDenied).on_path(CHECKPOINT_EXT),
+        );
+        assert_eq!(
+            reopened.probe_checkpoint(&key).unwrap(),
+            None,
+            "an unreadable checkpoint is a miss, not an error"
+        );
+        assert_eq!(reopened.stats().degraded_loads, 1);
+        assert_eq!(reopened.stats().checkpoint_misses, 1);
+
+        // Stores degrade too: the memory tier still serves this process.
+        faults.inject(Fault::fail(FaultOp::Write, ErrorKind::StorageFull));
+        let degraded = ArtifactCache::new(cache.root()).with_storage(faults.clone());
+        degraded.store_checkpoint_arc(&key, &Arc::new(ckpts.clone())).unwrap();
+        assert_eq!(degraded.stats().degraded_stores, 1);
+        assert_eq!(*degraded.probe_checkpoint(&key).unwrap().unwrap(), ckpts);
+        fs::remove_dir_all(cache.root()).ok();
     }
 }

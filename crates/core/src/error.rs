@@ -84,6 +84,14 @@ pub enum Error {
         /// The underlying I/O error, rendered.
         message: String,
     },
+    /// A region-segment checkpoint could not be restored into a fresh
+    /// observer (semantically invalid state — capacity mismatch, torn
+    /// bytes).  Cache-served checkpoints are checksum-sealed, so this
+    /// indicates a caller-side shape mismatch rather than storage rot.
+    CheckpointRestore {
+        /// Which segment failed and why.
+        message: String,
+    },
     /// A design-space sweep was run without any design point.
     EmptySweep {
         /// Name of the swept workload.
@@ -118,6 +126,9 @@ impl fmt::Display for Error {
             }
             Error::ProfileCache { path, message } => {
                 write!(f, "artifact cache I/O failure at {path}: {message}")
+            }
+            Error::CheckpointRestore { message } => {
+                write!(f, "segment checkpoint restore failed: {message}")
             }
             Error::EmptySweep { workload } => {
                 write!(f, "sweep over workload {workload} has no design points")

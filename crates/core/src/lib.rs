@@ -119,6 +119,7 @@ mod pipeline;
 mod profile;
 mod reconstruct;
 pub mod report;
+mod segment;
 mod select;
 mod simulate;
 mod stages;
@@ -126,7 +127,8 @@ pub mod storage;
 mod sweep;
 
 pub use cache::{
-    ArtifactCache, CacheStats, ProfileCache, ProfileCacheKey, SelectionCacheKey, SimulatedCacheKey,
+    ArtifactCache, CacheStats, CheckpointCacheKey, ProfileCache, ProfileCacheKey,
+    SelectionCacheKey, SimulatedCacheKey,
 };
 pub use error::{classify_io_error, Error, IoErrorClass};
 pub use pipeline::{BarrierPoint, BarrierPointOutcome};
@@ -135,6 +137,11 @@ pub use profile::{
     profile_application_with, ApplicationProfile,
 };
 pub use reconstruct::{reconstruct, reconstruct_with_mode, ReconstructedRun, ScalingMode};
+pub use segment::{
+    checkpoint_cuts, collect_warmup_bank_segmented, profile_and_collect_warmup_checkpointed,
+    profile_and_collect_warmup_segmented, profile_application_segmented, WorkloadCheckpoints,
+    DEFAULT_SEGMENTS,
+};
 pub use select::{
     select_barrierpoints, select_barrierpoints_with, BarrierPointInfo, BarrierPointSelection,
     SIGNIFICANCE_THRESHOLD,

@@ -258,6 +258,23 @@ impl<K: Hash + Eq + Clone, V: Clone> MemoryTier<K, V> {
         true
     }
 
+    /// Removes `key` from the tier, returning whether it was resident.
+    /// An explicit invalidation, not an eviction: no eviction counter is
+    /// bumped, and the byte accounting is released under the shard lock's
+    /// pairing discipline like any other map mutation.
+    pub fn remove(&self, key: &K) -> bool {
+        let mut shard = self.shards[self.shard_index(key)].lock();
+        match shard.remove(key) {
+            Some(entry) => {
+                // ordering: Relaxed — conservation counter (module docs);
+                // the paired map mutation is the remove above.
+                self.total_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Sets (or clears) the byte bound.  Applies to subsequent inserts;
     /// resident entries above a lowered bound age out on the next insert.
     pub fn set_max_bytes(&self, max_bytes: Option<u64>) {

@@ -1,9 +1,7 @@
 use crate::error::Error;
 use bp_exec::{ExecutionPolicy, WorkerBudget};
-use bp_signature::{
-    zip_thread_profiles, RegionSignature, SignatureConfig, SignatureVector, ThreadProfileObserver,
-};
-use bp_warmup::{MruSnapshotBank, MruThreadObserver};
+use bp_signature::{zip_thread_profiles, RegionSignature, SignatureConfig, SignatureVector};
+use bp_warmup::MruSnapshotBank;
 use bp_workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +58,17 @@ impl ApplicationProfile {
     /// the clustering step).
     pub fn assemble_vectors(&self, config: &SignatureConfig) -> Vec<SignatureVector> {
         self.signatures.iter().map(|s| s.assemble(config)).collect()
+    }
+
+    /// Zips per-thread streaming profiles into the application profile —
+    /// the assembly step shared by the sequential fused pass and the
+    /// segmented walks of [`crate::segment`].
+    pub(crate) fn from_thread_profiles(
+        workload_name: String,
+        threads: usize,
+        profiles: Vec<bp_signature::ThreadProfile>,
+    ) -> Self {
+        Self { workload_name, threads, signatures: zip_thread_profiles(profiles) }
     }
 }
 
@@ -131,8 +140,8 @@ pub fn profile_application_budgeted<W: Workload + ?Sized>(
 /// the [`ApplicationProfile`] and the raw MRU warmup state of every region
 /// boundary, at the largest capacity in `capacities`.
 ///
-/// Each thread drives a [`ThreadProfileObserver`] and an
-/// [`MruThreadObserver`] through the trace-observer engine
+/// Each thread drives a [`bp_signature::ThreadProfileObserver`] and an
+/// [`bp_warmup::MruThreadObserver`] through the trace-observer engine
 /// ([`bp_workload::drive`]), so the trace is *generated* exactly once per
 /// thread — where a cold pipeline used to walk it once for profiling and
 /// again for warmup collection.  Because the barrierpoint selection is not
@@ -160,29 +169,14 @@ pub fn profile_and_collect_warmup<W: Workload + ?Sized>(
     policy: &ExecutionPolicy,
     budget: Option<&WorkerBudget>,
 ) -> Result<(ApplicationProfile, MruSnapshotBank), Error> {
-    if workload.num_regions() == 0 {
-        return Err(Error::EmptyWorkload { workload: workload.name().to_string() });
-    }
-    let boundaries: Vec<usize> = (0..workload.num_regions()).collect();
-    let collection_capacity = capacities.iter().copied().max().unwrap_or(1).max(1);
-    let walk = |thread: usize| {
-        let mut profiler = ThreadProfileObserver::new(workload, thread);
-        let mut mru = MruThreadObserver::new(&boundaries, collection_capacity);
-        bp_workload::drive(workload, thread, &mut [&mut profiler, &mut mru]);
-        (profiler.into_profile(), mru)
-    };
-    let threads = workload.num_threads();
-    let walked = match budget {
-        Some(budget) => policy.execute_budgeted(threads, budget, walk),
-        None => policy.execute(threads, walk),
-    };
-    let (profiles, observers): (Vec<_>, Vec<_>) = walked.into_iter().unzip();
-    let profile = ApplicationProfile {
-        workload_name: workload.name().to_string(),
-        threads,
-        signatures: zip_thread_profiles(profiles),
-    };
-    Ok((profile, MruSnapshotBank::from_observers(observers)))
+    // The trace walk itself lives in `crate::segment` (the one bp-core
+    // module allowed to drive traces — the `core-drive` lint pins it);
+    // with a single segment, no checkpoint is taken and the walk is the
+    // plain fused pass.
+    let (profile, bank, _) = crate::segment::profile_and_collect_warmup_checkpointed(
+        workload, capacities, policy, budget, 1,
+    )?;
+    Ok((profile, bank))
 }
 
 #[cfg(test)]

@@ -58,9 +58,13 @@
 //! # Ok::<(), barrierpoint::Error>(())
 //! ```
 
-use crate::cache::{sim_config_fingerprint, ProfileCacheKey, SelectionCacheKey, SimulatedCacheKey};
+use crate::cache::{
+    sim_config_fingerprint, CheckpointCacheKey, ProfileCacheKey, SelectionCacheKey,
+    SimulatedCacheKey,
+};
 use crate::error::Error;
 use crate::pipeline::BarrierPoint;
+use crate::segment::DEFAULT_SEGMENTS;
 use crate::select::{select_barrierpoints_with, BarrierPointSelection};
 use crate::simulate::WarmupKind;
 use crate::stages::Simulated;
@@ -98,6 +102,9 @@ impl std::fmt::Debug for SweepPoint<'_> {
 #[derive(Debug)]
 struct StaticKeys {
     profile_key: ProfileCacheKey,
+    /// Content address of the base workload's region-segment checkpoints —
+    /// the same identity as the profile key under its own artifact kind.
+    checkpoint_key: CheckpointCacheKey,
     /// One selection key per effective strategy, in strategy order.
     selection_keys: Vec<SelectionCacheKey>,
     points: Vec<PointKeyParts>,
@@ -342,6 +349,8 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
         let mut profile_passes = 0;
         let mut warmup_collections = 0;
         let mut trace_walks = 0;
+        let mut segment_walks = 0;
+        let mut checkpoint_hits = 0;
         let mut fused_bank: Option<MruSnapshotBank> = None;
 
         // Cache-health counters are reported as the delta over this run.
@@ -376,7 +385,6 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                 Some(profile) => profile,
                 None => {
                     profile_passes = 1;
-                    trace_walks += base_threads;
                     let base_capacities = base_capacities(statics, base_fp);
                     // The interval-sharing snapshot bank scales with
                     // eviction/write activity between boundaries, not
@@ -384,22 +392,77 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                     // no longer needs the old 512 MiB byte-cap fallback
                     // onto two separate walks — fusing is unconditional.
                     let fuse = warmup == WarmupKind::MruReplay && !base_capacities.is_empty();
-                    let profile = if fuse {
-                        let (profile, bank) = crate::profile::profile_and_collect_warmup(
-                            workload,
-                            &base_capacities,
-                            &policy,
-                            Some(&budget),
-                        )?;
-                        warmup_collections += 1;
-                        fused_bank = Some(bank);
-                        Arc::new(profile)
-                    } else {
-                        Arc::new(crate::profile::profile_application_budgeted(
-                            workload,
-                            &policy,
-                            Some(&budget),
-                        )?)
+                    let max_capacity = base_capacities.last().copied().unwrap_or(0);
+                    // A prior cold walk's segment checkpoints turn this
+                    // re-profile into `threads × segments` jobs on the one
+                    // shared budget — drawing *more* workers than threads —
+                    // bit-identical to the sequential walk.  Checkpoints
+                    // whose collection capacity cannot serve every base
+                    // capacity fall through to the sequential walk, which
+                    // re-stores refreshed (larger-capacity) checkpoints.
+                    let checkpoints = match self.base.cache() {
+                        Some(cache) => cache
+                            .probe_checkpoint(&statics.checkpoint_key)?
+                            .filter(|c| c.covers(workload, max_capacity)),
+                        None => None,
+                    };
+                    let profile = match checkpoints {
+                        Some(ckpts) => {
+                            segment_walks += ckpts.segment_jobs();
+                            checkpoint_hits += ckpts.checkpoint_restores();
+                            if fuse {
+                                let (profile, bank) =
+                                    crate::segment::profile_and_collect_warmup_segmented(
+                                        workload,
+                                        &ckpts,
+                                        &policy,
+                                        Some(&budget),
+                                    )?;
+                                warmup_collections += 1;
+                                fused_bank = Some(bank);
+                                Arc::new(profile)
+                            } else {
+                                Arc::new(crate::segment::profile_application_segmented(
+                                    workload,
+                                    &ckpts,
+                                    &policy,
+                                    Some(&budget),
+                                )?)
+                            }
+                        }
+                        None => {
+                            trace_walks += base_threads;
+                            if fuse {
+                                // The one-time cold walk emits checkpoints
+                                // every K regions as a side product (only
+                                // worth taking when a cache can keep them).
+                                let segments =
+                                    if self.base.cache().is_some() { DEFAULT_SEGMENTS } else { 1 };
+                                let (profile, bank, ckpts) =
+                                    crate::segment::profile_and_collect_warmup_checkpointed(
+                                        workload,
+                                        &base_capacities,
+                                        &policy,
+                                        Some(&budget),
+                                        segments,
+                                    )?;
+                                warmup_collections += 1;
+                                fused_bank = Some(bank);
+                                if let Some(cache) = self.base.cache() {
+                                    cache.store_checkpoint_arc(
+                                        &statics.checkpoint_key,
+                                        &Arc::new(ckpts),
+                                    )?;
+                                }
+                                Arc::new(profile)
+                            } else {
+                                Arc::new(crate::profile::profile_application_budgeted(
+                                    workload,
+                                    &policy,
+                                    Some(&budget),
+                                )?)
+                            }
+                        }
                     };
                     if let Some(cache) = self.base.cache() {
                         cache.store_profile_arc(&statics.profile_key, &profile)?;
@@ -536,6 +599,34 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                         }
                         continue;
                     }
+                    // No fused bank (the profile and selections were
+                    // cache-served) but cached segment checkpoints whose
+                    // collection capacity covers this group: re-collect as
+                    // `threads × segments` jobs instead of a sequential
+                    // walk, bit-identical by the stitching contract.
+                    let group_max = capacities.iter().copied().max().unwrap_or(0);
+                    let checkpoints = match self.base.cache() {
+                        Some(cache) => cache
+                            .probe_checkpoint(&statics.checkpoint_key)?
+                            .filter(|c| c.covers(workload, group_max)),
+                        None => None,
+                    };
+                    if let Some(ckpts) = checkpoints {
+                        segment_walks += ckpts.segment_jobs();
+                        checkpoint_hits += ckpts.checkpoint_restores();
+                        let bank = crate::segment::collect_warmup_bank_segmented(
+                            workload,
+                            &ckpts,
+                            &policy,
+                            Some(&budget),
+                        )?;
+                        warmup_collections += 1;
+                        for capacity in capacities {
+                            warmup_payloads
+                                .push(((workload_fp, capacity), bank.assemble(&regions, capacity)));
+                        }
+                        continue;
+                    }
                 }
                 // A dedicated collection pass, thread-major from the shared
                 // budget (a cold cross-core-count leg's collection borrows
@@ -636,6 +727,8 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
             simulate_legs: missing.len(),
             simulated_cache_hits,
             trace_walks,
+            segment_walks,
+            checkpoint_hits,
             fused_snapshot_bytes: fused_bank.as_ref().map_or(0, |bank| bank.snapshot_bytes()),
             degraded_loads: health[0],
             degraded_stores: health[1],
@@ -692,6 +785,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
     fn build_static_keys(&self) -> StaticKeys {
         let base = self.base.workload();
         let profile_key = ProfileCacheKey::for_workload(base);
+        let checkpoint_key = CheckpointCacheKey::for_workload(base);
         let selection_keys = self
             .effective_strategies()
             .iter()
@@ -728,7 +822,7 @@ impl<'a, W: Workload + ?Sized> Sweep<'a, W> {
                 }
             })
             .collect();
-        StaticKeys { profile_key, selection_keys, points }
+        StaticKeys { profile_key, checkpoint_key, selection_keys, points }
     }
 }
 
@@ -794,6 +888,18 @@ pub struct SweepCounters {
     /// the leg workload's thread count per dedicated warmup collection of a
     /// cross-content leg, and is zero for a warm re-sweep.
     pub trace_walks: usize,
+    /// Segment jobs executed by the region-segment checkpoint scheduler:
+    /// each `(thread, segment)` cell of a segmented re-walk, for any
+    /// purpose (re-profiling at a new configuration, MRU warmup
+    /// re-collection).  A segmented walk fans `threads × segments` such
+    /// jobs onto the shared [`WorkerBudget`] — more workers than threads —
+    /// and counts **zero** [`trace_walks`](Self::trace_walks); a warm
+    /// re-sweep executes neither.
+    pub segment_walks: usize,
+    /// Segment jobs that started from a *restored* checkpoint rather than
+    /// region zero (`threads × (segments − 1)` per segmented walk) — the
+    /// work the `ckpt` artifact kind actually saved.
+    pub checkpoint_hits: usize,
     /// Bytes of interval-encoded MRU snapshot state the fused cold pass
     /// actually retained (zero when no fused pass ran).  The old
     /// per-boundary bank retained `threads × regions × capacity × 16` bytes
@@ -982,6 +1088,8 @@ mod tests {
                 simulate_legs: 2,
                 simulated_cache_hits: 0,
                 trace_walks: 2,
+                segment_walks: 0,
+                checkpoint_hits: 0,
                 fused_snapshot_bytes: counters.fused_snapshot_bytes,
                 degraded_loads: 0,
                 degraded_stores: 0,
@@ -1263,5 +1371,105 @@ mod tests {
         let serial = build(ExecutionPolicy::Serial);
         let parallel = build(ExecutionPolicy::parallel_with(4));
         assert_eq!(serial, parallel);
+    }
+
+    /// The tentpole pin: after a cold run stores segment checkpoints, a
+    /// forced re-profile (invalidated profile + a new clustering config)
+    /// executes as `threads × segments` segment jobs — zero sequential
+    /// trace walks — and its artifacts are bit-identical to an uncached
+    /// sequential run of the same configuration.
+    #[test]
+    fn cached_checkpoints_turn_reprofiles_into_segment_jobs() {
+        let dir =
+            std::env::temp_dir().join(format!("bp-sweep-ckpt-seg-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let w = workload(2);
+        let base = SimConfig::scaled(2);
+        let cache = ArtifactCache::new(&dir);
+
+        // Cold run: sequential fused walk, checkpoints stored as a side
+        // product — never counted as segment work.
+        let cold = Sweep::new(&w).with_cache(cache.clone()).add_config("base", base).run().unwrap();
+        assert_eq!(cold.counters().trace_walks, 2);
+        assert_eq!(cold.counters().segment_walks, 0, "the cold walk is sequential");
+        assert_eq!(cold.counters().checkpoint_hits, 0);
+
+        // Warm repeat: no walks of any kind.
+        let warm = Sweep::new(&w).with_cache(cache.clone()).add_config("base", base).run().unwrap();
+        assert_eq!(warm.counters().trace_walks, 0);
+        assert_eq!(warm.counters().segment_walks, 0, "a warm re-sweep segments nothing");
+
+        // Force the re-profile: drop the profile entry and change the
+        // clustering config so the selection misses too.  The checkpoint
+        // entry survives (its key is config-independent) and turns the
+        // re-walk into threads × segments jobs.
+        assert!(cache.invalidate_profile(&ProfileCacheKey::for_workload(&w)));
+        let reconfigured = || {
+            Sweep::new(&w)
+                .with_cache(cache.clone())
+                .with_simpoint_config(SimPointConfig::paper().with_max_k(3))
+                .add_config("base", base)
+        };
+        let segmented = reconfigured().run().unwrap();
+        let counters = segmented.counters();
+        assert_eq!(counters.profile_passes, 1, "the profile really recomputed");
+        assert_eq!(counters.trace_walks, 0, "no sequential walk on the checkpointed path");
+        assert!(
+            counters.segment_walks > 2,
+            "the fan-out must exceed the thread count, got {}",
+            counters.segment_walks
+        );
+        let segments = counters.segment_walks / 2;
+        assert_eq!(counters.segment_walks, 2 * segments);
+        assert_eq!(counters.checkpoint_hits, 2 * (segments - 1), "all but the first segment");
+
+        // Bit-identity with a sequential, cache-free run of the same
+        // configuration — selection and legs alike.
+        let sequential = Sweep::new(&w)
+            .with_simpoint_config(SimPointConfig::paper().with_max_k(3))
+            .add_config("base", base)
+            .run()
+            .unwrap();
+        assert_eq!(segmented.selections(), sequential.selections());
+        assert_eq!(segmented.legs(), sequential.legs());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// MRU warmup re-collection also rides the checkpoints: when the
+    /// profile and selection are cache-served but a new leg needs warmup
+    /// payloads (no fused bank exists), the collection fans out segmented
+    /// instead of re-walking sequentially — with identical legs.
+    #[test]
+    fn warmup_recollection_rides_the_cached_checkpoints() {
+        let dir =
+            std::env::temp_dir().join(format!("bp-sweep-ckpt-warm-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let w = workload(2);
+        let base = SimConfig::scaled(2);
+        let mut fast = base;
+        fast.core.frequency_ghz *= 1.5; // same LLC, new leg key
+        let cache = ArtifactCache::new(&dir);
+
+        Sweep::new(&w).with_cache(cache.clone()).add_config("base", base).run().unwrap();
+        // The new "fast" leg misses; profile and selection hit, so the only
+        // trace work is the warmup collection — served segmented.
+        let report = Sweep::new(&w)
+            .with_cache(cache.clone())
+            .add_config("base", base)
+            .add_config("fast", fast)
+            .run()
+            .unwrap();
+        let counters = report.counters();
+        assert_eq!(counters.profile_passes, 0);
+        assert_eq!(counters.simulate_legs, 1, "only the new leg computes");
+        assert_eq!(counters.warmup_collections, 1);
+        assert_eq!(counters.trace_walks, 0, "no sequential collection walk");
+        assert!(counters.segment_walks > 2, "segmented warmup re-collection");
+
+        // Identical to the leg an uncached sequential sweep computes.
+        let sequential =
+            Sweep::new(&w).add_config("base", base).add_config("fast", fast).run().unwrap();
+        assert_eq!(report.legs(), sequential.legs());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -78,6 +78,40 @@ impl StackDistanceTracker {
         }
     }
 
+    /// The tracker's carried state at a region boundary: `(time, total,
+    /// entries)` where `entries` are the live `(timestamp, line)`
+    /// last-access marks sorted by timestamp.  Deterministic regardless of
+    /// hash-map iteration order.  Restoring via [`from_checkpoint`]
+    /// reproduces the tracker's future behaviour — the distances *and* the
+    /// compaction timing (which depends only on `time` and the entry
+    /// count) — exactly.
+    ///
+    /// [`from_checkpoint`]: Self::from_checkpoint
+    pub(crate) fn checkpoint(&self) -> (u64, u64, Vec<(u64, u64)>) {
+        let mut entries: Vec<(u64, u64)> =
+            self.last.iter().map(|(&line, &t)| (t as u64, line)).collect();
+        entries.sort_unstable();
+        (self.time as u64, self.total as u64, entries)
+    }
+
+    /// Rebuilds a tracker from a [`checkpoint`](Self::checkpoint) — the
+    /// Fenwick tree is reconstructed from the last-access marks (it is
+    /// always derivable from them, exactly as compaction rebuilds it).
+    pub(crate) fn from_checkpoint(time: u64, total: u64, entries: &[(u64, u64)]) -> Self {
+        let time = time as usize;
+        let mut tracker = Self {
+            tree: vec![0; (time + 2).next_power_of_two().max(64)],
+            last: HashMap::with_capacity(entries.len()),
+            time,
+            total: total as usize,
+        };
+        for &(t, line) in entries {
+            tracker.last.insert(line, t as usize);
+            tracker.tree_add(t as usize, 1);
+        }
+        tracker
+    }
+
     /// Records an access to `line` and returns its LRU stack distance, or
     /// `None` for the first (cold) access to the line.
     pub fn record(&mut self, line: u64) -> Option<u64> {
@@ -202,6 +236,25 @@ mod tests {
         }
     }
 
+    #[test]
+    fn checkpoint_round_trip_continues_bit_for_bit() {
+        let pattern: Vec<u64> = (0..500).map(|i| (i * 13) % 37).collect();
+        let mut original = StackDistanceTracker::new();
+        for &line in &pattern[..250] {
+            original.record(line);
+        }
+        let (time, total, entries) = original.checkpoint();
+        // Checkpoint bytes are deterministic (sorted), not hash-ordered.
+        assert_eq!(original.checkpoint(), (time, total, entries.clone()));
+        let mut restored = StackDistanceTracker::from_checkpoint(time, total, &entries);
+        assert_eq!(restored.unique_lines(), original.unique_lines());
+        assert_eq!(restored.accesses(), original.accesses());
+        for &line in &pattern[250..] {
+            assert_eq!(restored.record(line), original.record(line), "line {line}");
+        }
+        assert_eq!(restored.checkpoint(), original.checkpoint());
+    }
+
     proptest! {
         /// The Fenwick-tree implementation must agree with the explicit LRU
         /// stack on arbitrary access sequences.
@@ -211,6 +264,25 @@ mod tests {
             let mut slow = NaiveStack::default();
             for &line in &pattern {
                 prop_assert_eq!(fast.record(line), slow.record(line));
+            }
+        }
+
+        /// A tracker restored from a checkpoint taken at an arbitrary point
+        /// must continue exactly like the uninterrupted tracker.
+        #[test]
+        fn checkpoint_restore_matches_uninterrupted(
+            pattern in proptest::collection::vec(0u64..48, 1..400),
+            cut in 0usize..400,
+        ) {
+            let cut = cut.min(pattern.len());
+            let mut original = StackDistanceTracker::new();
+            for &line in &pattern[..cut] {
+                original.record(line);
+            }
+            let (time, total, entries) = original.checkpoint();
+            let mut restored = StackDistanceTracker::from_checkpoint(time, total, &entries);
+            for &line in &pattern[cut..] {
+                prop_assert_eq!(restored.record(line), original.record(line));
             }
         }
     }

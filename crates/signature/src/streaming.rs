@@ -22,7 +22,7 @@ use crate::collector::RegionSignature;
 use crate::ldv::Ldv;
 use crate::stack_distance::StackDistanceTracker;
 use bp_exec::ExecutionPolicy;
-use bp_workload::{BlockExecution, TraceObserver, Workload};
+use bp_workload::{BlockExecution, CheckpointError, CheckpointObserver, TraceObserver, Workload};
 
 /// The complete profile of one thread: per-region BBVs, LDVs and instruction
 /// counts, collected in a single streaming pass with continuous
@@ -111,6 +111,45 @@ impl ThreadProfileObserver {
     }
 }
 
+impl CheckpointObserver for ThreadProfileObserver {
+    /// The only state a profiling walk carries *across* a region boundary
+    /// is the reuse-distance tracker: BBVs, LDVs and instruction counts are
+    /// strictly per-region (reset at `enter_region`), so the partial
+    /// profiles of stitched segments are prefix-free and simply
+    /// concatenate ([`concat_thread_profiles`]).
+    fn snapshot_at(&self, _region: usize) -> Vec<u8> {
+        let (time, total, entries) = self.tracker.checkpoint();
+        let mut out = serde::Serializer::new();
+        out.write_u64(time);
+        out.write_u64(total);
+        out.write_len(entries.len());
+        for (timestamp, line) in entries {
+            out.write_u64(timestamp);
+            out.write_u64(line);
+        }
+        out.into_bytes()
+    }
+
+    fn restore(&mut self, _region: usize, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let corrupt = |e: serde::Error| CheckpointError::new(format!("profiler state: {e}"));
+        let mut de = serde::Deserializer::new(bytes);
+        let time = de.read_u64().map_err(corrupt)?;
+        let total = de.read_u64().map_err(corrupt)?;
+        let len = de.read_len().map_err(corrupt)?;
+        let mut entries = Vec::with_capacity(len.min(bytes.len() / 16 + 1));
+        for _ in 0..len {
+            let timestamp = de.read_u64().map_err(corrupt)?;
+            let line = de.read_u64().map_err(corrupt)?;
+            entries.push((timestamp, line));
+        }
+        if de.remaining() != 0 {
+            return Err(CheckpointError::new("profiler state: trailing bytes"));
+        }
+        self.tracker = StackDistanceTracker::from_checkpoint(time, total, &entries);
+        Ok(())
+    }
+}
+
 impl TraceObserver for ThreadProfileObserver {
     fn enter_region(&mut self, _region: usize) {
         self.current_bbv = Bbv::new(self.num_blocks);
@@ -146,6 +185,36 @@ pub fn profile_thread<W: Workload + ?Sized>(workload: &W, thread: usize) -> Thre
     let mut observer = ThreadProfileObserver::new(workload, thread);
     bp_workload::drive(workload, thread, &mut [&mut observer]);
     observer.into_profile()
+}
+
+/// Stitches the partial [`ThreadProfile`]s of consecutive trace segments
+/// (produced by [`bp_workload::drive_segment`] over adjacent region ranges)
+/// into the single profile a sequential walk would have produced.
+///
+/// Per-region outputs are prefix-free — each region's BBV/LDV/instruction
+/// count is fully emitted by whichever segment walked that region — so
+/// stitching is plain concatenation in segment order.  The continuity of the
+/// *cross-region* state (reuse distances) is the checkpoint contract of
+/// [`ThreadProfileObserver`]'s [`CheckpointObserver`] impl, not this
+/// function's concern.
+///
+/// # Panics
+///
+/// Panics if `segments` is empty or the segments disagree on the thread id.
+pub fn concat_thread_profiles(segments: Vec<ThreadProfile>) -> ThreadProfile {
+    assert!(!segments.is_empty(), "at least one segment profile required");
+    let thread = segments[0].thread();
+    let mut bbvs = Vec::new();
+    let mut ldvs = Vec::new();
+    let mut instructions = Vec::new();
+    for segment in segments {
+        assert_eq!(segment.thread(), thread, "segment profiles must share one thread");
+        let (seg_bbvs, seg_ldvs, seg_instructions) = segment.into_components();
+        bbvs.extend(seg_bbvs);
+        ldvs.extend(seg_ldvs);
+        instructions.extend(seg_instructions);
+    }
+    ThreadProfile { thread, bbvs, ldvs, instructions }
 }
 
 /// Zips per-thread streaming profiles back into one [`RegionSignature`] per
@@ -285,5 +354,89 @@ mod tests {
     fn profile_thread_rejects_bad_thread() {
         let w = workload();
         let _ = profile_thread(&w, 9);
+    }
+
+    /// Walks `thread` as independent segments delimited by `cuts`, carrying
+    /// state across cuts through checkpoint bytes only, exactly as the
+    /// segment scheduler does with cached checkpoints.
+    fn profile_thread_segmented<W: Workload + ?Sized>(
+        w: &W,
+        thread: usize,
+        cuts: &[usize],
+    ) -> ThreadProfile {
+        let mut bounds = vec![0];
+        bounds.extend_from_slice(cuts);
+        bounds.push(w.num_regions());
+        let mut snapshot: Option<(usize, Vec<u8>)> = None;
+        let mut parts = Vec::new();
+        for pair in bounds.windows(2) {
+            let (from, until) = (pair[0], pair[1]);
+            let mut observer = ThreadProfileObserver::new(w, thread);
+            if let Some((region, bytes)) = snapshot.take() {
+                observer.restore(region, &bytes).expect("restore own snapshot");
+            }
+            bp_workload::drive_segment(w, thread, from, until, &mut [&mut observer]);
+            snapshot = Some((until, observer.snapshot_at(until)));
+            parts.push(observer.into_profile());
+        }
+        concat_thread_profiles(parts)
+    }
+
+    #[test]
+    fn segmented_profiling_matches_sequential_bit_for_bit() {
+        let w = workload();
+        let regions = w.num_regions();
+        let cut_sets: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![1],
+            vec![regions / 2],
+            vec![regions - 1],
+            vec![1, 2, regions / 3, regions / 2],
+            (1..regions).collect(), // one segment per region
+        ];
+        for thread in 0..4 {
+            let sequential = profile_thread(&w, thread);
+            for cuts in &cut_sets {
+                let stitched = profile_thread_segmented(&w, thread, cuts);
+                assert_eq!(stitched, sequential, "thread {thread} cuts {cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let w = workload();
+        let mut a = ThreadProfileObserver::new(&w, 0);
+        let mut b = ThreadProfileObserver::new(&w, 0);
+        bp_workload::drive(&w, 0, &mut [&mut a]);
+        bp_workload::drive(&w, 0, &mut [&mut b]);
+        let region = w.num_regions();
+        assert_eq!(a.snapshot_at(region), b.snapshot_at(region));
+    }
+
+    #[test]
+    fn restore_rejects_truncated_and_trailing_bytes() {
+        let w = workload();
+        let mut source = ThreadProfileObserver::new(&w, 0);
+        bp_workload::drive_segment(&w, 0, 0, 2, &mut [&mut source]);
+        let bytes = source.snapshot_at(2);
+
+        let mut truncated = ThreadProfileObserver::new(&w, 0);
+        assert!(truncated.restore(2, &bytes[..bytes.len() - 1]).is_err());
+
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let mut trailing = ThreadProfileObserver::new(&w, 0);
+        assert!(trailing.restore(2, &extended).is_err());
+
+        let mut ok = ThreadProfileObserver::new(&w, 0);
+        assert!(ok.restore(2, &bytes).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn concat_rejects_mixed_threads() {
+        let w = workload();
+        let _ = concat_thread_profiles(vec![profile_thread(&w, 0), profile_thread(&w, 1)]);
     }
 }

@@ -1,7 +1,7 @@
 //! Source-scanning lint rules for the concurrency core (the `bp-lint`
 //! binary is a thin wrapper over [`run`]).
 //!
-//! Six rules, all line-based over the repo's own sources — no external
+//! Seven rules, all line-based over the repo's own sources — no external
 //! parser, so the lint works in the offline vendored build:
 //!
 //! * [`Rule::OrderingJustification`] — every `Ordering::` argument in the
@@ -28,6 +28,12 @@
 //!   derived from the `SelectionStrategy` seam (`fingerprint_bytes()`), and
 //!   naming the concrete config in key derivation would silently re-couple
 //!   the cache to one strategy and break every other backend's keys.
+//! * [`Rule::CoreDrive`] — no raw trace-drive calls (`bp_workload::drive` /
+//!   `drive_segment`) in `crates/core/src/**` outside `segment.rs`: the
+//!   segment scheduler is the single bp-core module allowed to walk traces,
+//!   so every sweep hot path stays checkpointable and segmentable.  A walk
+//!   hand-rolled elsewhere would silently bypass the `threads × segments`
+//!   fan-out (and its counters).
 //!
 //! A finding can be suppressed with a `bp-lint: allow(<rule>)` comment on
 //! the same line or the line above; every suppression is expected to carry
@@ -49,6 +55,8 @@ const PAT_FS_CALL: &str = concat!("fs", "::");
 const PAT_FORBID: &str = concat!("#![forbid(", "unsafe_code)]");
 const PAT_JUSTIFY: &str = concat!("ordering", ":");
 const PAT_SIMPOINT_CFG: &str = concat!("SimPoint", "Config");
+const PAT_DRIVE: &str = concat!("drive", "(");
+const PAT_DRIVE_SEGMENT: &str = concat!("drive_segment", "(");
 
 /// Which lint rule a finding belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,6 +74,8 @@ pub enum Rule {
     /// `SimPointConfig` named in the cache outside tests, re-coupling key
     /// derivation to one concrete strategy instead of the strategy seam.
     SimPointInCacheKeys,
+    /// Raw trace-drive call in bp-core outside the segment scheduler.
+    CoreDrive,
 }
 
 impl Rule {
@@ -78,6 +88,7 @@ impl Rule {
             Rule::NoStdSync => "std-sync",
             Rule::NoStdFs => "std-fs",
             Rule::SimPointInCacheKeys => "simpoint-in-cache",
+            Rule::CoreDrive => "core-drive",
         }
     }
 }
@@ -267,6 +278,12 @@ fn in_simpoint_key_scope(rel: &str) -> bool {
     rel == "crates/core/src/cache.rs"
 }
 
+/// Scope of the trace-drive rule: all of bp-core except the segment
+/// scheduler (`segment.rs`), the single module allowed to walk traces.
+fn in_core_drive_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/") && rel != "crates/core/src/segment.rs"
+}
+
 /// Crate roots that must carry `#![forbid(unsafe_code)]`.
 fn is_crate_root(rel: &str) -> bool {
     rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || rel.contains("src/bin/")
@@ -309,7 +326,14 @@ pub fn lint_file(rel: &str, content: &str, findings: &mut Vec<Finding>) {
     let check_std_sync = in_std_sync_scope(rel);
     let check_std_fs = in_std_fs_scope(rel);
     let check_simpoint = in_simpoint_key_scope(rel);
-    if !(check_ordering || check_unwrap || check_std_sync || check_std_fs || check_simpoint) {
+    let check_drive = in_core_drive_scope(rel);
+    if !(check_ordering
+        || check_unwrap
+        || check_std_sync
+        || check_std_fs
+        || check_simpoint
+        || check_drive)
+    {
         return;
     }
 
@@ -391,6 +415,22 @@ pub fn lint_file(rel: &str, content: &str, findings: &mut Vec<Finding>) {
                     "{PAT_SIMPOINT_CFG} named in cache code outside tests — key derivation \
                      must stay on the SelectionStrategy seam (fingerprint_bytes())"
                 ),
+            });
+        }
+
+        if check_drive
+            && !in_test
+            && (code.contains(PAT_DRIVE) || code.contains(PAT_DRIVE_SEGMENT))
+            && !allowed(&lines, idx, Rule::CoreDrive)
+        {
+            findings.push(Finding {
+                file: PathBuf::from(rel),
+                line: lineno,
+                rule: Rule::CoreDrive,
+                message: "raw trace-drive call in bp-core outside the segment scheduler — \
+                          route the walk through `crate::segment` so sweep hot paths stay \
+                          checkpointable and segmentable"
+                    .to_string(),
             });
         }
     }
@@ -574,6 +614,47 @@ mod tests {
         );
         let findings = lint_str("crates/core/src/cache.rs", &escaped);
         assert!(!findings.iter().any(|f| f.rule == Rule::SimPointInCacheKeys));
+    }
+
+    #[test]
+    fn raw_drive_in_core_is_flagged_outside_the_segment_scheduler() {
+        for src in [
+            format!("fn f(w: &W) {{ bp_workload::{}w, 0, &mut []); }}\n", PAT_DRIVE),
+            format!("fn f(w: &W) {{ {}w, 0, 1, 4, &mut []); }}\n", PAT_DRIVE_SEGMENT),
+        ] {
+            let findings = lint_str("crates/core/src/sweep.rs", &src);
+            assert!(findings.iter().any(|f| f.rule == Rule::CoreDrive), "must flag: {src}");
+            // The segment scheduler is the single permitted call site.
+            let findings = lint_str("crates/core/src/segment.rs", &src);
+            assert!(!findings.iter().any(|f| f.rule == Rule::CoreDrive), "segment.rs: {src}");
+            // Other crates drive traces freely (bp-warmup's collectors,
+            // the integration suites, ...).
+            let findings = lint_str("crates/warmup/src/mru.rs", &src);
+            assert!(!findings.iter().any(|f| f.rule == Rule::CoreDrive), "out of scope: {src}");
+        }
+    }
+
+    #[test]
+    fn core_drive_tests_comments_and_allows_pass() {
+        let in_test = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn f(w: &W) {{ bp_workload::{}w, 0, &mut []); }}\n}}\n",
+            PAT_DRIVE
+        );
+        let findings = lint_str("crates/core/src/profile.rs", &in_test);
+        assert!(!findings.iter().any(|f| f.rule == Rule::CoreDrive));
+
+        let comment_only =
+            format!("/// prose about [`bp_workload::{}`] goes here\nfn f() {{}}\n", PAT_DRIVE);
+        let findings = lint_str("crates/core/src/profile.rs", &comment_only);
+        assert!(!findings.iter().any(|f| f.rule == Rule::CoreDrive));
+
+        let escaped = format!(
+            "fn f(w: &W) {{\n    // bp-lint: allow(core-drive) — one-shot diagnostic walk\n    \
+             bp_workload::{}w, 0, &mut []);\n}}\n",
+            PAT_DRIVE
+        );
+        let findings = lint_str("crates/core/src/profile.rs", &escaped);
+        assert!(!findings.iter().any(|f| f.rule == Rule::CoreDrive));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use bp_exec::{ExecutionPolicy, WorkerBudget};
-use bp_workload::{BlockExecution, TraceObserver, Workload};
+use bp_workload::{BlockExecution, CheckpointError, CheckpointObserver, TraceObserver, Workload};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -59,6 +59,9 @@ struct LineState {
     tick: u64,
     dirty_depth: u64,
 }
+
+/// One live residency in a checkpoint image: `(seq, line, tick, dirty_depth)`.
+type CheckpointEntry = (u64, u64, u64, u64);
 
 /// One thread's MRU recency state: the live residencies ordered by access
 /// sequence, per-line state, and a Fenwick tree of the live sequence ranks
@@ -133,6 +136,55 @@ impl ThreadMruState {
         for seq in live {
             self.tree_add(seq as usize, 1);
         }
+    }
+
+    /// The state's checkpoint image: `(next_seq, next_tick, entries)` with
+    /// the live residencies in recency order as `(seq, line, tick,
+    /// dirty_depth)`.  Sequence numbers are preserved verbatim (not
+    /// renumbered), so a restored state reproduces future behaviour —
+    /// including [`maybe_compact`](Self::maybe_compact) timing, which
+    /// depends only on `next_seq` and the live count — bit for bit.  The
+    /// `by_seq` iteration order makes the image deterministic.
+    fn checkpoint(&self) -> (u64, u64, Vec<CheckpointEntry>) {
+        let entries = self
+            .by_seq
+            .iter()
+            .map(|(&seq, &line)| match self.by_line.get(&line) {
+                Some(state) => (seq, line, state.tick, state.dirty_depth),
+                // `by_seq` and `by_line` always hold the same line set.
+                None => unreachable!("line {line:#x} in by_seq but not by_line"),
+            })
+            .collect();
+        (self.next_seq, self.next_tick, entries)
+    }
+
+    /// Rebuilds a state from a [`checkpoint`](Self::checkpoint) image,
+    /// validating its internal consistency (checkpoints may arrive from a
+    /// disk cache).  The Fenwick tree is reconstructed from the live set,
+    /// exactly as compaction rebuilds it; its length never affects query
+    /// results, only when the next growth-rebuild happens.
+    fn from_checkpoint(
+        next_seq: u64,
+        next_tick: u64,
+        entries: &[CheckpointEntry],
+    ) -> Result<Self, String> {
+        let mut state = Self { next_seq, next_tick, ..Self::default() };
+        let mut prev_seq = 0;
+        for &(seq, line, tick, dirty_depth) in entries {
+            if seq <= prev_seq {
+                return Err(format!("sequence {seq} not increasing"));
+            }
+            prev_seq = seq;
+            if state.by_line.insert(line, LineState { seq, tick, dirty_depth }).is_some() {
+                return Err(format!("line {line:#x} recorded twice"));
+            }
+            state.by_seq.insert(seq, line);
+        }
+        if prev_seq > next_seq {
+            return Err(format!("live sequence {prev_seq} past counter {next_seq}"));
+        }
+        state.rebuild_tree((next_seq as usize + 2).next_power_of_two().max(64));
+        Ok(state)
     }
 
     /// Renumbers the live sequences to `1..=n` (preserving order) once the
@@ -544,6 +596,14 @@ pub struct MruThreadObserver {
     /// Line -> index (into `intervals`) of its open record.
     open: HashMap<u64, usize>,
     intervals: Vec<IntervalRecord>,
+    /// Set by [`CheckpointObserver::restore`]: at the first boundary this
+    /// segment reaches, open records for *every* resident line (there are no
+    /// prior records in this segment to close) instead of draining
+    /// `touched`.  A sequential walk's records that span the segment cut are
+    /// thereby split into two records covering the same boundary indices
+    /// with the same `(line, tick, dirty_depth)` — invisible to
+    /// [`MruSnapshotBank`] assembly, which is the bit-identity contract.
+    resume_open_all: bool,
 }
 
 impl MruThreadObserver {
@@ -562,6 +622,7 @@ impl MruThreadObserver {
             touched: HashSet::new(),
             open: HashMap::new(),
             intervals: Vec::new(),
+            resume_open_all: false,
         }
     }
 
@@ -582,12 +643,95 @@ impl MruThreadObserver {
     }
 }
 
+impl CheckpointObserver for MruThreadObserver {
+    /// The only state a warmup walk carries across a region boundary is the
+    /// collector's recency list — `touched`/`open`/`intervals` describe the
+    /// *output* (interval records), which segments produce independently and
+    /// [`MruSnapshotBank::from_segmented_observers`] stitches.
+    fn snapshot_at(&self, _region: usize) -> Vec<u8> {
+        let (next_seq, next_tick, entries) = self.collector.threads[0].checkpoint();
+        let mut out = serde::Serializer::new();
+        out.write_u64(self.collector.capacity_lines());
+        out.write_u64(next_seq);
+        out.write_u64(next_tick);
+        out.write_len(entries.len());
+        for (seq, line, tick, dirty_depth) in entries {
+            out.write_u64(seq);
+            out.write_u64(line);
+            out.write_u64(tick);
+            out.write_u64(dirty_depth);
+        }
+        out.into_bytes()
+    }
+
+    fn restore(&mut self, region: usize, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let corrupt = |e: serde::Error| CheckpointError::new(format!("mru state: {e}"));
+        let mut de = serde::Deserializer::new(bytes);
+        let capacity = de.read_u64().map_err(corrupt)?;
+        if capacity != self.collector.capacity_lines() {
+            return Err(CheckpointError::new(format!(
+                "mru state: collection capacity mismatch (checkpoint {capacity}, observer {})",
+                self.collector.capacity_lines()
+            )));
+        }
+        let next_seq = de.read_u64().map_err(corrupt)?;
+        let next_tick = de.read_u64().map_err(corrupt)?;
+        let len = de.read_len().map_err(corrupt)?;
+        if len as u64 > capacity {
+            return Err(CheckpointError::new(format!(
+                "mru state: {len} live lines exceed capacity {capacity}"
+            )));
+        }
+        let mut entries = Vec::with_capacity(len.min(bytes.len() / 32 + 1));
+        for _ in 0..len {
+            let seq = de.read_u64().map_err(corrupt)?;
+            let line = de.read_u64().map_err(corrupt)?;
+            let tick = de.read_u64().map_err(corrupt)?;
+            let dirty_depth = de.read_u64().map_err(corrupt)?;
+            entries.push((seq, line, tick, dirty_depth));
+        }
+        if de.remaining() != 0 {
+            return Err(CheckpointError::new("mru state: trailing bytes"));
+        }
+        self.collector.threads[0] = ThreadMruState::from_checkpoint(next_seq, next_tick, &entries)
+            .map_err(|reason| CheckpointError::new(format!("mru state: {reason}")))?;
+        self.next = self.boundaries.partition_point(|&b| b < region);
+        self.touched.clear();
+        self.open.clear();
+        self.intervals.clear();
+        self.resume_open_all = true;
+        Ok(())
+    }
+}
+
 impl TraceObserver for MruThreadObserver {
     fn enter_region(&mut self, region: usize) {
         if self.boundaries.get(self.next) != Some(&region) {
             return;
         }
         let idx = self.next as u32;
+        if std::mem::take(&mut self.resume_open_all) {
+            // First boundary after a checkpoint restore: no record of this
+            // segment is open yet, so every resident line opens fresh here —
+            // `touched` (accesses between the restore point and this
+            // boundary) is a subset of what these records already cover.
+            self.touched.clear();
+            let resident: Vec<u64> = self.collector.threads[0].by_seq.values().copied().collect();
+            for line in resident {
+                if let Some((tick, dirty_depth)) = self.collector.residency_state(0, line) {
+                    self.open.insert(line, self.intervals.len());
+                    self.intervals.push(IntervalRecord {
+                        line,
+                        tick,
+                        dirty_depth,
+                        from: idx,
+                        until: OPEN,
+                    });
+                }
+            }
+            self.next += 1;
+            return;
+        }
         // Deterministic record order regardless of hash-set iteration.
         let mut touched: Vec<u64> = self.touched.drain().collect();
         touched.sort_unstable();
@@ -680,6 +824,60 @@ impl MruSnapshotBank {
             boundaries: boundaries[..taken].to_vec(),
             collection_capacity,
             per_thread: observers.into_iter().map(|o| o.finish(taken)).collect(),
+        }
+    }
+
+    /// Assembles the bank from *segmented* walks: `per_thread[t]` holds the
+    /// finished observers of thread `t`'s consecutive trace segments, in
+    /// segment order, where every segment after the first was seeded through
+    /// [`CheckpointObserver::restore`] from its predecessor's cut-point
+    /// snapshot.  Each thread's records are the concatenation of its
+    /// segments' records; assembly output is bit-identical to a bank built
+    /// by [`from_observers`](Self::from_observers) from one sequential walk
+    /// per thread (records that spanned a cut are split in two, which
+    /// reconstruction — a filter by covered boundary index plus a sort by
+    /// access tick — cannot observe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_thread` is empty, any thread has no segments, or the
+    /// observers disagree on boundaries or collection capacity.
+    pub fn from_segmented_observers(per_thread: Vec<Vec<MruThreadObserver>>) -> Self {
+        assert!(!per_thread.is_empty(), "at least one thread required");
+        assert!(
+            per_thread.iter().all(|segments| !segments.is_empty()),
+            "at least one segment observer per thread required"
+        );
+        let boundaries = per_thread[0][0].boundaries.clone();
+        let collection_capacity = per_thread[0][0].collector.capacity_lines();
+        for observer in per_thread.iter().flatten() {
+            assert_eq!(observer.boundaries, boundaries, "observers disagree on boundaries");
+            assert_eq!(
+                observer.collector.capacity_lines(),
+                collection_capacity,
+                "observers disagree on collection capacity"
+            );
+        }
+        // A thread's boundary progress is its last segment's; truncate
+        // uniformly across threads as `from_observers` does.
+        let taken = per_thread
+            .iter()
+            .map(|segments| segments.last().map_or(0, |o| o.next))
+            .min()
+            .unwrap_or(0);
+        Self {
+            boundaries: boundaries[..taken].to_vec(),
+            collection_capacity,
+            per_thread: per_thread
+                .into_iter()
+                .map(|segments| {
+                    let mut records = Vec::new();
+                    for observer in segments {
+                        records.extend(observer.finish(taken));
+                    }
+                    records
+                })
+                .collect(),
         }
     }
 
@@ -1219,6 +1417,143 @@ mod tests {
         }
     }
 
+    /// Walks every thread of `w` as independent segments delimited by
+    /// `cuts`, carrying state across cuts through checkpoint bytes only —
+    /// exactly what the segment scheduler does with cached checkpoints.
+    fn segmented_bank(
+        w: &impl bp_workload::Workload,
+        boundaries: &[usize],
+        capacity: u64,
+        cuts: &[usize],
+    ) -> MruSnapshotBank {
+        let mut bounds = vec![0];
+        bounds.extend_from_slice(cuts);
+        bounds.push(w.num_regions());
+        let per_thread = (0..w.num_threads())
+            .map(|thread| {
+                let mut snapshot: Option<(usize, Vec<u8>)> = None;
+                let mut segments = Vec::new();
+                for pair in bounds.windows(2) {
+                    let (from, until) = (pair[0], pair[1]);
+                    let mut observer = MruThreadObserver::new(boundaries, capacity);
+                    if let Some((region, bytes)) = snapshot.take() {
+                        observer.restore(region, &bytes).expect("restore own snapshot");
+                    }
+                    bp_workload::drive_segment(w, thread, from, until, &mut [&mut observer]);
+                    snapshot = Some((until, observer.snapshot_at(until)));
+                    segments.push(observer);
+                }
+                segments
+            })
+            .collect();
+        MruSnapshotBank::from_segmented_observers(per_thread)
+    }
+
+    #[test]
+    fn segmented_walks_match_the_sequential_bank_bit_for_bit() {
+        let w = Benchmark::NpbCg.build(&WorkloadConfig::new(2).with_scale(0.05));
+        let regions = w.num_regions();
+        let all: Vec<usize> = (0..regions).collect();
+        let (sequential, oracle) = both_banks(&w, &all, 1024);
+        let cut_sets: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![1],
+            vec![regions / 2],
+            vec![regions - 1],
+            vec![1, 2, regions / 3, regions / 2],
+            (1..regions).collect(), // one segment per region
+        ];
+        for cuts in &cut_sets {
+            let segmented = segmented_bank(&w, &all, 1024, cuts);
+            assert_eq!(segmented.boundaries(), sequential.boundaries(), "cuts {cuts:?}");
+            for capacity in [1u64, 64, 700, 1024] {
+                assert_eq!(
+                    segmented.assemble(&all, capacity),
+                    sequential.assemble(&all, capacity),
+                    "cuts {cuts:?} capacity {capacity}"
+                );
+                assert_eq!(
+                    segmented.assemble(&all, capacity),
+                    oracle.assemble(&all, capacity),
+                    "cuts {cuts:?} capacity {capacity} vs oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_walks_handle_sparse_boundaries_and_cuts_between_them() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let regions = w.num_regions();
+        // Sparse boundaries plus one past the region count (never reached);
+        // cuts deliberately placed between and on top of boundaries.
+        let boundaries = vec![0, 2, 5, regions - 1, regions + 10];
+        let (sequential, oracle) = both_banks(&w, &boundaries, 512);
+        for cuts in [vec![1], vec![2], vec![3, 4], vec![1, 5, regions - 1]] {
+            let segmented = segmented_bank(&w, &boundaries, 512, &cuts);
+            assert_eq!(segmented.boundaries(), oracle.boundaries(), "cuts {cuts:?}");
+            for capacity in [1u64, 16, 512] {
+                assert_eq!(
+                    segmented.assemble(&boundaries, capacity),
+                    sequential.assemble(&boundaries, capacity),
+                    "cuts {cuts:?} capacity {capacity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mru_snapshot_bytes_are_deterministic() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let boundaries: Vec<usize> = (0..w.num_regions()).collect();
+        let walk = || {
+            let mut observer = MruThreadObserver::new(&boundaries, 256);
+            bp_workload::drive(&w, 0, &mut [&mut observer]);
+            observer.snapshot_at(w.num_regions())
+        };
+        assert_eq!(walk(), walk());
+    }
+
+    #[test]
+    fn mru_restore_rejects_corrupt_and_mismatched_checkpoints() {
+        let w = Benchmark::NpbIs.build(&WorkloadConfig::new(2).with_scale(0.02));
+        let boundaries: Vec<usize> = (0..w.num_regions()).collect();
+        let mut source = MruThreadObserver::new(&boundaries, 256);
+        bp_workload::drive_segment(&w, 0, 0, 3, &mut [&mut source]);
+        let bytes = source.snapshot_at(3);
+
+        // Capacity recorded in the checkpoint must match the observer's.
+        let mut wrong_capacity = MruThreadObserver::new(&boundaries, 128);
+        assert!(wrong_capacity.restore(3, &bytes).is_err());
+
+        let mut truncated = MruThreadObserver::new(&boundaries, 256);
+        assert!(truncated.restore(3, &bytes[..bytes.len() - 1]).is_err());
+
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let mut trailing = MruThreadObserver::new(&boundaries, 256);
+        assert!(trailing.restore(3, &extended).is_err());
+
+        let mut ok = MruThreadObserver::new(&boundaries, 256);
+        assert!(ok.restore(3, &bytes).is_ok());
+        assert_eq!(ok.next, boundaries.partition_point(|&b| b < 3));
+        assert!(ok.resume_open_all);
+    }
+
+    #[test]
+    fn thread_state_from_checkpoint_validates_entries() {
+        // Non-increasing sequence numbers.
+        assert!(ThreadMruState::from_checkpoint(9, 9, &[(3, 1, 1, 0), (3, 2, 2, 0)]).is_err());
+        // Duplicate line.
+        assert!(ThreadMruState::from_checkpoint(9, 9, &[(1, 5, 1, 0), (2, 5, 2, 0)]).is_err());
+        // Live sequence past the counter.
+        assert!(ThreadMruState::from_checkpoint(1, 9, &[(4, 5, 1, 0)]).is_err());
+        // A well-formed image round-trips.
+        let state = ThreadMruState::from_checkpoint(4, 4, &[(2, 5, 2, 0), (4, 7, 4, 1)])
+            .expect("well-formed checkpoint");
+        assert_eq!(state.checkpoint(), (4, 4, vec![(2, 5, 2, 0), (4, 7, 4, 1)]));
+    }
+
     proptest! {
         /// Interval assembly must reproduce the per-boundary oracle for
         /// arbitrary access streams, boundary placements, and capacities —
@@ -1254,6 +1589,50 @@ mod tests {
             prop_assert_eq!(
                 interval_bank.assemble(&boundaries, probe_capacity),
                 raw_bank.assemble(&boundaries, probe_capacity)
+            );
+        }
+
+        /// Cutting the stream at an arbitrary region and carrying state
+        /// across the cut through checkpoint bytes alone must leave bank
+        /// assembly unchanged at every probe capacity.
+        #[test]
+        fn segmented_direct_feed_matches_sequential(
+            accesses in proptest::collection::vec((0u64..48, any::<bool>()), 1..800),
+            collection_capacity in 1u64..24,
+            probe_capacity in 1u64..32,
+            stride in 1usize..40,
+            cut in 0usize..64,
+        ) {
+            let num_regions = accesses.len().div_ceil(stride);
+            let cut = cut.min(num_regions);
+            let boundaries: Vec<usize> = (0..num_regions).collect();
+            let feed = |observer: &mut MruThreadObserver, from: usize, until: usize| {
+                for (region, chunk) in accesses.chunks(stride).enumerate() {
+                    if region < from || region >= until {
+                        continue;
+                    }
+                    observer.enter_region(region);
+                    for &(line, write) in chunk {
+                        observer.touched.insert(line);
+                        if let Some(evicted) = observer.collector.record(0, line, write) {
+                            observer.touched.insert(evicted);
+                        }
+                    }
+                }
+            };
+            let mut sequential = MruThreadObserver::new(&boundaries, collection_capacity);
+            feed(&mut sequential, 0, num_regions);
+            let mut first = MruThreadObserver::new(&boundaries, collection_capacity);
+            feed(&mut first, 0, cut);
+            let bytes = first.snapshot_at(cut);
+            let mut second = MruThreadObserver::new(&boundaries, collection_capacity);
+            second.restore(cut, &bytes).expect("restore own snapshot");
+            feed(&mut second, cut, num_regions);
+            let seq_bank = MruSnapshotBank::from_observers(vec![sequential]);
+            let seg_bank = MruSnapshotBank::from_segmented_observers(vec![vec![first, second]]);
+            prop_assert_eq!(
+                seg_bank.assemble(&boundaries, probe_capacity),
+                seq_bank.assemble(&boundaries, probe_capacity)
             );
         }
     }

@@ -61,7 +61,7 @@ mod workload;
 pub use access::{AccessKind, MemoryAccess, CACHE_LINE_BYTES};
 pub use block::{BasicBlock, BasicBlockId, BlockTable};
 pub use kernels::suite::Benchmark;
-pub use observer::{drive, TraceObserver};
+pub use observer::{drive, drive_segment, CheckpointError, CheckpointObserver, TraceObserver};
 pub use phase::{AccessPattern, Phase, PhaseBlock, PhaseId, ScheduleEntry};
 pub use region::{BlockExecution, RegionTrace};
 pub use synthetic::{SyntheticWorkload, SyntheticWorkloadBuilder};

@@ -19,6 +19,12 @@
 //! (e.g. warmup collection up to its last barrierpoint) pays exactly the
 //! prefix it consumes.
 //!
+//! Because every barrier is a natural cut point of the fold, observers that
+//! implement [`CheckpointObserver`] (serialize/restore their carried state
+//! at a region boundary) can be driven over disjoint *segments* of one
+//! thread's trace via [`drive_segment`] — the seam that lets a scheduler
+//! split a single thread's walk into `segments` parallel jobs.
+//!
 //! [`RegionTrace`]: crate::RegionTrace
 
 use crate::region::BlockExecution;
@@ -57,6 +63,75 @@ pub trait TraceObserver {
     }
 }
 
+/// A [`TraceObserver`] whose state is checkpointable at region boundaries.
+///
+/// A trace walk is a fold over the block-execution stream, and every
+/// barrier is a natural cut point: an observer that can serialize its
+/// resumable state *as of the barrier before region `r`* — and later
+/// restore it into a freshly constructed instance — lets [`drive_segment`]
+/// walk disjoint region ranges of one thread's trace on different workers,
+/// bit-identically to one sequential [`drive`].  That is what turns a
+/// few-thread many-region workload from `threads` jobs into
+/// `threads × segments` jobs on a worker budget.
+///
+/// The contract:
+///
+/// * `snapshot_at(region)` is called after the observer finished region
+///   `region - 1` (i.e. [`drive_segment`] ran up to `until_region ==
+///   region`).  The returned bytes must capture everything a continuation
+///   from region `region` needs — *not* the per-region outputs already
+///   produced, only the carried state (reuse-distance trackers, recency
+///   lists, …).
+/// * `restore(region, bytes)` is called on a freshly constructed observer
+///   and must leave it in exactly the state `snapshot_at(region)` captured,
+///   so that driving it over regions `region..` continues the sequential
+///   fold bit for bit.
+/// * Checkpoint bytes must be deterministic: two walks over the same trace
+///   snapshot identical bytes (sort any hash-ordered state).
+pub trait CheckpointObserver: TraceObserver {
+    /// Serializes the resumable state as of the barrier before `region`
+    /// (all accesses of regions `0..region` applied).
+    fn snapshot_at(&self, region: usize) -> Vec<u8>;
+
+    /// Restores state previously captured by [`snapshot_at`] with the same
+    /// `region`, preparing this (freshly constructed) observer to continue
+    /// the walk from `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when the bytes are truncated, corrupt,
+    /// or incompatible with this observer's configuration.
+    ///
+    /// [`snapshot_at`]: CheckpointObserver::snapshot_at
+    fn restore(&mut self, region: usize, bytes: &[u8]) -> Result<(), CheckpointError>;
+}
+
+/// A checkpoint payload could not be restored (truncated, corrupt, or
+/// incompatible with the observer it was handed to).
+///
+/// Restoration failures are recoverable by construction: the caller falls
+/// back to walking the segment's prefix sequentially (or the whole trace),
+/// which needs no checkpoint at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    message: String,
+}
+
+impl CheckpointError {
+    /// Creates an error carrying a human-readable reason.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint restore failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// Walks `thread`'s entire trace of `workload` — all regions, in program
 /// order — exactly once, feeding every block execution to each observer.
 ///
@@ -76,8 +151,37 @@ pub fn drive<W: Workload + ?Sized>(
     thread: usize,
     observers: &mut [&mut dyn TraceObserver],
 ) {
+    drive_segment(workload, thread, 0, workload.num_regions(), observers);
+}
+
+/// Walks one *segment* of `thread`'s trace: regions `from_region` up to
+/// (but excluding) `until_region`, clamped to the workload's region count,
+/// with exactly [`drive`]'s per-region protocol — `drive(w, t, obs)` is
+/// `drive_segment(w, t, 0, w.num_regions(), obs)`.
+///
+/// Observers entering mid-trace (`from_region > 0`) are expected to have
+/// been [restored](CheckpointObserver::restore) from a checkpoint taken at
+/// `from_region`; chaining `drive_segment` calls over consecutive ranges
+/// with the *same* observers is bit-identical to one sequential [`drive`]
+/// (the per-region protocol is identical, so the fold composes).
+///
+/// # Panics
+///
+/// Panics if `thread >= workload.num_threads()` or
+/// `from_region > until_region`.
+pub fn drive_segment<W: Workload + ?Sized>(
+    workload: &W,
+    thread: usize,
+    from_region: usize,
+    until_region: usize,
+    observers: &mut [&mut dyn TraceObserver],
+) {
     assert!(thread < workload.num_threads(), "thread {thread} out of range");
-    for region in 0..workload.num_regions() {
+    assert!(
+        from_region <= until_region,
+        "segment start {from_region} past segment end {until_region}"
+    );
+    for region in from_region..until_region.min(workload.num_regions()) {
         for observer in observers.iter_mut() {
             observer.enter_region(region);
         }
@@ -200,5 +304,43 @@ mod tests {
     fn drive_rejects_out_of_range_thread() {
         let w = workload();
         drive(&w, 99, &mut []);
+    }
+
+    #[test]
+    #[should_panic]
+    fn drive_segment_rejects_inverted_range() {
+        let w = workload();
+        let mut recorder = Recorder::default();
+        drive_segment(&w, 0, 3, 1, &mut [&mut recorder]);
+    }
+
+    #[test]
+    fn chained_segments_reproduce_a_sequential_drive() {
+        let w = workload();
+        let n = w.num_regions();
+        let mut sequential = Recorder::default();
+        drive(&w, 0, &mut [&mut sequential]);
+        for cut in [0, 1, n / 2, n - 1, n, n + 5] {
+            let mut chained = Recorder::default();
+            drive_segment(&w, 0, 0, cut, &mut [&mut chained]);
+            drive_segment(&w, 0, cut.min(n), n, &mut [&mut chained]);
+            assert_eq!(chained.events, sequential.events, "cut {cut}");
+            assert_eq!(chained.instructions, sequential.instructions, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn segment_past_the_region_count_is_clamped() {
+        let w = workload();
+        let mut recorder = Recorder::default();
+        drive_segment(&w, 0, w.num_regions() + 3, w.num_regions() + 9, &mut [&mut recorder]);
+        assert!(recorder.events.is_empty());
+        assert_eq!(recorder.instructions, 0);
+    }
+
+    #[test]
+    fn checkpoint_error_displays_its_reason() {
+        let err = CheckpointError::new("bad magic");
+        assert_eq!(err.to_string(), "checkpoint restore failed: bad magic");
     }
 }

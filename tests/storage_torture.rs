@@ -9,8 +9,9 @@
 //!    write protocol (tmp write, rename, lock create, lock release, ...) is
 //!    exercised as a crash point.
 //! 2. **Corrupt-entry self-heal** — truncate, bit-flip, and garbage-fill
-//!    on-disk entries of all three artifact kinds; a fresh cache must treat
-//!    each as a miss and recompute bit-identical results.
+//!    on-disk entries of every artifact kind (profile, checkpoints,
+//!    selection, simulated leg); a fresh cache must treat each as a miss
+//!    and recompute bit-identical results.
 //! 3. **Single-fault sweep matrix** — a full `Sweep` under each injected
 //!    fault kind (ENOSPC, torn write, failed rename, transient reads,
 //!    permission errors, ...) must complete with results bit-identical to a
@@ -205,7 +206,7 @@ fn damage_entry(dir: &PathBuf, ext: &str, damage: fn(Vec<u8>) -> Vec<u8>) {
 /// replaced with garbage — must read as clean misses: the next sweep heals
 /// them by recomputation and its results stay bit-identical.
 #[test]
-fn corrupt_entries_self_heal_for_all_three_artifact_kinds() {
+fn corrupt_entries_self_heal_for_every_artifact_kind() {
     let w = workload();
     let dir = scratch("heal");
     let reference = one_config_sweep(&w, Some(ArtifactCache::new(&dir))).run().unwrap();
@@ -242,6 +243,33 @@ fn corrupt_entries_self_heal_for_all_three_artifact_kinds() {
         assert_eq!(healed.counters().profile_passes, 1, "corrupt profile must be re-profiled");
         assert_eq!(healed.counters().simulated_cache_hits, 1);
         assert_eq!(healed.legs(), reference.legs());
+
+        // Checkpoints: corrupt the ckpt entry *and* profile+selection so the
+        // sweep actually reaches the checkpoint probe (it only fires on a
+        // profile miss).  The corrupt checkpoints must degrade to a miss —
+        // the re-profile falls back to the sequential walk, which re-stores
+        // fresh checkpoints.
+        damage_entry(&dir, "bpckpt", damage);
+        damage_entry(&dir, "bpprof", damage);
+        damage_entry(&dir, "bpsel", damage);
+        let healed = one_config_sweep(&w, Some(ArtifactCache::new(&dir))).run().unwrap();
+        assert_eq!(healed.counters().profile_passes, 1);
+        assert_eq!(
+            healed.counters().trace_walks,
+            w.num_threads(),
+            "corrupt checkpoints must fall back to the sequential walk"
+        );
+        assert_eq!(healed.counters().segment_walks, 0);
+        assert_eq!(healed.legs(), reference.legs());
+
+        // The fallback walk healed the ckpt entry: the next profile miss
+        // rides the restored checkpoints as segment jobs, no sequential walk.
+        damage_entry(&dir, "bpprof", damage);
+        damage_entry(&dir, "bpsel", damage);
+        let reridden = one_config_sweep(&w, Some(ArtifactCache::new(&dir))).run().unwrap();
+        assert_eq!(reridden.counters().trace_walks, 0, "healed checkpoints must serve segments");
+        assert!(reridden.counters().segment_walks > 0);
+        assert_eq!(reridden.legs(), reference.legs());
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -153,11 +153,19 @@ fn cached_sweep_skips_profiling_and_clustering_and_counts_hits() {
     assert_eq!(extended.counters().simulate_legs, 1, "only the new design point simulates");
     assert_eq!(extended.counters().simulated_cache_hits, 3);
     assert_eq!(extended.counters().profile_passes, 0);
+    // The new leg's warmup collection rides the cold run's segment
+    // checkpoints: `threads × segments` jobs on the worker budget instead
+    // of one sequential walk per thread.
     assert_eq!(
         extended.counters().trace_walks,
-        w.num_threads(),
-        "matrix extension pays exactly one warmup collection walk per thread"
+        0,
+        "matrix extension re-collects from checkpoints, not by sequential walks"
     );
+    assert!(
+        extended.counters().segment_walks > w.num_threads(),
+        "the segmented re-collection fans out more jobs than threads"
+    );
+    assert!(extended.counters().checkpoint_hits > 0, "segments resumed from checkpoints");
     assert_eq!(extended.legs()[..3], *cold.legs(), "old legs are reproduced bit for bit");
     std::fs::remove_dir_all(&dir).ok();
 }
